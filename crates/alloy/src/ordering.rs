@@ -1,0 +1,168 @@
+//! The analogue of Alloy's `util/ordering` module.
+//!
+//! The paper's dynamic sub-model orders `netState` atoms with
+//! `util/ordering` so that `s.next` denotes the successor state in the
+//! transition system. Like the Alloy Analyzer (which breaks symmetry by
+//! fixing the order), we install the order as *constant* relations over the
+//! sig's atoms in creation order — semantically a total order, and maximally
+//! cheap for the SAT encoding.
+
+use crate::model::{FieldId, Model, SigId};
+use mca_relalg::{Expr, TupleSet};
+
+/// A total order over the atoms of a sig: `first`, `last`, `next` and
+/// `prev`, mirroring Alloy's `util/ordering`.
+#[derive(Clone, Copy, Debug)]
+pub struct Ordering {
+    sig: SigId,
+    first: FieldId,
+    last: FieldId,
+    next: FieldId,
+}
+
+impl Ordering {
+    /// The ordered sig.
+    pub fn sig(&self) -> SigId {
+        self.sig
+    }
+
+    /// `first` — the singleton set holding the least atom.
+    pub fn first(&self, m: &Model) -> Expr {
+        // Stored as a field over a helper singleton owner; the expression
+        // drops the owner column by joining from it.
+        m.field_expr(self.first)
+    }
+
+    /// `last` — the singleton set holding the greatest atom.
+    pub fn last(&self, m: &Model) -> Expr {
+        m.field_expr(self.last)
+    }
+
+    /// `next` — the successor relation (`s.next` is the state after `s`).
+    pub fn next(&self, m: &Model) -> Expr {
+        m.field_expr(self.next)
+    }
+
+    /// `prev` — the predecessor relation.
+    pub fn prev(&self, m: &Model) -> Expr {
+        self.next(m).transpose()
+    }
+
+    /// `lt` — the strict "comes before" relation (`^next`).
+    pub fn lt(&self, m: &Model) -> Expr {
+        self.next(m).closure()
+    }
+
+    /// `lte` — the reflexive "comes before or equals" relation (`*next`).
+    pub fn lte(&self, m: &Model) -> Expr {
+        self.next(m).reflexive_closure()
+    }
+}
+
+impl Model {
+    /// Imposes a total order on `sig`'s atoms (in creation order), returning
+    /// the [`Ordering`] accessors. The analogue of `open util/ordering[sig]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sig has no atoms.
+    pub fn ordering(&mut self, sig: SigId) -> Ordering {
+        let atoms: Vec<_> = self.atoms(sig).to_vec();
+        assert!(!atoms.is_empty(), "cannot order an empty sig");
+        let name = self.sig_name(sig).to_string();
+
+        let first = self.constant_field(
+            &format!("{name}_ord_first"),
+            sig,
+            &[],
+            TupleSet::from_atoms([atoms[0]]),
+        );
+        let last = self.constant_field(
+            &format!("{name}_ord_last"),
+            sig,
+            &[],
+            TupleSet::from_atoms([*atoms.last().expect("non-empty")]),
+        );
+        let next = self.constant_field(
+            &format!("{name}_ord_next"),
+            sig,
+            &[sig],
+            TupleSet::from_pairs(atoms.windows(2).map(|w| (w[0], w[1]))),
+        );
+        Ordering {
+            sig,
+            first,
+            last,
+            next,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mca_relalg::{Formula, Outcome, QuantVar};
+
+    #[test]
+    fn ordering_shapes() {
+        let mut m = Model::new();
+        let s = m.sig("State", 4);
+        let ord = m.ordering(s);
+        let out = m.run(&Formula::true_()).unwrap();
+        let inst = match out.result {
+            Outcome::Sat(i) => i,
+            Outcome::Unsat => panic!("pure ordering must be satisfiable"),
+        };
+        let next = inst.eval(&ord.next(&m)).unwrap();
+        assert_eq!(next.len(), 3);
+        let first = inst.eval(&ord.first(&m)).unwrap();
+        assert_eq!(first.len(), 1);
+        assert!(first.contains(&mca_relalg::Tuple::from(m.atom(s, 0))));
+        let last = inst.eval(&ord.last(&m)).unwrap();
+        assert!(last.contains(&mca_relalg::Tuple::from(m.atom(s, 3))));
+    }
+
+    #[test]
+    fn lt_is_transitive_order() {
+        let mut m = Model::new();
+        let s = m.sig("State", 3);
+        let ord = m.ordering(s);
+        // Assertion: first comes before last (for scope >= 2).
+        let f = ord
+            .first(&m)
+            .product(&ord.last(&m))
+            .in_(&ord.lt(&m));
+        assert!(m.check(&f).unwrap().result.is_valid());
+        // Assertion: nothing comes before first.
+        let x = QuantVar::fresh("x");
+        let nothing_before_first = Formula::forall(
+            &x,
+            &m.sig_expr(s),
+            &x.expr().product(&ord.first(&m)).in_(&ord.lt(&m)).not(),
+        );
+        assert!(m.check(&nothing_before_first).unwrap().result.is_valid());
+    }
+
+    #[test]
+    fn lte_includes_identity() {
+        let mut m = Model::new();
+        let s = m.sig("State", 3);
+        let ord = m.ordering(s);
+        let x = QuantVar::fresh("x");
+        let refl = Formula::forall(
+            &x,
+            &m.sig_expr(s),
+            &x.expr().product(&x.expr()).in_(&ord.lte(&m)),
+        );
+        assert!(m.check(&refl).unwrap().result.is_valid());
+    }
+
+    #[test]
+    fn prev_inverts_next() {
+        let mut m = Model::new();
+        let s = m.sig("State", 3);
+        let ord = m.ordering(s);
+        let eq = ord.prev(&m).equals(&ord.next(&m).transpose());
+        assert!(m.check(&eq).unwrap().result.is_valid());
+    }
+}

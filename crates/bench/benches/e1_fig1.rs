@@ -1,0 +1,30 @@
+//! E1 — Figure 1: time to run the two-agent, three-item example to
+//! consensus (synchronous and across all asynchronous schedules).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mca_core::checker::{check_consensus, CheckerOptions};
+use mca_core::scenarios;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_fig1");
+    g.bench_function("synchronous_run", |b| {
+        b.iter(|| {
+            let mut sim = scenarios::fig1();
+            let out = sim.run_synchronous(16);
+            assert!(out.converged);
+            black_box(out.messages_delivered)
+        })
+    });
+    g.bench_function("exhaustive_check", |b| {
+        b.iter(|| {
+            let verdict = check_consensus(scenarios::fig1(), CheckerOptions::default());
+            assert!(verdict.converges());
+            black_box(verdict.converges())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E2 — Figure 2: time to find the oscillation counterexample in the
+//! failing policy cell, versus proving convergence of the passing cells.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mca_core::checker::{check_consensus, CheckerOptions};
+use mca_core::scenarios::{fig2, PolicyCell};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_fig2");
+    g.bench_function("find_oscillation_nonsub_release", |b| {
+        b.iter(|| {
+            let cell = PolicyCell { submodular: false, release_outbid: true };
+            let verdict = check_consensus(fig2(cell), CheckerOptions::default());
+            assert!(!verdict.converges());
+            black_box(verdict.trace().map(|t| t.steps.len()))
+        })
+    });
+    g.bench_function("prove_convergence_sub_release", |b| {
+        b.iter(|| {
+            let cell = PolicyCell { submodular: true, release_outbid: true };
+            let verdict = check_consensus(fig2(cell), CheckerOptions::default());
+            assert!(verdict.converges());
+            black_box(verdict.converges())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E3 — Result 1: the full push-button policy-matrix analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mca_verify::analysis::run_policy_matrix;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_policy_matrix");
+    g.sample_size(20);
+    g.bench_function("all_four_cells", |b| {
+        b.iter(|| {
+            let rows = run_policy_matrix();
+            assert!(rows.iter().all(|r| r.matches_paper()));
+            black_box(rows.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E4 — Result 2: detecting the rebidding attack with each engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mca_core::checker::{check_consensus, CheckerOptions};
+use mca_core::scenarios;
+use mca_verify::{DynamicModel, DynamicScenario, NumberEncoding};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_rebid_attack");
+    g.sample_size(20);
+    g.bench_function("explicit_checker", |b| {
+        b.iter(|| {
+            let verdict = check_consensus(
+                scenarios::rebid_attack(2, 2),
+                CheckerOptions::default(),
+            );
+            assert!(!verdict.converges());
+            black_box(verdict.converges())
+        })
+    });
+    g.bench_function("sat_optimized", |b| {
+        b.iter(|| {
+            let dm = DynamicModel::build(
+                NumberEncoding::OptimizedValue,
+                DynamicScenario::two_agent_rebid_attack(),
+            );
+            let out = dm.check_consensus().unwrap();
+            assert!(!out.result.is_valid());
+            black_box(out.stats.cnf_clauses)
+        })
+    });
+    g.bench_function("sat_naive", |b| {
+        b.iter(|| {
+            let dm = DynamicModel::build(
+                NumberEncoding::NaiveInt,
+                DynamicScenario::two_agent_rebid_attack(),
+            );
+            let out = dm.check_consensus().unwrap();
+            assert!(!out.result.is_valid());
+            black_box(out.stats.cnf_clauses)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E6 — convergence versus the D·|V_H| bound across topologies: times the
+//! synchronous protocol runs and prints the measured-vs-bound table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mca_core::{scenarios, Network};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_convergence");
+    for (name, make) in [
+        ("complete", Network::complete as fn(usize) -> Network),
+        ("line", Network::line as fn(usize) -> Network),
+        ("ring", Network::ring as fn(usize) -> Network),
+        ("star", Network::star as fn(usize) -> Network),
+    ] {
+        for n in [4usize, 8] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut sim = scenarios::compliant(make(n), 3, 7);
+                    let out = sim.run_synchronous(1024);
+                    assert!(out.converged);
+                    black_box(out.rounds)
+                })
+            });
+        }
+    }
+    g.finish();
+
+    println!("\n--- E6 measured rounds vs bound ---");
+    for row in mca_verify::analysis::run_convergence_bound(&[7]) {
+        println!("{row}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E7 — Remark 3: achieved vs optimal network utility. Times the MCA run
+//! plus the exhaustive-optimum baseline and prints the ratio table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mca_core::welfare::{achieved_network_utility, optimal_network_utility};
+use mca_core::{scenarios, Network, Policy};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_approximation");
+    g.bench_function("mca_allocation_3x3", |b| {
+        b.iter(|| {
+            let mut sim = scenarios::compliant(Network::complete(3), 3, 7);
+            let out = sim.run_synchronous(64);
+            assert!(out.converged);
+            black_box(achieved_network_utility(sim.agents()))
+        })
+    });
+    g.bench_function("exhaustive_optimum_3x3", |b| {
+        let sim = scenarios::compliant(Network::complete(3), 3, 7);
+        let policies: Vec<Policy> = sim.agents().iter().map(|a| a.policy().clone()).collect();
+        b.iter(|| black_box(optimal_network_utility(&policies, 3)))
+    });
+    g.finish();
+
+    println!("\n--- E7 achieved vs optimal ---");
+    for row in mca_verify::analysis::run_approximation_ratio(&[1, 2, 3]) {
+        println!("{row}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

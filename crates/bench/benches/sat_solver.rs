@@ -1,0 +1,53 @@
+//! Substrate micro-benchmark: the CDCL solver on random 3-SAT and
+//! pigeonhole instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mca_bench::random_ksat;
+use mca_sat::{SolveResult, Solver};
+use std::hint::black_box;
+
+fn pigeonhole(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let p: Vec<Vec<_>> = (0..n + 1)
+        .map(|_| (0..n).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for row in &p {
+        s.add_clause(row.iter().copied());
+    }
+    for j in 0..n {
+        for i1 in 0..n + 1 {
+            for i2 in (i1 + 1)..n + 1 {
+                s.add_clause([!p[i1][j], !p[i2][j]]);
+            }
+        }
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_solver");
+    g.sample_size(20);
+    for vars in [50usize, 100] {
+        let clauses = (vars as f64 * 4.0) as usize;
+        g.bench_with_input(BenchmarkId::new("random_3sat", vars), &vars, |b, &v| {
+            b.iter(|| {
+                let cnf = random_ksat(v, clauses, 3, 7);
+                let mut solver = cnf.to_solver();
+                black_box(solver.solve() == SolveResult::Sat)
+            })
+        });
+    }
+    for holes in [5usize, 6] {
+        g.bench_with_input(BenchmarkId::new("pigeonhole", holes), &holes, |b, &h| {
+            b.iter(|| {
+                let mut solver = pigeonhole(h);
+                assert_eq!(solver.solve(), SolveResult::Unsat);
+                black_box(solver.stats().conflicts)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Case-study benchmark: end-to-end virtual network embedding throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mca_vnmap::gen::{random_request, random_substrate, RequestSpec, SubstrateSpec};
+use mca_vnmap::workload::{run_workload, OnlineEmbedder, WorkloadSpec};
+use mca_vnmap::{embed, EmbedConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vnmap");
+    for nodes in [10usize, 20] {
+        let substrate = random_substrate(
+            SubstrateSpec {
+                nodes,
+                link_probability: 0.3,
+                cpu: (80, 120),
+                bandwidth: (50, 100),
+            },
+            7,
+        );
+        g.bench_with_input(
+            BenchmarkId::new("embed_4node_request", nodes),
+            &substrate,
+            |b, substrate| {
+                b.iter(|| {
+                    let request = random_request(
+                        RequestSpec {
+                            nodes: 4,
+                            extra_link_probability: 0.2,
+                            cpu: (10, 25),
+                            bandwidth: (5, 15),
+                        },
+                        3,
+                    );
+                    black_box(embed(substrate, &request, EmbedConfig::default()).is_ok())
+                })
+            },
+        );
+    }
+    g.bench_function("online_workload_30_arrivals", |b| {
+        let substrate = random_substrate(
+            SubstrateSpec {
+                nodes: 10,
+                link_probability: 0.35,
+                cpu: (80, 120),
+                bandwidth: (50, 100),
+            },
+            7,
+        );
+        b.iter(|| {
+            let mut embedder = OnlineEmbedder::new(substrate.clone(), EmbedConfig::default());
+            let report = run_workload(
+                &mut embedder,
+                WorkloadSpec {
+                    arrivals: 30,
+                    departure_probability: 0.3,
+                    request: RequestSpec::default(),
+                },
+                11,
+            );
+            black_box(report.accepted)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,569 @@
+//! An MCA agent: the bidding and agreement mechanisms.
+//!
+//! Each agent keeps, per item, a [`Claim`] — the fused `b` (bid), `a`
+//! (assignment) and `t` (timestamp) vectors of §II-A — plus its bundle
+//! vector `m` and a set of *lost* markers implementing the Remark-1
+//! condition (no rebidding on items one was outbid on).
+//!
+//! The **bidding mechanism** ([`Agent::build_bundle`]) greedily adds the
+//! item with the best marginal utility among those whose current known
+//! maximum bid it can beat, until the target size `p_T` is reached.
+//!
+//! The **agreement mechanism** ([`Agent::receive`]) fuses an incoming view
+//! item-by-item with an asynchronous conflict-resolution rule in the CBBA
+//! tradition (Choi et al. 2009): claims about distinct winners compete by
+//! bid (max-consensus, ties to the lower agent id); claims about the same
+//! origin are refreshed by Lamport timestamp; and each agent is
+//! authoritative about itself — it re-asserts (with a fresh stamp) when the
+//! network's view of it drifts from its own.
+
+use crate::policy::{Policy, RebidStrategy};
+use crate::types::{AgentId, Claim, ItemId, Stamp};
+
+/// What fusing one incoming claim did to the receiver's state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fusion {
+    /// The incoming claim was ignored.
+    Kept,
+    /// The incoming claim replaced the local one.
+    Adopted {
+        /// The receiver lost an item it believed it was winning.
+        was_outbid: bool,
+    },
+    /// The local claim was kept but re-stamped for re-broadcast (the agent
+    /// is authoritative about itself).
+    Reasserted,
+}
+
+/// An MCA agent.
+#[derive(Clone, Debug)]
+pub struct Agent {
+    id: AgentId,
+    policy: Policy,
+    clock: u64,
+    claims: Vec<Claim>,
+    bundle: Vec<ItemId>,
+    /// Per item: `Some(stamp)` while the Remark-1 condition forbids
+    /// rebidding (we were outbid by the claim stamped so). Cleared when the
+    /// item becomes unassigned again.
+    lost: Vec<Option<Stamp>>,
+}
+
+impl Agent {
+    /// Creates an agent with empty knowledge of `num_items` items.
+    pub fn new(id: AgentId, num_items: usize, policy: Policy) -> Agent {
+        Agent {
+            id,
+            policy,
+            clock: 0,
+            claims: vec![Claim::default(); num_items],
+            bundle: Vec::new(),
+            lost: vec![None; num_items],
+        }
+    }
+
+    /// This agent's id.
+    pub fn id(&self) -> AgentId {
+        self.id
+    }
+
+    /// The policy this agent runs.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The agent's current per-item beliefs (its `b`/`a`/`t` vectors).
+    pub fn claims(&self) -> &[Claim] {
+        &self.claims
+    }
+
+    /// The bundle vector `m`: items this agent currently believes it wins,
+    /// in acquisition order.
+    pub fn bundle(&self) -> &[ItemId] {
+        &self.bundle
+    }
+
+    /// `true` if the Remark-1 marker forbids bidding on `item`.
+    pub fn is_lost(&self, item: ItemId) -> bool {
+        self.lost[item.index()].is_some()
+    }
+
+    /// The agent's Lamport clock.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    fn tick(&mut self) -> Stamp {
+        self.clock += 1;
+        Stamp::new(self.clock, self.id)
+    }
+
+    fn observe(&mut self, s: Stamp) {
+        self.clock = self.clock.max(s.time);
+    }
+
+    /// The best bid the agent would place next, if any: the eligible item
+    /// with the highest marginal utility (ties to the lower item id).
+    fn choose_bid(&self) -> Option<(i64, ItemId)> {
+        if self.bundle.len() >= self.policy.target_items {
+            return None;
+        }
+        let mut best: Option<(i64, ItemId)> = None;
+        for j in 0..self.claims.len() {
+            let item = ItemId(j as u32);
+            if self.bundle.contains(&item) {
+                continue;
+            }
+            let Some(marginal) = self.policy.utility.marginal(item, &self.bundle) else {
+                continue;
+            };
+            if marginal <= 0 {
+                continue;
+            }
+            let bid = match self.policy.rebid {
+                RebidStrategy::Honest => {
+                    // Remark 1: never rebid on an item we were outbid on.
+                    if self.lost[j].is_some() {
+                        continue;
+                    }
+                    let candidate = Claim {
+                        winner: Some(self.id),
+                        bid: marginal,
+                        stamp: Stamp::default(),
+                    };
+                    if !candidate.beats(&self.claims[j]) {
+                        continue;
+                    }
+                    marginal
+                }
+                RebidStrategy::Rebid => {
+                    // The attack: ignore the Remark-1 marker and bid just
+                    // enough to beat the standing maximum (the utility
+                    // "depends on previous bids", footnote 1).
+                    if self.claims[j].winner == Some(self.id) {
+                        continue;
+                    }
+                    marginal.max(self.claims[j].bid + 1)
+                }
+            };
+            if best.map_or(true, |(b, i)| bid > b || (bid == b && item < i)) {
+                best = Some((bid, item));
+            }
+        }
+        best
+    }
+
+    /// The **bidding phase**: greedily extends the bundle. Returns `true`
+    /// if any new bid was placed.
+    pub fn build_bundle(&mut self) -> bool {
+        let mut changed = false;
+        while let Some((bid, item)) = self.choose_bid() {
+            let stamp = self.tick();
+            self.claims[item.index()] = Claim {
+                winner: Some(self.id),
+                bid,
+                stamp,
+            };
+            self.lost[item.index()] = None;
+            self.bundle.push(item);
+            changed = true;
+        }
+        changed
+    }
+
+    /// Fuses one incoming claim about `item` (the per-item conflict
+    /// resolution rule of the agreement mechanism).
+    pub fn fuse(&mut self, item: ItemId, incoming: Claim) -> Fusion {
+        self.observe(incoming.stamp);
+        let j = item.index();
+        let own = self.claims[j];
+        if own == incoming {
+            return Fusion::Kept;
+        }
+        let me = self.id;
+
+        let fusion = if own.winner == Some(me) {
+            // I believe I am winning this item.
+            if incoming.winner == Some(me) {
+                // Gossip about myself; my own record is authoritative.
+                Fusion::Kept
+            } else if incoming.beats(&own) {
+                // Outbid: a strictly better claim displaces mine.
+                Fusion::Adopted { was_outbid: true }
+            } else if incoming.stamp > own.stamp {
+                // A non-beating but fresher claim (e.g. a retraction by a
+                // former winner) would win freshness races downstream;
+                // re-assert my claim with a fresh stamp.
+                Fusion::Reasserted
+            } else {
+                Fusion::Kept
+            }
+        } else if incoming.winner == Some(me) {
+            // The network believes I win, but I do not (I released or never
+            // bid). Re-assert my actual view to quench the zombie claim.
+            Fusion::Reasserted
+        } else {
+            match (own.winner, incoming.winner) {
+                // Same purported winner: later information refreshes.
+                (Some(w1), Some(w2)) if w1 == w2 => {
+                    if incoming.stamp > own.stamp {
+                        Fusion::Adopted { was_outbid: false }
+                    } else {
+                        Fusion::Kept
+                    }
+                }
+                // Competing winners: max-consensus on (bid, id).
+                (Some(_), Some(_)) => {
+                    if incoming.beats(&own) {
+                        Fusion::Adopted { was_outbid: false }
+                    } else {
+                        Fusion::Kept
+                    }
+                }
+                // Retraction vs. assignment (either direction): freshness.
+                (Some(_), None) | (None, Some(_)) | (None, None) => {
+                    if incoming.stamp > own.stamp {
+                        Fusion::Adopted { was_outbid: false }
+                    } else {
+                        Fusion::Kept
+                    }
+                }
+            }
+        };
+
+        match fusion {
+            Fusion::Kept => {}
+            Fusion::Adopted { was_outbid } => {
+                self.claims[j] = incoming;
+                if was_outbid {
+                    self.on_outbid(item, incoming.stamp);
+                }
+            }
+            Fusion::Reasserted => {
+                let stamp = self.tick();
+                self.claims[j].stamp = stamp;
+            }
+        }
+        // The Remark-1 marker binds only while the item stays assigned to
+        // someone else; once the winning claim is withdrawn the condition
+        // is vacuous and the agent may bid anew (this interaction is what
+        // enables the paper's Figure-2 oscillation).
+        for j in 0..self.claims.len() {
+            if self.lost[j].is_some() && !self.claims[j].is_assigned() {
+                self.lost[j] = None;
+            }
+        }
+        fusion
+    }
+
+    /// Handles having been outbid on `item`: drop it, set the Remark-1
+    /// marker, and — per the `p_RO` policy (Remark 2) — release and retract
+    /// every bundle item subsequent to it.
+    fn on_outbid(&mut self, item: ItemId, by: Stamp) {
+        let j = item.index();
+        self.lost[j] = Some(by);
+        let Some(pos) = self.bundle.iter().position(|&b| b == item) else {
+            return;
+        };
+        if self.policy.release_outbid {
+            // Retract all subsequent items: their bids were generated
+            // assuming a larger budget / different bundle (Remark 2).
+            let released: Vec<ItemId> = self.bundle.drain(pos..).collect();
+            for r in released {
+                if r == item {
+                    continue; // the outbid item now belongs to the other agent
+                }
+                let stamp = self.tick();
+                self.claims[r.index()] = Claim::unassigned(stamp);
+            }
+        } else {
+            self.bundle.remove(pos);
+        }
+    }
+
+    /// The **agreement phase**: fuses a full incoming view (one claim per
+    /// item). Returns `true` if anything changed — the caller should then
+    /// re-broadcast this agent's view.
+    ///
+    /// Note that fusing does **not** rebid: in the MCA protocol the bidding
+    /// and agreement mechanisms are independent (§II-A), and the paper's
+    /// dynamic model makes each a separate state transition. Call
+    /// [`Agent::build_bundle`] (or let the simulator schedule a bid
+    /// transition) to rebid afterwards.
+    pub fn receive(&mut self, view: &[Claim]) -> bool {
+        assert_eq!(view.len(), self.claims.len(), "item count mismatch");
+        let mut changed = false;
+        for (j, &incoming) in view.iter().enumerate() {
+            let before = self.claims[j];
+            let fusion = self.fuse(ItemId(j as u32), incoming);
+            changed |= fusion != Fusion::Kept || self.claims[j] != before;
+        }
+        changed
+    }
+
+    /// `true` if the bidding mechanism would place at least one new bid
+    /// right now (i.e. a bid transition is enabled).
+    pub fn wants_to_bid(&self) -> bool {
+        self.choose_bid().is_some()
+    }
+
+    /// Starts the auction: the initial bidding phase. Returns `true` if any
+    /// bid was placed (callers broadcast the view afterwards).
+    pub fn start(&mut self) -> bool {
+        self.build_bundle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DiminishingUtility, PositionUtility};
+    use std::sync::Arc;
+
+    fn item(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    fn agent_with(values: Vec<(ItemId, Vec<i64>)>, target: usize, n_items: usize) -> Agent {
+        Agent::new(
+            AgentId(0),
+            n_items,
+            Policy::new(Arc::new(PositionUtility::new(values)), target),
+        )
+    }
+
+    #[test]
+    fn bundle_greedy_order() {
+        // Item 1 has the best first marginal, then item 0.
+        let mut a = agent_with(vec![(item(0), vec![10]), (item(1), vec![30])], 2, 2);
+        assert!(a.start());
+        assert_eq!(a.bundle(), &[item(1), item(0)]);
+        assert_eq!(a.claims()[1].bid, 30);
+        assert_eq!(a.claims()[0].bid, 10);
+        assert_eq!(a.claims()[0].winner, Some(AgentId(0)));
+        // Bid stamps increase in acquisition order.
+        assert!(a.claims()[1].stamp < a.claims()[0].stamp);
+    }
+
+    #[test]
+    fn target_limits_bundle() {
+        let mut a = agent_with(
+            vec![(item(0), vec![10]), (item(1), vec![20]), (item(2), vec![5])],
+            2,
+            3,
+        );
+        a.start();
+        assert_eq!(a.bundle().len(), 2);
+        assert_eq!(a.bundle(), &[item(1), item(0)]);
+        assert!(!a.claims()[2].is_assigned());
+    }
+
+    #[test]
+    fn wont_bid_below_known_max() {
+        let mut a = agent_with(vec![(item(0), vec![10])], 1, 1);
+        // Someone else already bids 50.
+        a.fuse(
+            item(0),
+            Claim {
+                winner: Some(AgentId(1)),
+                bid: 50,
+                stamp: Stamp::new(1, AgentId(1)),
+            },
+        );
+        assert!(!a.start());
+        assert!(a.bundle().is_empty());
+    }
+
+    #[test]
+    fn outbid_drops_item_and_sets_marker() {
+        let mut a = agent_with(vec![(item(0), vec![10])], 1, 1);
+        a.start();
+        let f = a.fuse(
+            item(0),
+            Claim {
+                winner: Some(AgentId(1)),
+                bid: 50,
+                stamp: Stamp::new(1, AgentId(1)),
+            },
+        );
+        assert_eq!(f, Fusion::Adopted { was_outbid: true });
+        assert!(a.bundle().is_empty());
+        assert!(a.is_lost(item(0)));
+        // Honest agent will not rebid.
+        assert!(!a.build_bundle());
+    }
+
+    #[test]
+    fn tie_breaks_to_lower_id() {
+        // Agent 0 bids 10; agent 1's equal bid must NOT displace it.
+        let mut a = agent_with(vec![(item(0), vec![10])], 1, 1);
+        a.start();
+        let f = a.fuse(
+            item(0),
+            Claim {
+                winner: Some(AgentId(1)),
+                bid: 10,
+                stamp: Stamp::new(5, AgentId(1)),
+            },
+        );
+        // Equal bid from a higher id does not beat; but it IS fresher, so
+        // the agent re-asserts its claim.
+        assert_eq!(f, Fusion::Reasserted);
+        assert_eq!(a.claims()[0].winner, Some(AgentId(0)));
+    }
+
+    #[test]
+    fn release_outbid_retracts_subsequent() {
+        let policy = Policy::new(
+            Arc::new(PositionUtility::new(vec![
+                (item(0), vec![10]),
+                (item(1), vec![9]),
+                (item(2), vec![8]),
+            ])),
+            3,
+        )
+        .with_release_outbid(true);
+        let mut a = Agent::new(AgentId(0), 3, policy);
+        a.start();
+        assert_eq!(a.bundle(), &[item(0), item(1), item(2)]);
+        // Outbid on the first item: items 1 and 2 must be retracted.
+        a.fuse(
+            item(0),
+            Claim {
+                winner: Some(AgentId(1)),
+                bid: 99,
+                stamp: Stamp::new(1, AgentId(1)),
+            },
+        );
+        assert!(a.bundle().is_empty());
+        assert!(!a.claims()[1].is_assigned());
+        assert!(!a.claims()[2].is_assigned());
+        assert!(a.is_lost(item(0)));
+        assert!(!a.is_lost(item(1)));
+        // And it can rebid on the released (not lost) items.
+        assert!(a.build_bundle());
+        assert_eq!(a.bundle(), &[item(1), item(2)]);
+    }
+
+    #[test]
+    fn keep_subsequent_without_release_policy() {
+        let policy = Policy::new(
+            Arc::new(PositionUtility::new(vec![
+                (item(0), vec![10]),
+                (item(1), vec![9]),
+            ])),
+            2,
+        )
+        .with_release_outbid(false);
+        let mut a = Agent::new(AgentId(0), 2, policy);
+        a.start();
+        a.fuse(
+            item(0),
+            Claim {
+                winner: Some(AgentId(1)),
+                bid: 99,
+                stamp: Stamp::new(1, AgentId(1)),
+            },
+        );
+        assert_eq!(a.bundle(), &[item(1)]);
+        assert_eq!(a.claims()[1].winner, Some(AgentId(0)));
+    }
+
+    #[test]
+    fn lost_marker_clears_on_retraction() {
+        let mut a = agent_with(vec![(item(0), vec![10])], 1, 1);
+        a.start();
+        a.fuse(
+            item(0),
+            Claim {
+                winner: Some(AgentId(1)),
+                bid: 50,
+                stamp: Stamp::new(1, AgentId(1)),
+            },
+        );
+        assert!(a.is_lost(item(0)));
+        // The winner retracts (fresher stamp).
+        a.fuse(item(0), Claim::unassigned(Stamp::new(9, AgentId(1))));
+        assert!(!a.is_lost(item(0)));
+        // Now the agent may bid again (Remark 2 dynamics).
+        assert!(a.build_bundle());
+        assert_eq!(a.claims()[0].winner, Some(AgentId(0)));
+    }
+
+    #[test]
+    fn zombie_claims_are_quenched() {
+        let mut a = agent_with(vec![(item(0), vec![10])], 1, 1);
+        // Network claims agent 0 wins item 0, but agent 0 never bid.
+        let f = a.fuse(
+            item(0),
+            Claim {
+                winner: Some(AgentId(0)),
+                bid: 10,
+                stamp: Stamp::new(3, AgentId(2)),
+            },
+        );
+        assert_eq!(f, Fusion::Reasserted);
+        assert!(!a.claims()[0].is_assigned());
+        // Re-assertion is stamped fresher than the zombie.
+        assert!(a.claims()[0].stamp > Stamp::new(3, AgentId(2)));
+    }
+
+    #[test]
+    fn rebid_strategy_escalates() {
+        let policy = Policy::new(
+            Arc::new(PositionUtility::new(vec![(item(0), vec![10])])),
+            1,
+        )
+        .with_rebid(RebidStrategy::Rebid);
+        let mut a = Agent::new(AgentId(1), 1, policy);
+        a.start();
+        assert_eq!(a.claims()[0].bid, 10);
+        // Outbid by 50 — the attacker rebids 51.
+        a.fuse(
+            item(0),
+            Claim {
+                winner: Some(AgentId(0)),
+                bid: 50,
+                stamp: Stamp::new(7, AgentId(0)),
+            },
+        );
+        assert!(a.build_bundle());
+        assert_eq!(a.claims()[0].bid, 51);
+        assert_eq!(a.claims()[0].winner, Some(AgentId(1)));
+    }
+
+    #[test]
+    fn receive_full_view_converges_two_agents() {
+        // Mirrors Example 1 (Figure 1) with two items.
+        let mut a0 = agent_with(vec![(item(0), vec![10]), (item(1), vec![30])], 2, 2);
+        let u1 = PositionUtility::new(vec![(item(0), vec![20])]);
+        let mut a1 = Agent::new(AgentId(1), 2, Policy::new(Arc::new(u1), 2));
+        a0.start();
+        a1.start();
+        // Exchange views both ways.
+        let v0 = a0.claims().to_vec();
+        let v1 = a1.claims().to_vec();
+        a0.receive(&v1);
+        a1.receive(&v0);
+        // Agent 1 wins item 0 (bid 20 beats 10); agent 0 wins item 1.
+        assert_eq!(a0.claims()[0].winner, Some(AgentId(1)));
+        assert_eq!(a0.claims()[0].bid, 20);
+        assert_eq!(a1.claims()[1].winner, Some(AgentId(0)));
+        assert_eq!(a1.claims()[1].bid, 30);
+    }
+
+    #[test]
+    fn submodular_rebid_after_release_is_bounded() {
+        // A diminishing utility cannot exceed its base value no matter how
+        // often the agent releases and rebids.
+        let policy = Policy::new(
+            Arc::new(DiminishingUtility::new([(item(0), 40), (item(1), 20)], 50)),
+            2,
+        )
+        .with_release_outbid(true);
+        let mut a = Agent::new(AgentId(0), 2, policy);
+        a.start();
+        assert_eq!(a.claims()[0].bid, 40);
+        assert_eq!(a.claims()[1].bid, 10); // 20 halved at position 1
+    }
+}

@@ -1,0 +1,286 @@
+//! Rebidding-attack detection — the paper's footnote 7, made concrete.
+//!
+//! > "Singular malicious user behavior can be isolated by requiring every
+//! > agent to sign their messages before broadcasting, using a unique ID.
+//! > By keeping track of the bidding history of their first hop
+//! > neighborhood, agents could then detect rebidding attacks (condition
+//! > in Remark 1), ignoring subsequent invalid bid messages."
+//!
+//! A [`RebidDetector`] is owned by one honest agent and watches the views
+//! its first-hop neighbors broadcast (messages are assumed signed, so the
+//! sender is authentic). For each neighbor and item it tracks whether the
+//! neighbor has *acknowledged losing* the item — reporting a view in which
+//! someone else wins an item the neighbor previously claimed. From that
+//! point, Remark 1 forbids the neighbor from claiming the item again until
+//! the standing assignment is withdrawn (which the detector recognizes
+//! from either the neighbor's reports or its owner's own view). A claim
+//! that violates this is flagged.
+
+use crate::types::{AgentId, Claim, ItemId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A Remark-1 violation observed on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Violation {
+    /// The misbehaving neighbor.
+    pub agent: AgentId,
+    /// The item it rebid on.
+    pub item: ItemId,
+}
+
+/// Per-neighbor, per-item bidding-history state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum NeighborItemState {
+    /// No claim from this neighbor observed yet.
+    #[default]
+    Fresh,
+    /// The neighbor's last report claims itself as the winner.
+    ClaimsSelf,
+    /// The neighbor acknowledged someone else winning after having claimed
+    /// the item — Remark 1 now forbids it from rebidding.
+    Lost,
+    /// The neighbor reported someone else winning (without a prior claim of
+    /// its own) — not restricted.
+    SeesOther,
+}
+
+/// Tracks the bidding history of one agent's first-hop neighborhood.
+#[derive(Clone, Debug, Default)]
+pub struct RebidDetector {
+    state: BTreeMap<(AgentId, ItemId), NeighborItemState>,
+    flagged: BTreeSet<Violation>,
+    /// Highest broadcast sequence number processed per neighbor.
+    last_seq: BTreeMap<AgentId, u64>,
+    /// Out-of-order messages held until the gap in the neighbor's signed
+    /// stream fills (reordered transports must not lose withdrawal events).
+    pending: BTreeMap<(AgentId, u64), Vec<Claim>>,
+}
+
+impl RebidDetector {
+    /// Creates an empty detector.
+    pub fn new() -> RebidDetector {
+        RebidDetector::default()
+    }
+
+    /// Lifts Remark-1 restrictions based on the owner's own view: whenever
+    /// the owner knows an item is unassigned (e.g. because it retracted its
+    /// own winning claim, or adopted someone's withdrawal), every neighbor
+    /// is free to bid on it anew.
+    pub fn sync_owner_view(&mut self, owner_view: &[Claim]) {
+        for (j, claim) in owner_view.iter().enumerate() {
+            if claim.winner.is_none() {
+                let item = ItemId(j as u32);
+                for (&(_, it), state) in self.state.iter_mut() {
+                    if it == item && *state == NeighborItemState::Lost {
+                        *state = NeighborItemState::Fresh;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Observes one signed view broadcast by neighbor `from` with broadcast
+    /// sequence number `seq`, cross-referencing the owner's current view
+    /// (whose retractions also lift Remark-1 restrictions). Stale
+    /// (out-of-order) messages are ignored. Returns any new violations.
+    pub fn observe(
+        &mut self,
+        from: AgentId,
+        seq: u64,
+        view: &[Claim],
+        owner_view: &[Claim],
+    ) -> Vec<Violation> {
+        // Process each neighbor's signed stream strictly in sequence order:
+        // duplicates are dropped, gaps buffer until they fill (a reordered
+        // transport must not lose withdrawal events).
+        let last = *self.last_seq.entry(from).or_insert(0);
+        if seq <= last {
+            return Vec::new();
+        }
+        self.pending.insert((from, seq), view.to_vec());
+        self.sync_owner_view(owner_view);
+        let mut new = Vec::new();
+        loop {
+            let next = self.last_seq[&from] + 1;
+            let Some(view) = self.pending.remove(&(from, next)) else {
+                break;
+            };
+            self.last_seq.insert(from, next);
+            new.extend(self.process_in_order(from, &view));
+        }
+        new
+    }
+
+    fn process_in_order(&mut self, from: AgentId, view: &[Claim]) -> Vec<Violation> {
+        let mut new = Vec::new();
+        for (j, claim) in view.iter().enumerate() {
+            let item = ItemId(j as u32);
+            let key = (from, item);
+            let state = self.state.entry(key).or_default();
+            match claim.winner {
+                Some(w) if w == from => {
+                    if *state == NeighborItemState::Lost {
+                        let v = Violation { agent: from, item };
+                        if self.flagged.insert(v) {
+                            new.push(v);
+                        }
+                    }
+                    *state = match *state {
+                        NeighborItemState::Lost => NeighborItemState::Lost,
+                        _ => NeighborItemState::ClaimsSelf,
+                    };
+                }
+                Some(_) => {
+                    // The neighbor acknowledges someone else winning; if it
+                    // previously claimed the item itself, it is now bound by
+                    // Remark 1.
+                    *state = match *state {
+                        NeighborItemState::ClaimsSelf | NeighborItemState::Lost => {
+                            NeighborItemState::Lost
+                        }
+                        _ => NeighborItemState::SeesOther,
+                    };
+                }
+                None => {
+                    // The assignment was withdrawn: the Remark-1 condition
+                    // is vacuous for every neighbor again.
+                    *state = NeighborItemState::Fresh;
+                    let mut lifted = Vec::new();
+                    for (&(agent, it), st) in self.state.iter() {
+                        if it == item && *st == NeighborItemState::Lost {
+                            lifted.push((agent, it));
+                        }
+                    }
+                    for k in lifted {
+                        self.state.insert(k, NeighborItemState::Fresh);
+                    }
+                }
+            }
+        }
+        new
+    }
+
+    /// All violations flagged so far.
+    pub fn violations(&self) -> impl Iterator<Item = &Violation> {
+        self.flagged.iter()
+    }
+
+    /// The set of neighbors flagged as attackers.
+    pub fn flagged_agents(&self) -> BTreeSet<AgentId> {
+        self.flagged.iter().map(|v| v.agent).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Stamp;
+
+    fn claim(winner: Option<u32>, bid: i64, t: u64) -> Claim {
+        Claim {
+            winner: winner.map(AgentId),
+            bid,
+            stamp: Stamp::new(t, AgentId(winner.unwrap_or(9))),
+        }
+    }
+
+    const N: AgentId = AgentId(1);
+
+    #[test]
+    fn honest_bid_then_loss_is_clean() {
+        let mut d = RebidDetector::new();
+        let owner = [claim(Some(1), 10, 1)];
+        assert!(d.observe(N, 1, &[claim(Some(1), 10, 1)], &owner).is_empty());
+        // Neighbor acknowledges losing to agent 2.
+        let owner = [claim(Some(2), 20, 2)];
+        assert!(d.observe(N, 2, &[claim(Some(2), 20, 2)], &owner).is_empty());
+        assert!(d.flagged_agents().is_empty());
+    }
+
+    #[test]
+    fn rebid_after_loss_is_flagged() {
+        let mut d = RebidDetector::new();
+        let owner = [claim(Some(2), 20, 2)];
+        d.observe(N, 1, &[claim(Some(1), 10, 1)], &owner);
+        d.observe(N, 2, &[claim(Some(2), 20, 2)], &owner);
+        // The standing assignment (agent 2 @ 20) was never withdrawn, yet
+        // the neighbor claims the item again:
+        let violations = d.observe(N, 3, &[claim(Some(1), 21, 3)], &owner);
+        assert_eq!(
+            violations,
+            vec![Violation {
+                agent: N,
+                item: ItemId(0)
+            }]
+        );
+        assert!(d.flagged_agents().contains(&N));
+    }
+
+    #[test]
+    fn rebid_after_withdrawal_is_legal() {
+        let mut d = RebidDetector::new();
+        let owner_assigned = [claim(Some(2), 20, 2)];
+        d.observe(N, 1, &[claim(Some(1), 10, 1)], &owner_assigned);
+        d.observe(N, 2, &[claim(Some(2), 20, 2)], &owner_assigned);
+        // The neighbor reports the item unassigned (winner retracted)…
+        d.observe(N, 3, &[claim(None, 0, 3)], &owner_assigned);
+        // …so a new claim is Remark-2-legal.
+        let violations = d.observe(N, 4, &[claim(Some(1), 10, 4)], &owner_assigned);
+        assert!(violations.is_empty());
+        assert!(d.flagged_agents().is_empty());
+    }
+
+    #[test]
+    fn owner_retraction_lifts_restriction() {
+        let mut d = RebidDetector::new();
+        let assigned = [claim(Some(0), 30, 2)];
+        d.observe(N, 1, &[claim(Some(1), 10, 1)], &assigned);
+        d.observe(N, 2, &[claim(Some(0), 30, 2)], &assigned);
+        // The owner itself withdraws its winning claim:
+        let unassigned = [claim(None, 0, 5)];
+        let violations = d.observe(N, 3, &[claim(Some(1), 10, 6)], &unassigned);
+        assert!(violations.is_empty(), "owner's retraction frees the item");
+    }
+
+    #[test]
+    fn each_violation_reported_once() {
+        let mut d = RebidDetector::new();
+        let owner = [claim(Some(2), 20, 2)];
+        d.observe(N, 1, &[claim(Some(1), 10, 1)], &owner);
+        d.observe(N, 2, &[claim(Some(2), 20, 2)], &owner);
+        assert_eq!(d.observe(N, 3, &[claim(Some(1), 21, 3)], &owner).len(), 1);
+        d.observe(N, 4, &[claim(Some(2), 25, 4)], &owner);
+        assert!(d.observe(N, 5, &[claim(Some(1), 26, 5)], &owner).is_empty());
+        assert_eq!(d.violations().count(), 1);
+    }
+
+    #[test]
+    fn stale_messages_are_ignored() {
+        let mut d = RebidDetector::new();
+        let owner = [claim(Some(2), 20, 2)];
+        d.observe(N, 1, &[claim(Some(1), 10, 1)], &owner);
+        d.observe(N, 3, &[claim(Some(2), 20, 2)], &owner);
+        // A reordered, stale broadcast (seq 2 < 3) replays the old claim;
+        // it must not be treated as a rebid.
+        let violations = d.observe(N, 2, &[claim(Some(1), 10, 1)], &owner);
+        assert!(violations.is_empty());
+        assert!(d.flagged_agents().is_empty());
+    }
+
+    #[test]
+    fn withdrawal_lifts_all_neighbors() {
+        let mut d = RebidDetector::new();
+        let owner = [claim(Some(2), 20, 2)];
+        let m = AgentId(3);
+        // Two neighbors both lose the item.
+        d.observe(N, 1, &[claim(Some(1), 10, 1)], &owner);
+        d.observe(m, 1, &[claim(Some(3), 12, 1)], &owner);
+        d.observe(N, 2, &[claim(Some(2), 20, 2)], &owner);
+        d.observe(m, 2, &[claim(Some(2), 20, 2)], &owner);
+        // One neighbor reports the withdrawal…
+        d.observe(N, 3, &[claim(None, 0, 3)], &owner);
+        // …which frees the OTHER neighbor too.
+        let violations = d.observe(m, 3, &[claim(Some(3), 12, 4)], &owner);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -1,0 +1,71 @@
+//! `mca-core` — the Max-Consensus Auction protocol, executable.
+//!
+//! The reproduced paper (Mirzaei & Esposito, *An Alloy Verification Model
+//! for Consensus-Based Auction Protocols*, ICDCS 2015) extracts the common
+//! mechanisms of max-consensus auction protocols — a **bidding** mechanism
+//! and an asynchronous **agreement** (max-consensus) mechanism — and
+//! verifies their convergence under different **policy** instantiations.
+//!
+//! This crate is the executable counterpart of that model:
+//!
+//! * [`Agent`] implements both mechanisms with CBBA-style conflict
+//!   resolution (bid/assignment/timestamp/bundle vectors, Remark-1 lost
+//!   markers, Remark-2 release-and-rebid).
+//! * [`policy`] holds the policy axes the paper varies: utility
+//!   sub-modularity (`p_u`), target bundle size (`p_T`), release-outbid
+//!   (`p_RO`), and the rebidding attack (Remark 1 removed).
+//! * [`Network`] is the agent graph (`pconnections`), with the topologies
+//!   and diameter used by the `D · |V_H|` convergence bound.
+//! * [`Simulator`] runs executions synchronously or with seeded
+//!   asynchronous scheduling and fault injection.
+//! * [`checker`] exhaustively explores *all* asynchronous schedules and
+//!   checks the paper's `consensus` assertion, producing counterexample
+//!   traces — the explicit-state twin of the paper's SAT-based analysis
+//!   (the SAT-based twin lives in `mca-verify`).
+//!
+//! # Examples
+//!
+//! The paper's Figure 1, executed:
+//!
+//! ```
+//! use mca_core::{Network, Policy, PositionUtility, Simulator, ItemId, AgentId};
+//! use std::sync::Arc;
+//!
+//! let a = ItemId(0); let b = ItemId(1); let c = ItemId(2);
+//! let agent1 = Policy::new(Arc::new(PositionUtility::new(vec![
+//!     (a, vec![10]), (c, vec![30]),
+//! ])), 2);
+//! let agent2 = Policy::new(Arc::new(PositionUtility::new(vec![
+//!     (a, vec![20]), (b, vec![15]),
+//! ])), 2);
+//! let mut sim = Simulator::new(Network::complete(2), 3, vec![agent1, agent2]);
+//! let outcome = sim.run_synchronous(16);
+//! assert!(outcome.converged);
+//! assert_eq!(outcome.allocation[&a], AgentId(1)); // agent 2 wins A at 20
+//! assert_eq!(outcome.allocation[&c], AgentId(0)); // agent 1 keeps C at 30
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod agent;
+pub mod checker;
+pub mod detector;
+mod network;
+pub mod policy;
+#[cfg(test)]
+mod resolution_table_tests;
+pub mod scenarios;
+mod sim;
+mod types;
+pub mod welfare;
+
+pub use agent::{Agent, Fusion};
+pub use network::Network;
+pub use policy::{
+    DiminishingUtility, GrowingUtility, Policy, PositionUtility, RebidStrategy, Utility,
+};
+pub use sim::{
+    allocation, conflict_free, consensus_predicate, FaultPlan, Message, SimOutcome, Simulator,
+};
+pub use types::{AgentId, Claim, ItemId, Stamp};

@@ -1,0 +1,253 @@
+//! The network of agents.
+//!
+//! MCA agents exchange bids only with their first-hop neighbors; the
+//! convergence bound of the paper's `consensus` assertion is `D · |V_H|`
+//! where `D` is the network diameter. This module provides the undirected
+//! agent graph with the standard topology constructors used by the
+//! experiments (complete, line, ring, star, Erdős–Rényi random).
+
+use crate::types::AgentId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// An undirected graph over agents `0..n`, mirroring the paper's
+/// `pconnections` relation (with its `pconnectivity` symmetry fact built
+/// in).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Network {
+    n: usize,
+    adj: Vec<Vec<AgentId>>,
+}
+
+impl Network {
+    /// Creates an edgeless network of `n` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Network {
+        assert!(n > 0, "networks need at least one agent");
+        Network {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// The complete graph `K_n` (diameter 1).
+    pub fn complete(n: usize) -> Network {
+        let mut g = Network::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_link(AgentId(i as u32), AgentId(j as u32));
+            }
+        }
+        g
+    }
+
+    /// A path `0 – 1 – … – n-1` (diameter `n - 1`).
+    pub fn line(n: usize) -> Network {
+        let mut g = Network::new(n);
+        for i in 1..n {
+            g.add_link(AgentId(i as u32 - 1), AgentId(i as u32));
+        }
+        g
+    }
+
+    /// A cycle (diameter `⌊n/2⌋`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: usize) -> Network {
+        assert!(n >= 3, "rings need at least 3 agents");
+        let mut g = Network::line(n);
+        g.add_link(AgentId(n as u32 - 1), AgentId(0));
+        g
+    }
+
+    /// A star with agent 0 at the hub (diameter 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn star(n: usize) -> Network {
+        assert!(n >= 2, "stars need at least 2 agents");
+        let mut g = Network::new(n);
+        for i in 1..n {
+            g.add_link(AgentId(0), AgentId(i as u32));
+        }
+        g
+    }
+
+    /// An Erdős–Rényi `G(n, p)` graph, re-sampled (with incrementing seed)
+    /// until connected.
+    pub fn random_connected(n: usize, p: f64, seed: u64) -> Network {
+        let mut attempt = 0u64;
+        loop {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt));
+            let mut g = Network::new(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        g.add_link(AgentId(i as u32), AgentId(j as u32));
+                    }
+                }
+            }
+            if g.is_connected() {
+                return g;
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Adds an undirected link. Parallel edges and self-loops are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range agents or a self-loop.
+    pub fn add_link(&mut self, a: AgentId, b: AgentId) {
+        assert!(a.index() < self.n && b.index() < self.n, "agent out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        if !self.adj[a.index()].contains(&b) {
+            self.adj[a.index()].push(b);
+            self.adj[b.index()].push(a);
+            self.adj[a.index()].sort_unstable();
+            self.adj[b.index()].sort_unstable();
+        }
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the network has no agents (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The first-hop neighbors of `a`, sorted by id.
+    pub fn neighbors(&self, a: AgentId) -> &[AgentId] {
+        &self.adj[a.index()]
+    }
+
+    /// All agent ids.
+    pub fn agents(&self) -> impl Iterator<Item = AgentId> {
+        (0..self.n as u32).map(AgentId)
+    }
+
+    /// Number of undirected links.
+    pub fn num_links(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// `true` if every agent can reach every other.
+    pub fn is_connected(&self) -> bool {
+        self.bfs_ecc(AgentId(0)).iter().all(|d| d.is_some())
+    }
+
+    /// The diameter `D` (longest shortest path). `None` if disconnected.
+    pub fn diameter(&self) -> Option<usize> {
+        let mut best = 0;
+        for a in self.agents() {
+            let dists = self.bfs_ecc(a);
+            for d in &dists {
+                match d {
+                    Some(d) => best = best.max(*d),
+                    None => return None,
+                }
+            }
+        }
+        Some(best)
+    }
+
+    fn bfs_ecc(&self, from: AgentId) -> Vec<Option<usize>> {
+        let mut dist: Vec<Option<usize>> = vec![None; self.n];
+        dist[from.index()] = Some(0);
+        let mut q = VecDeque::from([from]);
+        while let Some(v) = q.pop_front() {
+            let d = dist[v.index()].expect("queued vertices have distances");
+            for &w in self.neighbors(v) {
+                if dist[w.index()].is_none() {
+                    dist[w.index()] = Some(d + 1);
+                    q.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_properties() {
+        let g = Network::complete(4);
+        assert_eq!(g.num_links(), 6);
+        assert_eq!(g.diameter(), Some(1));
+        assert!(g.is_connected());
+        assert_eq!(g.neighbors(AgentId(0)).len(), 3);
+    }
+
+    #[test]
+    fn line_diameter() {
+        let g = Network::line(5);
+        assert_eq!(g.diameter(), Some(4));
+        assert_eq!(g.num_links(), 4);
+        assert_eq!(g.neighbors(AgentId(2)), &[AgentId(1), AgentId(3)]);
+    }
+
+    #[test]
+    fn ring_diameter() {
+        assert_eq!(Network::ring(6).diameter(), Some(3));
+        assert_eq!(Network::ring(5).diameter(), Some(2));
+    }
+
+    #[test]
+    fn star_diameter() {
+        let g = Network::star(5);
+        assert_eq!(g.diameter(), Some(2));
+        assert_eq!(g.neighbors(AgentId(0)).len(), 4);
+        assert_eq!(g.neighbors(AgentId(3)), &[AgentId(0)]);
+    }
+
+    #[test]
+    fn single_agent() {
+        let g = Network::new(1);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(0));
+    }
+
+    #[test]
+    fn disconnected_has_no_diameter() {
+        let g = Network::new(3);
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), None);
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        let g1 = Network::random_connected(8, 0.3, 42);
+        let g2 = Network::random_connected(8, 0.3, 42);
+        assert_eq!(g1, g2);
+        assert!(g1.is_connected());
+    }
+
+    #[test]
+    fn add_link_is_idempotent() {
+        let mut g = Network::new(3);
+        g.add_link(AgentId(0), AgentId(1));
+        g.add_link(AgentId(1), AgentId(0));
+        assert_eq!(g.num_links(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = Network::new(2);
+        g.add_link(AgentId(0), AgentId(0));
+    }
+}

@@ -1,0 +1,286 @@
+//! MCA policies: the *variant* aspects of the protocol.
+//!
+//! The paper separates the MCA protocol's invariant **mechanisms** (bidding,
+//! agreement) from its configurable **policies** and then verifies which
+//! policy combinations preserve convergence. The policies modeled here are
+//! exactly those of the paper's `pnode` signature:
+//!
+//! * `p_u` — the private utility function, sub-modular or not
+//!   ([`Utility`], [`PositionUtility`], [`DiminishingUtility`]);
+//! * `p_T` — the target number of items an agent may win
+//!   ([`Policy::target_items`]);
+//! * `p_RO` — whether an agent releases (and later rebids) the items in its
+//!   bundle *subsequent to* an outbid item ([`Policy::release_outbid`],
+//!   Remark 2);
+//! * the Remark-1 necessary condition — honest agents never rebid on items
+//!   they were outbid on; removing it models the paper's *rebidding attack*
+//!   ([`RebidStrategy`]).
+
+use crate::types::ItemId;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A private utility function: the marginal benefit of adding `item` to an
+/// existing `bundle`.
+///
+/// Returning `None` means the agent cannot host the item at all (e.g. not
+/// enough residual capacity in the virtual-network-mapping case study).
+pub trait Utility: fmt::Debug + Send + Sync {
+    /// Marginal utility of `item` given the current `bundle` (the items the
+    /// agent currently believes it is winning, in acquisition order).
+    fn marginal(&self, item: ItemId, bundle: &[ItemId]) -> Option<i64>;
+
+    /// `true` if this function is sub-modular (Definition 2 of the paper):
+    /// the marginal value of an item never increases as the bundle grows.
+    ///
+    /// This is *declarative* documentation used by experiment tables; the
+    /// property-based tests verify it empirically for the built-in
+    /// implementations.
+    fn is_submodular(&self) -> bool;
+}
+
+/// A utility defined by per-(item, bundle-position) values — the most
+/// direct way to reproduce the paper's Figure 1 and Figure 2 numbers.
+///
+/// `values[item][p]` is the marginal value of `item` when it would become
+/// the `p`-th element (0-based) of the bundle. Positions beyond the last
+/// provided value repeat the final entry.
+#[derive(Clone, Debug)]
+pub struct PositionUtility {
+    values: BTreeMap<ItemId, Vec<i64>>,
+}
+
+impl PositionUtility {
+    /// Creates the utility from `(item, per-position values)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value vector is empty.
+    pub fn new<I>(values: I) -> PositionUtility
+    where
+        I: IntoIterator<Item = (ItemId, Vec<i64>)>,
+    {
+        let values: BTreeMap<ItemId, Vec<i64>> = values.into_iter().collect();
+        for (item, v) in &values {
+            assert!(!v.is_empty(), "empty value vector for {item:?}");
+        }
+        PositionUtility { values }
+    }
+}
+
+impl Utility for PositionUtility {
+    fn marginal(&self, item: ItemId, bundle: &[ItemId]) -> Option<i64> {
+        let v = self.values.get(&item)?;
+        let p = bundle.len().min(v.len() - 1);
+        Some(v[p])
+    }
+
+    fn is_submodular(&self) -> bool {
+        self.values
+            .values()
+            .all(|v| v.windows(2).all(|w| w[1] <= w[0]))
+    }
+}
+
+/// A sub-modular utility mimicking residual capacity: item `j` has a base
+/// value, discounted multiplicatively as the bundle grows — "the residual
+/// (CPU) capacity can in fact only decrease as virtual nodes to be
+/// supported are added" (§II-A).
+#[derive(Clone, Debug)]
+pub struct DiminishingUtility {
+    base: BTreeMap<ItemId, i64>,
+    /// Numerator of the per-slot discount (denominator is 100).
+    discount_pct: i64,
+}
+
+impl DiminishingUtility {
+    /// Creates the utility with the given base values and a percentage
+    /// retained per occupied bundle slot (e.g. `50` halves the value for
+    /// each item already held).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= discount_pct <= 100`.
+    pub fn new<I>(base: I, discount_pct: i64) -> DiminishingUtility
+    where
+        I: IntoIterator<Item = (ItemId, i64)>,
+    {
+        assert!((0..=100).contains(&discount_pct), "discount must be 0..=100");
+        DiminishingUtility {
+            base: base.into_iter().collect(),
+            discount_pct,
+        }
+    }
+}
+
+impl Utility for DiminishingUtility {
+    fn marginal(&self, item: ItemId, bundle: &[ItemId]) -> Option<i64> {
+        let mut v = *self.base.get(&item)?;
+        for _ in 0..bundle.len() {
+            v = v * self.discount_pct / 100;
+        }
+        Some(v)
+    }
+
+    fn is_submodular(&self) -> bool {
+        true
+    }
+}
+
+/// A **non**-sub-modular utility: values grow as the bundle grows (each
+/// occupied slot multiplies the marginal by `growth_pct / 100 > 1`). This
+/// is the `p_u` instantiation that, combined with `p_RO = true`, breaks MCA
+/// convergence (the paper's Result 1 / Figure 2).
+#[derive(Clone, Debug)]
+pub struct GrowingUtility {
+    base: BTreeMap<ItemId, i64>,
+    growth_pct: i64,
+}
+
+impl GrowingUtility {
+    /// Creates the utility; `growth_pct` must exceed 100 (strict growth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `growth_pct <= 100`.
+    pub fn new<I>(base: I, growth_pct: i64) -> GrowingUtility
+    where
+        I: IntoIterator<Item = (ItemId, i64)>,
+    {
+        assert!(growth_pct > 100, "growth must exceed 100%");
+        GrowingUtility {
+            base: base.into_iter().collect(),
+            growth_pct,
+        }
+    }
+}
+
+impl Utility for GrowingUtility {
+    fn marginal(&self, item: ItemId, bundle: &[ItemId]) -> Option<i64> {
+        let mut v = *self.base.get(&item)?;
+        for _ in 0..bundle.len() {
+            v = v * self.growth_pct / 100;
+        }
+        Some(v)
+    }
+
+    fn is_submodular(&self) -> bool {
+        false
+    }
+}
+
+/// What an agent does about items it was outbid on — the Remark-1
+/// compliance axis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RebidStrategy {
+    /// Honest: never rebid on an item while the claim that outbid us
+    /// stands (the necessary condition of Remark 1).
+    #[default]
+    Honest,
+    /// Malicious/misconfigured: keep rebidding on outbid items regardless,
+    /// re-stamping the bid so it looks fresh — the paper's *rebidding
+    /// attack* (Result 2), a denial-of-service vector.
+    Rebid,
+}
+
+/// A full MCA policy instantiation for one agent.
+#[derive(Clone, Debug)]
+pub struct Policy {
+    /// `p_T`: maximum number of items this agent may hold.
+    pub target_items: usize,
+    /// `p_RO`: on an outbid, release (and retract) all bundle items
+    /// subsequent to the outbid one (Remark 2).
+    pub release_outbid: bool,
+    /// Remark-1 compliance.
+    pub rebid: RebidStrategy,
+    /// `p_u`: the private utility function.
+    pub utility: Arc<dyn Utility>,
+}
+
+impl Policy {
+    /// A compliant policy with the given utility and target size.
+    pub fn new(utility: Arc<dyn Utility>, target_items: usize) -> Policy {
+        Policy {
+            target_items,
+            release_outbid: false,
+            rebid: RebidStrategy::Honest,
+            utility,
+        }
+    }
+
+    /// Builder: sets `p_RO`.
+    pub fn with_release_outbid(mut self, ro: bool) -> Policy {
+        self.release_outbid = ro;
+        self
+    }
+
+    /// Builder: sets the rebid strategy.
+    pub fn with_rebid(mut self, r: RebidStrategy) -> Policy {
+        self.rebid = r;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    #[test]
+    fn position_utility_lookup() {
+        let u = PositionUtility::new([(item(0), vec![10, 5]), (item(1), vec![30])]);
+        assert_eq!(u.marginal(item(0), &[]), Some(10));
+        assert_eq!(u.marginal(item(0), &[item(1)]), Some(5));
+        // Past the end: repeat last.
+        assert_eq!(u.marginal(item(0), &[item(1), item(2)]), Some(5));
+        assert_eq!(u.marginal(item(1), &[item(0)]), Some(30));
+        assert_eq!(u.marginal(item(9), &[]), None);
+    }
+
+    #[test]
+    fn position_utility_submodularity_detection() {
+        let sub = PositionUtility::new([(item(0), vec![10, 5, 1])]);
+        assert!(sub.is_submodular());
+        let nonsub = PositionUtility::new([(item(0), vec![10, 30])]);
+        assert!(!nonsub.is_submodular());
+    }
+
+    #[test]
+    fn diminishing_is_monotone_decreasing() {
+        let u = DiminishingUtility::new([(item(0), 100)], 50);
+        let m0 = u.marginal(item(0), &[]).unwrap();
+        let m1 = u.marginal(item(0), &[item(1)]).unwrap();
+        let m2 = u.marginal(item(0), &[item(1), item(2)]).unwrap();
+        assert_eq!((m0, m1, m2), (100, 50, 25));
+        assert!(u.is_submodular());
+    }
+
+    #[test]
+    fn growing_is_monotone_increasing() {
+        let u = GrowingUtility::new([(item(0), 10)], 200);
+        assert_eq!(u.marginal(item(0), &[]), Some(10));
+        assert_eq!(u.marginal(item(0), &[item(1)]), Some(20));
+        assert_eq!(u.marginal(item(0), &[item(1), item(2)]), Some(40));
+        assert!(!u.is_submodular());
+    }
+
+    #[test]
+    #[should_panic(expected = "growth must exceed 100%")]
+    fn growing_requires_growth() {
+        GrowingUtility::new([(item(0), 10)], 100);
+    }
+
+    #[test]
+    fn policy_builders() {
+        let p = Policy::new(Arc::new(DiminishingUtility::new([(item(0), 5)], 80)), 2)
+            .with_release_outbid(true)
+            .with_rebid(RebidStrategy::Rebid);
+        assert!(p.release_outbid);
+        assert_eq!(p.rebid, RebidStrategy::Rebid);
+        assert_eq!(p.target_items, 2);
+    }
+}

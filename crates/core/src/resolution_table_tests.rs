@@ -1,0 +1,195 @@
+//! The asynchronous conflict-resolution table, case by case.
+//!
+//! The paper's dynamic model encodes "the conflict resolution table of the
+//! asynchronous MCA protocol" (§IV); the table's cases (in the CBBA
+//! tradition of Choi et al. 2009) are keyed by what the *receiver*
+//! currently believes × what the *incoming claim* asserts. This module is
+//! test-only: it pins down every cell of [`Agent::fuse`]'s decision table
+//! so any future change to the agreement mechanism is caught explicitly.
+
+#![cfg(test)]
+
+use crate::agent::{Agent, Fusion};
+use crate::policy::{Policy, PositionUtility};
+use crate::types::{AgentId, Claim, ItemId, Stamp};
+use std::sync::Arc;
+
+const ME: AgentId = AgentId(0);
+const SENDER: AgentId = AgentId(1);
+const THIRD: AgentId = AgentId(2);
+const ITEM: ItemId = ItemId(0);
+
+/// An agent (id 0) with an optional pre-installed belief about ITEM.
+fn agent_with_belief(belief: Option<Claim>) -> Agent {
+    let policy = Policy::new(
+        Arc::new(PositionUtility::new(vec![(ITEM, vec![10])])),
+        1,
+    );
+    let mut a = Agent::new(ME, 1, policy);
+    match belief {
+        Some(c) if c.winner == Some(ME) => {
+            // Acquire the item through the bidding mechanism so the bundle
+            // is consistent, then force the claim's bid/stamp.
+            a.build_bundle();
+        }
+        Some(c) => {
+            a.fuse(ITEM, c);
+        }
+        None => {}
+    }
+    a
+}
+
+fn claim(winner: Option<AgentId>, bid: i64, t: u64, by: AgentId) -> Claim {
+    Claim {
+        winner,
+        bid,
+        stamp: Stamp::new(t, by),
+    }
+}
+
+// --- receiver believes: receiver (me) wins -------------------------------
+
+#[test]
+fn i_win_vs_sender_higher_bid_is_outbid() {
+    let mut a = agent_with_belief(Some(claim(Some(ME), 10, 1, ME)));
+    let f = a.fuse(ITEM, claim(Some(SENDER), 20, 2, SENDER));
+    assert_eq!(f, Fusion::Adopted { was_outbid: true });
+    assert_eq!(a.claims()[0].winner, Some(SENDER));
+    assert!(a.is_lost(ITEM));
+}
+
+#[test]
+fn i_win_vs_sender_lower_bid_keeps_or_reasserts() {
+    let mut a = agent_with_belief(Some(claim(Some(ME), 10, 1, ME)));
+    // Older, losing claim: plain keep.
+    let f = a.fuse(ITEM, claim(Some(SENDER), 5, 0, SENDER));
+    assert_eq!(f, Fusion::Kept);
+    // Fresher but losing claim: re-assert (freshness races downstream).
+    let f = a.fuse(ITEM, claim(Some(SENDER), 5, 99, SENDER));
+    assert_eq!(f, Fusion::Reasserted);
+    assert_eq!(a.claims()[0].winner, Some(ME));
+}
+
+#[test]
+fn i_win_vs_equal_bid_higher_id_does_not_displace() {
+    let mut a = agent_with_belief(Some(claim(Some(ME), 10, 1, ME)));
+    let f = a.fuse(ITEM, claim(Some(SENDER), 10, 5, SENDER));
+    // Tie goes to the lower id (me); fresher stamp triggers re-assertion.
+    assert_eq!(f, Fusion::Reasserted);
+    assert_eq!(a.claims()[0].winner, Some(ME));
+}
+
+#[test]
+fn i_win_vs_retraction_reasserts() {
+    let mut a = agent_with_belief(Some(claim(Some(ME), 10, 1, ME)));
+    let f = a.fuse(ITEM, claim(None, 0, 9, SENDER));
+    assert_eq!(f, Fusion::Reasserted);
+    assert_eq!(a.claims()[0].winner, Some(ME));
+    // Re-assertion is fresher than the retraction.
+    assert!(a.claims()[0].stamp > Stamp::new(9, SENDER));
+}
+
+#[test]
+fn i_win_vs_gossip_about_me_is_kept() {
+    let mut a = agent_with_belief(Some(claim(Some(ME), 10, 1, ME)));
+    let before = a.claims()[0];
+    let f = a.fuse(ITEM, claim(Some(ME), 10, 7, THIRD));
+    assert_eq!(f, Fusion::Kept);
+    assert_eq!(a.claims()[0], before, "own record is authoritative");
+}
+
+// --- receiver believes: sender or third party wins ------------------------
+
+#[test]
+fn third_party_belief_vs_higher_bid_adopts() {
+    let mut a = agent_with_belief(Some(claim(Some(THIRD), 30, 3, THIRD)));
+    let f = a.fuse(ITEM, claim(Some(SENDER), 40, 2, SENDER));
+    assert_eq!(f, Fusion::Adopted { was_outbid: false });
+    assert_eq!(a.claims()[0].winner, Some(SENDER));
+}
+
+#[test]
+fn third_party_belief_vs_lower_bid_keeps() {
+    let mut a = agent_with_belief(Some(claim(Some(THIRD), 30, 3, THIRD)));
+    let f = a.fuse(ITEM, claim(Some(SENDER), 20, 9, SENDER));
+    assert_eq!(f, Fusion::Kept, "max-consensus: the higher bid stands");
+}
+
+#[test]
+fn same_winner_fresher_refreshes() {
+    let mut a = agent_with_belief(Some(claim(Some(THIRD), 30, 3, THIRD)));
+    let f = a.fuse(ITEM, claim(Some(THIRD), 25, 8, THIRD));
+    assert_eq!(f, Fusion::Adopted { was_outbid: false });
+    assert_eq!(a.claims()[0].bid, 25, "fresher info about the same winner");
+}
+
+#[test]
+fn same_winner_staler_is_ignored() {
+    let mut a = agent_with_belief(Some(claim(Some(THIRD), 30, 3, THIRD)));
+    let f = a.fuse(ITEM, claim(Some(THIRD), 35, 1, THIRD));
+    assert_eq!(f, Fusion::Kept);
+    assert_eq!(a.claims()[0].bid, 30);
+}
+
+#[test]
+fn assigned_belief_vs_fresh_retraction_adopts() {
+    let mut a = agent_with_belief(Some(claim(Some(THIRD), 30, 3, THIRD)));
+    let f = a.fuse(ITEM, claim(None, 0, 9, THIRD));
+    assert_eq!(f, Fusion::Adopted { was_outbid: false });
+    assert!(!a.claims()[0].is_assigned());
+}
+
+#[test]
+fn assigned_belief_vs_stale_retraction_keeps() {
+    let mut a = agent_with_belief(Some(claim(Some(THIRD), 30, 3, THIRD)));
+    let f = a.fuse(ITEM, claim(None, 0, 1, SENDER));
+    assert_eq!(f, Fusion::Kept);
+    assert_eq!(a.claims()[0].winner, Some(THIRD));
+}
+
+// --- receiver believes: unassigned ----------------------------------------
+
+#[test]
+fn unassigned_vs_fresh_claim_adopts() {
+    let mut a = agent_with_belief(None);
+    let f = a.fuse(ITEM, claim(Some(SENDER), 5, 2, SENDER));
+    assert_eq!(f, Fusion::Adopted { was_outbid: false });
+    assert_eq!(a.claims()[0].winner, Some(SENDER));
+}
+
+#[test]
+fn unassigned_vs_stale_claim_keeps() {
+    let mut a = agent_with_belief(None);
+    // Install a *fresh* retraction first.
+    a.fuse(ITEM, claim(None, 0, 10, THIRD));
+    let f = a.fuse(ITEM, claim(Some(SENDER), 5, 2, SENDER));
+    assert_eq!(
+        f,
+        Fusion::Kept,
+        "a claim older than the retraction must not resurrect"
+    );
+}
+
+#[test]
+fn unassigned_vs_zombie_about_me_reasserts() {
+    let mut a = agent_with_belief(None);
+    let f = a.fuse(ITEM, claim(Some(ME), 10, 3, THIRD));
+    assert_eq!(f, Fusion::Reasserted);
+    assert!(!a.claims()[0].is_assigned(), "I know I never bid");
+}
+
+// --- marker lifecycle ------------------------------------------------------
+
+#[test]
+fn lost_marker_follows_the_assignment() {
+    let mut a = agent_with_belief(Some(claim(Some(ME), 10, 1, ME)));
+    a.fuse(ITEM, claim(Some(SENDER), 20, 2, SENDER));
+    assert!(a.is_lost(ITEM));
+    // Winner changes to a third party: still assigned, still lost.
+    a.fuse(ITEM, claim(Some(THIRD), 25, 3, THIRD));
+    assert!(a.is_lost(ITEM));
+    // Retraction: the condition binding the marker is gone.
+    a.fuse(ITEM, claim(None, 0, 9, THIRD));
+    assert!(!a.is_lost(ITEM));
+}

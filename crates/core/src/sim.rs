@@ -1,0 +1,547 @@
+//! Deterministic simulation of MCA executions.
+//!
+//! The simulator runs a network of [`Agent`]s as a transition system with
+//! two transition kinds, mirroring the protocol's two mechanisms:
+//!
+//! * **deliver** — an in-flight message is processed by its receiver
+//!   (agreement mechanism); if the receiver's view changed it re-broadcasts
+//!   to its neighbors;
+//! * **bid** — an agent runs its bidding phase (bundle construction) and
+//!   broadcasts if it placed bids.
+//!
+//! Executions can be driven synchronously in rounds (used by the
+//! convergence-bound experiment E6) or asynchronously with seeded random
+//! scheduling and optional message loss/duplication (failure injection).
+//! The exhaustive exploration of *all* schedules lives in
+//! [`checker`](crate::checker).
+
+use crate::agent::Agent;
+use crate::detector::RebidDetector;
+use crate::network::Network;
+use crate::policy::Policy;
+use crate::types::{AgentId, Claim, ItemId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A bid message: the sender's full per-item view, as in the paper's
+/// `message` signature (`msgWinners`, `msgBids`, `msgBidTimes`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Message {
+    /// Sending agent (`msgSender`).
+    pub from: AgentId,
+    /// Receiving agent (`msgReceiver`).
+    pub to: AgentId,
+    /// One claim per item: winner, bid, and bid-generation time.
+    pub view: Vec<Claim>,
+    /// Per-sender broadcast sequence number. Agents ignore it (the
+    /// conflict-resolution rule is order-tolerant); the footnote-7
+    /// detectors use it to process each neighbor's signed stream in order.
+    pub seq: u64,
+}
+
+/// Fault injection knobs for asynchronous runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Probability a message is dropped instead of delivered.
+    pub drop_probability: f64,
+    /// Probability a delivered message is re-enqueued (duplicated).
+    pub duplicate_probability: f64,
+}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// `true` if the run quiesced in a conflict-free consensus state.
+    pub converged: bool,
+    /// Synchronous rounds executed (0 for asynchronous runs).
+    pub rounds: usize,
+    /// Messages delivered in total.
+    pub messages_delivered: usize,
+    /// The final item → winner map (only items someone believes assigned).
+    pub allocation: BTreeMap<ItemId, AgentId>,
+}
+
+/// A network of agents plus in-flight messages.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    network: Network,
+    agents: Vec<Agent>,
+    inflight: Vec<Message>,
+    delivered: usize,
+    started: bool,
+    channel_capacity: Option<usize>,
+    detectors: Option<Vec<RebidDetector>>,
+    send_seq: Vec<u64>,
+}
+
+impl Simulator {
+    /// Creates a simulator; `policies[i]` configures agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policies.len() != network.len()`.
+    pub fn new(network: Network, num_items: usize, policies: Vec<Policy>) -> Simulator {
+        assert_eq!(
+            policies.len(),
+            network.len(),
+            "one policy per agent required"
+        );
+        let n = policies.len();
+        let agents = policies
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Agent::new(AgentId(i as u32), num_items, p))
+            .collect();
+        Simulator {
+            network,
+            agents,
+            inflight: Vec::new(),
+            delivered: 0,
+            started: false,
+            channel_capacity: None,
+            detectors: None,
+            send_seq: vec![0; n],
+        }
+    }
+
+    /// Equips every agent with a [`RebidDetector`] watching its neighbors'
+    /// broadcasts (the paper's footnote-7 countermeasure). Inspect results
+    /// with [`Simulator::flagged_attackers`].
+    pub fn enable_detection(&mut self) {
+        self.detectors = Some(vec![RebidDetector::new(); self.agents.len()]);
+    }
+
+    /// The union of agents flagged by any detector (empty if detection was
+    /// never enabled).
+    pub fn flagged_attackers(&self) -> std::collections::BTreeSet<AgentId> {
+        let mut out = std::collections::BTreeSet::new();
+        if let Some(ds) = &self.detectors {
+            for d in ds {
+                out.extend(d.flagged_agents());
+            }
+        }
+        out
+    }
+
+    /// The detector owned by `agent`, if detection is enabled.
+    pub fn detector(&self, agent: AgentId) -> Option<&RebidDetector> {
+        self.detectors.as_ref().map(|ds| &ds[agent.index()])
+    }
+
+    /// Bounds each directed link to at most `k` undelivered messages: a
+    /// fresh broadcast supersedes the oldest undelivered one on the same
+    /// link. `None` (the default) keeps channels unbounded.
+    ///
+    /// Since MCA messages carry the sender's *entire* view, superseding a
+    /// stale undelivered message with a fresher one is the standard channel
+    /// abstraction for full-view gossip; the explicit-state checker uses
+    /// `k = 1` to keep its search space finite.
+    pub fn set_channel_capacity(&mut self, k: Option<usize>) {
+        self.channel_capacity = k;
+    }
+
+    /// The agents (for inspection).
+    pub fn agents(&self) -> &[Agent] {
+        &self.agents
+    }
+
+    /// The network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Number of messages currently in flight.
+    pub fn pending_messages(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The `index`-th in-flight message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn inflight_message(&self, index: usize) -> &Message {
+        &self.inflight[index]
+    }
+
+    /// Initial bidding phase: every agent builds its bundle and broadcasts.
+    /// Idempotent.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.agents.len() {
+            if self.agents[i].build_bundle() {
+                self.broadcast(AgentId(i as u32));
+            }
+        }
+    }
+
+    fn broadcast(&mut self, from: AgentId) {
+        let view = self.agents[from.index()].claims().to_vec();
+        self.send_seq[from.index()] += 1;
+        let seq = self.send_seq[from.index()];
+        for &to in self.network.neighbors(from) {
+            if let Some(k) = self.channel_capacity {
+                // Drop the oldest undelivered messages on this link so at
+                // most `k - 1` remain before pushing the fresh view.
+                while self
+                    .inflight
+                    .iter()
+                    .filter(|m| m.from == from && m.to == to)
+                    .count()
+                    >= k.max(1)
+                {
+                    let idx = self
+                        .inflight
+                        .iter()
+                        .position(|m| m.from == from && m.to == to)
+                        .expect("counted above");
+                    self.inflight.remove(idx);
+                }
+            }
+            self.inflight.push(Message {
+                from,
+                to,
+                view: view.clone(),
+                seq,
+            });
+        }
+    }
+
+    /// Delivers one specific in-flight message (by index). Returns `true`
+    /// if the receiver's view changed (and was re-broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn deliver(&mut self, index: usize) -> bool {
+        let msg = self.inflight.swap_remove(index);
+        self.delivered += 1;
+        if let Some(ds) = &mut self.detectors {
+            ds[msg.to.index()].observe(
+                msg.from,
+                msg.seq,
+                &msg.view,
+                self.agents[msg.to.index()].claims(),
+            );
+        }
+        let changed = self.agents[msg.to.index()].receive(&msg.view);
+        if let Some(ds) = &mut self.detectors {
+            // The receiver's own view may have gained withdrawals (released
+            // items) that lift Remark-1 restrictions for its neighbors.
+            ds[msg.to.index()].sync_owner_view(self.agents[msg.to.index()].claims());
+        }
+        if changed {
+            self.broadcast(msg.to);
+        }
+        changed
+    }
+
+    /// Runs the bidding phase of one agent. Returns `true` if it placed
+    /// bids (and broadcast its new view).
+    pub fn bid(&mut self, agent: AgentId) -> bool {
+        let changed = self.agents[agent.index()].build_bundle();
+        if changed {
+            self.broadcast(agent);
+        }
+        changed
+    }
+
+    /// Agents whose bidding phase would currently place a bid.
+    pub fn pending_bidders(&self) -> Vec<AgentId> {
+        self.agents
+            .iter()
+            .filter(|a| a.wants_to_bid())
+            .map(|a| a.id())
+            .collect()
+    }
+
+    /// `true` when no transition is enabled: no in-flight messages and no
+    /// agent wants to bid.
+    pub fn quiescent(&self) -> bool {
+        self.inflight.is_empty() && !self.agents.iter().any(|a| a.wants_to_bid())
+    }
+
+    /// Runs synchronous rounds until quiescence or `max_rounds`.
+    ///
+    /// A round delivers every in-flight message (in order) and then runs
+    /// every agent's bidding phase.
+    pub fn run_synchronous(&mut self, max_rounds: usize) -> SimOutcome {
+        self.start();
+        let mut rounds = 0;
+        while !self.quiescent() && rounds < max_rounds {
+            rounds += 1;
+            let batch = std::mem::take(&mut self.inflight);
+            for msg in batch {
+                self.delivered += 1;
+                if let Some(ds) = &mut self.detectors {
+                    ds[msg.to.index()].observe(
+                        msg.from,
+                        msg.seq,
+                        &msg.view,
+                        self.agents[msg.to.index()].claims(),
+                    );
+                }
+                let changed = self.agents[msg.to.index()].receive(&msg.view);
+                if let Some(ds) = &mut self.detectors {
+                    ds[msg.to.index()].sync_owner_view(self.agents[msg.to.index()].claims());
+                }
+                if changed {
+                    self.broadcast(msg.to);
+                }
+            }
+            for i in 0..self.agents.len() {
+                self.bid(AgentId(i as u32));
+            }
+        }
+        self.outcome(rounds)
+    }
+
+    /// Runs with random asynchronous scheduling (seeded) until quiescence
+    /// or `max_steps` transitions, with optional fault injection.
+    pub fn run_async(&mut self, seed: u64, max_steps: usize, faults: FaultPlan) -> SimOutcome {
+        self.start();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut steps = 0;
+        while !self.quiescent() && steps < max_steps {
+            steps += 1;
+            let bidders = self.pending_bidders();
+            let total = self.inflight.len() + bidders.len();
+            let choice = rng.gen_range(0..total);
+            if choice < self.inflight.len() {
+                if faults.drop_probability > 0.0 && rng.gen_bool(faults.drop_probability) {
+                    self.inflight.swap_remove(choice);
+                    continue;
+                }
+                if faults.duplicate_probability > 0.0
+                    && rng.gen_bool(faults.duplicate_probability)
+                {
+                    let copy = self.inflight[choice].clone();
+                    self.inflight.push(copy);
+                }
+                self.deliver(choice);
+            } else {
+                self.bid(bidders[choice - self.inflight.len()]);
+            }
+        }
+        self.outcome(0)
+    }
+
+    /// `true` if all agents agree on every item's winner and winning bid —
+    /// the paper's `consensusPred`.
+    pub fn consensus_reached(&self) -> bool {
+        consensus_predicate(&self.agents)
+    }
+
+    /// `true` if no two agents both believe they win the same item.
+    pub fn conflict_free(&self) -> bool {
+        conflict_free(&self.agents)
+    }
+
+    /// The current item → believed-winner map (union of agent views).
+    pub fn allocation(&self) -> BTreeMap<ItemId, AgentId> {
+        allocation(&self.agents)
+    }
+
+    /// Total messages delivered so far.
+    pub fn messages_delivered(&self) -> usize {
+        self.delivered
+    }
+
+    fn outcome(&self, rounds: usize) -> SimOutcome {
+        SimOutcome {
+            converged: self.quiescent() && self.consensus_reached() && self.conflict_free(),
+            rounds,
+            messages_delivered: self.delivered,
+            allocation: self.allocation(),
+        }
+    }
+}
+
+/// The paper's `consensusPred`: every pair of agents agrees on winners and
+/// winning bids for every item.
+pub fn consensus_predicate(agents: &[Agent]) -> bool {
+    let Some(first) = agents.first() else {
+        return true;
+    };
+    agents.iter().all(|a| {
+        a.claims()
+            .iter()
+            .zip(first.claims())
+            .all(|(x, y)| x.winner == y.winner && x.bid == y.bid)
+    })
+}
+
+/// No item is claimed (in-bundle) by two different agents.
+pub fn conflict_free(agents: &[Agent]) -> bool {
+    let mut owner: BTreeMap<ItemId, AgentId> = BTreeMap::new();
+    for a in agents {
+        for &j in a.bundle() {
+            if let Some(prev) = owner.insert(j, a.id()) {
+                if prev != a.id() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The union of all agents' assignment beliefs.
+pub fn allocation(agents: &[Agent]) -> BTreeMap<ItemId, AgentId> {
+    let mut out = BTreeMap::new();
+    for a in agents {
+        for (j, c) in a.claims().iter().enumerate() {
+            if let Some(w) = c.winner {
+                out.insert(ItemId(j as u32), w);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DiminishingUtility, PositionUtility};
+    use std::sync::Arc;
+
+    fn item(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    /// Figure 1's configuration: agents 1,2 over items A,B,C.
+    fn fig1_sim() -> Simulator {
+        let network = Network::complete(2);
+        // Agent "1": bids 10 on A, 30 on C (and nothing on B).
+        let p0 = Policy::new(
+            Arc::new(PositionUtility::new(vec![
+                (item(0), vec![10]),
+                (item(2), vec![30]),
+            ])),
+            2,
+        );
+        // Agent "2": bids 20 on A, 15 on B.
+        let p1 = Policy::new(
+            Arc::new(PositionUtility::new(vec![
+                (item(0), vec![20]),
+                (item(1), vec![15]),
+            ])),
+            2,
+        );
+        Simulator::new(network, 3, vec![p0, p1])
+    }
+
+    #[test]
+    fn fig1_reaches_consensus_in_one_exchange() {
+        let mut sim = fig1_sim();
+        let out = sim.run_synchronous(10);
+        assert!(out.converged);
+        // b = (20, 15, 30), a = (2, 2, 1) in the paper's 1-based naming.
+        let alloc = out.allocation;
+        assert_eq!(alloc[&item(0)], AgentId(1));
+        assert_eq!(alloc[&item(1)], AgentId(1));
+        assert_eq!(alloc[&item(2)], AgentId(0));
+        let a0 = &sim.agents()[0];
+        let bids: Vec<i64> = a0.claims().iter().map(|c| c.bid).collect();
+        assert_eq!(bids, vec![20, 15, 30]);
+    }
+
+    #[test]
+    fn async_matches_sync_on_fig1() {
+        for seed in 0..20 {
+            let mut sim = fig1_sim();
+            let out = sim.run_async(seed, 1000, FaultPlan::default());
+            assert!(out.converged, "seed {seed} failed to converge");
+            assert_eq!(out.allocation[&item(2)], AgentId(0));
+            assert_eq!(out.allocation[&item(0)], AgentId(1));
+        }
+    }
+
+    #[test]
+    fn duplication_is_idempotent() {
+        for seed in 0..10 {
+            let mut sim = fig1_sim();
+            let out = sim.run_async(
+                seed,
+                5000,
+                FaultPlan {
+                    drop_probability: 0.0,
+                    duplicate_probability: 0.3,
+                },
+            );
+            assert!(out.converged, "seed {seed} failed under duplication");
+        }
+    }
+
+    #[test]
+    fn larger_network_line_converges() {
+        // 4 agents on a line, 3 items, distinct diminishing utilities.
+        let n = 4;
+        let policies: Vec<Policy> = (0..n)
+            .map(|i| {
+                Policy::new(
+                    Arc::new(DiminishingUtility::new(
+                        (0..3).map(|j| (item(j), 10 + 7 * i as i64 + 3 * j as i64)),
+                        50,
+                    )),
+                    3,
+                )
+            })
+            .collect();
+        let mut sim = Simulator::new(Network::line(n), 3, policies);
+        let out = sim.run_synchronous(100);
+        assert!(out.converged);
+        assert!(!out.allocation.is_empty());
+        assert!(sim.conflict_free());
+    }
+
+    #[test]
+    fn sync_respects_round_limit() {
+        let mut sim = fig1_sim();
+        let out = sim.run_synchronous(0);
+        assert!(!out.converged);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn consensus_predicate_on_empty() {
+        assert!(consensus_predicate(&[]));
+        assert!(conflict_free(&[]));
+    }
+
+    #[test]
+    fn heavy_loss_does_not_panic() {
+        let mut sim = fig1_sim();
+        let out = sim.run_async(
+            7,
+            1000,
+            FaultPlan {
+                drop_probability: 0.9,
+                duplicate_probability: 0.0,
+            },
+        );
+        // With heavy loss convergence is not guaranteed, but the run must
+        // terminate cleanly.
+        let _ = out.converged;
+    }
+
+    #[test]
+    fn start_is_idempotent() {
+        let mut sim = fig1_sim();
+        sim.start();
+        let pending = sim.pending_messages();
+        sim.start();
+        assert_eq!(sim.pending_messages(), pending);
+    }
+
+    #[test]
+    fn quiescent_before_start_only_if_no_bids_possible() {
+        let sim = fig1_sim();
+        // Agents want to bid before start.
+        assert!(!sim.quiescent());
+    }
+}

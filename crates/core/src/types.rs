@@ -1,0 +1,185 @@
+//! Core identifier and claim types for the MCA protocol.
+
+use std::fmt;
+
+/// Identifies a bidding agent (a *physical node* in the paper's virtual
+/// network mapping case study).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AgentId(pub u32);
+
+impl AgentId {
+    /// Dense zero-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent{}", self.0)
+    }
+}
+
+/// Identifies an item on auction (a *virtual node* in the case study).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// Dense zero-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item{}", self.0)
+    }
+}
+
+/// A Lamport-style timestamp: a logical clock value plus the stamping agent
+/// as a tiebreaker, totally ordered.
+///
+/// The paper's `msgBidTimes`/`initBidTimes` relations carry these values so
+/// that out-of-order message arrival can be resolved asynchronously.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Stamp {
+    /// Logical clock value.
+    pub time: u64,
+    /// The agent that generated the event (total-order tiebreaker).
+    pub by: u32,
+}
+
+impl Stamp {
+    /// Creates a stamp.
+    pub fn new(time: u64, by: AgentId) -> Stamp {
+        Stamp { time, by: by.0 }
+    }
+}
+
+impl fmt::Display for Stamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}@{}", self.time, self.by)
+    }
+}
+
+/// An agent's current belief about one item: who wins it, at what bid,
+/// based on information originating at what time.
+///
+/// This triple is the paper's `bidTriple` signature (`bid_v` is implicit in
+/// the vector position):
+///
+/// ```text
+/// sig bidTriple {
+///     bid_v: one vnode,
+///     bid_b: one Int,
+///     bid_t: one Int,
+///     bid_w: one (pnode + NULL)
+/// }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Claim {
+    /// The believed winner (`NULL` in the paper when unassigned).
+    pub winner: Option<AgentId>,
+    /// The believed winning bid (0 when unassigned).
+    pub bid: i64,
+    /// When the underlying bid/retraction event was generated.
+    pub stamp: Stamp,
+}
+
+impl Claim {
+    /// The "unassigned" claim with the given stamp.
+    pub fn unassigned(stamp: Stamp) -> Claim {
+        Claim {
+            winner: None,
+            bid: 0,
+            stamp,
+        }
+    }
+
+    /// `true` if this claim names a winner.
+    pub fn is_assigned(&self) -> bool {
+        self.winner.is_some()
+    }
+
+    /// `true` if this claim beats `other` under max-consensus order:
+    /// strictly higher bid, or equal bid with lower winner id (the
+    /// deterministic tiebreak that makes distributed winner determination
+    /// well-defined).
+    pub fn beats(&self, other: &Claim) -> bool {
+        match (self.winner, other.winner) {
+            (Some(w1), Some(w2)) => {
+                self.bid > other.bid || (self.bid == other.bid && w1 < w2)
+            }
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+}
+
+impl fmt::Display for Claim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.winner {
+            Some(w) => write!(f, "{w}@{} ({})", self.bid, self.stamp),
+            None => write!(f, "unassigned ({})", self.stamp),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_total_order() {
+        let a = Stamp::new(1, AgentId(0));
+        let b = Stamp::new(1, AgentId(1));
+        let c = Stamp::new(2, AgentId(0));
+        assert!(a < b);
+        assert!(b < c);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn claim_beats_by_bid_then_id() {
+        let mk = |w: u32, bid: i64| Claim {
+            winner: Some(AgentId(w)),
+            bid,
+            stamp: Stamp::default(),
+        };
+        assert!(mk(1, 20).beats(&mk(0, 10)));
+        assert!(!mk(1, 10).beats(&mk(0, 20)));
+        // Equal bids: lower id wins.
+        assert!(mk(0, 10).beats(&mk(1, 10)));
+        assert!(!mk(1, 10).beats(&mk(0, 10)));
+    }
+
+    #[test]
+    fn assigned_beats_unassigned() {
+        let some = Claim {
+            winner: Some(AgentId(3)),
+            bid: 1,
+            stamp: Stamp::default(),
+        };
+        let none = Claim::unassigned(Stamp::new(9, AgentId(0)));
+        assert!(some.beats(&none));
+        assert!(!none.beats(&some));
+        assert!(!none.beats(&none));
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = Claim {
+            winner: Some(AgentId(2)),
+            bid: 30,
+            stamp: Stamp::new(4, AgentId(2)),
+        };
+        assert_eq!(c.to_string(), "agent2@30 (t4@2)");
+        assert_eq!(
+            Claim::unassigned(Stamp::new(1, AgentId(0))).to_string(),
+            "unassigned (t1@0)"
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Network-utility (social welfare) accounting and the optimal baseline.
+//!
+//! The paper's agents "cooperate to reach a Pareto optimal solution
+//! `Σᵢ uᵢ`" (§II-A), and Remark 3 recalls the known guarantee that with
+//! sub-modular utilities the MCA allocation achieves at least `(1 − 1/e)`
+//! of the optimal network utility. This module computes both sides of that
+//! ratio: the utility actually accrued by a finished auction, and the
+//! optimum over *all* assignments (exhaustive — the assignment problem is
+//! the NP-hard Set Packing of Remark 3, so this is for small scopes).
+
+use crate::agent::Agent;
+use crate::policy::{Policy, Utility};
+use crate::types::ItemId;
+
+/// The value an agent derives from acquiring `bundle` in order: the sum of
+/// marginal utilities as each item is added.
+pub fn bundle_value(utility: &dyn Utility, bundle: &[ItemId]) -> i64 {
+    let mut total = 0;
+    for (i, &item) in bundle.iter().enumerate() {
+        total += utility.marginal(item, &bundle[..i]).unwrap_or(0);
+    }
+    total
+}
+
+/// The best value an agent can derive from a *set* of items, maximizing
+/// over acquisition orders (exhaustive; the set must be small).
+///
+/// # Panics
+///
+/// Panics if the set has more than 8 items.
+pub fn best_bundle_value(utility: &dyn Utility, items: &[ItemId]) -> i64 {
+    assert!(items.len() <= 8, "permutation search limited to 8 items");
+    let mut order: Vec<ItemId> = items.to_vec();
+    let mut best = i64::MIN;
+    permute(&mut order, 0, &mut |candidate| {
+        best = best.max(bundle_value(utility, candidate));
+    });
+    if items.is_empty() {
+        0
+    } else {
+        best
+    }
+}
+
+fn permute(items: &mut [ItemId], k: usize, visit: &mut impl FnMut(&[ItemId])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+/// The network utility accrued by a finished auction: each agent's bundle
+/// valued in its acquisition order.
+pub fn achieved_network_utility(agents: &[Agent]) -> i64 {
+    agents
+        .iter()
+        .map(|a| bundle_value(a.policy().utility.as_ref(), a.bundle()))
+        .sum()
+}
+
+/// The optimal network utility: exhaustively assigns each of `num_items`
+/// items to one of the agents (or to nobody), respecting each policy's
+/// `target_items`, and maximizes the summed best-order bundle values.
+///
+/// # Panics
+///
+/// Panics if `(agents + 1)^items` exceeds 10⁷ (keep scopes small).
+pub fn optimal_network_utility(policies: &[Policy], num_items: usize) -> i64 {
+    let n = policies.len();
+    let combos = (n as u64 + 1).pow(num_items as u32);
+    assert!(combos <= 10_000_000, "scope too large for exhaustive optimum");
+    let mut best = 0i64;
+    for code in 0..combos {
+        let mut c = code;
+        let mut bundles: Vec<Vec<ItemId>> = vec![Vec::new(); n];
+        let mut feasible = true;
+        for j in 0..num_items {
+            let owner = (c % (n as u64 + 1)) as usize;
+            c /= n as u64 + 1;
+            if owner < n {
+                bundles[owner].push(ItemId(j as u32));
+                if bundles[owner].len() > policies[owner].target_items {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if !feasible {
+            continue;
+        }
+        let mut total = 0i64;
+        for (i, bundle) in bundles.iter().enumerate() {
+            // Skip assignments an agent cannot actually realize (a None
+            // marginal anywhere in the best order means infeasible).
+            let value = best_bundle_value(policies[i].utility.as_ref(), bundle);
+            total += value;
+        }
+        best = best.max(total);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::policy::{DiminishingUtility, PositionUtility};
+    use std::sync::Arc;
+
+    fn item(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    #[test]
+    fn bundle_value_accumulates_marginals() {
+        let u = DiminishingUtility::new([(item(0), 40), (item(1), 20)], 50);
+        assert_eq!(bundle_value(&u, &[]), 0);
+        assert_eq!(bundle_value(&u, &[item(0)]), 40);
+        // 40 + 20/2
+        assert_eq!(bundle_value(&u, &[item(0), item(1)]), 50);
+        // 20 + 40/2
+        assert_eq!(bundle_value(&u, &[item(1), item(0)]), 40);
+    }
+
+    #[test]
+    fn best_bundle_value_maximizes_order() {
+        let u = DiminishingUtility::new([(item(0), 40), (item(1), 20)], 50);
+        assert_eq!(best_bundle_value(&u, &[item(0), item(1)]), 50);
+        assert_eq!(best_bundle_value(&u, &[]), 0);
+    }
+
+    #[test]
+    fn optimal_matches_hand_computation() {
+        // Two agents, two items. Agent 0 values both highly but halves;
+        // agent 1 values item 1 moderately. Optimum: split.
+        let p0 = Policy::new(
+            Arc::new(DiminishingUtility::new([(item(0), 40), (item(1), 30)], 50)),
+            2,
+        );
+        let p1 = Policy::new(
+            Arc::new(DiminishingUtility::new([(item(0), 5), (item(1), 25)], 50)),
+            2,
+        );
+        // Candidates: a0 both = 40 + 15 = 55; split(0->a0, 1->a1) = 40+25 = 65;
+        // split(1->a0, 0->a1) = 30+5 = 35; a1 both = 25 + 2 = 27.
+        assert_eq!(optimal_network_utility(&[p0, p1], 2), 65);
+    }
+
+    #[test]
+    fn target_limit_respected_by_optimum() {
+        let p0 = Policy::new(
+            Arc::new(PositionUtility::new(vec![
+                (item(0), vec![10]),
+                (item(1), vec![10]),
+            ])),
+            1, // may hold only one item
+        );
+        let p1 = Policy::new(
+            Arc::new(PositionUtility::new(vec![
+                (item(0), vec![1]),
+                (item(1), vec![1]),
+            ])),
+            2,
+        );
+        // Optimum: a0 takes one item (10), a1 takes the other (1).
+        assert_eq!(optimal_network_utility(&[p0, p1], 2), 11);
+    }
+
+    #[test]
+    fn achieved_utility_of_fig1() {
+        let mut sim = crate::scenarios::fig1();
+        let out = sim.run_synchronous(16);
+        assert!(out.converged);
+        // Agent 0 holds C (30); agent 1 holds A (20) and B (15).
+        assert_eq!(achieved_network_utility(sim.agents()), 65);
+    }
+
+    #[test]
+    fn achieved_never_exceeds_optimal() {
+        for seed in 0..10u64 {
+            let mut sim = crate::scenarios::compliant(Network::complete(3), 3, seed);
+            let out = sim.run_synchronous(64);
+            assert!(out.converged);
+            let policies: Vec<Policy> =
+                sim.agents().iter().map(|a| a.policy().clone()).collect();
+            let achieved = achieved_network_utility(sim.agents());
+            let optimal = optimal_network_utility(&policies, 3);
+            assert!(
+                achieved <= optimal,
+                "seed {seed}: achieved {achieved} > optimal {optimal}"
+            );
+        }
+    }
+}

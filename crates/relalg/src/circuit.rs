@@ -1,0 +1,493 @@
+//! A hash-consed boolean circuit with complement edges.
+//!
+//! The translator compiles relational formulas into this and-inverter-graph
+//! representation before Tseitin conversion to CNF. Structural hashing and
+//! local simplification (constant folding, idempotence, complementation)
+//! keep the paper's naive encoding from exploding even further than it
+//! already does — the same service Kodkod provides to the Alloy Analyzer.
+
+use mca_sat::{CnfFormula, Lit, Var};
+use std::collections::HashMap;
+
+/// An edge into the circuit: a node index plus a complement flag.
+///
+/// `B` values are only meaningful relative to the [`Circuit`] that created
+/// them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct B(u32);
+
+impl B {
+    const TRUE: B = B(0);
+    const FALSE: B = B(1);
+
+    #[inline]
+    fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    #[inline]
+    fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    #[inline]
+    fn from_node(node: usize, complemented: bool) -> B {
+        B((node as u32) << 1 | complemented as u32)
+    }
+
+    /// `true` if this edge is the constant true.
+    pub fn is_const_true(self) -> bool {
+        self == B::TRUE
+    }
+
+    /// `true` if this edge is the constant false.
+    pub fn is_const_false(self) -> bool {
+        self == B::FALSE
+    }
+
+    /// `true` if this edge is either constant.
+    pub fn is_const(self) -> bool {
+        self.node() == 0
+    }
+}
+
+impl std::ops::Not for B {
+    type Output = B;
+
+    #[inline]
+    fn not(self) -> B {
+        B(self.0 ^ 1)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Node {
+    /// The constant true (node 0 only).
+    ConstTrue,
+    /// A free input, identified by its input ordinal.
+    Input(u32),
+    /// Conjunction of two edges.
+    And(B, B),
+}
+
+/// A boolean circuit under construction.
+///
+/// # Examples
+///
+/// ```
+/// use mca_relalg::circuit::Circuit;
+///
+/// let mut c = Circuit::new();
+/// let x = c.input();
+/// let y = c.input();
+/// let f = c.or2(x, !y);
+/// assert!(c.eval(f, &|i| [true, false][i as usize]));
+/// assert!(c.eval(f, &|i| [false, false][i as usize]));
+/// assert!(!c.eval(f, &|i| [false, true][i as usize]));
+/// ```
+#[derive(Debug, Default)]
+pub struct Circuit {
+    nodes: Vec<Node>,
+    and_cache: HashMap<(B, B), B>,
+    num_inputs: u32,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Circuit {
+        Circuit {
+            nodes: vec![Node::ConstTrue],
+            and_cache: HashMap::new(),
+            num_inputs: 0,
+        }
+    }
+
+    /// The constant-true edge.
+    #[inline]
+    pub fn tru(&self) -> B {
+        B::TRUE
+    }
+
+    /// The constant-false edge.
+    #[inline]
+    pub fn fls(&self) -> B {
+        B::FALSE
+    }
+
+    /// Lifts a Rust boolean to a constant edge.
+    #[inline]
+    pub fn constant(&self, b: bool) -> B {
+        if b {
+            B::TRUE
+        } else {
+            B::FALSE
+        }
+    }
+
+    /// Creates a fresh free input.
+    pub fn input(&mut self) -> B {
+        let ordinal = self.num_inputs;
+        self.num_inputs += 1;
+        let node = self.nodes.len();
+        self.nodes.push(Node::Input(ordinal));
+        B::from_node(node, false)
+    }
+
+    /// Number of free inputs created so far.
+    pub fn num_inputs(&self) -> u32 {
+        self.num_inputs
+    }
+
+    /// Number of AND gates in the circuit.
+    pub fn num_gates(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::And(..)))
+            .count()
+    }
+
+    /// Conjunction with structural hashing and local simplification.
+    pub fn and2(&mut self, a: B, b: B) -> B {
+        if a == B::FALSE || b == B::FALSE || a == !b {
+            return B::FALSE;
+        }
+        if a == B::TRUE {
+            return b;
+        }
+        if b == B::TRUE || a == b {
+            return a;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&e) = self.and_cache.get(&key) {
+            return e;
+        }
+        let node = self.nodes.len();
+        self.nodes.push(Node::And(key.0, key.1));
+        let e = B::from_node(node, false);
+        self.and_cache.insert(key, e);
+        e
+    }
+
+    /// Disjunction (via De Morgan).
+    pub fn or2(&mut self, a: B, b: B) -> B {
+        !self.and2(!a, !b)
+    }
+
+    /// Conjunction of many edges (balanced tree).
+    pub fn and_many<I: IntoIterator<Item = B>>(&mut self, edges: I) -> B {
+        let mut layer: Vec<B> = edges.into_iter().collect();
+        if layer.is_empty() {
+            return B::TRUE;
+        }
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    self.and2(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Disjunction of many edges (balanced tree).
+    pub fn or_many<I: IntoIterator<Item = B>>(&mut self, edges: I) -> B {
+        let negated: Vec<B> = edges.into_iter().map(|e| !e).collect();
+        !self.and_many(negated)
+    }
+
+    /// Exclusive or.
+    pub fn xor2(&mut self, a: B, b: B) -> B {
+        let l = self.and2(a, !b);
+        let r = self.and2(!a, b);
+        self.or2(l, r)
+    }
+
+    /// Biconditional (`a ↔ b`).
+    pub fn iff2(&mut self, a: B, b: B) -> B {
+        !self.xor2(a, b)
+    }
+
+    /// Implication (`a → b`).
+    pub fn implies(&mut self, a: B, b: B) -> B {
+        self.or2(!a, b)
+    }
+
+    /// If-then-else multiplexer.
+    pub fn ite(&mut self, c: B, t: B, e: B) -> B {
+        let l = self.and2(c, t);
+        let r = self.and2(!c, e);
+        self.or2(l, r)
+    }
+
+    /// "At most one of `edges` is true" (pairwise encoding — fine at the
+    /// paper's scopes).
+    pub fn at_most_one(&mut self, edges: &[B]) -> B {
+        let mut constraints = Vec::new();
+        for i in 0..edges.len() {
+            for j in (i + 1)..edges.len() {
+                let both = self.and2(edges[i], edges[j]);
+                constraints.push(!both);
+            }
+        }
+        self.and_many(constraints)
+    }
+
+    /// "Exactly one of `edges` is true".
+    pub fn exactly_one(&mut self, edges: &[B]) -> B {
+        let amo = self.at_most_one(edges);
+        let alo = self.or_many(edges.iter().copied());
+        self.and2(amo, alo)
+    }
+
+    /// Evaluates edge `e` under an assignment of inputs (by input ordinal).
+    pub fn eval(&self, e: B, inputs: &dyn Fn(u32) -> bool) -> bool {
+        let mut memo: Vec<Option<bool>> = vec![None; self.nodes.len()];
+        self.eval_rec(e, inputs, &mut memo)
+    }
+
+    fn eval_rec(&self, e: B, inputs: &dyn Fn(u32) -> bool, memo: &mut Vec<Option<bool>>) -> bool {
+        let raw = match memo[e.node()] {
+            Some(v) => v,
+            None => {
+                let v = match self.nodes[e.node()] {
+                    Node::ConstTrue => true,
+                    Node::Input(k) => inputs(k),
+                    Node::And(a, b) => {
+                        self.eval_rec(a, inputs, memo) && self.eval_rec(b, inputs, memo)
+                    }
+                };
+                memo[e.node()] = Some(v);
+                v
+            }
+        };
+        raw != e.is_complemented()
+    }
+
+    /// Tseitin-transforms the circuit into CNF, asserting that every root
+    /// edge is true. Returns the formula and the mapping from input ordinal
+    /// to CNF variable.
+    ///
+    /// Only nodes reachable from the roots are encoded, so dead gates cost
+    /// nothing.
+    pub fn to_cnf(&self, roots: &[B]) -> (CnfFormula, Vec<Var>) {
+        let mut cnf = CnfFormula::new();
+        // Inputs get the first variables so instance decoding is stable.
+        let input_vars: Vec<Var> = (0..self.num_inputs).map(|_| cnf.new_var()).collect();
+
+        // Collect reachable nodes (iterative DFS).
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = roots.iter().map(|r| r.node()).collect();
+        while let Some(n) = stack.pop() {
+            if reachable[n] {
+                continue;
+            }
+            reachable[n] = true;
+            if let Node::And(a, b) = self.nodes[n] {
+                stack.push(a.node());
+                stack.push(b.node());
+            }
+        }
+
+        // Assign a literal to every reachable node.
+        let mut node_lit: Vec<Option<Lit>> = vec![None; self.nodes.len()];
+        for (n, node) in self.nodes.iter().enumerate() {
+            if !reachable[n] {
+                continue;
+            }
+            match node {
+                Node::ConstTrue => {}
+                Node::Input(k) => node_lit[n] = Some(input_vars[*k as usize].positive()),
+                Node::And(..) => node_lit[n] = Some(cnf.new_var().positive()),
+            }
+        }
+
+        // True constant: if referenced, we inline it during edge resolution.
+        let edge_lit = |e: B, cnf: &mut CnfFormula, node_lit: &mut Vec<Option<Lit>>| -> Lit {
+            let base = match node_lit[e.node()] {
+                Some(l) => l,
+                None => {
+                    // Constant node: encode with a frozen variable forced true.
+                    let v = cnf.new_var().positive();
+                    cnf.add_clause([v]);
+                    node_lit[e.node()] = Some(v);
+                    v
+                }
+            };
+            if e.is_complemented() {
+                !base
+            } else {
+                base
+            }
+        };
+
+        for (n, node) in self.nodes.iter().enumerate() {
+            if !reachable[n] {
+                continue;
+            }
+            if let Node::And(a, b) = *node {
+                let g = node_lit[n].expect("reachable gate has a literal");
+                let la = edge_lit(a, &mut cnf, &mut node_lit);
+                let lb = edge_lit(b, &mut cnf, &mut node_lit);
+                // g <-> la & lb
+                cnf.add_clause([!g, la]);
+                cnf.add_clause([!g, lb]);
+                cnf.add_clause([g, !la, !lb]);
+            }
+        }
+
+        for &r in roots {
+            if r == B::TRUE {
+                continue;
+            }
+            if r == B::FALSE {
+                // Assert falsity: empty clause.
+                cnf.add_clause(std::iter::empty());
+                continue;
+            }
+            let l = edge_lit(r, &mut cnf, &mut node_lit);
+            cnf.add_clause([l]);
+        }
+        (cnf, input_vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env2(x: bool, y: bool) -> impl Fn(u32) -> bool {
+        move |i| [x, y][i as usize]
+    }
+
+    #[test]
+    fn constant_laws() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        assert_eq!(c.and2(x, c.tru()), x);
+        assert_eq!(c.and2(c.fls(), x), c.fls());
+        assert_eq!(c.and2(x, !x), c.fls());
+        assert_eq!(c.and2(x, x), x);
+        assert_eq!(!c.tru(), c.fls());
+    }
+
+    #[test]
+    fn hash_consing_shares_gates() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let g1 = c.and2(x, y);
+        let g2 = c.and2(y, x);
+        assert_eq!(g1, g2);
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn truth_tables() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let and = c.and2(x, y);
+        let or = c.or2(x, y);
+        let xor = c.xor2(x, y);
+        let iff = c.iff2(x, y);
+        let imp = c.implies(x, y);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let env = env2(a, b);
+            assert_eq!(c.eval(and, &env), a && b);
+            assert_eq!(c.eval(or, &env), a || b);
+            assert_eq!(c.eval(xor, &env), a ^ b);
+            assert_eq!(c.eval(iff, &env), a == b);
+            assert_eq!(c.eval(imp, &env), !a || b);
+        }
+    }
+
+    #[test]
+    fn ite_truth_table() {
+        let mut c = Circuit::new();
+        let s = c.input();
+        let t = c.input();
+        let e = c.input();
+        let m = c.ite(s, t, e);
+        for bits in 0..8u32 {
+            let env = move |i: u32| bits >> i & 1 == 1;
+            let (sv, tv, ev) = (env(0), env(1), env(2));
+            assert_eq!(c.eval(m, &env), if sv { tv } else { ev });
+        }
+    }
+
+    #[test]
+    fn cardinality_gadgets() {
+        let mut c = Circuit::new();
+        let xs: Vec<B> = (0..4).map(|_| c.input()).collect();
+        let amo = c.at_most_one(&xs);
+        let exo = c.exactly_one(&xs);
+        for bits in 0..16u32 {
+            let env = move |i: u32| bits >> i & 1 == 1;
+            let ones = bits.count_ones();
+            assert_eq!(c.eval(amo, &env), ones <= 1, "amo at {bits:04b}");
+            assert_eq!(c.eval(exo, &env), ones == 1, "exo at {bits:04b}");
+        }
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        let mut c = Circuit::new();
+        assert_eq!(c.and_many(std::iter::empty()), c.tru());
+        assert_eq!(c.or_many(std::iter::empty()), c.fls());
+        let none: [B; 0] = [];
+        let amo = c.at_most_one(&none);
+        let exo = c.exactly_one(&none);
+        assert!(c.eval(amo, &|_| false));
+        assert!(!c.eval(exo, &|_| false));
+    }
+
+    #[test]
+    fn cnf_agrees_with_eval() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let z = c.input();
+        let f1 = c.xor2(x, y);
+        let g = c.ite(z, f1, !x);
+        let (cnf, input_vars) = c.to_cnf(&[g]);
+        // Every CNF model's projection on inputs must satisfy g under eval,
+        // and the model count on inputs must equal the eval-true count.
+        let mut solver = cnf.to_solver();
+        let mut sat_inputs = std::collections::HashSet::new();
+        solver.enumerate_models(&input_vars, 64, |m| {
+            let bits: Vec<bool> = input_vars.iter().map(|&v| m.value(v)).collect();
+            sat_inputs.insert(bits);
+            true
+        });
+        let mut expected = std::collections::HashSet::new();
+        for bits in 0..8u32 {
+            let env = move |i: u32| bits >> i & 1 == 1;
+            if c.eval(g, &env) {
+                expected.insert(vec![env(0), env(1), env(2)]);
+            }
+        }
+        assert_eq!(sat_inputs, expected);
+    }
+
+    #[test]
+    fn cnf_false_root_is_unsat() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let contradiction = c.and2(x, !x);
+        let (cnf, _) = c.to_cnf(&[contradiction]);
+        let mut s = cnf.to_solver();
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn cnf_true_root_is_sat() {
+        let c = Circuit::new();
+        let (cnf, _) = c.to_cnf(&[c.tru()]);
+        let mut s = cnf.to_solver();
+        assert!(s.solve().is_sat());
+    }
+}

@@ -1,0 +1,218 @@
+//! Pretty-printing of relational syntax in Alloy surface notation.
+//!
+//! [`pretty_expr`] / [`pretty_formula`] render ASTs with caller-supplied
+//! relation and atom names; `mca-alloy` builds on this to export whole
+//! models as `.als` text for cross-checking against the real Alloy
+//! Analyzer.
+
+use crate::ast::{
+    CmpOp, Expr, ExprKind, Formula, FormulaKind, IntExpr, IntExprKind, RelationId,
+};
+use crate::universe::AtomId;
+
+/// Naming callbacks for rendering.
+pub struct Names<'a> {
+    /// Name of a declared relation.
+    pub relation: &'a dyn Fn(RelationId) -> String,
+    /// Name of an atom (used by `Expr::atom` literals).
+    pub atom: &'a dyn Fn(AtomId) -> String,
+}
+
+/// Renders an expression in Alloy-like syntax.
+pub fn pretty_expr(e: &Expr, names: &Names<'_>) -> String {
+    match e.kind() {
+        ExprKind::Relation(r) => (names.relation)(*r),
+        ExprKind::Atom(a) => (names.atom)(*a),
+        ExprKind::Iden => "iden".into(),
+        ExprKind::Univ => "univ".into(),
+        ExprKind::Empty(1) => "none".into(),
+        ExprKind::Empty(a) => format!("none[{a}]"),
+        ExprKind::Var(v) => format!("{}#{}", v.name(), short_id(v)),
+        ExprKind::Union(a, b) => binop(a, "+", b, names),
+        ExprKind::Intersect(a, b) => binop(a, "&", b, names),
+        ExprKind::Difference(a, b) => binop(a, "-", b, names),
+        ExprKind::Join(a, b) => binop(a, ".", b, names),
+        ExprKind::Product(a, b) => binop(a, "->", b, names),
+        ExprKind::Transpose(a) => format!("~({})", pretty_expr(a, names)),
+        ExprKind::Closure(a) => format!("^({})", pretty_expr(a, names)),
+        ExprKind::ReflexiveClosure(a) => format!("*({})", pretty_expr(a, names)),
+        ExprKind::IfThenElse(c, t, e2) => format!(
+            "({} => {} else {})",
+            pretty_formula(c, names),
+            pretty_expr(t, names),
+            pretty_expr(e2, names)
+        ),
+        ExprKind::Comprehension(decls, body) => {
+            let vars: Vec<String> = decls
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{}#{}: {}",
+                        d.var.name(),
+                        short_id(&d.var),
+                        pretty_expr(&d.domain, names)
+                    )
+                })
+                .collect();
+            format!("{{{} | {}}}", vars.join(", "), pretty_formula(body, names))
+        }
+    }
+}
+
+/// Renders a formula in Alloy-like syntax.
+pub fn pretty_formula(f: &Formula, names: &Names<'_>) -> String {
+    match f.kind() {
+        FormulaKind::Const(true) => "true".into(),
+        FormulaKind::Const(false) => "false".into(),
+        FormulaKind::Subset(a, b) => binop(a, "in", b, names),
+        FormulaKind::Equal(a, b) => binop(a, "=", b, names),
+        FormulaKind::NonEmpty(e) => format!("some {}", pretty_expr(e, names)),
+        FormulaKind::IsEmpty(e) => format!("no {}", pretty_expr(e, names)),
+        FormulaKind::ExactlyOne(e) => format!("one {}", pretty_expr(e, names)),
+        FormulaKind::AtMostOne(e) => format!("lone {}", pretty_expr(e, names)),
+        FormulaKind::Not(g) => format!("!({})", pretty_formula(g, names)),
+        FormulaKind::And(gs) => nary(gs, "and", "true", names),
+        FormulaKind::Or(gs) => nary(gs, "or", "false", names),
+        FormulaKind::Implies(p, q) => format!(
+            "({} => {})",
+            pretty_formula(p, names),
+            pretty_formula(q, names)
+        ),
+        FormulaKind::Iff(p, q) => format!(
+            "({} <=> {})",
+            pretty_formula(p, names),
+            pretty_formula(q, names)
+        ),
+        FormulaKind::ForAll(d, body) => format!(
+            "(all {}#{}: {} | {})",
+            d.var.name(),
+            short_id(&d.var),
+            pretty_expr(&d.domain, names),
+            pretty_formula(body, names)
+        ),
+        FormulaKind::Exists(d, body) => format!(
+            "(some {}#{}: {} | {})",
+            d.var.name(),
+            short_id(&d.var),
+            pretty_expr(&d.domain, names),
+            pretty_formula(body, names)
+        ),
+        FormulaKind::IntCmp(op, a, b) => {
+            let o = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "!=",
+            };
+            format!("{} {o} {}", pretty_int(a, names), pretty_int(b, names))
+        }
+    }
+}
+
+/// Renders an integer expression.
+pub fn pretty_int(ie: &IntExpr, names: &Names<'_>) -> String {
+    match ie.kind() {
+        IntExprKind::Const(v) => v.to_string(),
+        IntExprKind::Card(e) => format!("#({})", pretty_expr(e, names)),
+        IntExprKind::SumValues(e) => format!("(sum {})", pretty_expr(e, names)),
+        IntExprKind::Add(a, b) => format!(
+            "({} + {})",
+            pretty_int(a, names),
+            pretty_int(b, names)
+        ),
+        IntExprKind::Sub(a, b) => format!(
+            "({} - {})",
+            pretty_int(a, names),
+            pretty_int(b, names)
+        ),
+        IntExprKind::Neg(a) => format!("(-{})", pretty_int(a, names)),
+        IntExprKind::Ite(c, t, e) => format!(
+            "({} => {} else {})",
+            pretty_formula(c, names),
+            pretty_int(t, names),
+            pretty_int(e, names)
+        ),
+    }
+}
+
+fn binop(a: &Expr, op: &str, b: &Expr, names: &Names<'_>) -> String {
+    format!("({} {op} {})", pretty_expr(a, names), pretty_expr(b, names))
+}
+
+fn nary(gs: &[Formula], op: &str, empty: &str, names: &Names<'_>) -> String {
+    if gs.is_empty() {
+        return empty.into();
+    }
+    let parts: Vec<String> = gs.iter().map(|g| pretty_formula(g, names)).collect();
+    format!("({})", parts.join(&format!(" {op} ")))
+}
+
+fn short_id(v: &crate::ast::QuantVar) -> String {
+    // The global counter disambiguates same-named variables; compress it.
+    format!("{:x}", v.id_for_display())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::QuantVar;
+
+    fn names() -> Names<'static> {
+        fn rel(r: RelationId) -> String {
+            format!("r{}", r.index())
+        }
+        fn atom(a: AtomId) -> String {
+            format!("a{}", a.index())
+        }
+        Names {
+            relation: &rel,
+            atom: &atom,
+        }
+    }
+
+    #[test]
+    fn renders_expressions() {
+        let n = names();
+        let r = Expr::relation(RelationId::from_index(0));
+        let s = Expr::relation(RelationId::from_index(1));
+        assert_eq!(pretty_expr(&r.join(&s), &n), "(r0 . r1)");
+        assert_eq!(pretty_expr(&r.union(&s).transpose(), &n), "~((r0 + r1))");
+        assert_eq!(pretty_expr(&Expr::iden(), &n), "iden");
+        assert_eq!(pretty_expr(&Expr::empty(1), &n), "none");
+    }
+
+    #[test]
+    fn renders_formulas() {
+        let n = names();
+        let r = Expr::relation(RelationId::from_index(0));
+        assert_eq!(pretty_formula(&r.some(), &n), "some r0");
+        assert_eq!(pretty_formula(&r.no().not(), &n), "!(no r0)");
+        let x = QuantVar::fresh("x");
+        let f = Formula::forall(&x, &Expr::univ(), &x.expr().in_(&r));
+        let rendered = pretty_formula(&f, &n);
+        assert!(rendered.starts_with("(all x#"));
+        assert!(rendered.contains("in r0"));
+    }
+
+    #[test]
+    fn renders_integers() {
+        let n = names();
+        let r = Expr::relation(RelationId::from_index(0));
+        let f = r.count().add(&crate::ast::IntExpr::constant(2)).le(&r.sum_values());
+        let rendered = pretty_formula(&f, &n);
+        assert_eq!(rendered, "(#(r0) + 2) <= (sum r0)");
+    }
+
+    #[test]
+    fn renders_comprehension() {
+        let n = names();
+        let x = QuantVar::fresh("x");
+        let r = Expr::relation(RelationId::from_index(0));
+        let c = Expr::comprehension([(x.clone(), Expr::univ())], &x.expr().in_(&r));
+        let rendered = pretty_expr(&c, &n);
+        assert!(rendered.starts_with("{x#"));
+        assert!(rendered.ends_with('}'));
+    }
+}

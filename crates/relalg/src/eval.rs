@@ -1,0 +1,545 @@
+//! Ground evaluation of relational logic against a concrete instance.
+//!
+//! The [`Evaluator`] computes the value of any [`Expr`], [`Formula`] or
+//! [`IntExpr`] directly over an [`Instance`] — no SAT involved. It serves
+//! two purposes: inspecting counterexamples (like the Alloy Analyzer's
+//! evaluator pane), and *differential testing* of the SAT translator — any
+//! instance the solver returns must satisfy the facts under this
+//! independent semantics (see `tests/translator_vs_evaluator.rs`).
+
+use crate::ast::{CmpOp, Expr, ExprKind, Formula, FormulaKind, IntExpr, IntExprKind};
+use crate::error::TranslateError;
+use crate::problem::Instance;
+use crate::tuple::{Tuple, TupleSet};
+use crate::universe::{AtomId, Universe};
+use std::collections::HashMap;
+
+/// Evaluates relational syntax against a concrete instance.
+///
+/// # Examples
+///
+/// ```
+/// use mca_relalg::{Problem, Universe, TupleSet, Expr, Evaluator, Outcome};
+///
+/// let mut u = Universe::new();
+/// let atoms = u.add_atoms("N", 3);
+/// let mut p = Problem::new(u);
+/// let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+/// p.require(Expr::relation(r).some());
+/// let out = p.solve().unwrap();
+/// let Outcome::Sat(instance) = out.result else { panic!() };
+/// let mut ev = Evaluator::new(p.universe(), &instance);
+/// assert!(ev.formula(&Expr::relation(r).some()).unwrap());
+/// assert!(!ev.formula(&Expr::relation(r).no()).unwrap());
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    universe: &'a Universe,
+    instance: &'a Instance,
+    env: HashMap<u32, AtomId>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over the given universe and instance.
+    pub fn new(universe: &'a Universe, instance: &'a Instance) -> Evaluator<'a> {
+        Evaluator {
+            universe,
+            instance,
+            env: HashMap::new(),
+        }
+    }
+
+    /// Evaluates an expression to its tuple set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError`] on ill-formed expressions (the same
+    /// conditions the translator rejects).
+    pub fn expr(&mut self, e: &Expr) -> Result<TupleSet, TranslateError> {
+        Ok(match e.kind() {
+            ExprKind::Relation(r) => self.instance.tuples(*r).clone(),
+            ExprKind::Atom(a) => TupleSet::singleton(*a),
+            ExprKind::Iden => {
+                TupleSet::from_pairs(self.universe.iter().map(|a| (a, a)))
+            }
+            ExprKind::Univ => TupleSet::all_atoms(self.universe),
+            ExprKind::Empty(a) => TupleSet::new(*a),
+            ExprKind::Var(v) => {
+                let atom = *self
+                    .env
+                    .get(&v.id())
+                    .ok_or_else(|| TranslateError::UnboundVar(v.name().to_string()))?;
+                TupleSet::singleton(atom)
+            }
+            ExprKind::Union(a, b) => {
+                let (x, y) = (self.expr(a)?, self.expr(b)?);
+                self.check_same_arity(&x, &y, "union")?;
+                x.union(&y)
+            }
+            ExprKind::Intersect(a, b) => {
+                let (x, y) = (self.expr(a)?, self.expr(b)?);
+                self.check_same_arity(&x, &y, "intersection")?;
+                x.difference(&x.difference(&y))
+            }
+            ExprKind::Difference(a, b) => {
+                let (x, y) = (self.expr(a)?, self.expr(b)?);
+                self.check_same_arity(&x, &y, "difference")?;
+                x.difference(&y)
+            }
+            ExprKind::Join(a, b) => {
+                let (x, y) = (self.expr(a)?, self.expr(b)?);
+                if x.arity() + y.arity() < 3 {
+                    return Err(TranslateError::ArityMismatch {
+                        context: format!(
+                            "join of arities {} and {} would have arity < 1",
+                            x.arity(),
+                            y.arity()
+                        ),
+                    });
+                }
+                join(&x, &y)
+            }
+            ExprKind::Product(a, b) => {
+                let (x, y) = (self.expr(a)?, self.expr(b)?);
+                x.product(&y)
+            }
+            ExprKind::Transpose(a) => {
+                let x = self.expr(a)?;
+                if x.arity() != 2 {
+                    return Err(TranslateError::ArityMismatch {
+                        context: format!("transpose of arity {}", x.arity()),
+                    });
+                }
+                x.iter().map(Tuple::reversed).collect_with_arity(2)
+            }
+            ExprKind::Closure(a) => {
+                let x = self.expr(a)?;
+                if x.arity() != 2 {
+                    return Err(TranslateError::ArityMismatch {
+                        context: format!("closure of arity {}", x.arity()),
+                    });
+                }
+                closure(&x)
+            }
+            ExprKind::ReflexiveClosure(a) => {
+                let x = self.expr(a)?;
+                if x.arity() != 2 {
+                    return Err(TranslateError::ArityMismatch {
+                        context: format!("closure of arity {}", x.arity()),
+                    });
+                }
+                let c = closure(&x);
+                c.union(&TupleSet::from_pairs(self.universe.iter().map(|a| (a, a))))
+            }
+            ExprKind::IfThenElse(c, t, e2) => {
+                if self.formula(c)? {
+                    self.expr(t)?
+                } else {
+                    self.expr(e2)?
+                }
+            }
+            ExprKind::Comprehension(decls, body) => {
+                let mut domains = Vec::with_capacity(decls.len());
+                for d in decls {
+                    let ts = self.expr(&d.domain)?;
+                    if ts.arity() != 1 && !ts.is_empty() {
+                        return Err(TranslateError::NonUnaryDomain { arity: ts.arity() });
+                    }
+                    let atoms: Vec<AtomId> = ts.iter().map(|t| t.atoms()[0]).collect();
+                    domains.push(atoms);
+                }
+                let mut out = TupleSet::new(decls.len());
+                let mut stack: Vec<usize> = vec![0; decls.len()];
+                // Odometer over the (possibly empty) domains.
+                if domains.iter().all(|d| !d.is_empty()) {
+                    loop {
+                        let atoms: Vec<AtomId> = stack
+                            .iter()
+                            .zip(&domains)
+                            .map(|(&i, d)| d[i])
+                            .collect();
+                        let prev: Vec<Option<AtomId>> = decls
+                            .iter()
+                            .zip(&atoms)
+                            .map(|(d, &a)| self.env.insert(d.var.id(), a))
+                            .collect();
+                        let holds = self.formula(body)?;
+                        for (d, p) in decls.iter().zip(prev) {
+                            self.restore(d.var.id(), p);
+                        }
+                        if holds {
+                            out.insert(Tuple::new(atoms));
+                        }
+                        // Advance.
+                        let mut k = decls.len();
+                        loop {
+                            if k == 0 {
+                                break;
+                            }
+                            k -= 1;
+                            stack[k] += 1;
+                            if stack[k] < domains[k].len() {
+                                break;
+                            }
+                            stack[k] = 0;
+                            if k == 0 {
+                                return Ok(out);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        })
+    }
+
+    /// Evaluates a formula to a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError`] on ill-formed formulas.
+    pub fn formula(&mut self, f: &Formula) -> Result<bool, TranslateError> {
+        Ok(match f.kind() {
+            FormulaKind::Const(b) => *b,
+            FormulaKind::Subset(a, b) => {
+                let (x, y) = (self.expr(a)?, self.expr(b)?);
+                self.check_same_arity(&x, &y, "subset")?;
+                x.is_subset_of(&y) || x.is_empty()
+            }
+            FormulaKind::Equal(a, b) => {
+                let (x, y) = (self.expr(a)?, self.expr(b)?);
+                self.check_same_arity(&x, &y, "equality")?;
+                (x.is_subset_of(&y) || x.is_empty()) && (y.is_subset_of(&x) || y.is_empty())
+            }
+            FormulaKind::NonEmpty(e) => !self.expr(e)?.is_empty(),
+            FormulaKind::IsEmpty(e) => self.expr(e)?.is_empty(),
+            FormulaKind::ExactlyOne(e) => self.expr(e)?.len() == 1,
+            FormulaKind::AtMostOne(e) => self.expr(e)?.len() <= 1,
+            FormulaKind::Not(g) => !self.formula(g)?,
+            FormulaKind::And(gs) => {
+                let mut all = true;
+                for g in gs {
+                    all &= self.formula(g)?;
+                }
+                all
+            }
+            FormulaKind::Or(gs) => {
+                let mut any = false;
+                for g in gs {
+                    any |= self.formula(g)?;
+                }
+                any
+            }
+            FormulaKind::Implies(p, q) => !self.formula(p)? || self.formula(q)?,
+            FormulaKind::Iff(p, q) => self.formula(p)? == self.formula(q)?,
+            FormulaKind::ForAll(d, body) => {
+                let domain = self.expr(&d.domain)?;
+                if domain.arity() != 1 {
+                    return Err(TranslateError::NonUnaryDomain {
+                        arity: domain.arity(),
+                    });
+                }
+                let mut all = true;
+                for t in domain.iter() {
+                    let atom = t.atoms()[0];
+                    let prev = self.env.insert(d.var.id(), atom);
+                    let holds = self.formula(body)?;
+                    self.restore(d.var.id(), prev);
+                    all &= holds;
+                }
+                all
+            }
+            FormulaKind::Exists(d, body) => {
+                let domain = self.expr(&d.domain)?;
+                if domain.arity() != 1 {
+                    return Err(TranslateError::NonUnaryDomain {
+                        arity: domain.arity(),
+                    });
+                }
+                let mut any = false;
+                for t in domain.iter() {
+                    let atom = t.atoms()[0];
+                    let prev = self.env.insert(d.var.id(), atom);
+                    let holds = self.formula(body)?;
+                    self.restore(d.var.id(), prev);
+                    any |= holds;
+                }
+                any
+            }
+            FormulaKind::IntCmp(op, a, b) => {
+                let (x, y) = (self.int_expr(a)?, self.int_expr(b)?);
+                match op {
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                }
+            }
+        })
+    }
+
+    /// Evaluates an integer expression to a concrete value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError`] on ill-formed expressions.
+    pub fn int_expr(&mut self, ie: &IntExpr) -> Result<i64, TranslateError> {
+        Ok(match ie.kind() {
+            IntExprKind::Const(v) => *v,
+            IntExprKind::Card(e) => self.expr(e)?.len() as i64,
+            IntExprKind::SumValues(e) => {
+                let ts = self.expr(e)?;
+                if ts.arity() != 1 {
+                    return Err(TranslateError::NonUnaryDomain { arity: ts.arity() });
+                }
+                let mut sum = 0i64;
+                for t in ts.iter() {
+                    let a = t.atoms()[0];
+                    sum += self.universe.int_value(a).ok_or_else(|| {
+                        TranslateError::NonIntAtom {
+                            atom: self.universe.name(a).to_string(),
+                        }
+                    })?;
+                }
+                sum
+            }
+            IntExprKind::Add(a, b) => self.int_expr(a)? + self.int_expr(b)?,
+            IntExprKind::Sub(a, b) => self.int_expr(a)? - self.int_expr(b)?,
+            IntExprKind::Neg(a) => -self.int_expr(a)?,
+            IntExprKind::Ite(c, t, e) => {
+                if self.formula(c)? {
+                    self.int_expr(t)?
+                } else {
+                    self.int_expr(e)?
+                }
+            }
+        })
+    }
+
+    fn check_same_arity(
+        &self,
+        x: &TupleSet,
+        y: &TupleSet,
+        what: &str,
+    ) -> Result<(), TranslateError> {
+        // Empty sets unify with any arity (the translator treats the empty
+        // relation the same way through constant-false matrices).
+        if x.is_empty() || y.is_empty() || x.arity() == y.arity() {
+            Ok(())
+        } else {
+            Err(TranslateError::ArityMismatch {
+                context: format!("{what} on arities {} and {}", x.arity(), y.arity()),
+            })
+        }
+    }
+
+    fn restore(&mut self, id: u32, prev: Option<AtomId>) {
+        match prev {
+            Some(v) => {
+                self.env.insert(id, v);
+            }
+            None => {
+                self.env.remove(&id);
+            }
+        }
+    }
+}
+
+fn join(x: &TupleSet, y: &TupleSet) -> TupleSet {
+    let arity = x.arity() + y.arity() - 2;
+    let mut out = TupleSet::new(arity.max(1));
+    for a in x.iter() {
+        for b in y.iter() {
+            let la = a.atoms();
+            let lb = b.atoms();
+            if la[la.len() - 1] == lb[0] {
+                let joined: Vec<AtomId> =
+                    la[..la.len() - 1].iter().chain(&lb[1..]).copied().collect();
+                out.insert(Tuple::new(joined));
+            }
+        }
+    }
+    out
+}
+
+fn closure(x: &TupleSet) -> TupleSet {
+    let mut acc = x.clone();
+    loop {
+        let step = join(&acc, x);
+        let next = acc.union(&step);
+        if next.len() == acc.len() {
+            return acc;
+        }
+        acc = next;
+    }
+}
+
+trait CollectWithArity {
+    fn collect_with_arity(self, arity: usize) -> TupleSet;
+}
+
+impl<I: Iterator<Item = Tuple>> CollectWithArity for I {
+    fn collect_with_arity(self, arity: usize) -> TupleSet {
+        let mut ts = TupleSet::new(arity);
+        for t in self {
+            ts.insert(t);
+        }
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{IntExpr, QuantVar};
+    use crate::problem::{Outcome, Problem};
+
+    fn solved(
+        build: impl FnOnce(&mut Problem, &[AtomId]),
+    ) -> (Problem, Instance) {
+        let mut u = Universe::new();
+        let atoms = u.add_atoms("N", 3);
+        let mut p = Problem::new(u);
+        build(&mut p, &atoms);
+        let out = p.solve().expect("well-formed");
+        let Outcome::Sat(instance) = out.result else {
+            panic!("expected sat");
+        };
+        (p, instance)
+    }
+
+    #[test]
+    fn evaluates_set_operators() {
+        let (p, inst) = solved(|p, atoms| {
+            let chain = TupleSet::from_pairs([(atoms[0], atoms[1]), (atoms[1], atoms[2])]);
+            p.declare_constant("r", chain);
+        });
+        let r = Expr::relation(crate::ast::RelationId::from_index(0));
+        let mut ev = Evaluator::new(p.universe(), &inst);
+        assert_eq!(ev.expr(&r).unwrap().len(), 2);
+        assert_eq!(ev.expr(&r.transpose()).unwrap().len(), 2);
+        assert_eq!(ev.expr(&r.join(&r)).unwrap().len(), 1);
+        assert_eq!(ev.expr(&r.closure()).unwrap().len(), 3);
+        assert_eq!(ev.expr(&r.union(&r.transpose())).unwrap().len(), 4);
+        assert_eq!(ev.expr(&r.intersect(&r.transpose())).unwrap().len(), 0);
+        assert_eq!(ev.expr(&r.difference(&r)).unwrap().len(), 0);
+        assert_eq!(ev.expr(&Expr::iden()).unwrap().len(), 3);
+        assert_eq!(ev.expr(&Expr::univ()).unwrap().len(), 3);
+        assert_eq!(
+            ev.expr(&r.reflexive_closure()).unwrap().len(),
+            6 // 3 closure + 3 iden
+        );
+    }
+
+    #[test]
+    fn evaluates_quantifiers() {
+        let (p, inst) = solved(|p, atoms| {
+            let chain = TupleSet::from_pairs([(atoms[0], atoms[1]), (atoms[1], atoms[2])]);
+            p.declare_constant("r", chain);
+        });
+        let r = Expr::relation(crate::ast::RelationId::from_index(0));
+        let mut ev = Evaluator::new(p.universe(), &inst);
+        // some x | some x.r  (atoms 0 and 1 have successors)
+        let x = QuantVar::fresh("x");
+        let some_succ = Formula::exists(&x, &Expr::univ(), &x.expr().join(&r).some());
+        assert!(ev.formula(&some_succ).unwrap());
+        // all x | some x.r is false (atom 2 has none)
+        let all_succ = Formula::forall(&x, &Expr::univ(), &x.expr().join(&r).some());
+        assert!(!ev.formula(&all_succ).unwrap());
+    }
+
+    #[test]
+    fn evaluates_integers() {
+        let mut u = Universe::new();
+        let ints = u.add_int_atoms(1..=3);
+        let mut p = Problem::new(u);
+        let r = p.declare_constant("picked", TupleSet::from_atoms([ints[0], ints[2]]));
+        let out = p.solve().unwrap();
+        let Outcome::Sat(inst) = out.result else { panic!() };
+        let mut ev = Evaluator::new(p.universe(), &inst);
+        let re = Expr::relation(r);
+        assert_eq!(ev.int_expr(&re.count()).unwrap(), 2);
+        assert_eq!(ev.int_expr(&re.sum_values()).unwrap(), 4); // 1 + 3
+        assert_eq!(
+            ev.int_expr(&re.count().add(&IntExpr::constant(5))).unwrap(),
+            7
+        );
+        assert_eq!(ev.int_expr(&re.count().neg()).unwrap(), -2);
+        assert!(ev
+            .formula(&re.sum_values().gt(&IntExpr::constant(3)))
+            .unwrap());
+    }
+
+    #[test]
+    fn unbound_var_is_reported() {
+        let (p, inst) = solved(|p, atoms| {
+            p.declare_constant("r", TupleSet::from_atoms([atoms[0]]));
+        });
+        let x = QuantVar::fresh("loose");
+        let mut ev = Evaluator::new(p.universe(), &inst);
+        let err = ev.expr(&x.expr()).unwrap_err();
+        assert!(matches!(err, TranslateError::UnboundVar(_)));
+    }
+
+    #[test]
+    fn multiplicity_predicates() {
+        let (p, inst) = solved(|p, atoms| {
+            p.declare_constant("one_atom", TupleSet::from_atoms([atoms[1]]));
+            p.declare_constant(
+                "two_atoms",
+                TupleSet::from_atoms([atoms[0], atoms[2]]),
+            );
+        });
+        let one = Expr::relation(crate::ast::RelationId::from_index(0));
+        let two = Expr::relation(crate::ast::RelationId::from_index(1));
+        let mut ev = Evaluator::new(p.universe(), &inst);
+        assert!(ev.formula(&one.one()).unwrap());
+        assert!(ev.formula(&one.lone()).unwrap());
+        assert!(!ev.formula(&two.one()).unwrap());
+        assert!(!ev.formula(&two.lone()).unwrap());
+        assert!(ev.formula(&two.some()).unwrap());
+        assert!(!ev.formula(&two.no()).unwrap());
+        assert!(ev.formula(&Expr::empty(1).no()).unwrap());
+        assert!(ev.formula(&Expr::empty(1).lone()).unwrap());
+    }
+
+    #[test]
+    fn comprehension_evaluates() {
+        let (p, inst) = solved(|p, atoms| {
+            let chain = TupleSet::from_pairs([(atoms[0], atoms[1]), (atoms[1], atoms[2])]);
+            p.declare_constant("r", chain);
+        });
+        let r = Expr::relation(crate::ast::RelationId::from_index(0));
+        let x = QuantVar::fresh("x");
+        let senders = Expr::comprehension(
+            [(x.clone(), Expr::univ())],
+            &x.expr().join(&r).some(),
+        );
+        let mut ev = Evaluator::new(p.universe(), &inst);
+        assert_eq!(ev.expr(&senders).unwrap().len(), 2);
+        // Binary comprehension: the relation itself, reconstructed.
+        let a = QuantVar::fresh("a");
+        let b = QuantVar::fresh("b");
+        let rebuilt = Expr::comprehension(
+            [(a.clone(), Expr::univ()), (b.clone(), Expr::univ())],
+            &a.expr().product(&b.expr()).in_(&r),
+        );
+        let ts = ev.expr(&rebuilt).unwrap();
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn if_then_else_selects_branch() {
+        let (p, inst) = solved(|p, atoms| {
+            p.declare_constant("r", TupleSet::from_atoms([atoms[0]]));
+        });
+        let r = Expr::relation(crate::ast::RelationId::from_index(0));
+        let mut ev = Evaluator::new(p.universe(), &inst);
+        let picked = Expr::if_else(&r.some(), &Expr::univ(), &Expr::empty(1));
+        assert_eq!(ev.expr(&picked).unwrap().len(), 3);
+        let picked2 = Expr::if_else(&r.no(), &Expr::univ(), &Expr::empty(1));
+        assert_eq!(ev.expr(&picked2).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,756 @@
+//! Bounded relational problems: declarations, bounds, facts, and solving.
+//!
+//! A [`Problem`] owns a [`Universe`], a set of bounded relation
+//! declarations, and a conjunction of facts. It can be solved for a
+//! satisfying [`Instance`], checked against an assertion (producing a
+//! counterexample on failure), or enumerated — the same three operations
+//! the Alloy Analyzer exposes as `run` and `check`.
+
+use crate::ast::{Expr, Formula, RelationId};
+use crate::error::TranslateError;
+use crate::translate::{Translation, TranslationStats, Translator};
+use crate::tuple::TupleSet;
+use crate::universe::Universe;
+use mca_sat::SolveResult;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A declared relation with its bounds.
+#[derive(Clone, Debug)]
+pub struct RelationDecl {
+    name: String,
+    lower: TupleSet,
+    upper: TupleSet,
+}
+
+impl RelationDecl {
+    /// The diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.upper.arity()
+    }
+
+    /// Tuples that must be in the relation.
+    pub fn lower(&self) -> &TupleSet {
+        &self.lower
+    }
+
+    /// Tuples that may be in the relation.
+    pub fn upper(&self) -> &TupleSet {
+        &self.upper
+    }
+}
+
+/// A bounded relational problem.
+///
+/// # Examples
+///
+/// ```
+/// use mca_relalg::{Problem, Universe, TupleSet, Expr, Outcome};
+///
+/// let mut u = Universe::new();
+/// let atoms = u.add_atoms("N", 3);
+/// let mut p = Problem::new(u);
+/// let all = TupleSet::from_atoms(atoms);
+/// let r = p.declare_relation("r", TupleSet::new(1), all);
+/// p.require(Expr::relation(r).some());
+/// let outcome = p.solve().unwrap();
+/// match outcome.result {
+///     Outcome::Sat(instance) => assert!(!instance.tuples(r).is_empty()),
+///     Outcome::Unsat => panic!("some r must be satisfiable"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Problem {
+    universe: Universe,
+    relations: Vec<RelationDecl>,
+    facts: Vec<Formula>,
+}
+
+impl Problem {
+    /// Creates a problem over the given universe.
+    pub fn new(universe: Universe) -> Problem {
+        Problem {
+            universe,
+            relations: Vec::new(),
+            facts: Vec::new(),
+        }
+    }
+
+    /// The universe of discourse.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Declares a relation with lower and upper bounds and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds disagree on arity or `lower ⊄ upper`.
+    pub fn declare_relation<S: Into<String>>(
+        &mut self,
+        name: S,
+        lower: TupleSet,
+        upper: TupleSet,
+    ) -> RelationId {
+        assert_eq!(
+            lower.arity(),
+            upper.arity(),
+            "lower/upper bound arity mismatch"
+        );
+        assert!(
+            lower.is_subset_of(&upper) || lower.is_empty(),
+            "lower bound must be a subset of the upper bound"
+        );
+        let id = RelationId(self.relations.len() as u32);
+        self.relations.push(RelationDecl {
+            name: name.into(),
+            lower,
+            upper,
+        });
+        id
+    }
+
+    /// Declares a relation with exact bounds (lower = upper = `tuples`).
+    pub fn declare_constant<S: Into<String>>(&mut self, name: S, tuples: TupleSet) -> RelationId {
+        self.declare_relation(name, tuples.clone(), tuples)
+    }
+
+    /// Adds a fact (a constraint that must hold in every instance).
+    pub fn require(&mut self, f: Formula) {
+        self.facts.push(f);
+    }
+
+    /// The declaration of a relation.
+    pub fn relation(&self, id: RelationId) -> &RelationDecl {
+        &self.relations[id.index()]
+    }
+
+    /// All relation ids, in declaration order.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelationId> {
+        (0..self.relations.len() as u32).map(RelationId)
+    }
+
+    /// Number of declared relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Translates `facts ∧ goal` to CNF, recording size statistics.
+    ///
+    /// Pass [`Formula::true_`] as `goal` to translate just the facts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] on ill-formed expressions (arity
+    /// mismatches, unbound variables, non-integer sums).
+    pub fn translate(&self, goal: &Formula) -> Result<Translation, TranslateError> {
+        let start = Instant::now();
+        let mut tr = Translator::new(self);
+        let mut root = tr.formula(goal)?;
+        for fact in &self.facts {
+            let f = tr.formula(fact)?;
+            root = tr.circuit.and2(root, f);
+        }
+        let (cnf, input_vars) = tr.circuit.to_cnf(&[root]);
+        let stats = TranslationStats {
+            primary_vars: tr.input_tuples.len(),
+            circuit_gates: tr.circuit.num_gates(),
+            cnf_vars: cnf.num_vars(),
+            cnf_clauses: cnf.num_clauses(),
+            cnf_literals: cnf.num_literals(),
+            translation_secs: start.elapsed().as_secs_f64(),
+        };
+        Ok(Translation {
+            cnf,
+            stats,
+            input_vars,
+            input_tuples: tr.input_tuples,
+        })
+    }
+
+    /// Finds an instance satisfying all facts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] on ill-formed formulas.
+    pub fn solve(&self) -> Result<SolveOutcome, TranslateError> {
+        self.solve_with_goal(&Formula::true_())
+    }
+
+    /// Finds an instance satisfying all facts **and** `goal` (Alloy `run`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] on ill-formed formulas.
+    pub fn solve_with_goal(&self, goal: &Formula) -> Result<SolveOutcome, TranslateError> {
+        let translation = self.translate(goal)?;
+        let start = Instant::now();
+        let mut solver = translation.cnf.to_solver();
+        let result = match solver.solve() {
+            SolveResult::Sat => {
+                let model = solver.model().expect("model after Sat");
+                Outcome::Sat(self.decode(&translation, &model))
+            }
+            SolveResult::Unsat => Outcome::Unsat,
+        };
+        Ok(SolveOutcome {
+            result,
+            stats: translation.stats,
+            solve_secs: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Checks an assertion against the facts (Alloy `check`): searches for
+    /// an instance satisfying the facts but violating the assertion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] on ill-formed formulas.
+    pub fn check(&self, assertion: &Formula) -> Result<CheckOutcome, TranslateError> {
+        let outcome = self.solve_with_goal(&assertion.not())?;
+        Ok(CheckOutcome {
+            result: match outcome.result {
+                Outcome::Sat(instance) => Check::Counterexample(instance),
+                Outcome::Unsat => Check::Valid,
+            },
+            stats: outcome.stats,
+            solve_secs: outcome.solve_secs,
+        })
+    }
+
+    /// Like [`check`](Problem::check), but when the assertion is valid the
+    /// underlying UNSAT answer is certified with a DRAT proof verified by
+    /// an independent unit-propagation checker
+    /// ([`mca_sat::check_drat`]). The complete trust chain for a "valid"
+    /// verdict is then: translation (differentially tested against the
+    /// ground evaluator) + the proof checker — not the CDCL search itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] on ill-formed formulas.
+    pub fn check_certified(&self, assertion: &Formula) -> Result<CertifiedCheck, TranslateError> {
+        let translation = self.translate(&assertion.not())?;
+        let start = Instant::now();
+        let mut solver = mca_sat::Solver::new();
+        solver.enable_proof();
+        solver.new_vars(translation.cnf.num_vars());
+        for c in translation.cnf.clauses() {
+            solver.add_clause(c.iter().copied());
+        }
+        let (result, certificate) = match solver.solve() {
+            SolveResult::Sat => {
+                let model = solver.model().expect("model after Sat");
+                (
+                    Check::Counterexample(self.decode(&translation, &model)),
+                    None,
+                )
+            }
+            SolveResult::Unsat => {
+                let proof = solver.take_proof().expect("proof was enabled");
+                let verified = mca_sat::check_drat(&translation.cnf, &proof).is_ok();
+                (Check::Valid, Some(ProofCertificate { verified, steps: proof.len() }))
+            }
+        };
+        Ok(CertifiedCheck {
+            outcome: CheckOutcome {
+                result,
+                stats: translation.stats,
+                solve_secs: start.elapsed().as_secs_f64(),
+            },
+            certificate,
+        })
+    }
+
+    /// Enumerates up to `limit` instances satisfying facts ∧ `goal`,
+    /// distinct on the free relation tuples. Returns the number found.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] on ill-formed formulas.
+    pub fn enumerate<F>(
+        &self,
+        goal: &Formula,
+        limit: usize,
+        mut on_instance: F,
+    ) -> Result<usize, TranslateError>
+    where
+        F: FnMut(&Instance) -> bool,
+    {
+        let translation = self.translate(goal)?;
+        let mut solver = translation.cnf.to_solver();
+        let projection = translation.input_vars.clone();
+        let mut count = 0;
+        let found = solver.enumerate_models(&projection, limit, |model| {
+            count += 1;
+            on_instance(&self.decode(&translation, model))
+        });
+        debug_assert_eq!(found, count);
+        Ok(found)
+    }
+
+    /// Builds an instance directly from explicit tuple sets — one entry per
+    /// declared relation, in declaration order. Used by ground enumeration
+    /// and differential tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of tuple sets does not match the declarations,
+    /// or any tuple set violates its relation's bounds.
+    pub fn instance_from_tuples(&self, tuples: Vec<TupleSet>) -> Instance {
+        assert_eq!(
+            tuples.len(),
+            self.relations.len(),
+            "one tuple set per declared relation"
+        );
+        let mut relations = HashMap::new();
+        for (i, ts) in tuples.into_iter().enumerate() {
+            let rid = RelationId::from_index(i);
+            let decl = self.relation(rid);
+            assert!(
+                ts.is_subset_of(decl.upper()) || ts.is_empty(),
+                "tuples outside the upper bound of `{}`",
+                decl.name()
+            );
+            assert!(
+                decl.lower().is_subset_of(&ts) || decl.lower().is_empty(),
+                "lower bound of `{}` not included",
+                decl.name()
+            );
+            relations.insert(rid, ts);
+        }
+        Instance { relations }
+    }
+
+    /// Decodes a SAT model into a relational instance.
+    fn decode(&self, translation: &Translation, model: &mca_sat::Model) -> Instance {
+        let mut relations: HashMap<RelationId, TupleSet> = HashMap::new();
+        for rid in self.relation_ids() {
+            relations.insert(rid, self.relation(rid).lower().clone());
+        }
+        for (i, (rid, tuple)) in translation.input_tuples.iter().enumerate() {
+            if model.value(translation.input_vars[i]) {
+                relations
+                    .get_mut(rid)
+                    .expect("all relations pre-inserted")
+                    .insert(tuple.clone());
+            }
+        }
+        Instance { relations }
+    }
+}
+
+/// Result of [`Problem::solve`]: the outcome plus translation statistics.
+#[derive(Debug)]
+pub struct SolveOutcome {
+    /// Sat (with instance) or Unsat.
+    pub result: Outcome,
+    /// Translation size statistics.
+    pub stats: TranslationStats,
+    /// Wall-clock seconds spent in the SAT solver.
+    pub solve_secs: f64,
+}
+
+/// Sat-or-unsat outcome of a solve.
+#[derive(Debug)]
+pub enum Outcome {
+    /// A satisfying instance.
+    Sat(Instance),
+    /// No instance exists within bounds.
+    Unsat,
+}
+
+impl Outcome {
+    /// `true` if an instance was found.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+
+    /// The instance, if Sat.
+    pub fn instance(&self) -> Option<&Instance> {
+        match self {
+            Outcome::Sat(i) => Some(i),
+            Outcome::Unsat => None,
+        }
+    }
+}
+
+/// Result of [`Problem::check_certified`].
+#[derive(Debug)]
+pub struct CertifiedCheck {
+    /// The ordinary check outcome.
+    pub outcome: CheckOutcome,
+    /// Present when the assertion was valid: the refutation certificate.
+    pub certificate: Option<ProofCertificate>,
+}
+
+impl CertifiedCheck {
+    /// `true` iff the assertion is valid **and** the DRAT proof verified.
+    pub fn is_certified_valid(&self) -> bool {
+        self.outcome.result.is_valid()
+            && self.certificate.as_ref().is_some_and(|c| c.verified)
+    }
+}
+
+/// A verified refutation certificate.
+#[derive(Clone, Copy, Debug)]
+pub struct ProofCertificate {
+    /// `true` if the independent DRAT checker accepted the proof.
+    pub verified: bool,
+    /// Number of proof steps.
+    pub steps: usize,
+}
+
+/// Result of [`Problem::check`].
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// Valid or refuted (with counterexample).
+    pub result: Check,
+    /// Translation size statistics.
+    pub stats: TranslationStats,
+    /// Wall-clock seconds spent in the SAT solver.
+    pub solve_secs: f64,
+}
+
+/// Valid-or-counterexample outcome of an assertion check.
+#[derive(Debug)]
+pub enum Check {
+    /// The assertion holds in every instance within bounds.
+    Valid,
+    /// The assertion is violated by this instance.
+    Counterexample(Instance),
+}
+
+impl Check {
+    /// `true` if the assertion holds within bounds.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Check::Valid)
+    }
+
+    /// The refuting instance, if any.
+    pub fn counterexample(&self) -> Option<&Instance> {
+        match self {
+            Check::Valid => None,
+            Check::Counterexample(i) => Some(i),
+        }
+    }
+}
+
+/// A concrete binding of every declared relation to a tuple set.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    relations: HashMap<RelationId, TupleSet>,
+}
+
+impl Instance {
+    /// The tuples of `rel` in this instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel` was not declared in the originating problem.
+    pub fn tuples(&self, rel: RelationId) -> &TupleSet {
+        self.relations
+            .get(&rel)
+            .expect("relation not part of this instance")
+    }
+
+    /// Evaluates a ground expression in this instance — a convenience for
+    /// inspecting counterexamples. Only relation, union, intersection,
+    /// difference, product and join over declared relations are supported.
+    pub fn eval(&self, e: &Expr) -> Option<TupleSet> {
+        use crate::ast::ExprKind;
+        match e.kind() {
+            ExprKind::Relation(r) => Some(self.tuples(*r).clone()),
+            ExprKind::Atom(a) => Some(TupleSet::singleton(*a)),
+            ExprKind::Union(a, b) => Some(self.eval(a)?.union(&self.eval(b)?)),
+            ExprKind::Intersect(a, b) => {
+                let (x, y) = (self.eval(a)?, self.eval(b)?);
+                Some(x.difference(&x.difference(&y)))
+            }
+            ExprKind::Difference(a, b) => Some(self.eval(a)?.difference(&self.eval(b)?)),
+            ExprKind::Product(a, b) => Some(self.eval(a)?.product(&self.eval(b)?)),
+            ExprKind::Join(a, b) => {
+                let (x, y) = (self.eval(a)?, self.eval(b)?);
+                if x.arity() + y.arity() < 3 {
+                    return None;
+                }
+                let mut out: Option<TupleSet> = None;
+                for ta in x.iter() {
+                    for tb in y.iter() {
+                        let (la, lb) = (ta.atoms(), tb.atoms());
+                        if la[la.len() - 1] == lb[0] {
+                            let joined: Vec<_> = la[..la.len() - 1]
+                                .iter()
+                                .chain(&lb[1..])
+                                .copied()
+                                .collect();
+                            let t = crate::tuple::Tuple::new(joined);
+                            match &mut out {
+                                Some(ts) => {
+                                    ts.insert(t);
+                                }
+                                None => {
+                                    let mut ts = TupleSet::new(t.arity());
+                                    ts.insert(t);
+                                    out = Some(ts);
+                                }
+                            }
+                        }
+                    }
+                }
+                out.or_else(|| Some(TupleSet::new(x.arity() + y.arity() - 2)))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::QuantVar;
+
+    fn small_universe() -> (Universe, Vec<crate::universe::AtomId>) {
+        let mut u = Universe::new();
+        let atoms = u.add_atoms("N", 3);
+        (u, atoms)
+    }
+
+    #[test]
+    fn solve_some_relation() {
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+        p.require(Expr::relation(r).some());
+        let out = p.solve().unwrap();
+        assert!(out.result.is_sat());
+        assert!(!out.result.instance().unwrap().tuples(r).is_empty());
+        assert!(out.stats.primary_vars == 3);
+    }
+
+    #[test]
+    fn unsat_some_and_no() {
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+        p.require(Expr::relation(r).some());
+        p.require(Expr::relation(r).no());
+        let out = p.solve().unwrap();
+        assert!(!out.result.is_sat());
+    }
+
+    #[test]
+    fn lower_bounds_are_respected() {
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation(
+            "r",
+            TupleSet::from_atoms([atoms[0]]),
+            TupleSet::from_atoms(atoms.clone()),
+        );
+        p.require(Expr::relation(r).one());
+        let out = p.solve().unwrap();
+        let inst = out.result.instance().unwrap();
+        assert_eq!(inst.tuples(r).len(), 1);
+        assert!(inst
+            .tuples(r)
+            .contains(&crate::tuple::Tuple::from(atoms[0])));
+    }
+
+    #[test]
+    fn check_valid_and_refuted() {
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+        p.require(Expr::relation(r).lone());
+        // Valid: r has at most one tuple by fact.
+        let valid = p.check(&Expr::relation(r).lone()).unwrap();
+        assert!(valid.result.is_valid());
+        // Refuted: r is not necessarily non-empty.
+        let refuted = p.check(&Expr::relation(r).some()).unwrap();
+        assert!(!refuted.result.is_valid());
+        let cx = refuted.result.counterexample().unwrap();
+        assert!(cx.tuples(r).is_empty());
+    }
+
+    #[test]
+    fn enumerate_counts_instances() {
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+        let _ = r;
+        // No constraints: 2^3 instances.
+        let n = p.enumerate(&Formula::true_(), 100, |_| true).unwrap();
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn quantifiers_ground_correctly() {
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation(
+            "r",
+            TupleSet::new(2),
+            TupleSet::full(p.universe(), 2),
+        );
+        let _ = atoms;
+        // all x: univ | some x.r  — every atom has an outgoing edge.
+        let x = QuantVar::fresh("x");
+        let body = x.expr().join(&Expr::relation(r)).some();
+        p.require(Formula::forall(&x, &Expr::univ(), &body));
+        let out = p.solve().unwrap();
+        let inst = out.result.instance().unwrap();
+        let rel = inst.tuples(r);
+        for a in 0..3 {
+            assert!(
+                rel.iter()
+                    .any(|t| t.atoms()[0].index() == a),
+                "atom {a} must have an outgoing edge"
+            );
+        }
+    }
+
+    #[test]
+    fn transpose_symmetry_fact() {
+        let (u, _) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(2), TupleSet::full(p.universe(), 2));
+        let re = Expr::relation(r);
+        p.require(re.equals(&re.transpose()));
+        p.require(re.some());
+        let out = p.solve().unwrap();
+        let inst = out.result.instance().unwrap();
+        for t in inst.tuples(r).iter() {
+            assert!(inst.tuples(r).contains(&t.reversed()));
+        }
+    }
+
+    #[test]
+    fn closure_reachability() {
+        // Chain 0 -> 1 -> 2 fixed exactly; closure must contain (0, 2).
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let chain = TupleSet::from_pairs([(atoms[0], atoms[1]), (atoms[1], atoms[2])]);
+        let r = p.declare_constant("chain", chain);
+        let re = Expr::relation(r);
+        let reach = p.declare_relation("reach", TupleSet::new(2), TupleSet::full(p.universe(), 2));
+        p.require(Expr::relation(reach).equals(&re.closure()));
+        let out = p.solve().unwrap();
+        let inst = out.result.instance().unwrap();
+        let ts = inst.tuples(reach);
+        assert_eq!(ts.len(), 3); // (0,1), (1,2), (0,2)
+        assert!(ts.contains(&crate::tuple::Tuple::from((atoms[0], atoms[2]))));
+    }
+
+    #[test]
+    fn cardinality_constraint() {
+        use crate::ast::IntExpr;
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+        p.require(Expr::relation(r).count().eq_(&IntExpr::constant(2)));
+        let out = p.solve().unwrap();
+        assert_eq!(out.result.instance().unwrap().tuples(r).len(), 2);
+    }
+
+    #[test]
+    fn sum_over_int_atoms() {
+        use crate::ast::IntExpr;
+        let mut u = Universe::new();
+        let ints = u.add_int_atoms(1..=4);
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("picked", TupleSet::new(1), TupleSet::from_atoms(ints));
+        // sum of picked values = 5 with exactly two picks: {1,4} or {2,3}.
+        p.require(Expr::relation(r).sum_values().eq_(&IntExpr::constant(5)));
+        p.require(Expr::relation(r).count().eq_(&IntExpr::constant(2)));
+        let out = p.solve().unwrap();
+        let inst = out.result.instance().unwrap();
+        let sum: i64 = inst
+            .tuples(r)
+            .iter()
+            .map(|t| p.universe().int_value(t.atoms()[0]).unwrap())
+            .sum();
+        assert_eq!(sum, 5);
+        assert_eq!(inst.tuples(r).len(), 2);
+    }
+
+    #[test]
+    fn translate_error_on_bad_transpose() {
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+        p.require(Expr::relation(r).transpose().some());
+        let err = p.solve().unwrap_err();
+        assert!(matches!(err, TranslateError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn translate_error_on_unbound_var() {
+        let (u, _) = small_universe();
+        let mut p = Problem::new(u);
+        let x = QuantVar::fresh("x");
+        p.require(x.expr().some());
+        let err = p.solve().unwrap_err();
+        assert_eq!(err, TranslateError::UnboundVar("x".into()));
+    }
+
+    #[test]
+    fn comprehension_translates() {
+        // {x: univ | some x.r} = atoms with outgoing edges.
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let chain = TupleSet::from_pairs([(atoms[0], atoms[1]), (atoms[1], atoms[2])]);
+        let r = p.declare_constant("chain", chain);
+        let x = QuantVar::fresh("x");
+        let senders = Expr::comprehension(
+            [(x.clone(), Expr::univ())],
+            &x.expr().join(&Expr::relation(r)).some(),
+        );
+        let holder = p.declare_relation(
+            "senders",
+            TupleSet::new(1),
+            TupleSet::from_atoms(atoms.clone()),
+        );
+        p.require(Expr::relation(holder).equals(&senders));
+        let out = p.solve().unwrap();
+        let inst = out.result.instance().unwrap();
+        let ts = inst.tuples(holder);
+        assert_eq!(ts.len(), 2);
+        assert!(ts.contains(&crate::tuple::Tuple::from(atoms[0])));
+        assert!(ts.contains(&crate::tuple::Tuple::from(atoms[1])));
+    }
+
+    #[test]
+    fn binary_comprehension_translates() {
+        // {x, y: univ | x = y} must equal iden.
+        let (u, atoms) = small_universe();
+        let p = Problem::new(u);
+        let _ = atoms;
+        let x = QuantVar::fresh("x");
+        let y = QuantVar::fresh("y");
+        let diag = Expr::comprehension(
+            [(x.clone(), Expr::univ()), (y.clone(), Expr::univ())],
+            &x.expr().equals(&y.expr()),
+        );
+        let valid = p.check(&diag.equals(&Expr::iden())).unwrap();
+        assert!(valid.result.is_valid());
+    }
+
+    #[test]
+    fn instance_eval_join() {
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let edges = TupleSet::from_pairs([(atoms[0], atoms[1]), (atoms[1], atoms[2])]);
+        let r = p.declare_constant("r", edges);
+        let out = p.solve().unwrap();
+        let inst = out.result.instance().unwrap();
+        let rr = Expr::relation(r).join(&Expr::relation(r));
+        let joined = inst.eval(&rr).unwrap();
+        assert_eq!(joined.len(), 1);
+        assert!(joined.contains(&crate::tuple::Tuple::from((atoms[0], atoms[2]))));
+    }
+}

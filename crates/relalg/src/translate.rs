@@ -1,0 +1,682 @@
+//! Translation of relational problems into boolean circuits.
+//!
+//! Every relation becomes a dense boolean matrix over its upper-bound
+//! tuples: lower-bound tuples map to constant true, tuples outside the
+//! upper bound to constant false, and the remainder to fresh circuit
+//! inputs (the *primary variables*). Relational operators become matrix
+//! operators over circuit edges; formulas become single edges.
+//!
+//! This mirrors Kodkod, the model finder inside the Alloy Analyzer used by
+//! the reproduced paper; the clause counts reported by
+//! [`TranslationStats`] are the quantity the paper's "Abstractions
+//! Efficiency" experiment compares across encodings.
+
+use crate::ast::{CmpOp, Expr, ExprKind, Formula, FormulaKind, IntExpr, IntExprKind, RelationId};
+use crate::bitvec::BitVec;
+use crate::circuit::{Circuit, B};
+use crate::error::TranslateError;
+use crate::problem::Problem;
+use crate::tuple::Tuple;
+use crate::universe::AtomId;
+use std::collections::HashMap;
+
+/// A dense boolean matrix representing a relation of some arity over a
+/// universe of `n` atoms.
+#[derive(Clone, Debug)]
+pub(crate) struct Matrix {
+    arity: usize,
+    n: usize,
+    cells: Vec<B>,
+}
+
+impl Matrix {
+    fn filled(arity: usize, n: usize, fill: B) -> Matrix {
+        Matrix {
+            arity,
+            n,
+            cells: vec![fill; n.pow(arity as u32)],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, atoms: &[usize]) -> usize {
+        debug_assert_eq!(atoms.len(), self.arity);
+        let mut i = 0;
+        for &a in atoms {
+            debug_assert!(a < self.n);
+            i = i * self.n + a;
+        }
+        i
+    }
+
+    #[inline]
+    fn get(&self, atoms: &[usize]) -> B {
+        self.cells[self.idx(atoms)]
+    }
+
+    #[inline]
+    fn set(&mut self, atoms: &[usize], v: B) {
+        let i = self.idx(atoms);
+        self.cells[i] = v;
+    }
+
+    /// Iterates over all coordinate vectors of this matrix, in row-major
+    /// order, as reusable index buffers.
+    fn coords(&self) -> Coords {
+        Coords {
+            n: self.n,
+            current: vec![0; self.arity],
+            done: self.n == 0,
+            first: true,
+        }
+    }
+}
+
+struct Coords {
+    n: usize,
+    current: Vec<usize>,
+    done: bool,
+    first: bool,
+}
+
+impl Coords {
+    fn next(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if self.first {
+            self.first = false;
+            return Some(&self.current);
+        }
+        // Odometer increment.
+        for i in (0..self.current.len()).rev() {
+            self.current[i] += 1;
+            if self.current[i] < self.n {
+                return Some(&self.current);
+            }
+            self.current[i] = 0;
+        }
+        self.done = true;
+        None
+    }
+}
+
+/// Size and timing statistics of a translation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TranslationStats {
+    /// Free relation-tuple variables (Kodkod's "primary variables").
+    pub primary_vars: usize,
+    /// AND gates in the boolean circuit after simplification.
+    pub circuit_gates: usize,
+    /// Variables in the final CNF (primary + Tseitin auxiliaries).
+    pub cnf_vars: usize,
+    /// Clauses in the final CNF.
+    pub cnf_clauses: usize,
+    /// Total literal occurrences in the CNF.
+    pub cnf_literals: usize,
+    /// Wall-clock time spent translating, in seconds.
+    pub translation_secs: f64,
+}
+
+/// The output of translating a [`Problem`]: a CNF formula plus the
+/// information needed to decode models back into relational instances.
+#[derive(Debug)]
+pub struct Translation {
+    /// The CNF encoding of (facts ∧ goal).
+    pub cnf: mca_sat::CnfFormula,
+    /// Size statistics.
+    pub stats: TranslationStats,
+    /// CNF variables corresponding to circuit inputs, in input order.
+    pub(crate) input_vars: Vec<mca_sat::Var>,
+    /// For each circuit input: which relation tuple it controls.
+    pub(crate) input_tuples: Vec<(RelationId, Tuple)>,
+}
+
+pub(crate) struct Translator<'p> {
+    problem: &'p Problem,
+    pub(crate) circuit: Circuit,
+    /// Matrices of declared relations, built once.
+    rel_matrices: Vec<Matrix>,
+    /// (relation, tuple) behind each circuit input, in creation order.
+    pub(crate) input_tuples: Vec<(RelationId, Tuple)>,
+    /// Quantified-variable environment: var id -> atom index.
+    env: HashMap<u32, usize>,
+}
+
+impl<'p> Translator<'p> {
+    pub(crate) fn new(problem: &'p Problem) -> Translator<'p> {
+        let mut circuit = Circuit::new();
+        let n = problem.universe().len();
+        let mut rel_matrices = Vec::new();
+        let mut input_tuples = Vec::new();
+        for rid in problem.relation_ids() {
+            let decl = problem.relation(rid);
+            let mut m = Matrix::filled(decl.arity(), n, circuit.fls());
+            for t in decl.upper().iter() {
+                let coords: Vec<usize> = t.atoms().iter().map(|a| a.index()).collect();
+                if decl.lower().contains(t) {
+                    m.set(&coords, circuit.tru());
+                } else {
+                    let input = circuit.input();
+                    input_tuples.push((rid, t.clone()));
+                    m.set(&coords, input);
+                }
+            }
+            rel_matrices.push(m);
+        }
+        Translator {
+            problem,
+            circuit,
+            rel_matrices,
+            input_tuples,
+            env: HashMap::new(),
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.problem.universe().len()
+    }
+
+    /// Arity of an expression, checking operator constraints.
+    fn arity(&self, e: &Expr) -> Result<usize, TranslateError> {
+        Ok(match e.kind() {
+            ExprKind::Relation(r) => self.problem.relation(*r).arity(),
+            ExprKind::Atom(_) => 1,
+            ExprKind::Iden => 2,
+            ExprKind::Univ => 1,
+            ExprKind::Empty(a) => *a,
+            ExprKind::Var(_) => 1,
+            ExprKind::Union(a, b) | ExprKind::Intersect(a, b) | ExprKind::Difference(a, b) => {
+                let (x, y) = (self.arity(a)?, self.arity(b)?);
+                if x != y {
+                    return Err(TranslateError::ArityMismatch {
+                        context: format!("set operation on arities {x} and {y}"),
+                    });
+                }
+                x
+            }
+            ExprKind::Join(a, b) => {
+                let (x, y) = (self.arity(a)?, self.arity(b)?);
+                if x + y < 3 {
+                    return Err(TranslateError::ArityMismatch {
+                        context: format!("join of arities {x} and {y} would have arity < 1"),
+                    });
+                }
+                x + y - 2
+            }
+            ExprKind::Product(a, b) => self.arity(a)? + self.arity(b)?,
+            ExprKind::Transpose(a) => {
+                let x = self.arity(a)?;
+                if x != 2 {
+                    return Err(TranslateError::ArityMismatch {
+                        context: format!("transpose of arity {x}"),
+                    });
+                }
+                2
+            }
+            ExprKind::Closure(a) | ExprKind::ReflexiveClosure(a) => {
+                let x = self.arity(a)?;
+                if x != 2 {
+                    return Err(TranslateError::ArityMismatch {
+                        context: format!("closure of arity {x}"),
+                    });
+                }
+                2
+            }
+            ExprKind::IfThenElse(_, t, e2) => {
+                let (x, y) = (self.arity(t)?, self.arity(e2)?);
+                if x != y {
+                    return Err(TranslateError::ArityMismatch {
+                        context: format!("if-then-else branches of arities {x} and {y}"),
+                    });
+                }
+                x
+            }
+            ExprKind::Comprehension(decls, _) => decls.len(),
+        })
+    }
+
+    /// Translates an expression into its boolean matrix.
+    pub(crate) fn expr(&mut self, e: &Expr) -> Result<Matrix, TranslateError> {
+        let n = self.n();
+        Ok(match e.kind() {
+            ExprKind::Relation(r) => self.rel_matrices[r.index()].clone(),
+            ExprKind::Atom(a) => {
+                let mut m = Matrix::filled(1, n, self.circuit.fls());
+                m.set(&[a.index()], self.circuit.tru());
+                m
+            }
+            ExprKind::Iden => {
+                let mut m = Matrix::filled(2, n, self.circuit.fls());
+                for a in 0..n {
+                    m.set(&[a, a], self.circuit.tru());
+                }
+                m
+            }
+            ExprKind::Univ => Matrix::filled(1, n, self.circuit.tru()),
+            ExprKind::Empty(a) => Matrix::filled(*a, n, self.circuit.fls()),
+            ExprKind::Var(v) => {
+                let atom = *self
+                    .env
+                    .get(&v.id())
+                    .ok_or_else(|| TranslateError::UnboundVar(v.name().to_string()))?;
+                let mut m = Matrix::filled(1, n, self.circuit.fls());
+                m.set(&[atom], self.circuit.tru());
+                m
+            }
+            ExprKind::Union(a, b) => {
+                self.arity(e)?;
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                self.zip(&ma, &mb, |c, x, y| c.or2(x, y))
+            }
+            ExprKind::Intersect(a, b) => {
+                self.arity(e)?;
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                self.zip(&ma, &mb, |c, x, y| c.and2(x, y))
+            }
+            ExprKind::Difference(a, b) => {
+                self.arity(e)?;
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                self.zip(&ma, &mb, |c, x, y| c.and2(x, !y))
+            }
+            ExprKind::Join(a, b) => {
+                self.arity(e)?;
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                self.join(&ma, &mb)
+            }
+            ExprKind::Product(a, b) => {
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                self.product(&ma, &mb)
+            }
+            ExprKind::Transpose(a) => {
+                self.arity(e)?;
+                let ma = self.expr(a)?;
+                let mut m = Matrix::filled(2, n, self.circuit.fls());
+                for x in 0..n {
+                    for y in 0..n {
+                        m.set(&[y, x], ma.get(&[x, y]));
+                    }
+                }
+                m
+            }
+            ExprKind::Closure(a) => {
+                self.arity(e)?;
+                let ma = self.expr(a)?;
+                self.closure(&ma)
+            }
+            ExprKind::ReflexiveClosure(a) => {
+                self.arity(e)?;
+                let ma = self.expr(a)?;
+                let mut m = self.closure(&ma);
+                for x in 0..n {
+                    m.set(&[x, x], self.circuit.tru());
+                }
+                m
+            }
+            ExprKind::IfThenElse(c, t, e2) => {
+                self.arity(e)?;
+                let cond = self.formula(c)?;
+                let (mt, me) = (self.expr(t)?, self.expr(e2)?);
+                self.zip(&mt, &me, |cc, x, y| cc.ite(cond, x, y))
+            }
+            ExprKind::Comprehension(decls, body) => {
+                // Ground every combination of domain atoms; each cell is
+                // (memberships ∧ body) with the variables bound.
+                let domains: Vec<Matrix> = decls
+                    .iter()
+                    .map(|d| self.quant_domain(&d.domain))
+                    .collect::<Result<_, _>>()?;
+                let mut m = Matrix::filled(decls.len(), n, self.circuit.fls());
+                let mut coords = m.coords();
+                let mut assignments: Vec<Vec<usize>> = Vec::new();
+                while let Some(t) = coords.next() {
+                    assignments.push(t.to_vec());
+                }
+                for t in assignments {
+                    let mut guards = Vec::with_capacity(decls.len());
+                    let mut dead = false;
+                    for (k, d) in decls.iter().enumerate() {
+                        let g = domains[k].get(&[t[k]]);
+                        if g.is_const_false() {
+                            dead = true;
+                            break;
+                        }
+                        guards.push(g);
+                        let _ = d;
+                    }
+                    if dead {
+                        continue;
+                    }
+                    let prev: Vec<Option<usize>> = decls
+                        .iter()
+                        .zip(&t)
+                        .map(|(d, &atom)| self.env.insert(d.var.id(), atom))
+                        .collect();
+                    let b = self.formula(body)?;
+                    for (d, p) in decls.iter().zip(prev) {
+                        self.restore(d.var.id(), p);
+                    }
+                    guards.push(b);
+                    let cell = self.circuit.and_many(guards);
+                    m.set(&t, cell);
+                }
+                m
+            }
+        })
+    }
+
+    fn zip(
+        &mut self,
+        a: &Matrix,
+        b: &Matrix,
+        mut f: impl FnMut(&mut Circuit, B, B) -> B,
+    ) -> Matrix {
+        debug_assert_eq!(a.arity, b.arity);
+        let mut m = Matrix::filled(a.arity, a.n, self.circuit.fls());
+        for (i, cell) in m.cells.iter_mut().enumerate() {
+            *cell = f(&mut self.circuit, a.cells[i], b.cells[i]);
+        }
+        m
+    }
+
+    /// Relational join: match last column of `a` with first column of `b`.
+    fn join(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        let n = a.n;
+        let arity = a.arity + b.arity - 2;
+        let mut m = Matrix::filled(arity.max(1), n, self.circuit.fls());
+        let mut coords = m.coords();
+        let mut out_cells = Vec::with_capacity(m.cells.len());
+        while let Some(t) = coords.next() {
+            let (left, right) = t.split_at(a.arity - 1);
+            let mut disjuncts = Vec::with_capacity(n);
+            let mut la = Vec::with_capacity(a.arity);
+            let mut lb = Vec::with_capacity(b.arity);
+            for mid in 0..n {
+                la.clear();
+                la.extend_from_slice(left);
+                la.push(mid);
+                lb.clear();
+                lb.push(mid);
+                lb.extend_from_slice(right);
+                let x = a.get(&la);
+                let y = b.get(&lb);
+                let both = self.circuit.and2(x, y);
+                if !both.is_const_false() {
+                    disjuncts.push(both);
+                }
+            }
+            out_cells.push(self.circuit.or_many(disjuncts));
+        }
+        m.cells = out_cells;
+        m
+    }
+
+    fn product(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        let mut m = Matrix::filled(a.arity + b.arity, a.n, self.circuit.fls());
+        let mut coords = m.coords();
+        let mut out_cells = Vec::with_capacity(m.cells.len());
+        while let Some(t) = coords.next() {
+            let (left, right) = t.split_at(a.arity);
+            let x = a.get(left);
+            let y = b.get(right);
+            out_cells.push(self.circuit.and2(x, y));
+        }
+        m.cells = out_cells;
+        m
+    }
+
+    /// Transitive closure by iterated squaring.
+    fn closure(&mut self, a: &Matrix) -> Matrix {
+        let n = a.n;
+        let mut acc = a.clone();
+        let mut steps = 1usize;
+        while steps < n {
+            // acc = acc | acc.acc
+            let squared = self.join(&acc, &acc);
+            acc = self.zip(&acc, &squared, |c, x, y| c.or2(x, y));
+            steps *= 2;
+        }
+        acc
+    }
+
+    /// Translates a formula into a circuit edge.
+    pub(crate) fn formula(&mut self, f: &Formula) -> Result<B, TranslateError> {
+        Ok(match f.kind() {
+            FormulaKind::Const(b) => self.circuit.constant(*b),
+            FormulaKind::Subset(a, b) => {
+                let (x, y) = (self.arity(a)?, self.arity(b)?);
+                if x != y {
+                    return Err(TranslateError::ArityMismatch {
+                        context: format!("subset of arities {x} and {y}"),
+                    });
+                }
+                let (ma, mb) = (self.expr(a)?, self.expr(b)?);
+                let implications: Vec<B> = ma
+                    .cells
+                    .iter()
+                    .zip(&mb.cells)
+                    .map(|(&p, &q)| self.circuit.implies(p, q))
+                    .collect();
+                self.circuit.and_many(implications)
+            }
+            FormulaKind::Equal(a, b) => {
+                let sub1 = self.formula(&a.in_(b))?;
+                let sub2 = self.formula(&b.in_(a))?;
+                self.circuit.and2(sub1, sub2)
+            }
+            FormulaKind::NonEmpty(e) => {
+                let m = self.expr(e)?;
+                self.circuit.or_many(m.cells.iter().copied())
+            }
+            FormulaKind::IsEmpty(e) => {
+                let m = self.expr(e)?;
+                let some = self.circuit.or_many(m.cells.iter().copied());
+                !some
+            }
+            FormulaKind::ExactlyOne(e) => {
+                let m = self.expr(e)?;
+                self.circuit.exactly_one(&m.cells)
+            }
+            FormulaKind::AtMostOne(e) => {
+                let m = self.expr(e)?;
+                self.circuit.at_most_one(&m.cells)
+            }
+            FormulaKind::Not(g) => {
+                let x = self.formula(g)?;
+                !x
+            }
+            FormulaKind::And(gs) => {
+                let mut edges = Vec::with_capacity(gs.len());
+                for g in gs {
+                    edges.push(self.formula(g)?);
+                }
+                self.circuit.and_many(edges)
+            }
+            FormulaKind::Or(gs) => {
+                let mut edges = Vec::with_capacity(gs.len());
+                for g in gs {
+                    edges.push(self.formula(g)?);
+                }
+                self.circuit.or_many(edges)
+            }
+            FormulaKind::Implies(p, q) => {
+                let (x, y) = (self.formula(p)?, self.formula(q)?);
+                self.circuit.implies(x, y)
+            }
+            FormulaKind::Iff(p, q) => {
+                let (x, y) = (self.formula(p)?, self.formula(q)?);
+                self.circuit.iff2(x, y)
+            }
+            FormulaKind::ForAll(d, body) => {
+                let dm = self.quant_domain(&d.domain)?;
+                let mut edges = Vec::new();
+                for atom in 0..self.n() {
+                    let guard = dm.get(&[atom]);
+                    if guard.is_const_false() {
+                        continue;
+                    }
+                    let prev = self.env.insert(d.var.id(), atom);
+                    let b = self.formula(body)?;
+                    self.restore(d.var.id(), prev);
+                    edges.push(self.circuit.implies(guard, b));
+                }
+                self.circuit.and_many(edges)
+            }
+            FormulaKind::Exists(d, body) => {
+                let dm = self.quant_domain(&d.domain)?;
+                let mut edges = Vec::new();
+                for atom in 0..self.n() {
+                    let guard = dm.get(&[atom]);
+                    if guard.is_const_false() {
+                        continue;
+                    }
+                    let prev = self.env.insert(d.var.id(), atom);
+                    let b = self.formula(body)?;
+                    self.restore(d.var.id(), prev);
+                    edges.push(self.circuit.and2(guard, b));
+                }
+                self.circuit.or_many(edges)
+            }
+            FormulaKind::IntCmp(op, a, b) => {
+                let (x, y) = (self.int_expr(a)?, self.int_expr(b)?);
+                match op {
+                    CmpOp::Lt => self.circuit.bv_lt(&x, &y),
+                    CmpOp::Le => self.circuit.bv_le(&x, &y),
+                    CmpOp::Gt => self.circuit.bv_lt(&y, &x),
+                    CmpOp::Ge => self.circuit.bv_le(&y, &x),
+                    CmpOp::Eq => self.circuit.bv_eq(&x, &y),
+                    CmpOp::Ne => {
+                        let eq = self.circuit.bv_eq(&x, &y);
+                        !eq
+                    }
+                }
+            }
+        })
+    }
+
+    fn quant_domain(&mut self, domain: &Expr) -> Result<Matrix, TranslateError> {
+        let a = self.arity(domain)?;
+        if a != 1 {
+            return Err(TranslateError::NonUnaryDomain { arity: a });
+        }
+        self.expr(domain)
+    }
+
+    fn restore(&mut self, id: u32, prev: Option<usize>) {
+        match prev {
+            Some(v) => {
+                self.env.insert(id, v);
+            }
+            None => {
+                self.env.remove(&id);
+            }
+        }
+    }
+
+    /// Translates an integer expression into a bit vector.
+    pub(crate) fn int_expr(&mut self, ie: &IntExpr) -> Result<BitVec, TranslateError> {
+        Ok(match ie.kind() {
+            IntExprKind::Const(v) => {
+                let w = bits_for(*v);
+                BitVec::constant(&self.circuit, *v, w)
+            }
+            IntExprKind::Card(e) => {
+                let m = self.expr(e)?;
+                let live: Vec<B> = m
+                    .cells
+                    .iter()
+                    .copied()
+                    .filter(|c| !c.is_const_false())
+                    .collect();
+                self.circuit.bv_count(&live)
+            }
+            IntExprKind::SumValues(e) => {
+                let a = self.arity(e)?;
+                if a != 1 {
+                    return Err(TranslateError::NonUnaryDomain { arity: a });
+                }
+                let m = self.expr(e)?;
+                let mut terms = Vec::new();
+                for atom in 0..self.n() {
+                    let cell = m.get(&[atom]);
+                    if cell.is_const_false() {
+                        continue;
+                    }
+                    let aid = AtomId::from_index(atom);
+                    let value = self.problem.universe().int_value(aid).ok_or_else(|| {
+                        TranslateError::NonIntAtom {
+                            atom: self.problem.universe().name(aid).to_string(),
+                        }
+                    })?;
+                    let w = bits_for(value);
+                    let v = BitVec::constant(&self.circuit, value, w);
+                    let zero = BitVec::constant(&self.circuit, 0, w);
+                    terms.push(self.circuit.bv_ite(cell, &v, &zero));
+                }
+                self.circuit.bv_sum(terms)
+            }
+            IntExprKind::Add(a, b) => {
+                let (x, y) = (self.int_expr(a)?, self.int_expr(b)?);
+                self.circuit.bv_add(&x, &y)
+            }
+            IntExprKind::Sub(a, b) => {
+                let (x, y) = (self.int_expr(a)?, self.int_expr(b)?);
+                self.circuit.bv_sub(&x, &y)
+            }
+            IntExprKind::Neg(a) => {
+                let x = self.int_expr(a)?;
+                self.circuit.bv_neg(&x)
+            }
+            IntExprKind::Ite(c, t, e) => {
+                let cond = self.formula(c)?;
+                let (x, y) = (self.int_expr(t)?, self.int_expr(e)?);
+                self.circuit.bv_ite(cond, &x, &y)
+            }
+        })
+    }
+}
+
+/// Minimal signed width able to represent `v`.
+fn bits_for(v: i64) -> usize {
+    let mut w = 2;
+    while w < 63 {
+        let lo = -(1i64 << (w - 1));
+        let hi = (1i64 << (w - 1)) - 1;
+        if (lo..=hi).contains(&v) {
+            return w;
+        }
+        w += 1;
+    }
+    63
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_boundaries() {
+        assert_eq!(bits_for(0), 2);
+        assert_eq!(bits_for(1), 2);
+        assert_eq!(bits_for(-2), 2);
+        assert_eq!(bits_for(2), 3);
+        assert_eq!(bits_for(3), 3);
+        assert_eq!(bits_for(-4), 3);
+        assert_eq!(bits_for(7), 4);
+        assert_eq!(bits_for(100), 8);
+    }
+
+    #[test]
+    fn coords_enumerates_row_major() {
+        let m = Matrix::filled(2, 3, Circuit::new().tru());
+        let mut c = m.coords();
+        let mut seen = Vec::new();
+        while let Some(t) = c.next() {
+            seen.push(t.to_vec());
+        }
+        assert_eq!(seen.len(), 9);
+        assert_eq!(seen[0], vec![0, 0]);
+        assert_eq!(seen[1], vec![0, 1]);
+        assert_eq!(seen[8], vec![2, 2]);
+    }
+}

@@ -1,0 +1,374 @@
+//! Tuples and tuple sets.
+//!
+//! A [`Tuple`] is an ordered sequence of atoms; a [`TupleSet`] is a set of
+//! same-arity tuples. Tuple sets express the lower and upper bounds of
+//! relations in a bounded relational problem.
+
+use crate::universe::{AtomId, Universe};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An ordered sequence of atoms.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Vec<AtomId>);
+
+impl Tuple {
+    /// Creates a tuple from atoms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty — relations in this logic have arity ≥ 1.
+    pub fn new<I: IntoIterator<Item = AtomId>>(atoms: I) -> Tuple {
+        let v: Vec<AtomId> = atoms.into_iter().collect();
+        assert!(!v.is_empty(), "tuples must have arity >= 1");
+        Tuple(v)
+    }
+
+    /// The arity (length) of the tuple.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The atoms of the tuple.
+    pub fn atoms(&self) -> &[AtomId] {
+        &self.0
+    }
+
+    /// Concatenates two tuples (relational product of singletons).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+
+    /// The reversed tuple (transpose for binary tuples).
+    pub fn reversed(&self) -> Tuple {
+        let mut v = self.0.clone();
+        v.reverse();
+        Tuple(v)
+    }
+
+    /// Renders using atom names from `u`, e.g. `(PNode0, VNode1)`.
+    pub fn display<'a>(&'a self, u: &'a Universe) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Tuple, &'a Universe);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "(")?;
+                for (i, &a) in self.0 .0.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", self.1.name(a))?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, u)
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(&self.0).finish()
+    }
+}
+
+impl From<AtomId> for Tuple {
+    fn from(a: AtomId) -> Tuple {
+        Tuple(vec![a])
+    }
+}
+
+impl From<(AtomId, AtomId)> for Tuple {
+    fn from((a, b): (AtomId, AtomId)) -> Tuple {
+        Tuple(vec![a, b])
+    }
+}
+
+impl From<(AtomId, AtomId, AtomId)> for Tuple {
+    fn from((a, b, c): (AtomId, AtomId, AtomId)) -> Tuple {
+        Tuple(vec![a, b, c])
+    }
+}
+
+/// A set of tuples, all with the same arity.
+///
+/// # Examples
+///
+/// ```
+/// use mca_relalg::{TupleSet, Tuple, Universe};
+///
+/// let mut u = Universe::new();
+/// let a = u.add_atom("a");
+/// let b = u.add_atom("b");
+/// let mut ts = TupleSet::new(2);
+/// ts.insert(Tuple::from((a, b)));
+/// assert!(ts.contains(&Tuple::from((a, b))));
+/// assert_eq!(ts.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TupleSet {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl TupleSet {
+    /// Creates an empty tuple set of the given arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    pub fn new(arity: usize) -> TupleSet {
+        assert!(arity >= 1, "tuple sets must have arity >= 1");
+        TupleSet {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// The set of all unary tuples over the universe.
+    pub fn all_atoms(u: &Universe) -> TupleSet {
+        let mut ts = TupleSet::new(1);
+        for a in u.iter() {
+            ts.insert(Tuple::from(a));
+        }
+        ts
+    }
+
+    /// The full product `u^arity`.
+    pub fn full(u: &Universe, arity: usize) -> TupleSet {
+        let mut ts = TupleSet::all_atoms(u);
+        for _ in 1..arity {
+            ts = ts.product(&TupleSet::all_atoms(u));
+        }
+        ts
+    }
+
+    /// A set containing the single given tuple.
+    pub fn singleton<T: Into<Tuple>>(t: T) -> TupleSet {
+        let t = t.into();
+        let mut ts = TupleSet::new(t.arity());
+        ts.insert(t);
+        ts
+    }
+
+    /// Builds a unary tuple set from atoms.
+    pub fn from_atoms<I: IntoIterator<Item = AtomId>>(atoms: I) -> TupleSet {
+        let mut ts = TupleSet::new(1);
+        for a in atoms {
+            ts.insert(Tuple::from(a));
+        }
+        ts
+    }
+
+    /// Builds a binary tuple set from atom pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (AtomId, AtomId)>>(pairs: I) -> TupleSet {
+        let mut ts = TupleSet::new(2);
+        for p in pairs {
+            ts.insert(Tuple::from(p));
+        }
+        ts
+    }
+
+    /// The common arity of all member tuples.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` if the set has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple. Returns `true` if newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn insert<T: Into<Tuple>>(&mut self, t: T) -> bool {
+        let t = t.into();
+        assert_eq!(
+            t.arity(),
+            self.arity,
+            "tuple arity {} does not match set arity {}",
+            t.arity(),
+            self.arity
+        );
+        self.tuples.insert(t)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// `true` if every tuple of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &TupleSet) -> bool {
+        self.arity == other.arity && self.tuples.is_subset(&other.tuples)
+    }
+
+    /// Set union.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn union(&self, other: &TupleSet) -> TupleSet {
+        assert_eq!(self.arity, other.arity, "arity mismatch in union");
+        TupleSet {
+            arity: self.arity,
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Set difference (`self` minus `other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn difference(&self, other: &TupleSet) -> TupleSet {
+        assert_eq!(self.arity, other.arity, "arity mismatch in difference");
+        TupleSet {
+            arity: self.arity,
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Cartesian (relational) product.
+    pub fn product(&self, other: &TupleSet) -> TupleSet {
+        let mut ts = TupleSet::new(self.arity + other.arity);
+        for a in &self.tuples {
+            for b in &other.tuples {
+                ts.insert(a.concat(b));
+            }
+        }
+        ts
+    }
+
+    /// Iterates over the tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Renders using atom names, e.g. `{(a, b), (b, c)}`.
+    pub fn display<'a>(&'a self, u: &'a Universe) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a TupleSet, &'a Universe);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{{")?;
+                for (i, t) in self.0.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", t.display(self.1))?;
+                }
+                write!(f, "}}")
+            }
+        }
+        D(self, u)
+    }
+}
+
+impl FromIterator<Tuple> for TupleSet {
+    /// Collects tuples into a set; arity is taken from the first tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty (arity would be unknown) or tuples
+    /// disagree on arity.
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> TupleSet {
+        let mut it = iter.into_iter();
+        let first = it.next().expect("cannot infer arity from an empty iterator");
+        let mut ts = TupleSet::new(first.arity());
+        ts.insert(first);
+        for t in it {
+            ts.insert(t);
+        }
+        ts
+    }
+}
+
+impl Extend<Tuple> for TupleSet {
+    fn extend<I: IntoIterator<Item = Tuple>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> (Universe, AtomId, AtomId, AtomId) {
+        let mut u = Universe::new();
+        let a = u.add_atom("a");
+        let b = u.add_atom("b");
+        let c = u.add_atom("c");
+        (u, a, b, c)
+    }
+
+    #[test]
+    fn tuple_ops() {
+        let (_, a, b, c) = abc();
+        let t = Tuple::from((a, b));
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.concat(&Tuple::from(c)).arity(), 3);
+        assert_eq!(t.reversed(), Tuple::from((b, a)));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity >= 1")]
+    fn empty_tuple_panics() {
+        Tuple::new(std::iter::empty());
+    }
+
+    #[test]
+    fn set_ops() {
+        let (_, a, b, c) = abc();
+        let s1 = TupleSet::from_atoms([a, b]);
+        let s2 = TupleSet::from_atoms([b, c]);
+        assert_eq!(s1.union(&s2).len(), 3);
+        assert_eq!(s1.difference(&s2).len(), 1);
+        assert!(TupleSet::from_atoms([b]).is_subset_of(&s1));
+        assert!(!s1.is_subset_of(&s2));
+    }
+
+    #[test]
+    fn product_arity_and_size() {
+        let (_, a, b, c) = abc();
+        let s1 = TupleSet::from_atoms([a, b]);
+        let s2 = TupleSet::from_atoms([b, c]);
+        let p = s1.product(&s2);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.len(), 4);
+        assert!(p.contains(&Tuple::from((a, c))));
+    }
+
+    #[test]
+    fn full_product() {
+        let (u, _, _, _) = abc();
+        assert_eq!(TupleSet::full(&u, 1).len(), 3);
+        assert_eq!(TupleSet::full(&u, 2).len(), 9);
+        assert_eq!(TupleSet::full(&u, 3).len(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match set arity")]
+    fn arity_mismatch_panics() {
+        let (_, a, b, _) = abc();
+        let mut ts = TupleSet::new(1);
+        ts.insert(Tuple::from((a, b)));
+    }
+
+    #[test]
+    fn display_names() {
+        let (u, a, b, _) = abc();
+        let ts = TupleSet::from_pairs([(a, b)]);
+        assert_eq!(ts.display(&u).to_string(), "{(a, b)}");
+    }
+}

@@ -1,0 +1,211 @@
+//! The universe of discourse: a finite, ordered set of atoms.
+//!
+//! Bounded relational logic (à la Kodkod, which underlies the Alloy
+//! Analyzer) interprets every relation over tuples drawn from a fixed finite
+//! [`Universe`]. Atoms are interned strings; an atom may additionally carry
+//! an integer value, which is how Alloy-style `Int` atoms are represented
+//! (the paper's *naive* encoding uses these; its *optimized* encoding
+//! replaces them with ordinary atoms related by `succ`/`pre`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an atom within its [`Universe`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomId(pub(crate) u32);
+
+impl AtomId {
+    /// Dense zero-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs from a dense index (caller must ensure validity).
+    #[inline]
+    pub fn from_index(i: usize) -> AtomId {
+        AtomId(i as u32)
+    }
+}
+
+impl fmt::Debug for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A finite, ordered collection of named atoms.
+///
+/// # Examples
+///
+/// ```
+/// use mca_relalg::Universe;
+///
+/// let mut u = Universe::new();
+/// let p0 = u.add_atom("PNode0");
+/// let p1 = u.add_atom("PNode1");
+/// assert_eq!(u.len(), 2);
+/// assert_eq!(u.atom("PNode0"), Some(p0));
+/// assert_eq!(u.name(p1), "PNode1");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Universe {
+    names: Vec<String>,
+    by_name: HashMap<String, AtomId>,
+    int_values: HashMap<AtomId, i64>,
+}
+
+impl Universe {
+    /// Creates an empty universe.
+    pub fn new() -> Universe {
+        Universe::default()
+    }
+
+    /// Creates a universe with atoms named by the iterator, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two atoms share a name.
+    pub fn from_names<I, S>(names: I) -> Universe
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut u = Universe::new();
+        for n in names {
+            u.add_atom(n);
+        }
+        u
+    }
+
+    /// Adds a fresh atom with the given name and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an atom with this name already exists.
+    pub fn add_atom<S: Into<String>>(&mut self, name: S) -> AtomId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate atom name `{name}`"
+        );
+        let id = AtomId(self.names.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        id
+    }
+
+    /// Adds `n` atoms named `{prefix}0 … {prefix}{n-1}` and returns their ids.
+    pub fn add_atoms(&mut self, prefix: &str, n: usize) -> Vec<AtomId> {
+        (0..n).map(|i| self.add_atom(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Adds integer atoms for every value in `range`, named `Int[v]`, and
+    /// returns their ids in range order.
+    ///
+    /// These play the role of Alloy's predefined `Int` signature in the
+    /// paper's naive encoding.
+    pub fn add_int_atoms<R>(&mut self, range: R) -> Vec<AtomId>
+    where
+        R: IntoIterator<Item = i64>,
+    {
+        range
+            .into_iter()
+            .map(|v| {
+                let id = self.add_atom(format!("Int[{v}]"));
+                self.int_values.insert(id, v);
+                id
+            })
+            .collect()
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if the universe has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Looks up an atom by name.
+    pub fn atom(&self, name: &str) -> Option<AtomId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of an atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the atom does not belong to this universe.
+    pub fn name(&self, atom: AtomId) -> &str {
+        &self.names[atom.index()]
+    }
+
+    /// The integer value carried by an atom (only `Int[…]` atoms have one).
+    pub fn int_value(&self, atom: AtomId) -> Option<i64> {
+        self.int_values.get(&atom).copied()
+    }
+
+    /// The atom carrying integer value `v`, if one was added.
+    pub fn int_atom(&self, v: i64) -> Option<AtomId> {
+        self.atom(&format!("Int[{v}]"))
+    }
+
+    /// Iterates over all atom ids in order.
+    pub fn iter(&self) -> impl Iterator<Item = AtomId> + '_ {
+        (0..self.names.len()).map(|i| AtomId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut u = Universe::new();
+        let a = u.add_atom("A");
+        let b = u.add_atom("B");
+        assert_eq!(u.atom("A"), Some(a));
+        assert_eq!(u.atom("B"), Some(b));
+        assert_eq!(u.atom("C"), None);
+        assert_eq!(u.name(a), "A");
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate atom name")]
+    fn duplicate_name_panics() {
+        let mut u = Universe::new();
+        u.add_atom("A");
+        u.add_atom("A");
+    }
+
+    #[test]
+    fn prefixed_atoms() {
+        let mut u = Universe::new();
+        let ids = u.add_atoms("N", 3);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(u.name(ids[2]), "N2");
+    }
+
+    #[test]
+    fn int_atoms_carry_values() {
+        let mut u = Universe::new();
+        let ints = u.add_int_atoms(0..4);
+        assert_eq!(u.int_value(ints[2]), Some(2));
+        assert_eq!(u.int_atom(3), Some(ints[3]));
+        assert_eq!(u.int_atom(9), None);
+        let plain = u.add_atom("X");
+        assert_eq!(u.int_value(plain), None);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let u = Universe::from_names(["x", "y", "z"]);
+        let names: Vec<&str> = u.iter().map(|a| u.name(a)).collect();
+        assert_eq!(names, ["x", "y", "z"]);
+    }
+}

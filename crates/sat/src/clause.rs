@@ -1,0 +1,233 @@
+//! Clause storage.
+//!
+//! Clauses live in a [`ClauseDb`] arena and are referenced by lightweight
+//! [`ClauseRef`] handles. Learnt clauses carry an activity score and an LBD
+//! (literal block distance) used by the clause-database reduction policy.
+
+use crate::lit::Lit;
+use std::fmt;
+
+/// A handle to a clause inside the solver's internal clause arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ClauseRef(pub(crate) u32);
+
+impl ClauseRef {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Clone, Debug)]
+pub struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) learnt: bool,
+    pub(crate) deleted: bool,
+    pub(crate) activity: f64,
+    pub(crate) lbd: u32,
+}
+
+impl Clause {
+    /// The literals of this clause.
+    #[inline]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// `true` if the clause has no literals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// `true` if this clause was learnt during conflict analysis (as opposed
+    /// to being part of the original problem).
+    #[inline]
+    pub fn is_learnt(&self) -> bool {
+        self.learnt
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for l in &self.lits {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{l}")?;
+            first = false;
+        }
+        write!(f, " 0")
+    }
+}
+
+/// Arena holding all clauses of a solver.
+#[derive(Default, Debug)]
+pub struct ClauseDb {
+    clauses: Vec<Clause>,
+    /// Number of live (non-deleted) learnt clauses.
+    num_learnt: usize,
+    /// Number of live problem clauses.
+    num_problem: usize,
+}
+
+impl ClauseDb {
+    /// Creates an empty clause database.
+    pub fn new() -> ClauseDb {
+        ClauseDb::default()
+    }
+
+    /// Adds a clause and returns its handle.
+    ///
+    /// The caller is responsible for watch-list maintenance.
+    pub fn push(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
+        let idx = self.clauses.len() as u32;
+        if learnt {
+            self.num_learnt += 1;
+        } else {
+            self.num_problem += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+            lbd: 0,
+        });
+        ClauseRef(idx)
+    }
+
+    /// Marks a clause as deleted. The storage is reclaimed on the next
+    /// [`compact`](ClauseDb::compact).
+    pub fn delete(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.index()];
+        if !c.deleted {
+            if c.learnt {
+                self.num_learnt -= 1;
+            } else {
+                self.num_problem -= 1;
+            }
+            c.deleted = true;
+            c.lits.clear();
+            c.lits.shrink_to_fit();
+        }
+    }
+
+    /// Returns a shared reference to the clause behind `cref`.
+    #[inline]
+    pub fn get(&self, cref: ClauseRef) -> &Clause {
+        &self.clauses[cref.index()]
+    }
+
+    /// Returns an exclusive reference to the clause behind `cref`.
+    #[inline]
+    pub fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.clauses[cref.index()]
+    }
+
+    /// Number of live learnt clauses.
+    #[inline]
+    pub fn num_learnt(&self) -> usize {
+        self.num_learnt
+    }
+
+    /// Number of live problem clauses.
+    #[inline]
+    pub fn num_problem(&self) -> usize {
+        self.num_problem
+    }
+
+    /// Iterates over handles of all live clauses.
+    #[cfg(test)]
+    pub fn iter_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
+    /// Iterates over handles of live *learnt* clauses.
+    pub fn iter_learnt_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted && c.learnt)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
+    /// Divides every learnt-clause activity by `factor` (rescaling to avoid
+    /// floating-point overflow).
+    pub fn rescale_activity(&mut self, factor: f64) {
+        for c in &mut self.clauses {
+            if c.learnt && !c.deleted {
+                c.activity /= factor;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lits(codes: &[i64]) -> Vec<Lit> {
+        codes.iter().map(|&c| Lit::from_dimacs(c).unwrap()).collect()
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut db = ClauseDb::new();
+        let c = db.push(lits(&[1, -2, 3]), false);
+        assert_eq!(db.get(c).len(), 3);
+        assert!(!db.get(c).is_learnt());
+        assert_eq!(db.num_problem(), 1);
+        assert_eq!(db.num_learnt(), 0);
+    }
+
+    #[test]
+    fn delete_updates_counts() {
+        let mut db = ClauseDb::new();
+        let a = db.push(lits(&[1, 2]), false);
+        let b = db.push(lits(&[1, -2]), true);
+        assert_eq!(db.num_problem(), 1);
+        assert_eq!(db.num_learnt(), 1);
+        db.delete(b);
+        assert_eq!(db.num_learnt(), 0);
+        // double delete is a no-op
+        db.delete(b);
+        assert_eq!(db.num_learnt(), 0);
+        assert_eq!(db.iter_refs().collect::<Vec<_>>(), vec![a]);
+    }
+
+    #[test]
+    fn display_is_dimacs() {
+        let mut db = ClauseDb::new();
+        let c = db.push(
+            vec![
+                Var::from_index(0).positive(),
+                Var::from_index(1).negative(),
+            ],
+            false,
+        );
+        assert_eq!(db.get(c).to_string(), "1 -2 0");
+    }
+
+    #[test]
+    fn iter_learnt_only() {
+        let mut db = ClauseDb::new();
+        db.push(lits(&[1, 2]), false);
+        let l = db.push(lits(&[3, 4]), true);
+        assert_eq!(db.iter_learnt_refs().collect::<Vec<_>>(), vec![l]);
+    }
+}

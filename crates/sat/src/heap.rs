@@ -1,0 +1,208 @@
+//! An indexed max-heap over variables, ordered by VSIDS activity.
+//!
+//! Supports `O(log n)` insert / remove-max and, crucially, `O(log n)`
+//! *increase-key* for variables already in the heap (needed when conflict
+//! analysis bumps activities).
+
+use crate::lit::Var;
+
+/// Max-heap of variables keyed by an external activity array.
+#[derive(Debug, Default)]
+pub struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `position[v]` = index of `v` in `heap`, or `NONE` if absent.
+    position: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    /// Ensures the heap can track variables up to index `n - 1`.
+    pub fn grow_to(&mut self, n: usize) {
+        if self.position.len() < n {
+            self.position.resize(n, NONE);
+        }
+    }
+
+    /// Number of variables currently in the heap.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no variable is queued.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// `true` if `v` is currently in the heap.
+    pub fn contains(&self, v: Var) -> bool {
+        self.position
+            .get(v.index())
+            .map(|&p| p != NONE)
+            .unwrap_or(false)
+    }
+
+    /// Inserts `v` (no-op if already present).
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow_to(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v.index() as u32);
+        self.position[v.index()] = i as u32;
+        self.sift_up(i, activity);
+    }
+
+    /// Removes and returns the variable with maximal activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("nonempty");
+        self.position[top as usize] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var::from_index(top as usize))
+    }
+
+    /// Restores the heap property after `v`'s activity increased.
+    pub fn update(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.position.get(v.index()) {
+            if p != NONE {
+                self.sift_up(p as usize, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        let item = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let p = self.heap[parent];
+            if activity[item as usize] <= activity[p as usize] {
+                break;
+            }
+            self.heap[i] = p;
+            self.position[p as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = item;
+        self.position[item as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        let item = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let mut child = left;
+            if right < n
+                && activity[self.heap[right] as usize] > activity[self.heap[left] as usize]
+            {
+                child = right;
+            }
+            if activity[self.heap[child] as usize] <= activity[item as usize] {
+                break;
+            }
+            let c = self.heap[child];
+            self.heap[i] = c;
+            self.position[c as usize] = i as u32;
+            i = child;
+        }
+        self.heap[i] = item;
+        self.position[item as usize] = i as u32;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self, activity: &[f64]) {
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                activity[self.heap[parent] as usize] >= activity[self.heap[i] as usize],
+                "heap property violated at {i}"
+            );
+        }
+        for (i, &v) in self.heap.iter().enumerate() {
+            assert_eq!(self.position[v as usize], i as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_order_is_by_activity() {
+        let activity = vec![3.0, 1.0, 5.0, 2.0, 4.0];
+        let mut h = VarHeap::new();
+        for i in 0..5 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        h.check_invariants(&activity);
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![2, 4, 0, 3, 1]);
+    }
+
+    #[test]
+    fn double_insert_is_noop() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.insert(Var::from_index(0), &activity);
+        h.insert(Var::from_index(0), &activity);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn update_after_bump() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.update(Var::from_index(0), &activity);
+        h.check_invariants(&activity);
+        assert_eq!(h.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn pop_empty() {
+        let mut h = VarHeap::new();
+        assert_eq!(h.pop_max(&[]), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.insert(Var::from_index(0), &activity);
+        h.insert(Var::from_index(1), &activity);
+        let top = h.pop_max(&activity).unwrap();
+        assert_eq!(top.index(), 1);
+        assert!(!h.contains(top));
+        h.insert(top, &activity);
+        assert!(h.contains(top));
+        assert_eq!(h.len(), 2);
+    }
+}

@@ -1,0 +1,301 @@
+//! Boolean variables and literals.
+//!
+//! A [`Var`] is an index into the solver's variable table; a [`Lit`] is a
+//! variable together with a polarity. Literals are encoded in the usual
+//! `2 * var + sign` scheme so they can index dense arrays (watch lists,
+//! phase tables) directly.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable.
+///
+/// Variables are created by [`Solver::new_var`](crate::Solver::new_var) and
+/// are valid only for the solver (or formula) that created them.
+///
+/// # Examples
+///
+/// ```
+/// use mca_sat::{Solver, Var};
+///
+/// let mut solver = Solver::new();
+/// let v: Var = solver.new_var();
+/// assert_eq!(v.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from a dense zero-based index.
+    #[inline]
+    pub fn from_index(index: usize) -> Var {
+        debug_assert!(index < u32::MAX as usize / 2);
+        Var(index as u32)
+    }
+
+    /// Returns the dense zero-based index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the literal of this variable with the given polarity.
+    ///
+    /// `positive == true` yields the literal that is satisfied when the
+    /// variable is assigned *true*.
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        Lit::new(self, positive)
+    }
+
+    /// Returns the positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        self.lit(true)
+    }
+
+    /// Returns the negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        self.lit(false)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0 + 1)
+    }
+}
+
+/// A literal: a [`Var`] with a polarity.
+///
+/// The `Not` operator negates a literal:
+///
+/// ```
+/// use mca_sat::Var;
+///
+/// let v = Var::from_index(3);
+/// let p = v.positive();
+/// assert_eq!(!p, v.negative());
+/// assert_eq!(!!p, p);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal over `var` with the given polarity.
+    #[inline]
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var.0 << 1 | (!positive) as u32)
+    }
+
+    /// Returns the underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is the positive literal of its variable.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns `true` if this is the negative literal of its variable.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the dense code of this literal (`2 * var + sign`), suitable
+    /// for indexing per-literal tables such as watch lists.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its dense [`code`](Lit::code).
+    #[inline]
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// Parses a DIMACS-style literal: positive integers are positive
+    /// literals of variable `n - 1`, negative integers their negations.
+    ///
+    /// Returns `None` for `0`.
+    pub fn from_dimacs(n: i64) -> Option<Lit> {
+        if n == 0 {
+            return None;
+        }
+        let var = Var::from_index((n.unsigned_abs() - 1) as usize);
+        Some(Lit::new(var, n > 0))
+    }
+
+    /// Renders this literal in DIMACS convention (1-based, sign = polarity).
+    pub fn to_dimacs(self) -> i64 {
+        let magnitude = (self.var().index() + 1) as i64;
+        if self.is_positive() {
+            magnitude
+        } else {
+            -magnitude
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "!")?;
+        }
+        write!(f, "{:?}", self.var())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+/// A three-valued truth assignment: true, false, or unassigned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a concrete boolean into the corresponding [`LBool`].
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Returns the negation; `Undef` stays `Undef`.
+    #[inline]
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// Returns `Some(bool)` if assigned, `None` if `Undef`.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Returns `true` iff this is [`LBool::True`].
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == LBool::True
+    }
+
+    /// Returns `true` iff this is [`LBool::False`].
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == LBool::False
+    }
+
+    /// Returns `true` iff this is [`LBool::Undef`].
+    #[inline]
+    pub fn is_undef(self) -> bool {
+        self == LBool::Undef
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrip() {
+        for i in [0usize, 1, 2, 1000, 65535] {
+            let v = Var::from_index(i);
+            assert_eq!(v.index(), i);
+        }
+    }
+
+    #[test]
+    fn lit_polarity() {
+        let v = Var::from_index(7);
+        let p = v.positive();
+        let n = v.negative();
+        assert!(p.is_positive());
+        assert!(!p.is_negative());
+        assert!(n.is_negative());
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert_ne!(p, n);
+    }
+
+    #[test]
+    fn lit_negation_involutive() {
+        let v = Var::from_index(3);
+        let p = v.positive();
+        assert_eq!(!p, v.negative());
+        assert_eq!(!!p, p);
+    }
+
+    #[test]
+    fn lit_code_roundtrip() {
+        for i in 0..10usize {
+            for pos in [true, false] {
+                let l = Var::from_index(i).lit(pos);
+                assert_eq!(Lit::from_code(l.code()), l);
+            }
+        }
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for n in [-5i64, -1, 1, 2, 42] {
+            let l = Lit::from_dimacs(n).unwrap();
+            assert_eq!(l.to_dimacs(), n);
+        }
+        assert!(Lit::from_dimacs(0).is_none());
+    }
+
+    #[test]
+    fn lbool_laws() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::False.negate(), LBool::True);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::from_bool(false), LBool::False);
+        assert_eq!(LBool::True.to_bool(), Some(true));
+        assert_eq!(LBool::Undef.to_bool(), None);
+        assert_eq!(LBool::default(), LBool::Undef);
+    }
+}

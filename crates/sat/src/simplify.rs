@@ -1,0 +1,323 @@
+//! Equivalence-preserving CNF preprocessing.
+//!
+//! SatELite-style simplification: unit propagation to fixpoint,
+//! subsumption (a clause implied by a subset clause is dropped) and
+//! self-subsuming resolution (clause strengthening). All three preserve
+//! the *model set* over the original variables — unit clauses remain in
+//! the output — so the preprocessor is safe for model counting and
+//! enumeration, not just satisfiability.
+
+use crate::cnf::CnfFormula;
+use crate::lit::{LBool, Lit};
+use std::collections::HashSet;
+
+/// Statistics of one [`simplify`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Clauses removed by subsumption.
+    pub subsumed: usize,
+    /// Literals removed by self-subsuming resolution.
+    pub strengthened_literals: usize,
+    /// Literals removed because a unit falsified them.
+    pub propagated_literals: usize,
+    /// Clauses removed because a unit satisfied them.
+    pub satisfied_clauses: usize,
+    /// `true` if the formula was found unsatisfiable outright.
+    pub found_unsat: bool,
+}
+
+/// Simplifies `cnf`, returning an equivalent formula (same variable count,
+/// same model set) and statistics.
+///
+/// If the formula is detected unsatisfiable, the result contains a single
+/// empty clause and `found_unsat` is set.
+pub fn simplify(cnf: &CnfFormula) -> (CnfFormula, SimplifyStats) {
+    let mut stats = SimplifyStats::default();
+    let num_vars = cnf.num_vars();
+
+    // Working set: sorted, deduplicated clauses; tautologies dropped.
+    let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(cnf.num_clauses());
+    'next_clause: for c in cnf.clauses() {
+        let mut cl = c.clone();
+        cl.sort_unstable();
+        cl.dedup();
+        for w in cl.windows(2) {
+            if w[1] == !w[0] {
+                continue 'next_clause; // tautology
+            }
+        }
+        clauses.push(cl);
+    }
+
+    // --- unit propagation to fixpoint ---
+    let mut assign: Vec<LBool> = vec![LBool::Undef; num_vars];
+    loop {
+        let mut changed = false;
+        let mut next: Vec<Vec<Lit>> = Vec::with_capacity(clauses.len());
+        for c in clauses.drain(..) {
+            let mut reduced: Vec<Lit> = Vec::with_capacity(c.len());
+            let mut satisfied = false;
+            for &l in &c {
+                match value(&assign, l) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::False => {
+                        stats.propagated_literals += 1;
+                        changed = true;
+                    }
+                    LBool::Undef => reduced.push(l),
+                }
+            }
+            if satisfied {
+                // Keep unit clauses for assigned variables so the model set
+                // over all variables is preserved; drop longer satisfied
+                // clauses.
+                if c.len() > 1 {
+                    stats.satisfied_clauses += 1;
+                    changed = true;
+                    continue;
+                }
+                reduced = c;
+            }
+            match reduced.len() {
+                0 => {
+                    stats.found_unsat = true;
+                    let mut out = CnfFormula::new();
+                    out.new_vars(num_vars);
+                    out.add_clause(std::iter::empty());
+                    return (out, stats);
+                }
+                1 => {
+                    let l = reduced[0];
+                    match value(&assign, l) {
+                        LBool::False => {
+                            stats.found_unsat = true;
+                            let mut out = CnfFormula::new();
+                            out.new_vars(num_vars);
+                            out.add_clause(std::iter::empty());
+                            return (out, stats);
+                        }
+                        LBool::Undef => {
+                            set(&mut assign, l);
+                            changed = true;
+                        }
+                        LBool::True => {}
+                    }
+                    next.push(reduced);
+                }
+                _ => next.push(reduced),
+            }
+        }
+        // Deduplicate identical clauses.
+        next.sort();
+        next.dedup();
+        clauses = next;
+        if !changed {
+            break;
+        }
+    }
+
+    // --- subsumption and self-subsuming resolution ---
+    // Quadratic passes are fine at this suite's scales.
+    loop {
+        let mut changed = false;
+        // Subsumption: drop any clause that is a superset of another.
+        let sets: Vec<HashSet<Lit>> = clauses
+            .iter()
+            .map(|c| c.iter().copied().collect())
+            .collect();
+        let mut keep = vec![true; clauses.len()];
+        for i in 0..clauses.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..clauses.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                let smaller_first = clauses[i].len() < clauses[j].len()
+                    || (clauses[i].len() == clauses[j].len() && i < j);
+                if smaller_first && clauses[i].iter().all(|l| sets[j].contains(l)) {
+                    keep[j] = false;
+                    stats.subsumed += 1;
+                    changed = true;
+                }
+            }
+        }
+        let mut kept: Vec<Vec<Lit>> = clauses
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(c, _)| c.clone())
+            .collect();
+
+        // Self-subsuming resolution: if C1 = D ∪ {l} and C2 ⊇ D ∪ {!l},
+        // strengthen C2 by removing !l. One strengthening per pass; the
+        // outer loop re-runs until fixpoint.
+        'strengthen: for i in 0..kept.len() {
+            for j in 0..kept.len() {
+                if i == j || kept[i].len() > kept[j].len() {
+                    continue;
+                }
+                // Find a literal of kept[i] whose negation is in kept[j]
+                // while all other literals of kept[i] are in kept[j].
+                let set_j: HashSet<Lit> = kept[j].iter().copied().collect();
+                let mut pivot: Option<Lit> = None;
+                let mut all_in = true;
+                for &l in &kept[i] {
+                    if set_j.contains(&l) {
+                        continue;
+                    }
+                    if set_j.contains(&!l) && pivot.is_none() {
+                        pivot = Some(!l);
+                    } else {
+                        all_in = false;
+                        break;
+                    }
+                }
+                if all_in {
+                    if let Some(p) = pivot {
+                        kept[j].retain(|&l| l != p);
+                        stats.strengthened_literals += 1;
+                        changed = true;
+                        break 'strengthen;
+                    }
+                }
+            }
+        }
+
+        clauses = kept;
+        if clauses.iter().any(Vec::is_empty) {
+            stats.found_unsat = true;
+            let mut out = CnfFormula::new();
+            out.new_vars(num_vars);
+            out.add_clause(std::iter::empty());
+            return (out, stats);
+        }
+        if !changed {
+            break;
+        }
+        clauses.sort();
+        clauses.dedup();
+    }
+
+    let mut out = CnfFormula::new();
+    out.new_vars(num_vars);
+    for c in clauses {
+        out.add_clause(c);
+    }
+    (out, stats)
+}
+
+fn value(assign: &[LBool], l: Lit) -> LBool {
+    let v = assign[l.var().index()];
+    if l.is_positive() {
+        v
+    } else {
+        v.negate()
+    }
+}
+
+fn set(assign: &mut [LBool], l: Lit) {
+    assign[l.var().index()] = LBool::from_bool(l.is_positive());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_count;
+    use crate::lit::Var;
+
+    fn lit(n: i64) -> Lit {
+        Lit::from_dimacs(n).unwrap()
+    }
+
+    fn cnf_of(vars: usize, clauses: &[&[i64]]) -> CnfFormula {
+        let mut cnf = CnfFormula::new();
+        cnf.new_vars(vars);
+        for c in clauses {
+            cnf.add_clause(c.iter().map(|&n| lit(n)));
+        }
+        cnf
+    }
+
+    #[test]
+    fn subsumption_removes_superset() {
+        let cnf = cnf_of(3, &[&[1, 2], &[1, 2, 3]]);
+        let (out, stats) = simplify(&cnf);
+        assert_eq!(out.num_clauses(), 1);
+        assert_eq!(stats.subsumed, 1);
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (a ∨ b) ∧ (a ∨ !b ∨ c) → (a ∨ b) ∧ (a ∨ c)
+        let cnf = cnf_of(3, &[&[1, 2], &[1, -2, 3]]);
+        let (out, stats) = simplify(&cnf);
+        assert!(stats.strengthened_literals >= 1);
+        assert!(out
+            .clauses()
+            .iter()
+            .any(|c| c == &vec![lit(1), lit(3)]));
+    }
+
+    #[test]
+    fn unit_propagation_reduces() {
+        // x1 ∧ (!x1 ∨ x2) ∧ (x2 ∨ x3): forces x1, x2; keeps unit records.
+        let cnf = cnf_of(3, &[&[1], &[-1, 2], &[2, 3]]);
+        let (out, stats) = simplify(&cnf);
+        assert!(!stats.found_unsat);
+        assert!(out.clauses().contains(&vec![lit(1)]));
+        assert!(out.clauses().contains(&vec![lit(2)]));
+        // (x2 ∨ x3) is satisfied by the unit x2 and dropped.
+        assert_eq!(out.num_clauses(), 2);
+    }
+
+    #[test]
+    fn detects_unsat() {
+        let cnf = cnf_of(1, &[&[1], &[-1]]);
+        let (out, stats) = simplify(&cnf);
+        assert!(stats.found_unsat);
+        let mut s = out.to_solver();
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let cnf = cnf_of(2, &[&[1, -1], &[2]]);
+        let (out, _) = simplify(&cnf);
+        assert_eq!(out.num_clauses(), 1);
+    }
+
+    #[test]
+    fn model_count_is_preserved_random() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x51e9);
+        for round in 0..120 {
+            let vars = rng.gen_range(3..8usize);
+            let n_clauses = rng.gen_range(0..16usize);
+            let mut cnf = CnfFormula::new();
+            cnf.new_vars(vars);
+            for _ in 0..n_clauses {
+                let len = rng.gen_range(1..4usize);
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    c.push(Lit::new(
+                        Var::from_index(rng.gen_range(0..vars)),
+                        rng.gen_bool(0.5),
+                    ));
+                }
+                cnf.add_clause(c);
+            }
+            let (out, _) = simplify(&cnf);
+            assert_eq!(
+                brute_force_count(&cnf),
+                brute_force_count(&out),
+                "round {round}: simplification must preserve the model set"
+            );
+        }
+    }
+}

@@ -1,0 +1,1096 @@
+//! The CDCL solver.
+//!
+//! A conflict-driven clause-learning SAT solver in the MiniSat lineage:
+//! two-watched-literal propagation, first-UIP conflict analysis with clause
+//! minimization, VSIDS decision heuristic with phase saving, Luby restarts
+//! and activity-based learnt-clause database reduction.
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::lit::{LBool, Lit, Var};
+use crate::luby::luby;
+use crate::proof::Proof;
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::model`].
+    Sat,
+    /// The formula (under the given assumptions, if any) is unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// `true` iff the result is [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == SolveResult::Sat
+    }
+}
+
+/// A satisfying assignment, indexed by [`Var`].
+///
+/// Obtained from [`Solver::model`] after a successful solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Truth value of `var` in this model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not part of the solved formula.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Truth value of a literal in this model.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.value(lit.var()) == lit.is_positive()
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the model covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Tunable search parameters.
+///
+/// The defaults follow MiniSat's; the knobs exist both for experimentation
+/// and for the test suite, which cross-checks that verdicts are invariant
+/// under configuration changes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolverConfig {
+    /// VSIDS variable-activity decay (0 < d < 1).
+    pub var_decay: f64,
+    /// Learnt-clause activity decay (0 < d < 1).
+    pub clause_decay: f64,
+    /// Conflicts before the first restart (scaled by the Luby sequence).
+    pub restart_base: u64,
+    /// Reuse each variable's last polarity when branching.
+    pub phase_saving: bool,
+    /// Periodically delete low-activity learnt clauses.
+    pub reduce_db: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100,
+            phase_saving: true,
+            reduce_db: true,
+        }
+    }
+}
+
+/// Cumulative solver statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Solve calls.
+    pub solves: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use mca_sat::{Solver, SolveResult};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// s.add_clause([a, b]);
+/// s.add_clause([!a]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// let m = s.model().expect("sat");
+/// assert!(!m.lit_value(a));
+/// assert!(m.lit_value(b));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    db: ClauseDb,
+    watches: Vec<Vec<Watcher>>,
+    /// Current assignment, indexed by variable.
+    assigns: Vec<LBool>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Reason clause for each implied variable.
+    reason: Vec<Option<ClauseRef>>,
+    /// Assignment trail.
+    trail: Vec<Lit>,
+    /// Indices into `trail` marking decision levels.
+    trail_lim: Vec<usize>,
+    /// Propagation queue head (index into trail).
+    qhead: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    var_decay: f64,
+    order: crate::heap::VarHeap,
+    /// Saved phase per variable.
+    phase: Vec<bool>,
+    /// Clause activity increment.
+    cla_inc: f64,
+    cla_decay: f64,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+    /// `true` once an empty clause was derived at level 0.
+    unsat: bool,
+    /// Conflict clause over assumptions from the last failed assumption solve.
+    conflict_assumptions: Vec<Lit>,
+    stats: SolverStats,
+    /// Scratch for LBD computation.
+    lbd_seen: Vec<u64>,
+    lbd_stamp: u64,
+    /// DRAT proof log, when enabled.
+    proof: Option<Proof>,
+    config: SolverConfig,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with explicit search parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a decay is outside `(0, 1)` or the restart base is 0.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        assert!(
+            config.var_decay > 0.0 && config.var_decay < 1.0,
+            "var_decay must be in (0, 1)"
+        );
+        assert!(
+            config.clause_decay > 0.0 && config.clause_decay < 1.0,
+            "clause_decay must be in (0, 1)"
+        );
+        assert!(config.restart_base > 0, "restart_base must be positive");
+        Solver {
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            var_decay: config.var_decay,
+            order: crate::heap::VarHeap::new(),
+            phase: Vec::new(),
+            cla_inc: 1.0,
+            cla_decay: config.clause_decay,
+            seen: Vec::new(),
+            unsat: false,
+            conflict_assumptions: Vec::new(),
+            stats: SolverStats::default(),
+            lbd_seen: Vec::new(),
+            lbd_stamp: 0,
+            proof: None,
+            config,
+        }
+    }
+
+    /// The active search parameters.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Starts recording a DRAT proof. Call before adding clauses; retrieve
+    /// the proof with [`take_proof`](Solver::take_proof) after an
+    /// unsatisfiable [`solve`](Solver::solve).
+    ///
+    /// Proofs certify plain `solve()` refutations only: assumption-based
+    /// solving and post-solve clause additions (e.g. model enumeration's
+    /// blocking clauses) are not consequences of the original formula and
+    /// would make the log unverifiable.
+    pub fn enable_proof(&mut self) {
+        self.proof = Some(Proof::new());
+    }
+
+    /// Takes the recorded proof, if proof logging was enabled.
+    pub fn take_proof(&mut self) -> Option<Proof> {
+        self.proof.take()
+    }
+
+    fn log_add(&mut self, clause: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.add(clause.to_vec());
+        }
+    }
+
+    fn log_delete(&mut self, clause: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.delete(clause.to_vec());
+        }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.lbd_seen.push(0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Creates `n` fresh variables and returns them.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of live problem clauses (excluding learnt clauses and units).
+    pub fn num_clauses(&self) -> usize {
+        self.db.num_problem()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Current value of a literal under the partial assignment.
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Returns `false` if the solver became trivially
+    /// unsatisfiable (an empty clause was derived at level 0).
+    ///
+    /// Duplicate literals are removed; tautological clauses (containing both
+    /// `l` and `!l`) are silently accepted and ignored.
+    pub fn add_clause<I>(&mut self, lits: I) -> bool
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        if self.unsat {
+            return false;
+        }
+        self.backtrack_to(0);
+        let mut c: Vec<Lit> = lits.into_iter().collect();
+        c.sort_unstable();
+        c.dedup();
+        // Tautology / satisfied / falsified literal pre-filtering (level 0).
+        let mut filtered = Vec::with_capacity(c.len());
+        let mut i = 0;
+        while i < c.len() {
+            let l = c[i];
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology: l and !l adjacent after sort
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => filtered.push(l),
+            }
+            i += 1;
+        }
+        // Proof: if preprocessing changed the clause, the reduced clause is
+        // a reverse-unit-propagation consequence — record it.
+        if filtered.len() != c.len() {
+            self.log_add(&filtered);
+        }
+        match filtered.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], None);
+                if self.propagate().is_some() {
+                    self.log_add(&[]);
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let cref = self.db.push(filtered, false);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.db.get(cref);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    }
+
+    #[inline]
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert!(self.lit_value(l).is_undef());
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = from;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut confl = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut j = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.lit_value(w.blocker).is_true() {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                // Normalize: false_lit at position 1.
+                {
+                    let c = self.db.get_mut(w.cref);
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.db.get(w.cref).lits[0];
+                let new_watcher = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                if first != w.blocker && self.lit_value(first).is_true() {
+                    ws[j] = new_watcher;
+                    j += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let len = self.db.get(w.cref).len();
+                for k in 2..len {
+                    let lk = self.db.get(w.cref).lits[k];
+                    if !self.lit_value(lk).is_false() {
+                        self.db.get_mut(w.cref).lits.swap(1, k);
+                        self.watches[(!lk).code()].push(new_watcher);
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                ws[j] = new_watcher;
+                j += 1;
+                if self.lit_value(first).is_false() {
+                    // Conflict: flush the remaining watchers and stop.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    confl = Some(w.cref);
+                } else {
+                    self.unchecked_enqueue(first, Some(w.cref));
+                }
+            }
+            ws.truncate(j);
+            debug_assert!(self.watches[p.code()].is_empty());
+            self.watches[p.code()] = ws;
+            if confl.is_some() {
+                break;
+            }
+        }
+        confl
+    }
+
+    fn var_bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= self.var_decay;
+    }
+
+    fn cla_bump(&mut self, cref: ClauseRef) {
+        let c = self.db.get_mut(cref);
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            self.db.rescale_activity(1e20);
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.cla_inc /= self.cla_decay;
+    }
+
+    /// Computes the LBD (number of distinct decision levels) of a literal set.
+    fn lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_stamp += 1;
+        let mut n = 0;
+        for &l in lits {
+            let lv = self.level[l.var().index()] as usize;
+            if lv > 0 && self.lbd_seen[lv % self.lbd_seen.len().max(1)] != self.lbd_stamp {
+                let idx = lv % self.lbd_seen.len().max(1);
+                self.lbd_seen[idx] = self.lbd_stamp;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+
+        loop {
+            self.cla_bump(confl);
+            let lits: Vec<Lit> = {
+                let c = self.db.get(confl);
+                let skip = usize::from(p.is_some());
+                c.lits[skip..].to_vec()
+            };
+            for q in lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.var_bump(v);
+                    self.seen[v.index()] = true;
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Next literal to resolve on.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            p = Some(pl);
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index()].expect("non-decision must have a reason");
+        }
+        learnt[0] = !p.expect("analyzed at least one literal");
+
+        // Mark for minimization.
+        for &l in &learnt {
+            self.seen[l.var().index()] = true;
+        }
+        // Basic clause minimization: a non-asserting literal is redundant if
+        // its reason clause is entirely made of seen or level-0 literals.
+        let mut kept = vec![learnt[0]];
+        for &l in &learnt[1..] {
+            let redundant = match self.reason[l.var().index()] {
+                None => false,
+                Some(r) => self
+                    .db
+                    .get(r)
+                    .lits
+                    .iter()
+                    .all(|&q| {
+                        q.var() == l.var()
+                            || self.seen[q.var().index()]
+                            || self.level[q.var().index()] == 0
+                    }),
+            };
+            if !redundant {
+                kept.push(l);
+            }
+        }
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        let mut learnt = kept;
+
+        // Backtrack level: the highest level among non-asserting literals.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt_level)
+    }
+
+    /// Analyzes a conflict on assumption literals: computes the subset of
+    /// assumptions sufficient for unsatisfiability.
+    fn analyze_final(&mut self, p: Lit) {
+        self.conflict_assumptions.clear();
+        self.conflict_assumptions.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for &l in self.trail[self.trail_lim[0]..].iter().rev() {
+            let v = l.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            match self.reason[v.index()] {
+                None => {
+                    // An assumption (decision) contributing to the conflict.
+                    if self.level[v.index()] > 0 {
+                        self.conflict_assumptions.push(!l);
+                    }
+                }
+                Some(r) => {
+                    let lits: Vec<Lit> = self.db.get(r).lits[1..].to_vec();
+                    for q in lits {
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for &l in self.trail[lim..].iter().rev() {
+            let v = l.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.phase[v.index()] = l.is_positive();
+            self.reason[v.index()] = None;
+            if !self.order.contains(v) {
+                self.order.insert(v, &self.activity);
+            }
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assigns[v.index()].is_undef() {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Removes roughly half of the learnt clauses, keeping the most active
+    /// and all binary / low-LBD ("glue") clauses.
+    fn reduce_db(&mut self) {
+        let mut learnt: Vec<ClauseRef> = self.db.iter_learnt_refs().collect();
+        learnt.sort_by(|&a, &b| {
+            let ca = self.db.get(a);
+            let cb = self.db.get(b);
+            ca.activity
+                .partial_cmp(&cb.activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<bool> = learnt
+            .iter()
+            .map(|&cref| {
+                // A clause is locked if it is the reason for a current assignment.
+                let first = self.db.get(cref).lits[0];
+                self.reason[first.var().index()] == Some(cref)
+                    && !self.lit_value(first).is_undef()
+            })
+            .collect();
+        let target = learnt.len() / 2;
+        let mut removed = 0;
+        for (i, &cref) in learnt.iter().enumerate() {
+            if removed >= target {
+                break;
+            }
+            let c = self.db.get(cref);
+            if locked[i] || c.len() <= 2 || c.lbd <= 2 {
+                continue;
+            }
+            let lits = self.db.get(cref).lits().to_vec();
+            self.log_delete(&lits);
+            self.detach(cref);
+            self.db.delete(cref);
+            removed += 1;
+            self.stats.deleted_clauses += 1;
+        }
+    }
+
+    fn detach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.db.get(cref);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).code()].retain(|w| w.cref != cref);
+        self.watches[(!l1).code()].retain(|w| w.cref != cref);
+    }
+
+    /// Solves the current formula.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals. On `Unsat`, the subset of
+    /// assumptions responsible is available via
+    /// [`failed_assumptions`](Solver::failed_assumptions).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
+        self.conflict_assumptions.clear();
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.log_add(&[]);
+            self.unsat = true;
+            return SolveResult::Unsat;
+        }
+
+        let mut restart_index = 0u64;
+        let mut conflicts_until_restart = self.config.restart_base * luby(restart_index);
+        let mut max_learnts = (self.db.num_problem() as f64 * 0.5).max(100.0);
+
+        loop {
+            match self.search(assumptions, &mut conflicts_until_restart, max_learnts) {
+                SearchOutcome::Sat => {
+                    let result = SolveResult::Sat;
+                    return result;
+                }
+                SearchOutcome::Unsat => {
+                    return SolveResult::Unsat;
+                }
+                SearchOutcome::Restart => {
+                    self.stats.restarts += 1;
+                    restart_index += 1;
+                    conflicts_until_restart = self.config.restart_base * luby(restart_index);
+                    max_learnts *= 1.1;
+                    self.backtrack_to(0);
+                }
+            }
+        }
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &mut u64,
+        max_learnts: f64,
+    ) -> SearchOutcome {
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.log_add(&[]);
+                    self.unsat = true;
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.log_add(&learnt);
+                self.backtrack_to(bt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let lbd = self.lbd(&learnt);
+                    let cref = self.db.push(learnt.clone(), true);
+                    self.db.get_mut(cref).lbd = lbd;
+                    self.attach(cref);
+                    self.cla_bump(cref);
+                    self.unchecked_enqueue(learnt[0], Some(cref));
+                }
+                self.decay_var_activity();
+                self.decay_clause_activity();
+                if *budget > 0 {
+                    *budget -= 1;
+                    if *budget == 0 && self.decision_level() > assumptions.len() as u32 {
+                        return SearchOutcome::Restart;
+                    }
+                }
+            } else {
+                if self.config.reduce_db
+                    && self.db.num_learnt() as f64 > max_learnts + self.trail.len() as f64
+                {
+                    self.reduce_db();
+                }
+                // Establish assumptions as pseudo-decisions.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already satisfied; open a dummy level to keep
+                            // the level/assumption indexing aligned.
+                            self.trail_lim.push(self.trail.len());
+                            continue;
+                        }
+                        LBool::False => {
+                            self.analyze_final(!a);
+                            return SearchOutcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                            continue;
+                        }
+                    }
+                }
+                match self.pick_branch_var() {
+                    None => return SearchOutcome::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        let phase = self.config.phase_saving && self.phase[v.index()];
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(v.lit(phase), None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The satisfying assignment from the most recent [`Sat`](SolveResult::Sat)
+    /// answer, or `None` if some variable is unassigned (no successful solve
+    /// has completed, or clauses were added since).
+    pub fn model(&self) -> Option<Model> {
+        let mut values = Vec::with_capacity(self.assigns.len());
+        for &a in &self.assigns {
+            values.push(a.to_bool()?);
+        }
+        Some(Model { values })
+    }
+
+    /// After an assumption-based solve returned `Unsat`, the subset of
+    /// assumption literals that (negated) are implied by the formula.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_assumptions
+    }
+
+    /// `true` if the solver has derived the empty clause (unsatisfiable
+    /// regardless of assumptions).
+    pub fn is_known_unsat(&self) -> bool {
+        self.unsat
+    }
+
+    /// Enumerates up to `limit` models over the given projection variables,
+    /// invoking `on_model` for each. Returns the number of models found.
+    ///
+    /// After each model, a blocking clause over the projection is added, so
+    /// the solver is permanently modified. Models are distinct on the
+    /// projection set.
+    pub fn enumerate_models<F>(
+        &mut self,
+        projection: &[Var],
+        limit: usize,
+        mut on_model: F,
+    ) -> usize
+    where
+        F: FnMut(&Model) -> bool,
+    {
+        let mut found = 0;
+        while found < limit {
+            if self.solve() == SolveResult::Unsat {
+                break;
+            }
+            let model = self.model().expect("solve returned Sat");
+            found += 1;
+            let keep_going = on_model(&model);
+            let blocking: Vec<Lit> = projection
+                .iter()
+                .map(|&v| v.lit(!model.value(v)))
+                .collect();
+            if blocking.is_empty() || !self.add_clause(blocking) {
+                break;
+            }
+            if !keep_going {
+                break;
+            }
+        }
+        found
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, n: i64) -> Lit {
+        while s.num_vars() < n.unsigned_abs() as usize {
+            s.new_var();
+        }
+        Lit::from_dimacs(n).unwrap()
+    }
+
+    fn add(s: &mut Solver, cl: &[i64]) -> bool {
+        let lits: Vec<Lit> = cl.iter().map(|&n| lit(s, n)).collect();
+        s.add_clause(lits)
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn single_unit() {
+        let mut s = Solver::new();
+        add(&mut s, &[1]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model().unwrap().value(Var::from_index(0)));
+    }
+
+    #[test]
+    fn contradictory_units() {
+        let mut s = Solver::new();
+        add(&mut s, &[1]);
+        assert!(!add(&mut s, &[-1]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut s = Solver::new();
+        add(&mut s, &[-1, 2]);
+        add(&mut s, &[-2, 3]);
+        add(&mut s, &[1]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m = s.model().unwrap();
+        assert!(m.value(Var::from_index(0)));
+        assert!(m.value(Var::from_index(1)));
+        assert!(m.value(Var::from_index(2)));
+    }
+
+    #[test]
+    fn unsat_triangle() {
+        let mut s = Solver::new();
+        add(&mut s, &[1, 2]);
+        add(&mut s, &[1, -2]);
+        add(&mut s, &[-1, 2]);
+        add(&mut s, &[-1, -2]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_is_ignored() {
+        let mut s = Solver::new();
+        assert!(add(&mut s, &[1, -1]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_are_merged() {
+        let mut s = Solver::new();
+        add(&mut s, &[1, 1, 2, 2]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i sits in hole j; 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat() {
+        let n = 5usize;
+        let m = 4usize;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..m).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_sat_and_unsat() {
+        let mut s = Solver::new();
+        add(&mut s, &[-1, 2]);
+        let a = Lit::from_dimacs(1).unwrap();
+        let b = Lit::from_dimacs(2).unwrap();
+        assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Sat);
+        assert!(s.model().unwrap().lit_value(b));
+        assert_eq!(s.solve_with_assumptions(&[a, !b]), SolveResult::Unsat);
+        assert!(!s.failed_assumptions().is_empty());
+        // Solver is still usable afterwards.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_add_after_solve() {
+        let mut s = Solver::new();
+        add(&mut s, &[1, 2]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        add(&mut s, &[-1]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model().unwrap().lit_value(Lit::from_dimacs(2).unwrap()));
+        add(&mut s, &[-2]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn enumerate_all_models_of_two_free_vars() {
+        let mut s = Solver::new();
+        let vars = s.new_vars(2);
+        let mut count = 0;
+        let n = s.enumerate_models(&vars, 100, |_m| {
+            count += 1;
+            true
+        });
+        assert_eq!(n, 4);
+        assert_eq!(count, 4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let mut s = Solver::new();
+        let vars = s.new_vars(3);
+        let n = s.enumerate_models(&vars, 3, |_| true);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 0 (consistent)
+        let mut s = Solver::new();
+        add(&mut s, &[1, 2]);
+        add(&mut s, &[-1, -2]);
+        add(&mut s, &[2, 3]);
+        add(&mut s, &[-2, -3]);
+        add(&mut s, &[1, -3]);
+        add(&mut s, &[-1, 3]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m = s.model().unwrap();
+        assert_ne!(m.value(Var::from_index(0)), m.value(Var::from_index(1)));
+        assert_eq!(m.value(Var::from_index(0)), m.value(Var::from_index(2)));
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 (odd cycle)
+        let mut s = Solver::new();
+        add(&mut s, &[1, 2]);
+        add(&mut s, &[-1, -2]);
+        add(&mut s, &[2, 3]);
+        add(&mut s, &[-2, -3]);
+        add(&mut s, &[1, 3]);
+        add(&mut s, &[-1, -3]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,139 @@
+//! The two number/arity encodings compared by the paper's "Abstractions
+//! Efficiency" experiment (§IV).
+//!
+//! * **Naive** — Alloy-`Int`-style integer atoms with bit-blasted sums and
+//!   comparisons, and high-arity (ternary and wider) relations. This is the
+//!   paper's first model, the one producing ~259K SAT clauses at scope
+//!   3 pnodes × 2 vnodes.
+//! * **Optimized** — the paper's replacement: every ternary-or-wider
+//!   relation becomes a fresh signature with binary fields (`bidTriple`,
+//!   and per-state view cells in the dynamic model), and integers become
+//!   the `value` signature whose constant `succ`/`pre` relations support
+//!   `valL`/`valLE`/`valG`/`valGE` without bit-blasting (~190K clauses in
+//!   the paper).
+
+use mca_alloy::{Model, SigId, ValueSig};
+use mca_relalg::{AtomId, Expr, Formula};
+
+/// Which encoding a model builder should use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NumberEncoding {
+    /// Alloy-`Int`-style atoms + bit-blasted arithmetic + wide relations.
+    NaiveInt,
+    /// The paper's `value` signature + binary-field signatures.
+    OptimizedValue,
+}
+
+impl std::fmt::Display for NumberEncoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NumberEncoding::NaiveInt => write!(f, "naive (Int + ternary)"),
+            NumberEncoding::OptimizedValue => write!(f, "optimized (value + binary)"),
+        }
+    }
+}
+
+/// A number system installed in a model: either integer atoms or a `value`
+/// signature, with uniform accessors for "the atom denoting k" and ground
+/// comparisons.
+#[derive(Clone, Debug)]
+pub enum Numbers {
+    /// Alloy-`Int` atoms (naive).
+    Ints {
+        /// The `Int` sig.
+        sig: SigId,
+        /// Atom for each of `0..=max`.
+        atoms: Vec<AtomId>,
+    },
+    /// The paper's `value` atoms (optimized).
+    Values {
+        /// The `value` sig with its `succ`/`pre` relations.
+        value: ValueSig,
+    },
+}
+
+impl Numbers {
+    /// Installs numbers `0..=max` in `m` under the chosen encoding.
+    pub fn install(m: &mut Model, encoding: NumberEncoding, max: i64) -> Numbers {
+        match encoding {
+            NumberEncoding::NaiveInt => {
+                let sig = m.int_sig(0..=max);
+                let atoms = m.atoms(sig).to_vec();
+                Numbers::Ints { sig, atoms }
+            }
+            NumberEncoding::OptimizedValue => Numbers::Values {
+                value: m.value_sig(max as usize + 1),
+            },
+        }
+    }
+
+    /// The sig holding the number atoms.
+    pub fn sig(&self) -> SigId {
+        match self {
+            Numbers::Ints { sig, .. } => *sig,
+            Numbers::Values { value } => value.sig(),
+        }
+    }
+
+    /// The singleton expression denoting `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside the installed range.
+    pub fn num(&self, m: &Model, k: i64) -> Expr {
+        match self {
+            Numbers::Ints { atoms, .. } => Expr::atom(atoms[k as usize]),
+            Numbers::Values { value } => {
+                let _ = m;
+                Expr::atom(value.atom(m, k as usize))
+            }
+        }
+    }
+
+    /// The formula `a > b`, where `a` and `b` are singleton number
+    /// expressions. Naive: bit-blasted integer comparison on summed atom
+    /// values. Optimized: the paper's `valG` (a join through `succ`).
+    pub fn gt(&self, m: &Model, a: &Expr, b: &Expr) -> Formula {
+        match self {
+            Numbers::Ints { .. } => a.sum_values().gt(&b.sum_values()),
+            Numbers::Values { value } => value.gt(m, a, b),
+        }
+    }
+
+    /// The formula `a <= b` (see [`Numbers::gt`] for the two encodings).
+    pub fn le(&self, m: &Model, a: &Expr, b: &Expr) -> Formula {
+        match self {
+            Numbers::Ints { .. } => a.sum_values().le(&b.sum_values()),
+            Numbers::Values { value } => value.le(m, a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_encodings_compare_correctly() {
+        for encoding in [NumberEncoding::NaiveInt, NumberEncoding::OptimizedValue] {
+            let mut m = Model::new();
+            let nums = Numbers::install(&mut m, encoding, 3);
+            for a in 0..=3i64 {
+                for b in 0..=3i64 {
+                    let ea = nums.num(&m, a);
+                    let eb = nums.num(&m, b);
+                    let gt = m.check(&nums.gt(&m, &ea, &eb)).unwrap().result.is_valid();
+                    let le = m.check(&nums.le(&m, &ea, &eb)).unwrap().result.is_valid();
+                    assert_eq!(gt, a > b, "{encoding}: {a} > {b}");
+                    assert_eq!(le, a <= b, "{encoding}: {a} <= {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert!(NumberEncoding::NaiveInt.to_string().contains("naive"));
+        assert!(NumberEncoding::OptimizedValue.to_string().contains("optimized"));
+    }
+}

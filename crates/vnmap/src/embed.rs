@@ -1,0 +1,369 @@
+//! MCA-driven virtual network embedding.
+//!
+//! Physical nodes act as MCA agents bidding to host virtual nodes; the bid
+//! is the node's residual CPU capacity — the paper's running example of a
+//! sub-modular utility ("the residual (CPU) capacity can in fact only
+//! decrease as virtual nodes to be supported are added", §II-A). Once the
+//! distributed auction quiesces, virtual links are realized with k-shortest
+//! loop-free paths, respecting bandwidth.
+
+use crate::graph::{Mapping, PNodeId, Path, PhysicalNetwork, VNodeId, VirtualNetwork};
+use crate::paths::k_shortest_paths;
+use mca_core::{ItemId, Policy, SimOutcome, Simulator, Utility};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The residual-capacity utility: a physical node's marginal bid for a
+/// virtual node is its CPU capacity left after the bundle, provided the
+/// demand fits (and `None` otherwise). Sub-modular by construction.
+#[derive(Clone, Debug)]
+pub struct ResidualCapacityUtility {
+    capacity: i64,
+    demands: Arc<Vec<i64>>,
+}
+
+impl ResidualCapacityUtility {
+    /// Creates the utility for a node of the given capacity bidding on
+    /// virtual nodes with the given demands (indexed by `ItemId`).
+    pub fn new(capacity: i64, demands: Arc<Vec<i64>>) -> ResidualCapacityUtility {
+        ResidualCapacityUtility { capacity, demands }
+    }
+
+    fn used(&self, bundle: &[ItemId]) -> i64 {
+        bundle.iter().map(|j| self.demands[j.index()]).sum()
+    }
+}
+
+impl Utility for ResidualCapacityUtility {
+    fn marginal(&self, item: ItemId, bundle: &[ItemId]) -> Option<i64> {
+        let residual = self.capacity - self.used(bundle);
+        let demand = *self.demands.get(item.index())?;
+        if demand > residual {
+            return None;
+        }
+        // Bid the residual capacity *before* hosting the item: larger
+        // residual ⇒ stronger bid; shrinks as the bundle grows.
+        Some(residual)
+    }
+
+    fn is_submodular(&self) -> bool {
+        true
+    }
+}
+
+/// Why an embedding attempt failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EmbedError {
+    /// The auction quiesced without assigning these virtual nodes.
+    Unassigned(Vec<VNodeId>),
+    /// The auction did not converge within the round budget.
+    NoConvergence,
+    /// No capacity-feasible loop-free path for this virtual link index.
+    NoPath(usize),
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::Unassigned(v) => {
+                write!(f, "auction left {} virtual node(s) unassigned", v.len())
+            }
+            EmbedError::NoConvergence => write!(f, "auction did not converge"),
+            EmbedError::NoPath(i) => write!(f, "no feasible path for virtual link {i}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+/// Embedding parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EmbedConfig {
+    /// Synchronous-round budget for the auction.
+    pub max_rounds: usize,
+    /// How many candidate paths Yen's algorithm produces per virtual link.
+    pub k_paths: usize,
+}
+
+impl Default for EmbedConfig {
+    fn default() -> Self {
+        EmbedConfig {
+            max_rounds: 64,
+            k_paths: 8,
+        }
+    }
+}
+
+/// Result of a successful embedding.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    /// The final mapping.
+    pub mapping: Mapping,
+    /// Statistics of the auction run.
+    pub auction: SimOutcome,
+}
+
+/// Builds the MCA simulator for a node-embedding auction (exposed so the
+/// benchmarks and the verification crate can drive the same configuration).
+pub fn auction_simulator(pnet: &PhysicalNetwork, vnet: &VirtualNetwork) -> Simulator {
+    let demands: Arc<Vec<i64>> = Arc::new(vnet.nodes().map(|v| vnet.cpu(v)).collect());
+    let policies: Vec<Policy> = pnet
+        .nodes()
+        .map(|p| {
+            Policy::new(
+                Arc::new(ResidualCapacityUtility::new(pnet.cpu(p), Arc::clone(&demands))),
+                vnet.len(),
+            )
+        })
+        .collect();
+    Simulator::new(pnet.to_agent_network(), vnet.len(), policies)
+}
+
+/// Embeds `vnet` onto `pnet`: distributed MCA node assignment followed by
+/// k-shortest-path link mapping.
+///
+/// # Errors
+///
+/// Returns [`EmbedError`] if the auction fails to converge, leaves virtual
+/// nodes unassigned, or some virtual link admits no feasible path.
+pub fn embed(
+    pnet: &PhysicalNetwork,
+    vnet: &VirtualNetwork,
+    config: EmbedConfig,
+) -> Result<Embedding, EmbedError> {
+    let mut sim = auction_simulator(pnet, vnet);
+    let outcome = sim.run_synchronous(config.max_rounds);
+    if !outcome.converged {
+        return Err(EmbedError::NoConvergence);
+    }
+    let mut nodes: BTreeMap<VNodeId, PNodeId> = BTreeMap::new();
+    for v in vnet.nodes() {
+        match outcome.allocation.get(&ItemId(v.0)) {
+            Some(agent) => {
+                nodes.insert(v, PNodeId(agent.0));
+            }
+            None => {}
+        }
+    }
+    let unassigned: Vec<VNodeId> = vnet.nodes().filter(|v| !nodes.contains_key(v)).collect();
+    if !unassigned.is_empty() {
+        return Err(EmbedError::Unassigned(unassigned));
+    }
+
+    // Link mapping with residual bandwidth tracking.
+    let mut residual: Vec<i64> = pnet.links().iter().map(|l| l.bandwidth).collect();
+    let mut link_paths: BTreeMap<usize, Path> = BTreeMap::new();
+    for (idx, vl) in vnet.links().iter().enumerate() {
+        let src = nodes[&vl.a];
+        let dst = nodes[&vl.b];
+        let candidates = k_shortest_paths(pnet, src, dst, config.k_paths);
+        let mut chosen = None;
+        'candidates: for path in candidates {
+            // Check residual bandwidth along the path.
+            let mut link_ids = Vec::new();
+            for (a, b) in path.edges() {
+                let Some(&(_, lid)) = pnet
+                    .neighbors(a)
+                    .iter()
+                    .find(|&&(nb, lid)| nb == b && residual[lid] >= vl.bandwidth)
+                else {
+                    continue 'candidates;
+                };
+                link_ids.push(lid);
+            }
+            for lid in link_ids {
+                residual[lid] -= vl.bandwidth;
+            }
+            chosen = Some(path);
+            break;
+        }
+        match chosen {
+            Some(p) => {
+                link_paths.insert(idx, p);
+            }
+            None => return Err(EmbedError::NoPath(idx)),
+        }
+    }
+
+    Ok(Embedding {
+        mapping: Mapping { nodes, link_paths },
+        auction: outcome,
+    })
+}
+
+/// Checks that a mapping is *valid* in the paper's sense (§II-B): every
+/// virtual node on exactly one physical node with total hosted demand
+/// within capacity, and every virtual link on a loop-free path whose
+/// endpoints host the link's endpoints, with per-link bandwidth within
+/// capacity.
+pub fn validate(
+    pnet: &PhysicalNetwork,
+    vnet: &VirtualNetwork,
+    mapping: &Mapping,
+) -> Result<(), String> {
+    // Node capacities.
+    let mut used = vec![0i64; pnet.len()];
+    for v in vnet.nodes() {
+        let Some(&host) = mapping.nodes.get(&v) else {
+            return Err(format!("{v} is unmapped"));
+        };
+        used[host.index()] += vnet.cpu(v);
+    }
+    for p in pnet.nodes() {
+        if used[p.index()] > pnet.cpu(p) {
+            return Err(format!(
+                "{p} over capacity: {} > {}",
+                used[p.index()],
+                pnet.cpu(p)
+            ));
+        }
+    }
+    // Links.
+    let mut bw_used = vec![0i64; pnet.links().len()];
+    for (idx, vl) in vnet.links().iter().enumerate() {
+        let Some(path) = mapping.link_paths.get(&idx) else {
+            return Err(format!("virtual link {idx} is unmapped"));
+        };
+        if !path.is_loop_free() {
+            return Err(format!("path for virtual link {idx} has a loop"));
+        }
+        let (Some(&first), Some(&last)) = (path.0.first(), path.0.last()) else {
+            return Err(format!("path for virtual link {idx} is empty"));
+        };
+        if mapping.nodes.get(&vl.a) != Some(&first) || mapping.nodes.get(&vl.b) != Some(&last) {
+            return Err(format!("path endpoints for virtual link {idx} do not match hosts"));
+        }
+        for (a, b) in path.edges() {
+            let Some(&(_, lid)) = pnet.neighbors(a).iter().find(|&&(nb, _)| nb == b) else {
+                return Err(format!("path for virtual link {idx} uses a non-existent edge"));
+            };
+            bw_used[lid] += vl.bandwidth;
+        }
+    }
+    for (lid, l) in pnet.links().iter().enumerate() {
+        if bw_used[lid] > l.bandwidth {
+            return Err(format!(
+                "physical link {lid} over bandwidth: {} > {}",
+                bw_used[lid], l.bandwidth
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_substrate() -> PhysicalNetwork {
+        let mut g = PhysicalNetwork::new(vec![100, 60, 40]);
+        g.add_link(PNodeId(0), PNodeId(1), 100);
+        g.add_link(PNodeId(1), PNodeId(2), 100);
+        g.add_link(PNodeId(0), PNodeId(2), 100);
+        g
+    }
+
+    fn small_request() -> VirtualNetwork {
+        let mut v = VirtualNetwork::new(vec![30, 20]);
+        v.add_link(VNodeId(0), VNodeId(1), 10);
+        v
+    }
+
+    #[test]
+    fn residual_utility_is_submodular() {
+        let u = ResidualCapacityUtility::new(100, Arc::new(vec![30, 20, 60]));
+        assert!(u.is_submodular());
+        let m0 = u.marginal(ItemId(0), &[]).unwrap();
+        let m0_after = u.marginal(ItemId(0), &[ItemId(1)]).unwrap();
+        assert!(m0_after < m0);
+        // Infeasible demand yields None.
+        let tight = ResidualCapacityUtility::new(50, Arc::new(vec![60]));
+        assert_eq!(tight.marginal(ItemId(0), &[]), None);
+    }
+
+    #[test]
+    fn embed_small_request() {
+        let pnet = small_substrate();
+        let vnet = small_request();
+        let emb = embed(&pnet, &vnet, EmbedConfig::default()).expect("embeddable");
+        assert!(emb.auction.converged);
+        validate(&pnet, &vnet, &emb.mapping).expect("valid mapping");
+        // The highest-capacity node (pnode0) outbids the others.
+        assert_eq!(emb.mapping.nodes[&VNodeId(0)], PNodeId(0));
+    }
+
+    #[test]
+    fn embed_respects_capacity() {
+        // Substrate too small for the request: total demand 90 > each node,
+        // and node capacities force a spread.
+        let mut pnet = PhysicalNetwork::new(vec![35, 35, 35]);
+        pnet.add_link(PNodeId(0), PNodeId(1), 100);
+        pnet.add_link(PNodeId(1), PNodeId(2), 100);
+        let mut vnet = VirtualNetwork::new(vec![30, 30, 30]);
+        vnet.add_link(VNodeId(0), VNodeId(1), 5);
+        vnet.add_link(VNodeId(1), VNodeId(2), 5);
+        let emb = embed(&pnet, &vnet, EmbedConfig::default()).expect("spread embedding");
+        validate(&pnet, &vnet, &emb.mapping).expect("valid");
+        // Three virtual nodes of 30 on nodes of 35: one each.
+        let hosts: std::collections::HashSet<PNodeId> =
+            emb.mapping.nodes.values().copied().collect();
+        assert_eq!(hosts.len(), 3);
+    }
+
+    #[test]
+    fn embed_fails_when_demand_exceeds_capacity() {
+        let mut pnet = PhysicalNetwork::new(vec![10, 10]);
+        pnet.add_link(PNodeId(0), PNodeId(1), 100);
+        let vnet = VirtualNetwork::new(vec![50]);
+        let err = embed(&pnet, &vnet, EmbedConfig::default()).unwrap_err();
+        assert!(matches!(err, EmbedError::Unassigned(_)));
+    }
+
+    #[test]
+    fn embed_fails_without_bandwidth() {
+        let mut pnet = PhysicalNetwork::new(vec![100, 100]);
+        pnet.add_link(PNodeId(0), PNodeId(1), 1); // 1 unit of bandwidth only
+        let mut vnet = VirtualNetwork::new(vec![60, 60]);
+        vnet.add_link(VNodeId(0), VNodeId(1), 10); // needs 10
+        let err = embed(&pnet, &vnet, EmbedConfig::default()).unwrap_err();
+        assert_eq!(err, EmbedError::NoPath(0));
+    }
+
+    #[test]
+    fn colocated_endpoints_use_trivial_path() {
+        let mut pnet = PhysicalNetwork::new(vec![100, 5]);
+        pnet.add_link(PNodeId(0), PNodeId(1), 10);
+        let mut vnet = VirtualNetwork::new(vec![30, 30]);
+        vnet.add_link(VNodeId(0), VNodeId(1), 99); // huge bandwidth, but co-located
+        let emb = embed(&pnet, &vnet, EmbedConfig::default()).expect("co-located");
+        assert_eq!(emb.mapping.nodes[&VNodeId(0)], emb.mapping.nodes[&VNodeId(1)]);
+        assert_eq!(emb.mapping.link_paths[&0].hops(), 0);
+        validate(&pnet, &vnet, &emb.mapping).expect("valid");
+    }
+
+    #[test]
+    fn validate_rejects_overload() {
+        let pnet = small_substrate();
+        let vnet = small_request();
+        let mut mapping = Mapping::default();
+        // Both vnodes on pnode2 (capacity 40 < 50 demand).
+        mapping.nodes.insert(VNodeId(0), PNodeId(2));
+        mapping.nodes.insert(VNodeId(1), PNodeId(2));
+        mapping.link_paths.insert(0, Path(vec![PNodeId(2)]));
+        let err = validate(&pnet, &vnet, &mapping).unwrap_err();
+        assert!(err.contains("over capacity"));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_endpoints() {
+        let pnet = small_substrate();
+        let vnet = small_request();
+        let mut mapping = Mapping::default();
+        mapping.nodes.insert(VNodeId(0), PNodeId(0));
+        mapping.nodes.insert(VNodeId(1), PNodeId(1));
+        mapping.link_paths.insert(0, Path(vec![PNodeId(0), PNodeId(2)]));
+        let err = validate(&pnet, &vnet, &mapping).unwrap_err();
+        assert!(err.contains("endpoints"));
+    }
+}

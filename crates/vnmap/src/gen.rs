@@ -1,0 +1,155 @@
+//! Seeded workload generators for embedding experiments.
+
+use crate::graph::{PNodeId, PhysicalNetwork, VNodeId, VirtualNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random physical substrates.
+#[derive(Clone, Copy, Debug)]
+pub struct SubstrateSpec {
+    /// Number of physical nodes.
+    pub nodes: usize,
+    /// Link probability (Erdős–Rényi); connectivity is enforced by adding
+    /// a spanning ring first.
+    pub link_probability: f64,
+    /// CPU capacity range (inclusive).
+    pub cpu: (i64, i64),
+    /// Bandwidth capacity range (inclusive).
+    pub bandwidth: (i64, i64),
+}
+
+impl Default for SubstrateSpec {
+    fn default() -> Self {
+        SubstrateSpec {
+            nodes: 10,
+            link_probability: 0.3,
+            cpu: (50, 100),
+            bandwidth: (50, 100),
+        }
+    }
+}
+
+/// Generates a connected random substrate.
+///
+/// # Panics
+///
+/// Panics if `nodes < 3` (the spanning ring needs 3).
+pub fn random_substrate(spec: SubstrateSpec, seed: u64) -> PhysicalNetwork {
+    assert!(spec.nodes >= 3, "substrates need at least 3 nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cpu = (0..spec.nodes)
+        .map(|_| rng.gen_range(spec.cpu.0..=spec.cpu.1))
+        .collect();
+    let mut net = PhysicalNetwork::new(cpu);
+    // Spanning ring guarantees connectivity.
+    for i in 0..spec.nodes {
+        let j = (i + 1) % spec.nodes;
+        net.add_link(
+            PNodeId(i as u32),
+            PNodeId(j as u32),
+            rng.gen_range(spec.bandwidth.0..=spec.bandwidth.1),
+        );
+    }
+    for i in 0..spec.nodes {
+        for j in (i + 2)..spec.nodes {
+            if (i, j) == (0, spec.nodes - 1) {
+                continue; // already a ring edge
+            }
+            if rng.gen_bool(spec.link_probability.clamp(0.0, 1.0)) {
+                net.add_link(
+                    PNodeId(i as u32),
+                    PNodeId(j as u32),
+                    rng.gen_range(spec.bandwidth.0..=spec.bandwidth.1),
+                );
+            }
+        }
+    }
+    net
+}
+
+/// Parameters for random virtual network requests.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestSpec {
+    /// Number of virtual nodes.
+    pub nodes: usize,
+    /// Extra random links on top of the spanning path.
+    pub extra_link_probability: f64,
+    /// CPU demand range (inclusive).
+    pub cpu: (i64, i64),
+    /// Bandwidth demand range (inclusive).
+    pub bandwidth: (i64, i64),
+}
+
+impl Default for RequestSpec {
+    fn default() -> Self {
+        RequestSpec {
+            nodes: 4,
+            extra_link_probability: 0.2,
+            cpu: (10, 30),
+            bandwidth: (5, 15),
+        }
+    }
+}
+
+/// Generates a connected random request (spanning path plus extras).
+///
+/// # Panics
+///
+/// Panics if `nodes == 0`.
+pub fn random_request(spec: RequestSpec, seed: u64) -> VirtualNetwork {
+    assert!(spec.nodes >= 1, "requests need at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cpu = (0..spec.nodes)
+        .map(|_| rng.gen_range(spec.cpu.0..=spec.cpu.1))
+        .collect();
+    let mut vn = VirtualNetwork::new(cpu);
+    for i in 1..spec.nodes {
+        vn.add_link(
+            VNodeId(i as u32 - 1),
+            VNodeId(i as u32),
+            rng.gen_range(spec.bandwidth.0..=spec.bandwidth.1),
+        );
+    }
+    for i in 0..spec.nodes {
+        for j in (i + 2)..spec.nodes {
+            if rng.gen_bool(spec.extra_link_probability.clamp(0.0, 1.0)) {
+                vn.add_link(
+                    VNodeId(i as u32),
+                    VNodeId(j as u32),
+                    rng.gen_range(spec.bandwidth.0..=spec.bandwidth.1),
+                );
+            }
+        }
+    }
+    vn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substrate_is_deterministic_and_connected() {
+        let a = random_substrate(SubstrateSpec::default(), 1);
+        let b = random_substrate(SubstrateSpec::default(), 1);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.links().len(), b.links().len());
+        assert!(a.to_agent_network().is_connected());
+    }
+
+    #[test]
+    fn request_has_spanning_path() {
+        let r = random_request(RequestSpec::default(), 3);
+        assert!(r.links().len() >= r.len() - 1);
+        assert!(r.total_cpu() > 0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_substrate(SubstrateSpec::default(), 1);
+        let b = random_substrate(SubstrateSpec::default(), 2);
+        let caps_a: Vec<i64> = a.nodes().map(|n| a.cpu(n)).collect();
+        let caps_b: Vec<i64> = b.nodes().map(|n| b.cpu(n)).collect();
+        assert_ne!(caps_a, caps_b);
+    }
+}

@@ -1,0 +1,299 @@
+//! Capacitated physical and virtual networks.
+//!
+//! The paper's case study (§II-B): a physical network `G = (V_G, E_G, C_G)`
+//! hosts virtual networks `H = (V_H, E_H, C_H)`; every node and link
+//! carries a capacity constraint.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of a physical node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PNodeId(pub u32);
+
+impl PNodeId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pnode{}", self.0)
+    }
+}
+
+/// Index of a virtual node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VNodeId(pub u32);
+
+impl VNodeId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vnode{}", self.0)
+    }
+}
+
+/// An undirected physical link with bandwidth capacity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PLink {
+    /// One endpoint.
+    pub a: PNodeId,
+    /// The other endpoint.
+    pub b: PNodeId,
+    /// Bandwidth capacity.
+    pub bandwidth: i64,
+}
+
+/// A capacitated physical (substrate) network.
+///
+/// This is the paper's `pnode` signature made concrete: each node has a CPU
+/// capacity (`pcp`) and capacitated connections (`pconnections`).
+#[derive(Clone, Debug)]
+pub struct PhysicalNetwork {
+    cpu: Vec<i64>,
+    links: Vec<PLink>,
+    adj: Vec<Vec<(PNodeId, usize)>>,
+}
+
+impl PhysicalNetwork {
+    /// Creates a network with the given per-node CPU capacities and no
+    /// links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is empty or any capacity is negative.
+    pub fn new(cpu: Vec<i64>) -> PhysicalNetwork {
+        assert!(!cpu.is_empty(), "physical networks need at least one node");
+        assert!(cpu.iter().all(|&c| c >= 0), "capacities must be >= 0");
+        let n = cpu.len();
+        PhysicalNetwork {
+            cpu,
+            links: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds an undirected link.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops, or negative bandwidth.
+    pub fn add_link(&mut self, a: PNodeId, b: PNodeId, bandwidth: i64) {
+        assert!(a.index() < self.len() && b.index() < self.len(), "endpoint out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(bandwidth >= 0, "bandwidth must be >= 0");
+        let idx = self.links.len();
+        self.links.push(PLink { a, b, bandwidth });
+        self.adj[a.index()].push((b, idx));
+        self.adj[b.index()].push((a, idx));
+    }
+
+    /// Number of physical nodes.
+    pub fn len(&self) -> usize {
+        self.cpu.len()
+    }
+
+    /// `true` if the network has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cpu.is_empty()
+    }
+
+    /// CPU capacity of a node.
+    pub fn cpu(&self, n: PNodeId) -> i64 {
+        self.cpu[n.index()]
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[PLink] {
+        &self.links
+    }
+
+    /// Neighbors of `n` with the index of the connecting link.
+    pub fn neighbors(&self, n: PNodeId) -> &[(PNodeId, usize)] {
+        &self.adj[n.index()]
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = PNodeId> {
+        (0..self.cpu.len() as u32).map(PNodeId)
+    }
+
+    /// The agent graph of this substrate (for running MCA over it).
+    pub fn to_agent_network(&self) -> mca_core::Network {
+        let mut g = mca_core::Network::new(self.len());
+        for l in &self.links {
+            g.add_link(
+                mca_core::AgentId(l.a.0),
+                mca_core::AgentId(l.b.0),
+            );
+        }
+        g
+    }
+}
+
+/// A virtual link (demand between two virtual nodes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VLink {
+    /// One endpoint.
+    pub a: VNodeId,
+    /// The other endpoint.
+    pub b: VNodeId,
+    /// Required bandwidth.
+    pub bandwidth: i64,
+}
+
+/// A virtual network request.
+#[derive(Clone, Debug)]
+pub struct VirtualNetwork {
+    cpu: Vec<i64>,
+    links: Vec<VLink>,
+}
+
+impl VirtualNetwork {
+    /// Creates a request with the given per-virtual-node CPU demands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is empty or any demand is negative.
+    pub fn new(cpu: Vec<i64>) -> VirtualNetwork {
+        assert!(!cpu.is_empty(), "virtual networks need at least one node");
+        assert!(cpu.iter().all(|&c| c >= 0), "demands must be >= 0");
+        VirtualNetwork {
+            cpu,
+            links: Vec::new(),
+        }
+    }
+
+    /// Adds a virtual link demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops, or negative bandwidth.
+    pub fn add_link(&mut self, a: VNodeId, b: VNodeId, bandwidth: i64) {
+        assert!(a.index() < self.len() && b.index() < self.len(), "endpoint out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(bandwidth >= 0, "bandwidth must be >= 0");
+        self.links.push(VLink { a, b, bandwidth });
+    }
+
+    /// Number of virtual nodes.
+    pub fn len(&self) -> usize {
+        self.cpu.len()
+    }
+
+    /// `true` if the request has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cpu.is_empty()
+    }
+
+    /// CPU demand of a virtual node.
+    pub fn cpu(&self, n: VNodeId) -> i64 {
+        self.cpu[n.index()]
+    }
+
+    /// All virtual links.
+    pub fn links(&self) -> &[VLink] {
+        &self.links
+    }
+
+    /// All virtual node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = VNodeId> {
+        (0..self.cpu.len() as u32).map(VNodeId)
+    }
+
+    /// Total CPU demand.
+    pub fn total_cpu(&self) -> i64 {
+        self.cpu.iter().sum()
+    }
+}
+
+/// A loop-free physical path (sequence of distinct nodes).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Path(pub Vec<PNodeId>);
+
+impl Path {
+    /// Number of hops (edges).
+    pub fn hops(&self) -> usize {
+        self.0.len().saturating_sub(1)
+    }
+
+    /// `true` if no node repeats.
+    pub fn is_loop_free(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.0.iter().all(|n| seen.insert(*n))
+    }
+
+    /// The consecutive node pairs of the path.
+    pub fn edges(&self) -> impl Iterator<Item = (PNodeId, PNodeId)> + '_ {
+        self.0.windows(2).map(|w| (w[0], w[1]))
+    }
+}
+
+/// A virtual-to-physical mapping: node assignment plus one loop-free path
+/// per virtual link.
+#[derive(Clone, Debug, Default)]
+pub struct Mapping {
+    /// Virtual node → hosting physical node.
+    pub nodes: BTreeMap<VNodeId, PNodeId>,
+    /// Virtual link index → realizing physical path.
+    pub link_paths: BTreeMap<usize, Path>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_network_basics() {
+        let mut g = PhysicalNetwork::new(vec![10, 20, 30]);
+        g.add_link(PNodeId(0), PNodeId(1), 100);
+        g.add_link(PNodeId(1), PNodeId(2), 50);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.cpu(PNodeId(2)), 30);
+        assert_eq!(g.links().len(), 2);
+        assert_eq!(g.neighbors(PNodeId(1)).len(), 2);
+        let agents = g.to_agent_network();
+        assert_eq!(agents.num_links(), 2);
+    }
+
+    #[test]
+    fn virtual_network_basics() {
+        let mut v = VirtualNetwork::new(vec![5, 7]);
+        v.add_link(VNodeId(0), VNodeId(1), 3);
+        assert_eq!(v.total_cpu(), 12);
+        assert_eq!(v.links().len(), 1);
+    }
+
+    #[test]
+    fn path_properties() {
+        let p = Path(vec![PNodeId(0), PNodeId(1), PNodeId(2)]);
+        assert_eq!(p.hops(), 2);
+        assert!(p.is_loop_free());
+        let q = Path(vec![PNodeId(0), PNodeId(1), PNodeId(0)]);
+        assert!(!q.is_loop_free());
+        let single = Path(vec![PNodeId(3)]);
+        assert_eq!(single.hops(), 0);
+        assert!(single.is_loop_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn plink_self_loop_panics() {
+        let mut g = PhysicalNetwork::new(vec![1, 2]);
+        g.add_link(PNodeId(0), PNodeId(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "demands must be >= 0")]
+    fn negative_demand_panics() {
+        VirtualNetwork::new(vec![-1]);
+    }
+}

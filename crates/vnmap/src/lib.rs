@@ -1,0 +1,51 @@
+//! `mca-vnmap` — the paper's case study: distributed virtual network
+//! mapping via Max-Consensus Auctions.
+//!
+//! The reproduced paper (Mirzaei & Esposito, ICDCS 2015) grounds its MCA
+//! verification model in the NP-hard virtual network mapping problem
+//! (§II-B): physical nodes (agents) bid to host constrained virtual nodes
+//! (items), and virtual links are realized afterwards with k-shortest
+//! loop-free physical paths.
+//!
+//! * [`PhysicalNetwork`] / [`VirtualNetwork`] — capacitated substrate and
+//!   request graphs (`pnode`/`vnode` with `pcp` and capacitated
+//!   `pconnections`).
+//! * [`ResidualCapacityUtility`] — the paper's example of a sub-modular
+//!   bidding utility (residual CPU capacity).
+//! * [`embed`] — the end-to-end pipeline: MCA node auction (via
+//!   [`mca_core::Simulator`]) followed by k-shortest-path link mapping.
+//! * [`validate`] — checks mapping validity exactly as §II-B defines it.
+//! * [`gen`] — seeded random substrates and requests for experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use mca_vnmap::{PhysicalNetwork, VirtualNetwork, PNodeId, VNodeId,
+//!                 embed, validate, EmbedConfig};
+//!
+//! let mut pnet = PhysicalNetwork::new(vec![100, 60, 40]);
+//! pnet.add_link(PNodeId(0), PNodeId(1), 100);
+//! pnet.add_link(PNodeId(1), PNodeId(2), 100);
+//! let mut vnet = VirtualNetwork::new(vec![30, 20]);
+//! vnet.add_link(VNodeId(0), VNodeId(1), 10);
+//!
+//! let embedding = embed(&pnet, &vnet, EmbedConfig::default())?;
+//! validate(&pnet, &vnet, &embedding.mapping).expect("valid mapping");
+//! # Ok::<(), mca_vnmap::EmbedError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod embed;
+pub mod gen;
+mod graph;
+mod paths;
+pub mod workload;
+
+pub use embed::{
+    auction_simulator, embed, validate, EmbedConfig, EmbedError, Embedding,
+    ResidualCapacityUtility,
+};
+pub use graph::{Mapping, PLink, PNodeId, Path, PhysicalNetwork, VLink, VNodeId, VirtualNetwork};
+pub use paths::{k_shortest_paths, shortest_path};

@@ -1,0 +1,235 @@
+//! Shortest and k-shortest loop-free physical paths.
+//!
+//! The paper notes that MCA need not be applied to virtual links: "physical
+//! nodes … can merely bid to host virtual nodes, and later run k-shortest
+//! path to map the virtual links" (§II-B). This module provides Dijkstra
+//! (unit hop weights) and Yen's algorithm for the k shortest loop-free
+//! paths.
+
+use crate::graph::{PNodeId, Path, PhysicalNetwork};
+use std::collections::{BinaryHeap, HashSet};
+
+/// Shortest (fewest-hop) path from `src` to `dst` avoiding the given nodes
+/// and edges. `banned_edges` holds node pairs in either orientation.
+pub fn shortest_path(
+    net: &PhysicalNetwork,
+    src: PNodeId,
+    dst: PNodeId,
+    banned_nodes: &HashSet<PNodeId>,
+    banned_edges: &HashSet<(PNodeId, PNodeId)>,
+) -> Option<Path> {
+    if banned_nodes.contains(&src) || banned_nodes.contains(&dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(Path(vec![src]));
+    }
+    let n = net.len();
+    let mut dist = vec![usize::MAX; n];
+    let mut prev: Vec<Option<PNodeId>> = vec![None; n];
+    dist[src.index()] = 0;
+    // Max-heap on Reverse(dist); unit weights make this effectively BFS,
+    // but the Dijkstra structure allows weighted variants later.
+    let mut heap = BinaryHeap::new();
+    heap.push(std::cmp::Reverse((0usize, src.0)));
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        let u = PNodeId(u);
+        if d > dist[u.index()] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        for &(v, _link) in net.neighbors(u) {
+            if banned_nodes.contains(&v)
+                || banned_edges.contains(&(u, v))
+                || banned_edges.contains(&(v, u))
+            {
+                continue;
+            }
+            let nd = d + 1;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some(u);
+                heap.push(std::cmp::Reverse((nd, v.0)));
+            }
+        }
+    }
+    if dist[dst.index()] == usize::MAX {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = prev[cur.index()] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    debug_assert_eq!(path[0], src);
+    Some(Path(path))
+}
+
+/// Yen's algorithm: up to `k` shortest loop-free paths from `src` to `dst`,
+/// sorted by hop count (ties resolved deterministically by discovery
+/// order).
+pub fn k_shortest_paths(
+    net: &PhysicalNetwork,
+    src: PNodeId,
+    dst: PNodeId,
+    k: usize,
+) -> Vec<Path> {
+    let mut result: Vec<Path> = Vec::new();
+    if k == 0 {
+        return result;
+    }
+    let empty_nodes = HashSet::new();
+    let empty_edges = HashSet::new();
+    let Some(first) = shortest_path(net, src, dst, &empty_nodes, &empty_edges) else {
+        return result;
+    };
+    result.push(first);
+    // Candidate paths, kept sorted by (hops, insertion order).
+    let mut candidates: Vec<Path> = Vec::new();
+    while result.len() < k {
+        let last = result.last().expect("at least the first path").clone();
+        for i in 0..last.0.len() - 1 {
+            let spur_node = last.0[i];
+            let root: Vec<PNodeId> = last.0[..=i].to_vec();
+            // Ban edges used by previous results sharing this root.
+            let mut banned_edges = HashSet::new();
+            for p in &result {
+                if p.0.len() > i && p.0[..=i] == root[..] {
+                    if let (Some(&a), Some(&b)) = (p.0.get(i), p.0.get(i + 1)) {
+                        banned_edges.insert((a, b));
+                    }
+                }
+            }
+            // Ban root nodes except the spur node (loop-freedom).
+            let banned_nodes: HashSet<PNodeId> =
+                root[..root.len() - 1].iter().copied().collect();
+            if let Some(spur) =
+                shortest_path(net, spur_node, dst, &banned_nodes, &banned_edges)
+            {
+                let mut total = root.clone();
+                total.extend_from_slice(&spur.0[1..]);
+                let candidate = Path(total);
+                if candidate.is_loop_free()
+                    && !result.contains(&candidate)
+                    && !candidates.contains(&candidate)
+                {
+                    candidates.push(candidate);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Take the shortest candidate (stable for ties).
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, p)| (p.hops(), *i))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        result.push(candidates.remove(best));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-node diamond: 0–1–3 and 0–2–3, plus a direct 0–3 link.
+    fn diamond() -> PhysicalNetwork {
+        let mut g = PhysicalNetwork::new(vec![1; 4]);
+        g.add_link(PNodeId(0), PNodeId(1), 10);
+        g.add_link(PNodeId(1), PNodeId(3), 10);
+        g.add_link(PNodeId(0), PNodeId(2), 10);
+        g.add_link(PNodeId(2), PNodeId(3), 10);
+        g.add_link(PNodeId(0), PNodeId(3), 10);
+        g
+    }
+
+    #[test]
+    fn shortest_is_direct() {
+        let g = diamond();
+        let p = shortest_path(&g, PNodeId(0), PNodeId(3), &HashSet::new(), &HashSet::new())
+            .unwrap();
+        assert_eq!(p.0, vec![PNodeId(0), PNodeId(3)]);
+    }
+
+    #[test]
+    fn shortest_respects_bans() {
+        let g = diamond();
+        let mut banned_edges = HashSet::new();
+        banned_edges.insert((PNodeId(0), PNodeId(3)));
+        let p = shortest_path(&g, PNodeId(0), PNodeId(3), &HashSet::new(), &banned_edges)
+            .unwrap();
+        assert_eq!(p.hops(), 2);
+        let mut banned_nodes = HashSet::new();
+        banned_nodes.insert(PNodeId(1));
+        banned_nodes.insert(PNodeId(2));
+        let q = shortest_path(&g, PNodeId(0), PNodeId(3), &banned_nodes, &banned_edges);
+        assert!(q.is_none());
+    }
+
+    #[test]
+    fn same_node_path_is_trivial() {
+        let g = diamond();
+        let p = shortest_path(&g, PNodeId(2), PNodeId(2), &HashSet::new(), &HashSet::new())
+            .unwrap();
+        assert_eq!(p.0, vec![PNodeId(2)]);
+        assert_eq!(p.hops(), 0);
+    }
+
+    #[test]
+    fn k_shortest_finds_all_three() {
+        let g = diamond();
+        let paths = k_shortest_paths(&g, PNodeId(0), PNodeId(3), 5);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].hops(), 1);
+        assert_eq!(paths[1].hops(), 2);
+        assert_eq!(paths[2].hops(), 2);
+        // All loop-free and distinct.
+        assert!(paths.iter().all(Path::is_loop_free));
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                assert_ne!(paths[i], paths[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn k_shortest_sorted_by_hops() {
+        let g = diamond();
+        let paths = k_shortest_paths(&g, PNodeId(0), PNodeId(3), 5);
+        let hops: Vec<usize> = paths.iter().map(Path::hops).collect();
+        let mut sorted = hops.clone();
+        sorted.sort_unstable();
+        assert_eq!(hops, sorted);
+    }
+
+    #[test]
+    fn k_zero_yields_nothing() {
+        let g = diamond();
+        assert!(k_shortest_paths(&g, PNodeId(0), PNodeId(3), 0).is_empty());
+    }
+
+    #[test]
+    fn disconnected_yields_nothing() {
+        let g = PhysicalNetwork::new(vec![1, 1]);
+        assert!(k_shortest_paths(&g, PNodeId(0), PNodeId(1), 3).is_empty());
+    }
+
+    #[test]
+    fn line_has_single_path() {
+        let mut g = PhysicalNetwork::new(vec![1; 4]);
+        g.add_link(PNodeId(0), PNodeId(1), 1);
+        g.add_link(PNodeId(1), PNodeId(2), 1);
+        g.add_link(PNodeId(2), PNodeId(3), 1);
+        let paths = k_shortest_paths(&g, PNodeId(0), PNodeId(3), 4);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].hops(), 3);
+    }
+}

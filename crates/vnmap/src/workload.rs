@@ -1,0 +1,351 @@
+//! Online virtual network embedding workloads.
+//!
+//! The paper motivates MCA with federated infrastructure providers
+//! embedding a *stream* of virtual network requests. This module runs that
+//! scenario: requests arrive over time, are embedded against the
+//! substrate's **residual** capacities via the MCA auction, hold their
+//! resources for a lifetime, and release them on departure. The standard
+//! VNE metrics (acceptance ratio, revenue) are reported.
+
+use crate::embed::{embed, EmbedConfig, EmbedError, Embedding};
+use crate::graph::{PhysicalNetwork, VirtualNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Identifies an embedded request inside an [`OnlineEmbedder`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RequestId(u64);
+
+/// Embeds a stream of requests against residual substrate capacities.
+#[derive(Debug)]
+pub struct OnlineEmbedder {
+    substrate: PhysicalNetwork,
+    residual_cpu: Vec<i64>,
+    residual_bw: Vec<i64>,
+    active: BTreeMap<RequestId, (VirtualNetwork, Embedding)>,
+    next_id: u64,
+    config: EmbedConfig,
+}
+
+impl OnlineEmbedder {
+    /// Creates an embedder over the given substrate.
+    pub fn new(substrate: PhysicalNetwork, config: EmbedConfig) -> OnlineEmbedder {
+        let residual_cpu = substrate.nodes().map(|n| substrate.cpu(n)).collect();
+        let residual_bw = substrate.links().iter().map(|l| l.bandwidth).collect();
+        OnlineEmbedder {
+            substrate,
+            residual_cpu,
+            residual_bw,
+            active: BTreeMap::new(),
+            next_id: 0,
+            config,
+        }
+    }
+
+    /// Residual CPU per node (indexed by node id).
+    pub fn residual_cpu(&self) -> &[i64] {
+        &self.residual_cpu
+    }
+
+    /// Residual bandwidth per link (indexed by link id).
+    pub fn residual_bandwidth(&self) -> &[i64] {
+        &self.residual_bw
+    }
+
+    /// Number of currently embedded requests.
+    pub fn active_requests(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The substrate with current residual capacities, as a network.
+    fn residual_network(&self) -> PhysicalNetwork {
+        let mut net = PhysicalNetwork::new(self.residual_cpu.clone());
+        for (i, l) in self.substrate.links().iter().enumerate() {
+            net.add_link(l.a, l.b, self.residual_bw[i]);
+        }
+        net
+    }
+
+    /// Attempts to embed a request against the residual capacities,
+    /// committing resources on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`EmbedError`] of the failed attempt; the substrate
+    /// state is unchanged on failure.
+    pub fn try_embed(&mut self, request: VirtualNetwork) -> Result<RequestId, EmbedError> {
+        let residual = self.residual_network();
+        let embedding = embed(&residual, &request, self.config)?;
+        // Commit.
+        for (v, p) in &embedding.mapping.nodes {
+            self.residual_cpu[p.index()] -= request.cpu(*v);
+        }
+        for (idx, path) in &embedding.mapping.link_paths {
+            let bw = request.links()[*idx].bandwidth;
+            for (a, b) in path.edges() {
+                let (_, lid) = self
+                    .substrate
+                    .neighbors(a)
+                    .iter()
+                    .copied()
+                    .find(|&(nb, _)| nb == b)
+                    .expect("path edges exist in the substrate");
+                self.residual_bw[lid] -= bw;
+            }
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.active.insert(id, (request, embedding));
+        Ok(id)
+    }
+
+    /// Releases an embedded request, returning its resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is not active.
+    pub fn release(&mut self, id: RequestId) {
+        let (request, embedding) = self.active.remove(&id).expect("active request");
+        for (v, p) in &embedding.mapping.nodes {
+            self.residual_cpu[p.index()] += request.cpu(*v);
+        }
+        for (idx, path) in &embedding.mapping.link_paths {
+            let bw = request.links()[*idx].bandwidth;
+            for (a, b) in path.edges() {
+                let (_, lid) = self
+                    .substrate
+                    .neighbors(a)
+                    .iter()
+                    .copied()
+                    .find(|&(nb, _)| nb == b)
+                    .expect("path edges exist in the substrate");
+                self.residual_bw[lid] += bw;
+            }
+        }
+    }
+
+    /// Checks internal accounting: residuals within `[0, capacity]`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for n in self.substrate.nodes() {
+            let r = self.residual_cpu[n.index()];
+            if r < 0 || r > self.substrate.cpu(n) {
+                return Err(format!("cpu residual of {n} out of range: {r}"));
+            }
+        }
+        for (i, l) in self.substrate.links().iter().enumerate() {
+            let r = self.residual_bw[i];
+            if r < 0 || r > l.bandwidth {
+                return Err(format!("bandwidth residual of link {i} out of range: {r}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parameters for a randomized arrival/departure workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Number of arriving requests.
+    pub arrivals: usize,
+    /// Probability that an active request departs between two arrivals.
+    pub departure_probability: f64,
+    /// Request shape.
+    pub request: crate::gen::RequestSpec,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            arrivals: 50,
+            departure_probability: 0.3,
+            request: crate::gen::RequestSpec::default(),
+        }
+    }
+}
+
+/// Outcome of a workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Requests accepted.
+    pub accepted: usize,
+    /// Requests rejected.
+    pub rejected: usize,
+    /// Total CPU demand of accepted requests (a simple revenue proxy).
+    pub revenue: i64,
+}
+
+impl WorkloadReport {
+    /// `accepted / (accepted + rejected)`.
+    pub fn acceptance_ratio(&self) -> f64 {
+        let total = self.accepted + self.rejected;
+        if total == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / total as f64
+        }
+    }
+}
+
+/// Runs a seeded arrival/departure workload on the embedder.
+pub fn run_workload(
+    embedder: &mut OnlineEmbedder,
+    spec: WorkloadSpec,
+    seed: u64,
+) -> WorkloadReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = WorkloadReport {
+        accepted: 0,
+        rejected: 0,
+        revenue: 0,
+    };
+    let mut alive: Vec<RequestId> = Vec::new();
+    for i in 0..spec.arrivals {
+        // Departures first.
+        if !alive.is_empty() && rng.gen_bool(spec.departure_probability.clamp(0.0, 1.0)) {
+            let idx = rng.gen_range(0..alive.len());
+            embedder.release(alive.swap_remove(idx));
+        }
+        let request = crate::gen::random_request(spec.request, seed.wrapping_add(i as u64));
+        let demand = request.total_cpu();
+        match embedder.try_embed(request) {
+            Ok(id) => {
+                alive.push(id);
+                report.accepted += 1;
+                report.revenue += demand;
+            }
+            Err(_) => report.rejected += 1,
+        }
+        debug_assert!(embedder.check_invariants().is_ok());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_substrate, RequestSpec, SubstrateSpec};
+    use crate::graph::{PNodeId, VNodeId};
+
+    fn substrate() -> PhysicalNetwork {
+        random_substrate(
+            SubstrateSpec {
+                nodes: 8,
+                link_probability: 0.4,
+                cpu: (60, 100),
+                bandwidth: (40, 80),
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn embed_and_release_restores_capacity() {
+        let mut emb = OnlineEmbedder::new(substrate(), EmbedConfig::default());
+        let before_cpu = emb.residual_cpu().to_vec();
+        let before_bw = emb.residual_bandwidth().to_vec();
+        let mut req = VirtualNetwork::new(vec![20, 15]);
+        req.add_link(VNodeId(0), VNodeId(1), 10);
+        let id = emb.try_embed(req).expect("fits");
+        assert_eq!(emb.active_requests(), 1);
+        assert!(emb.residual_cpu().iter().sum::<i64>() < before_cpu.iter().sum::<i64>());
+        emb.check_invariants().unwrap();
+        emb.release(id);
+        assert_eq!(emb.residual_cpu(), &before_cpu[..]);
+        assert_eq!(emb.residual_bandwidth(), &before_bw[..]);
+    }
+
+    #[test]
+    fn residuals_gate_later_requests() {
+        // A tiny substrate that can host exactly one large request.
+        let mut pnet = PhysicalNetwork::new(vec![50, 10]);
+        pnet.add_link(PNodeId(0), PNodeId(1), 100);
+        let mut emb = OnlineEmbedder::new(pnet, EmbedConfig::default());
+        let big = VirtualNetwork::new(vec![40]);
+        let id = emb.try_embed(big.clone()).expect("first fits");
+        // Second identical request cannot fit (residual 10 + 10).
+        assert!(emb.try_embed(big.clone()).is_err());
+        emb.release(id);
+        assert!(emb.try_embed(big).is_ok());
+    }
+
+    #[test]
+    fn failed_embedding_leaves_state_unchanged() {
+        let mut pnet = PhysicalNetwork::new(vec![30, 30]);
+        pnet.add_link(PNodeId(0), PNodeId(1), 1);
+        let mut emb = OnlineEmbedder::new(pnet, EmbedConfig::default());
+        let before = emb.residual_cpu().to_vec();
+        // Needs bandwidth 10 across a 1-capacity link: NoPath failure.
+        let mut req = VirtualNetwork::new(vec![25, 25]);
+        req.add_link(VNodeId(0), VNodeId(1), 10);
+        assert!(emb.try_embed(req).is_err());
+        assert_eq!(emb.residual_cpu(), &before[..]);
+        assert_eq!(emb.active_requests(), 0);
+    }
+
+    #[test]
+    fn workload_runs_and_accounts() {
+        let mut emb = OnlineEmbedder::new(substrate(), EmbedConfig::default());
+        let report = run_workload(
+            &mut emb,
+            WorkloadSpec {
+                arrivals: 40,
+                departure_probability: 0.4,
+                request: RequestSpec {
+                    nodes: 3,
+                    extra_link_probability: 0.2,
+                    cpu: (5, 20),
+                    bandwidth: (2, 8),
+                },
+            },
+            11,
+        );
+        assert_eq!(report.accepted + report.rejected, 40);
+        assert!(report.acceptance_ratio() > 0.5, "{report:?}");
+        emb.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn higher_load_lowers_acceptance() {
+        let light = {
+            let mut emb = OnlineEmbedder::new(substrate(), EmbedConfig::default());
+            run_workload(
+                &mut emb,
+                WorkloadSpec {
+                    arrivals: 30,
+                    departure_probability: 0.8,
+                    request: RequestSpec {
+                        nodes: 2,
+                        extra_link_probability: 0.1,
+                        cpu: (5, 10),
+                        bandwidth: (2, 5),
+                    },
+                },
+                3,
+            )
+        };
+        let heavy = {
+            let mut emb = OnlineEmbedder::new(substrate(), EmbedConfig::default());
+            run_workload(
+                &mut emb,
+                WorkloadSpec {
+                    arrivals: 30,
+                    departure_probability: 0.0,
+                    request: RequestSpec {
+                        nodes: 5,
+                        extra_link_probability: 0.4,
+                        cpu: (20, 40),
+                        bandwidth: (10, 30),
+                    },
+                },
+                3,
+            )
+        };
+        assert!(
+            light.acceptance_ratio() > heavy.acceptance_ratio(),
+            "light {:.2} vs heavy {:.2}",
+            light.acceptance_ratio(),
+            heavy.acceptance_ratio()
+        );
+    }
+}

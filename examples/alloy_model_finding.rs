@@ -1,0 +1,140 @@
+//! Using the Alloy-style model finder directly.
+//!
+//! Builds the paper's §III teaching examples — the `pnode` signature, the
+//! `positiveCap`-style facts and the `uniqueID` assertion — in the embedded
+//! DSL, runs `check` and `run` commands, and prints translation statistics
+//! (the SAT sizes the paper's "Abstractions Efficiency" section reports).
+//!
+//! Run with: `cargo run --release --example alloy_model_finding`
+
+use mca_alloy::{Model, Multiplicity};
+use mca_relalg::{Formula, IntExpr, Outcome, QuantVar};
+
+fn main() {
+    // sig pnode { pcp: one Int, id: one value, pconnections: some pnode }
+    let mut m = Model::new();
+    let pnode = m.sig("pnode", 3);
+    let ints = m.int_sig(0..=7);
+    let idv = m.value_sig(3);
+    let pcp = m.field("pcp", pnode, &[ints], Multiplicity::One);
+    let id = m.field("id", pnode, &[idv.sig()], Multiplicity::One);
+    let pconnections = m.field("pconnections", pnode, &[pnode], Multiplicity::Some);
+
+    // fact pconnectivity: undirected links, no self-loops.
+    let conn = m.field_expr(pconnections);
+    m.fact(conn.equals(&conn.transpose()));
+    m.fact(conn.intersect(&mca_relalg::Expr::iden()).no());
+
+    // fact: distinct pnodes have distinct ids.
+    let n1 = QuantVar::fresh("n1");
+    let n2 = QuantVar::fresh("n2");
+    let distinct = n1.expr().equals(&n2.expr()).not();
+    let diff_ids = n1
+        .expr()
+        .join(&m.field_expr(id))
+        .equals(&n2.expr().join(&m.field_expr(id)))
+        .not();
+    m.fact(Formula::forall(
+        &n1,
+        &m.sig_expr(pnode),
+        &Formula::forall(&n2, &m.sig_expr(pnode), &distinct.implies(&diff_ids)),
+    ));
+
+    // fact positiveCap-style: total capacity at least 6.
+    m.fact(
+        m.sig_expr(pnode)
+            .join(&m.field_expr(pcp))
+            .sum_values()
+            .ge(&IntExpr::constant(6)),
+    );
+
+    // check uniqueID for 3
+    let p1 = QuantVar::fresh("p1");
+    let p2 = QuantVar::fresh("p2");
+    let unique_id = Formula::forall(
+        &p1,
+        &m.sig_expr(pnode),
+        &Formula::forall(
+            &p2,
+            &m.sig_expr(pnode),
+            &p1.expr()
+                .equals(&p2.expr())
+                .not()
+                .implies(
+                    &p1.expr()
+                        .join(&m.field_expr(id))
+                        .equals(&p2.expr().join(&m.field_expr(id)))
+                        .not(),
+                ),
+        ),
+    );
+    let check = m.check(&unique_id).expect("well-formed model");
+    println!(
+        "check uniqueID for 3: {}",
+        if check.result.is_valid() {
+            "VALID (no counterexample within scope)"
+        } else {
+            "counterexample found"
+        }
+    );
+    println!(
+        "  translation: {} primary vars, {} CNF vars, {} clauses, {} gates, {:.3}s",
+        check.stats.primary_vars,
+        check.stats.cnf_vars,
+        check.stats.cnf_clauses,
+        check.stats.circuit_gates,
+        check.stats.translation_secs,
+    );
+    assert!(check.result.is_valid());
+
+    // run {} for 3 — find and print a satisfying instance.
+    let run = m.run(&Formula::true_()).expect("well-formed model");
+    match &run.result {
+        Outcome::Sat(instance) => {
+            println!("\nrun {{}} for 3 — instance found:\n{}", m.show_instance(instance));
+        }
+        Outcome::Unsat => panic!("the model must be satisfiable"),
+    }
+
+    // A refutable assertion: every pnode has capacity >= 4.
+    let p3 = QuantVar::fresh("p");
+    let big_cap = Formula::forall(
+        &p3,
+        &m.sig_expr(pnode),
+        &p3.expr()
+            .join(&m.field_expr(pcp))
+            .sum_values()
+            .ge(&IntExpr::constant(4)),
+    );
+    let refuted = m.check(&big_cap).expect("well-formed model");
+    println!(
+        "check allBigCapacity for 3: {}",
+        if refuted.result.is_valid() {
+            "valid"
+        } else {
+            "COUNTEREXAMPLE found (as expected)"
+        }
+    );
+    if let Some(cx) = refuted.result.counterexample() {
+        println!("{}", m.show_instance(cx));
+    }
+    assert!(!refuted.result.is_valid());
+
+    // Export the model as Alloy surface syntax for cross-checking in the
+    // real Alloy Analyzer.
+    let als = m.to_alloy_source();
+    let out_path = std::path::Path::new("target/mca_export.als");
+    if let Some(parent) = out_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(out_path, &als) {
+        Ok(()) => println!("\nexported Alloy source to {}", out_path.display()),
+        Err(e) => println!("\n(could not write {}: {e})", out_path.display()),
+    }
+    println!("--- first lines of the export ---");
+    for line in als.lines().take(8) {
+        println!("{line}");
+    }
+
+    println!("alloy_model_finding OK");
+}

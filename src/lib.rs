@@ -1,0 +1,9 @@
+//! `mca-suite` — umbrella package re-exporting the MCA verification suite crates
+//! for use by the repository-level examples and integration tests.
+
+pub use mca_alloy as alloy;
+pub use mca_core as core;
+pub use mca_relalg as relalg;
+pub use mca_sat as sat;
+pub use mca_verify as verify;
+pub use mca_vnmap as vnmap;

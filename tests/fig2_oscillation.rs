@@ -1,0 +1,77 @@
+//! E2 — the paper's Figure 2: non-sub-modular utility + release-outbid
+//! policy leads to oscillation; every other combination of the same
+//! configuration converges.
+
+use mca_core::checker::{check_consensus, CheckerOptions, Verdict};
+use mca_core::scenarios::{fig2, PolicyCell};
+use mca_core::FaultPlan;
+
+#[test]
+fn failing_cell_oscillates() {
+    let cell = PolicyCell {
+        submodular: false,
+        release_outbid: true,
+    };
+    let verdict = check_consensus(fig2(cell), CheckerOptions::default());
+    match verdict {
+        Verdict::Oscillation { trace } => {
+            // The trace shows deliveries and rebids cycling.
+            assert!(trace.steps.len() >= 4, "oscillation needs several steps");
+            let rendering = trace.to_string();
+            assert!(rendering.contains("deliver"));
+            assert!(rendering.contains("state repeats"));
+        }
+        other => panic!("expected oscillation, got {other:?}"),
+    }
+}
+
+#[test]
+fn all_other_cells_converge() {
+    for cell in PolicyCell::grid() {
+        if cell.paper_says_converges() {
+            let verdict = check_consensus(fig2(cell), CheckerOptions::default());
+            assert!(
+                verdict.converges(),
+                "cell {cell:?} must converge, got {verdict:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn oscillation_is_a_real_execution() {
+    // Random asynchronous scheduling eventually hits a non-converging run:
+    // with a transition cap, some seeds exhaust the budget without
+    // consensus. (Individual seeds may converge — the property is that at
+    // least one schedule within a healthy sample does not.)
+    let cell = PolicyCell {
+        submodular: false,
+        release_outbid: true,
+    };
+    let mut any_nonconverged = false;
+    for seed in 0..40 {
+        let mut sim = fig2(cell);
+        let out = sim.run_async(seed, 400, FaultPlan::default());
+        if !out.converged {
+            any_nonconverged = true;
+            break;
+        }
+    }
+    assert!(
+        any_nonconverged,
+        "some random schedule should exhibit the oscillation"
+    );
+}
+
+#[test]
+fn submodular_release_is_safe_under_random_schedules() {
+    let cell = PolicyCell {
+        submodular: true,
+        release_outbid: true,
+    };
+    for seed in 0..40 {
+        let mut sim = fig2(cell);
+        let out = sim.run_async(seed, 4000, FaultPlan::default());
+        assert!(out.converged, "sub-modular + release must converge (seed {seed})");
+    }
+}

@@ -1,0 +1,100 @@
+//! The `p_T` policy axis: target bundle sizes limit how many items an
+//! agent may win, like the capacity-limited physical nodes of the case
+//! study.
+
+use mca_core::checker::{check_consensus, CheckerOptions};
+use mca_core::{ItemId, Network, Policy, PositionUtility, Simulator};
+use std::sync::Arc;
+
+fn policy(values: Vec<(ItemId, Vec<i64>)>, target: usize) -> Policy {
+    Policy::new(Arc::new(PositionUtility::new(values)), target)
+}
+
+#[test]
+fn targets_cap_bundle_sizes() {
+    // Agent 0 values everything most but may hold only one item.
+    let p0 = policy(
+        vec![
+            (ItemId(0), vec![50]),
+            (ItemId(1), vec![49]),
+            (ItemId(2), vec![48]),
+        ],
+        1,
+    );
+    let p1 = policy(
+        vec![
+            (ItemId(0), vec![10]),
+            (ItemId(1), vec![11]),
+            (ItemId(2), vec![12]),
+        ],
+        3,
+    );
+    let mut sim = Simulator::new(Network::complete(2), 3, vec![p0, p1]);
+    let out = sim.run_synchronous(64);
+    assert!(out.converged);
+    assert_eq!(sim.agents()[0].bundle().len(), 1);
+    // Agent 0 takes its single best item; agent 1 mops up the rest.
+    assert_eq!(out.allocation[&ItemId(0)], sim.agents()[0].id());
+    assert_eq!(out.allocation[&ItemId(1)], sim.agents()[1].id());
+    assert_eq!(out.allocation[&ItemId(2)], sim.agents()[1].id());
+}
+
+#[test]
+fn zero_target_agent_never_bids() {
+    let p0 = policy(vec![(ItemId(0), vec![50])], 0);
+    let p1 = policy(vec![(ItemId(0), vec![10])], 1);
+    let mut sim = Simulator::new(Network::complete(2), 1, vec![p0, p1]);
+    let out = sim.run_synchronous(16);
+    assert!(out.converged);
+    assert!(sim.agents()[0].bundle().is_empty());
+    assert_eq!(out.allocation[&ItemId(0)], sim.agents()[1].id());
+}
+
+#[test]
+fn insufficient_total_capacity_leaves_items_unassigned() {
+    // Two items, two agents with target 1 each that both prefer item 0…
+    // item 1 still finds a home (second choice), but with targets 1 + 0
+    // one item must stay unassigned — without breaking consensus.
+    let p0 = policy(vec![(ItemId(0), vec![50]), (ItemId(1), vec![40])], 1);
+    let p1 = policy(vec![(ItemId(0), vec![30]), (ItemId(1), vec![20])], 0);
+    let mut sim = Simulator::new(Network::complete(2), 2, vec![p0, p1]);
+    let out = sim.run_synchronous(32);
+    assert!(out.converged, "must still reach (partial) consensus");
+    assert_eq!(out.allocation.len(), 1);
+    assert_eq!(out.allocation[&ItemId(0)], sim.agents()[0].id());
+    assert!(sim.conflict_free());
+}
+
+#[test]
+fn heterogeneous_targets_verify_exhaustively() {
+    let p0 = policy(vec![(ItemId(0), vec![9]), (ItemId(1), vec![8])], 1);
+    let p1 = policy(vec![(ItemId(0), vec![7]), (ItemId(1), vec![6])], 2);
+    let sim = Simulator::new(Network::complete(2), 2, vec![p0, p1]);
+    let verdict = check_consensus(sim, CheckerOptions::default());
+    assert!(verdict.converges(), "{verdict:?}");
+}
+
+#[test]
+fn target_interacts_with_release_policy() {
+    // With release-outbid and a target of 1, losing the only held item
+    // releases nothing else — convergence must be unaffected.
+    let p0 = policy(vec![(ItemId(0), vec![10]), (ItemId(1), vec![9])], 1)
+        .with_release_outbid(true);
+    let p1 = policy(vec![(ItemId(0), vec![20]), (ItemId(1), vec![2])], 1)
+        .with_release_outbid(true);
+    let sim = Simulator::new(Network::complete(2), 2, vec![p0, p1]);
+    let verdict = check_consensus(sim, CheckerOptions::default());
+    assert!(verdict.converges(), "{verdict:?}");
+    let mut sim2 = {
+        let p0 = policy(vec![(ItemId(0), vec![10]), (ItemId(1), vec![9])], 1)
+            .with_release_outbid(true);
+        let p1 = policy(vec![(ItemId(0), vec![20]), (ItemId(1), vec![2])], 1)
+            .with_release_outbid(true);
+        Simulator::new(Network::complete(2), 2, vec![p0, p1])
+    };
+    let out = sim2.run_synchronous(32);
+    assert!(out.converged);
+    // Agent 1 wins item 0 at 20; agent 0, outbid, falls back to item 1.
+    assert_eq!(out.allocation[&ItemId(0)], sim2.agents()[1].id());
+    assert_eq!(out.allocation[&ItemId(1)], sim2.agents()[0].id());
+}

@@ -1,0 +1,118 @@
+//! End-to-end virtual network mapping: MCA node auction + k-shortest-path
+//! link mapping, with property-based validity checks.
+
+use mca_vnmap::gen::{random_request, random_substrate, RequestSpec, SubstrateSpec};
+use mca_vnmap::{embed, k_shortest_paths, validate, EmbedConfig, PNodeId, Path};
+use proptest::prelude::*;
+
+#[test]
+fn generated_workloads_embed_and_validate() {
+    let substrate = random_substrate(
+        SubstrateSpec {
+            nodes: 10,
+            link_probability: 0.35,
+            cpu: (80, 120),
+            bandwidth: (50, 100),
+        },
+        7,
+    );
+    let mut accepted = 0;
+    for seed in 0..20 {
+        let request = random_request(
+            RequestSpec {
+                nodes: 3,
+                extra_link_probability: 0.2,
+                cpu: (10, 25),
+                bandwidth: (5, 10),
+            },
+            seed,
+        );
+        if let Ok(embedding) = embed(&substrate, &request, EmbedConfig::default()) {
+            accepted += 1;
+            validate(&substrate, &request, &embedding.mapping)
+                .expect("every accepted embedding must validate");
+            assert!(embedding.auction.converged);
+        }
+    }
+    assert!(accepted >= 15, "most small requests should fit ({accepted}/20)");
+}
+
+#[test]
+fn auction_is_deterministic() {
+    let substrate = random_substrate(SubstrateSpec::default(), 3);
+    let request = random_request(RequestSpec::default(), 4);
+    let a = embed(&substrate, &request, EmbedConfig::default()).expect("fits");
+    let b = embed(&substrate, &request, EmbedConfig::default()).expect("fits");
+    assert_eq!(a.mapping.nodes, b.mapping.nodes);
+    assert_eq!(
+        a.mapping.link_paths.len(),
+        b.mapping.link_paths.len()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Yen's k-shortest paths are loop-free, distinct, sorted by length and
+    /// each is a genuine path of the substrate.
+    #[test]
+    fn k_shortest_paths_invariants(seed in 0u64..500, k in 1usize..6) {
+        let substrate = random_substrate(SubstrateSpec {
+            nodes: 8,
+            link_probability: 0.4,
+            cpu: (10, 20),
+            bandwidth: (10, 20),
+        }, seed);
+        let src = PNodeId(0);
+        let dst = PNodeId(7);
+        let paths = k_shortest_paths(&substrate, src, dst, k);
+        prop_assert!(paths.len() <= k);
+        let mut prev_hops = 0;
+        for (i, p) in paths.iter().enumerate() {
+            prop_assert!(p.is_loop_free(), "path {i} has a loop");
+            prop_assert_eq!(p.0.first(), Some(&src));
+            prop_assert_eq!(p.0.last(), Some(&dst));
+            prop_assert!(p.hops() >= prev_hops, "paths must be sorted");
+            prev_hops = p.hops();
+            for (a, b) in p.edges() {
+                prop_assert!(
+                    substrate.neighbors(a).iter().any(|&(nb, _)| nb == b),
+                    "edge ({a}, {b}) not in substrate"
+                );
+            }
+            for q in &paths[..i] {
+                prop_assert_ne!(q, p, "paths must be distinct");
+            }
+        }
+    }
+
+    /// Whenever an embedding is produced, it is valid; node capacities are
+    /// never exceeded even under adversarial demand mixes.
+    #[test]
+    fn embeddings_are_always_valid(sub_seed in 0u64..100, req_seed in 0u64..100,
+                                   req_nodes in 2usize..5) {
+        let substrate = random_substrate(SubstrateSpec {
+            nodes: 8,
+            link_probability: 0.3,
+            cpu: (40, 90),
+            bandwidth: (20, 60),
+        }, sub_seed);
+        let request = random_request(RequestSpec {
+            nodes: req_nodes,
+            extra_link_probability: 0.3,
+            cpu: (10, 45),
+            bandwidth: (5, 25),
+        }, req_seed);
+        if let Ok(embedding) = embed(&substrate, &request, EmbedConfig::default()) {
+            let check = validate(&substrate, &request, &embedding.mapping);
+            prop_assert!(check.is_ok(), "invalid embedding: {:?}", check);
+        }
+    }
+}
+
+#[test]
+fn trivial_path_for_same_endpoint() {
+    let substrate = random_substrate(SubstrateSpec::default(), 11);
+    let paths = k_shortest_paths(&substrate, PNodeId(2), PNodeId(2), 3);
+    assert_eq!(paths.first(), Some(&Path(vec![PNodeId(2)])));
+}
