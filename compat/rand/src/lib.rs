@@ -1,0 +1,239 @@
+//! A minimal, deterministic, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access to
+//! crates.io, so the workspace vendors the small slice of the `rand 0.8`
+//! API it actually uses: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges, [`Rng::gen_bool`], and
+//! [`rngs::StdRng`].
+//!
+//! [`rngs::StdRng`] here is xoshiro256++ seeded via SplitMix64 — a
+//! high-quality, well-studied generator — **not** the ChaCha12 generator
+//! real `rand` uses, so seeded streams differ from upstream `rand`. Every
+//! in-repo consumer only relies on determinism *within* this crate (same
+//! seed ⇒ same stream), which holds: the implementation is pure integer
+//! arithmetic with no platform dependence.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator seedable from a fixed-size byte seed or a `u64`.
+pub trait SeedableRng: Sized {
+    /// The seed type (32 bytes for [`rngs::StdRng`], as in real `rand`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator by expanding a `u64` with SplitMix64 (the
+    /// standard seeding procedure for xoshiro-family generators).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high)`. `high > low` required.
+    fn sample_in(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+    /// The maximum value of the type (for inclusive upper bounds).
+    fn successor(self) -> Option<Self>;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(unused_comparisons)]
+            fn sample_in(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: low must be < high");
+                // Width as u128 to avoid overflow for 64-bit signed spans.
+                let span = (high as i128 - low as i128) as u128;
+                // Rejection-free Lemire-style scaling is overkill here;
+                // modulo bias over a u64 stream is < 2^-64 * span —
+                // negligible for test workload generation.
+                let r = rng.next_u64() as u128 % span;
+                (low as i128 + r as i128) as Self
+            }
+            fn successor(self) -> Option<Self> {
+                self.checked_add(1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_single(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform + Copy + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        T::sample_in(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        match hi.successor() {
+            Some(h) => T::sample_in(rng, lo, h),
+            // hi is the type's maximum: fold the (negligible) top value in
+            // by resampling the open range and mapping one extra case.
+            None => T::sample_in(rng, lo, hi),
+        }
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive integer range).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        // Compare 53 uniform mantissa bits against p.
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Deterministic for a given seed on every platform. Not the ChaCha12
+    /// generator of upstream `rand` — see the crate docs.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            // All-zero state is a fixed point of xoshiro: perturb it.
+            if s == [0, 0, 0, 0] {
+                s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000));
+            assert_eq!(a.gen_bool(0.5), b.gen_bool(0.5));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen_range(0..u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+            let y: usize = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "heads = {heads}");
+    }
+}

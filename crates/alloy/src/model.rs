@@ -338,6 +338,21 @@ impl Model {
         Ok(self.to_problem().translate(goal)?.stats)
     }
 
+    /// Per-relation (sig and field) variable and clause counts for
+    /// `facts ∧ goal` without solving — the observability companion to
+    /// [`translation_stats`](Model::translation_stats), showing *where* an
+    /// encoding's clauses come from.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] on ill-formed formulas.
+    pub fn relation_stats(
+        &self,
+        goal: &Formula,
+    ) -> Result<Vec<mca_relalg::RelationStats>, TranslateError> {
+        Ok(self.to_problem().translate(goal)?.relation_stats)
+    }
+
     /// The tuples of a field in an instance.
     pub fn field_tuples<'i>(&self, instance: &'i Instance, field: FieldId) -> &'i TupleSet {
         instance.tuples(RelationId::from_index(self.sigs.len() + field.0))
@@ -506,13 +521,13 @@ mod tests {
         let f = m.field("f", a, &[b], Multiplicity::Lone);
         // Assertion "every A maps to something" is refutable under lone.
         let x = QuantVar::fresh("x");
-        let assertion = Formula::forall(&x, &m.sig_expr(a), &x.expr().join(&m.field_expr(f)).some());
+        let assertion =
+            Formula::forall(&x, &m.sig_expr(a), &x.expr().join(&m.field_expr(f)).some());
         let out = m.check(&assertion).unwrap();
         assert!(out.found_instance());
         // And "every A maps to at most one" is valid.
         let y = QuantVar::fresh("y");
-        let valid =
-            Formula::forall(&y, &m.sig_expr(a), &y.expr().join(&m.field_expr(f)).lone());
+        let valid = Formula::forall(&y, &m.sig_expr(a), &y.expr().join(&m.field_expr(f)).lone());
         assert!(m.check(&valid).unwrap().result.is_valid());
     }
 

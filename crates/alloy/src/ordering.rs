@@ -128,10 +128,7 @@ mod tests {
         let s = m.sig("State", 3);
         let ord = m.ordering(s);
         // Assertion: first comes before last (for scope >= 2).
-        let f = ord
-            .first(&m)
-            .product(&ord.last(&m))
-            .in_(&ord.lt(&m));
+        let f = ord.first(&m).product(&ord.last(&m)).in_(&ord.lt(&m));
         assert!(m.check(&f).unwrap().result.is_valid());
         // Assertion: nothing comes before first.
         let x = QuantVar::fresh("x");

@@ -127,12 +127,8 @@ impl Model {
         // One singleton constant per value so `num(k)` is a plain relation.
         let mut first_singleton = None;
         for (k, &a) in atoms.iter().enumerate() {
-            let f = self.constant_field(
-                &format!("value_k{k}"),
-                sig,
-                &[],
-                TupleSet::from_atoms([a]),
-            );
+            let f =
+                self.constant_field(&format!("value_k{k}"), sig, &[], TupleSet::from_atoms([a]));
             if first_singleton.is_none() {
                 first_singleton = Some(f);
             }

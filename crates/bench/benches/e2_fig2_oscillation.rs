@@ -10,7 +10,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2_fig2");
     g.bench_function("find_oscillation_nonsub_release", |b| {
         b.iter(|| {
-            let cell = PolicyCell { submodular: false, release_outbid: true };
+            let cell = PolicyCell {
+                submodular: false,
+                release_outbid: true,
+            };
             let verdict = check_consensus(fig2(cell), CheckerOptions::default());
             assert!(!verdict.converges());
             black_box(verdict.trace().map(|t| t.steps.len()))
@@ -18,7 +21,10 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("prove_convergence_sub_release", |b| {
         b.iter(|| {
-            let cell = PolicyCell { submodular: true, release_outbid: true };
+            let cell = PolicyCell {
+                submodular: true,
+                release_outbid: true,
+            };
             let verdict = check_consensus(fig2(cell), CheckerOptions::default());
             assert!(verdict.converges());
             black_box(verdict.converges())

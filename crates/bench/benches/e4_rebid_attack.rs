@@ -11,10 +11,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("explicit_checker", |b| {
         b.iter(|| {
-            let verdict = check_consensus(
-                scenarios::rebid_attack(2, 2),
-                CheckerOptions::default(),
-            );
+            let verdict = check_consensus(scenarios::rebid_attack(2, 2), CheckerOptions::default());
             assert!(!verdict.converges());
             black_box(verdict.converges())
         })

@@ -6,6 +6,8 @@ use mca_bench::random_ksat;
 use mca_sat::{SolveResult, Solver};
 use std::hint::black_box;
 
+// Indexing two rows by the same column is clearer than zipped iterators.
+#[allow(clippy::needless_range_loop)]
 fn pigeonhole(n: usize) -> Solver {
     let mut s = Solver::new();
     let p: Vec<Vec<_>> = (0..n + 1)

@@ -1,22 +1,45 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro            # run all experiments (E1..E6)
-//! repro --exp e3   # run one experiment (e1..e7)
-//! repro --list     # list experiments
+//! repro                          # run all experiments (E1..E7)
+//! repro e5                       # run one experiment (also: --exp e5)
+//! repro --list                   # list experiments
+//! repro e5 --metrics e5.json     # write a metrics registry as JSON
+//! repro --trace run.jsonl        # write a JSONL event trace
 //! ```
+//!
+//! Running E5 also (re)generates `BENCH_E5.json` in the current directory:
+//! the per-encoding variable/clause counts and solver statistics that seed
+//! the repo's performance trajectory.
 
-use mca_verify::analysis;
+use mca_obs::json::Json;
+use mca_obs::{Handle, JsonlSink, Metrics, SharedObserver};
+use mca_verify::analysis::{self, EncodingRow};
+use std::fs::File;
+use std::io::BufWriter;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
     ("e1", "Figure 1 — two agents, three items, one exchange"),
-    ("e2", "Figure 2 — oscillation under non-sub-modular + release-outbid"),
+    (
+        "e2",
+        "Figure 2 — oscillation under non-sub-modular + release-outbid",
+    ),
     ("e3", "Result 1 — policy combination matrix"),
     ("e4", "Result 2 — the rebidding attack (both engines)"),
-    ("e5", "Abstractions Efficiency — naive vs optimized encodings"),
+    (
+        "e5",
+        "Abstractions Efficiency — naive vs optimized encodings",
+    ),
     ("e6", "Convergence bound — measured rounds vs D·|V_H|"),
-    ("e7", "Approximation ratio — achieved vs optimal utility (Remark 3)"),
+    (
+        "e7",
+        "Approximation ratio — achieved vs optimal utility (Remark 3)",
+    ),
 ];
+
+fn is_experiment(id: &str) -> bool {
+    EXPERIMENTS.iter().any(|(e, _)| *e == id)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,28 +49,69 @@ fn main() {
         }
         return;
     }
-    let selected: Vec<&str> = match args.iter().position(|a| a == "--exp") {
-        Some(i) => match args.get(i + 1) {
-            Some(e) => vec![e.as_str()],
-            None => {
-                eprintln!("--exp requires an argument (e1..e6)");
+
+    let mut selected: Vec<String> = Vec::new();
+    let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut flag_value = |name: &str| -> String {
+            i += 1;
+            match args.get(i) {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("{name} requires an argument");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match arg {
+            "--exp" => {
+                let e = flag_value("--exp");
+                selected.push(e);
+            }
+            "--metrics" => metrics_path = Some(flag_value("--metrics")),
+            "--trace" => trace_path = Some(flag_value("--trace")),
+            id if is_experiment(id) => selected.push(id.to_string()),
+            other => {
+                eprintln!("unknown argument `{other}` (try --list)");
                 std::process::exit(2);
             }
-        },
-        None => EXPERIMENTS.iter().map(|(id, _)| *id).collect(),
-    };
+        }
+        i += 1;
+    }
+    if selected.is_empty() {
+        selected = EXPERIMENTS.iter().map(|(id, _)| id.to_string()).collect();
+    }
+
+    // One trace sink and one metrics registry span the whole run; events
+    // are keyed by logical progress, so the trace is deterministic for a
+    // fixed experiment selection.
+    let trace: Option<Handle<JsonlSink<BufWriter<File>>>> =
+        trace_path
+            .as_ref()
+            .map(|path| match JsonlSink::create(path) {
+                Ok(sink) => Handle::new(sink),
+                Err(e) => {
+                    eprintln!("cannot create trace file {path}: {e}");
+                    std::process::exit(2);
+                }
+            });
+    let observer: Option<SharedObserver> = trace.as_ref().map(Handle::observer);
+    let mut metrics = Metrics::new();
 
     let mut all_match = true;
-    for exp in selected {
+    for exp in &selected {
         println!("{}", "=".repeat(76));
-        match exp {
-            "e1" => all_match &= run_e1(),
-            "e2" => all_match &= run_e2(),
-            "e3" => all_match &= run_e3(),
-            "e4" => all_match &= run_e4(),
-            "e5" => all_match &= run_e5(),
-            "e6" => all_match &= run_e6(),
-            "e7" => all_match &= run_e7(),
+        match exp.as_str() {
+            "e1" => all_match &= run_e1(&mut metrics, observer.clone()),
+            "e2" => all_match &= run_e2(&mut metrics),
+            "e3" => all_match &= run_e3(&mut metrics, observer.clone()),
+            "e4" => all_match &= run_e4(&mut metrics),
+            "e5" => all_match &= run_e5(&mut metrics, observer.clone()),
+            "e6" => all_match &= run_e6(&mut metrics),
+            "e7" => all_match &= run_e7(&mut metrics),
             other => {
                 eprintln!("unknown experiment `{other}` (try --list)");
                 std::process::exit(2);
@@ -55,6 +119,32 @@ fn main() {
         }
         println!();
     }
+
+    if let Some(path) = &metrics_path {
+        match std::fs::write(path, metrics.to_json().render() + "\n") {
+            Ok(()) => println!("metrics written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write metrics file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Drop the last shared reference so the sink can be reclaimed below.
+    drop(observer);
+    if let (Some(handle), Some(path)) = (trace, trace_path.as_ref()) {
+        match handle.try_into_inner() {
+            Ok(mut sink) => {
+                let written = sink.events_written();
+                if let Err(e) = sink.finish() {
+                    eprintln!("error writing trace file {path}: {e}");
+                    std::process::exit(2);
+                }
+                println!("{written} events traced to {path}");
+            }
+            Err(_) => eprintln!("trace sink still shared; {path} may be incomplete"),
+        }
+    }
+
     println!("{}", "=".repeat(76));
     println!(
         "overall: {}",
@@ -69,19 +159,28 @@ fn main() {
     }
 }
 
-fn run_e1() -> bool {
-    let report = analysis::run_fig1();
+fn run_e1(metrics: &mut Metrics, observer: Option<SharedObserver>) -> bool {
+    let report = metrics.time("e1.run", || analysis::run_fig1_observed(observer));
     println!("{report}");
+    metrics.add("e1.messages", report.messages as u64);
+    metrics.set_gauge("e1.converged", i64::from(report.converged));
     let ok = report.converged
         && report.final_bids == vec![20, 15, 30]
         && report.winners == vec![1, 1, 0];
-    println!("  => {}", if ok { "matches Figure 1 ✓" } else { "MISMATCH ✗" });
+    println!(
+        "  => {}",
+        if ok {
+            "matches Figure 1 ✓"
+        } else {
+            "MISMATCH ✗"
+        }
+    );
     ok
 }
 
-fn run_e2() -> bool {
+fn run_e2(metrics: &mut Metrics) -> bool {
     println!("E2 (Figure 2) — non-sub-modular utility + release-outbid oscillates");
-    match analysis::run_fig2_oscillation() {
+    match metrics.time("e2.run", analysis::run_fig2_oscillation) {
         Some(trace) => {
             println!("counterexample execution:\n{trace}");
             println!("  => oscillation found, as the paper reports ✓");
@@ -94,14 +193,18 @@ fn run_e2() -> bool {
     }
 }
 
-fn run_e3() -> bool {
+fn run_e3(metrics: &mut Metrics, observer: Option<SharedObserver>) -> bool {
     println!("E3 (Result 1) — policy matrix (exhaustive explicit-state checking)");
-    let rows = analysis::run_policy_matrix();
+    let rows = metrics.time("e3.run", || analysis::run_policy_matrix_observed(observer));
     let mut ok = true;
     for row in &rows {
         println!("{row}");
         ok &= row.matches_paper();
     }
+    metrics.set_gauge(
+        "e3.cells_matching_paper",
+        rows.iter().filter(|r| r.matches_paper()).count() as i64,
+    );
     println!(
         "  => {}",
         if ok {
@@ -113,20 +216,28 @@ fn run_e3() -> bool {
     ok
 }
 
-fn run_e4() -> bool {
-    let report = analysis::run_rebid_attack();
+fn run_e4(metrics: &mut Metrics) -> bool {
+    let report = metrics.time("e4.run", analysis::run_rebid_attack);
     println!("{report}");
+    metrics.set_gauge("e4.matches_paper", i64::from(report.matches_paper()));
     report.matches_paper()
 }
 
-fn run_e5() -> bool {
+fn run_e5(metrics: &mut Metrics, observer: Option<SharedObserver>) -> bool {
     println!("E5 (Abstractions Efficiency) — static + dynamic model, both encodings");
     println!("(paper: 259K -> 190K clauses, ~a day -> <2h, scope 3 pnodes / 2 vnodes)\n");
-    let rows = analysis::run_encoding_comparison();
+    let rows = metrics.time("e5.run", || {
+        analysis::run_encoding_comparison_observed(observer)
+    });
     let mut ok = true;
-    for row in &rows {
+    for (i, row) in rows.iter().enumerate() {
         println!("{row}\n");
         ok &= row.clause_ratio() > 1.0 && row.time_ratio() > 1.0;
+        record_e5_metrics(metrics, i, row);
+    }
+    match std::fs::write("BENCH_E5.json", bench_e5_json(&rows).render() + "\n") {
+        Ok(()) => println!("  per-encoding breakdown written to BENCH_E5.json"),
+        Err(e) => eprintln!("  cannot write BENCH_E5.json: {e}"),
     }
     println!(
         "  => {}",
@@ -139,33 +250,129 @@ fn run_e5() -> bool {
     ok
 }
 
-fn run_e7() -> bool {
-    println!("E7 (Remark 3) — MCA network utility vs exhaustive optimum");
-    println!("(cited guarantee: sub-modular MCA achieves >= 1 - 1/e = 0.632 of optimal)\n");
-    let rows = analysis::run_approximation_ratio(&[1, 2, 3, 5, 8]);
-    let mut ok = true;
-    let mut worst: f64 = 1.0;
-    for row in &rows {
-        println!("{row}");
-        ok &= row.within_guarantee();
-        worst = worst.min(row.ratio());
+/// Flattens one E5 row into gauge/timer entries, e.g.
+/// `e5.s1.naive.cnf_clauses` or `e5.s1.optimized.solver.conflicts`.
+fn record_e5_metrics(metrics: &mut Metrics, scope_index: usize, row: &EncodingRow) {
+    for (enc, stats, solver, secs) in [
+        ("naive", &row.naive, &row.naive_solver, row.naive_check_secs),
+        (
+            "optimized",
+            &row.optimized,
+            &row.optimized_solver,
+            row.optimized_check_secs,
+        ),
+    ] {
+        let p = format!("e5.s{scope_index}.{enc}");
+        metrics.set_gauge(&format!("{p}.primary_vars"), stats.primary_vars as i64);
+        metrics.set_gauge(&format!("{p}.cnf_vars"), stats.cnf_vars as i64);
+        metrics.set_gauge(&format!("{p}.cnf_clauses"), stats.cnf_clauses as i64);
+        metrics.set_gauge(&format!("{p}.solver.decisions"), solver.decisions as i64);
+        metrics.set_gauge(
+            &format!("{p}.solver.propagations"),
+            solver.propagations as i64,
+        );
+        metrics.set_gauge(&format!("{p}.solver.conflicts"), solver.conflicts as i64);
+        metrics.set_gauge(&format!("{p}.solver.restarts"), solver.restarts as i64);
+        metrics.add_timer_ns(&format!("{p}.check"), (secs * 1e9) as u64);
     }
-    println!(
-        "  => worst ratio {:.3} over {} workloads — {}",
-        worst,
-        rows.len(),
-        if ok { "guarantee holds ✓" } else { "guarantee VIOLATED ✗" }
-    );
-    ok
 }
 
-fn run_e6() -> bool {
+/// The committed `BENCH_E5.json` artifact: every number of the paper's
+/// encoding-efficiency table, per scope and per encoding.
+fn bench_e5_json(rows: &[EncodingRow]) -> Json {
+    let encoding_json = |stats: &mca_relalg::TranslationStats,
+                         relations: &[mca_relalg::RelationStats],
+                         solver: &mca_sat::SolverStats,
+                         secs: f64| {
+        Json::obj([
+            ("primary_vars", Json::from(stats.primary_vars as u64)),
+            ("cnf_vars", Json::from(stats.cnf_vars as u64)),
+            ("cnf_clauses", Json::from(stats.cnf_clauses as u64)),
+            ("cnf_literals", Json::from(stats.cnf_literals as u64)),
+            ("circuit_gates", Json::from(stats.circuit_gates as u64)),
+            ("check_secs", Json::from(secs)),
+            (
+                "solver",
+                Json::obj([
+                    ("decisions", Json::from(solver.decisions)),
+                    ("propagations", Json::from(solver.propagations)),
+                    ("conflicts", Json::from(solver.conflicts)),
+                    ("restarts", Json::from(solver.restarts)),
+                    ("db_reductions", Json::from(solver.db_reductions)),
+                ]),
+            ),
+            (
+                "relations",
+                Json::Array(
+                    relations
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("name", Json::from(r.name.as_str())),
+                                ("arity", Json::from(r.arity as u64)),
+                                ("primary_vars", Json::from(r.primary_vars as u64)),
+                                ("clauses", Json::from(r.clauses as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    };
+    Json::obj([
+        ("experiment", Json::from("e5")),
+        (
+            "paper",
+            Json::obj([
+                ("naive_clauses", Json::from(259_000u64)),
+                ("optimized_clauses", Json::from(190_000u64)),
+                ("clause_ratio", Json::from(259.0 / 190.0)),
+            ]),
+        ),
+        (
+            "scopes",
+            Json::Array(
+                rows.iter()
+                    .map(|row| {
+                        Json::obj([
+                            ("scope", Json::from(row.scope.as_str())),
+                            (
+                                "naive",
+                                encoding_json(
+                                    &row.naive,
+                                    &row.naive_relations,
+                                    &row.naive_solver,
+                                    row.naive_check_secs,
+                                ),
+                            ),
+                            (
+                                "optimized",
+                                encoding_json(
+                                    &row.optimized,
+                                    &row.optimized_relations,
+                                    &row.optimized_solver,
+                                    row.optimized_check_secs,
+                                ),
+                            ),
+                            ("clause_ratio", Json::from(row.clause_ratio())),
+                            ("time_ratio", Json::from(row.time_ratio())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn run_e6(metrics: &mut Metrics) -> bool {
     println!("E6 — measured synchronous rounds vs the D·|V_H| bound");
-    let rows = analysis::run_convergence_bound(&[1, 7, 42]);
+    let rows = metrics.time("e6.run", || analysis::run_convergence_bound(&[1, 7, 42]));
     let mut ok = true;
     for row in &rows {
         println!("{row}");
         ok &= row.within_bound();
+        metrics.observe("e6.rounds", row.rounds as u64);
+        metrics.add("e6.messages", row.messages as u64);
     }
     println!(
         "  => {} ({} configurations)",
@@ -175,6 +382,33 @@ fn run_e6() -> bool {
             "bound violated ✗"
         },
         rows.len()
+    );
+    ok
+}
+
+fn run_e7(metrics: &mut Metrics) -> bool {
+    println!("E7 (Remark 3) — MCA network utility vs exhaustive optimum");
+    println!("(cited guarantee: sub-modular MCA achieves >= 1 - 1/e = 0.632 of optimal)\n");
+    let rows = metrics.time("e7.run", || {
+        analysis::run_approximation_ratio(&[1, 2, 3, 5, 8])
+    });
+    let mut ok = true;
+    let mut worst: f64 = 1.0;
+    for row in &rows {
+        println!("{row}");
+        ok &= row.within_guarantee();
+        worst = worst.min(row.ratio());
+    }
+    metrics.set_gauge("e7.worst_ratio_millis", (worst * 1000.0) as i64);
+    println!(
+        "  => worst ratio {:.3} over {} workloads — {}",
+        worst,
+        rows.len(),
+        if ok {
+            "guarantee holds ✓"
+        } else {
+            "guarantee VIOLATED ✗"
+        }
     );
     ok
 }

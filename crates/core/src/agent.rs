@@ -146,7 +146,7 @@ impl Agent {
                     marginal.max(self.claims[j].bid + 1)
                 }
             };
-            if best.map_or(true, |(b, i)| bid > b || (bid == b && item < i)) {
+            if best.is_none_or(|(b, i)| bid > b || (bid == b && item < i)) {
                 best = Some((bid, item));
             }
         }
@@ -510,11 +510,8 @@ mod tests {
 
     #[test]
     fn rebid_strategy_escalates() {
-        let policy = Policy::new(
-            Arc::new(PositionUtility::new(vec![(item(0), vec![10])])),
-            1,
-        )
-        .with_rebid(RebidStrategy::Rebid);
+        let policy = Policy::new(Arc::new(PositionUtility::new(vec![(item(0), vec![10])])), 1)
+            .with_rebid(RebidStrategy::Rebid);
         let mut a = Agent::new(AgentId(1), 1, policy);
         a.start();
         assert_eq!(a.claims()[0].bid, 10);

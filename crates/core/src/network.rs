@@ -107,7 +107,10 @@ impl Network {
     ///
     /// Panics on out-of-range agents or a self-loop.
     pub fn add_link(&mut self, a: AgentId, b: AgentId) {
-        assert!(a.index() < self.n && b.index() < self.n, "agent out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "agent out of range"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         if !self.adj[a.index()].contains(&b) {
             self.adj[a.index()].push(b);

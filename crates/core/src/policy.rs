@@ -106,7 +106,10 @@ impl DiminishingUtility {
     where
         I: IntoIterator<Item = (ItemId, i64)>,
     {
-        assert!((0..=100).contains(&discount_pct), "discount must be 0..=100");
+        assert!(
+            (0..=100).contains(&discount_pct),
+            "discount must be 0..=100"
+        );
         DiminishingUtility {
             base: base.into_iter().collect(),
             discount_pct,

@@ -21,10 +21,7 @@ const ITEM: ItemId = ItemId(0);
 
 /// An agent (id 0) with an optional pre-installed belief about ITEM.
 fn agent_with_belief(belief: Option<Claim>) -> Agent {
-    let policy = Policy::new(
-        Arc::new(PositionUtility::new(vec![(ITEM, vec![10])])),
-        1,
-    );
+    let policy = Policy::new(Arc::new(PositionUtility::new(vec![(ITEM, vec![10])])), 1);
     let mut a = Agent::new(ME, 1, policy);
     match belief {
         Some(c) if c.winner == Some(ME) => {

@@ -86,9 +86,8 @@ pub fn fig2(cell: PolicyCell) -> Simulator {
     // lower first-position value on the other item).
     let agent0 = PositionUtility::new(vec![(a, vec![first, second]), (c, vec![first - 1, second])]);
     let agent1 = PositionUtility::new(vec![(c, vec![first, second]), (a, vec![first - 1, second])]);
-    let mk = |u: PositionUtility| {
-        Policy::new(Arc::new(u), 2).with_release_outbid(cell.release_outbid)
-    };
+    let mk =
+        |u: PositionUtility| Policy::new(Arc::new(u), 2).with_release_outbid(cell.release_outbid);
     Simulator::new(Network::complete(2), 2, vec![mk(agent0), mk(agent1)])
 }
 
@@ -131,11 +130,17 @@ pub fn compliant(network: Network, num_items: usize, seed: u64) -> Simulator {
                         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                         .wrapping_add((i as u64) << 32 | j as u64);
                     let base = 10 + (mix % 90) as i64;
-                    let positions: Vec<i64> =
-                        (0..num_items).map(|p| base >> p).filter(|&v| v > 0).collect();
+                    let positions: Vec<i64> = (0..num_items)
+                        .map(|p| base >> p)
+                        .filter(|&v| v > 0)
+                        .collect();
                     (
                         ItemId(j as u32),
-                        if positions.is_empty() { vec![1] } else { positions },
+                        if positions.is_empty() {
+                            vec![1]
+                        } else {
+                            positions
+                        },
                     )
                 })
                 .collect();

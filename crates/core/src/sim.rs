@@ -20,6 +20,7 @@ use crate::detector::RebidDetector;
 use crate::network::Network;
 use crate::policy::Policy;
 use crate::types::{AgentId, Claim, ItemId};
+use mca_obs::{Event, SharedObserver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -73,6 +74,14 @@ pub struct Simulator {
     channel_capacity: Option<usize>,
     detectors: Option<Vec<RebidDetector>>,
     send_seq: Vec<u64>,
+    /// Logical transition counter: every deliver / bid / injected-fault
+    /// transition advances it by one. Trace events are keyed by this, never
+    /// by wall-clock time, so traces of seeded runs are reproducible.
+    step: u64,
+    /// Trace hook; `None` (the default) reduces every instrumentation site
+    /// to a branch on this `Option`. Cloning the simulator shares the
+    /// observer, so exhaustive exploration of clones feeds one sink.
+    observer: Option<SharedObserver>,
 }
 
 impl Simulator {
@@ -102,7 +111,22 @@ impl Simulator {
             channel_capacity: None,
             detectors: None,
             send_seq: vec![0; n],
+            step: 0,
+            observer: None,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a trace observer. Every
+    /// subsequent deliver / bid / fault transition and run outcome is
+    /// reported as a structured [`Event`].
+    pub fn set_observer(&mut self, observer: Option<SharedObserver>) {
+        self.observer = observer;
+    }
+
+    /// The logical transition count so far (the `step` field of emitted
+    /// events).
+    pub fn logical_step(&self) -> u64 {
+        self.step
     }
 
     /// Equips every agent with a [`RebidDetector`] watching its neighbors'
@@ -173,8 +197,17 @@ impl Simulator {
         }
         self.started = true;
         for i in 0..self.agents.len() {
-            if self.agents[i].build_bundle() {
+            let placed = self.agents[i].build_bundle();
+            if placed {
                 self.broadcast(AgentId(i as u32));
+            }
+            self.step += 1;
+            if let Some(obs) = &self.observer {
+                obs.emit(&Event::Bid {
+                    step: self.step,
+                    agent: i as u32,
+                    placed,
+                });
             }
         }
     }
@@ -219,6 +252,12 @@ impl Simulator {
     /// Panics if `index` is out of range.
     pub fn deliver(&mut self, index: usize) -> bool {
         let msg = self.inflight.swap_remove(index);
+        self.deliver_msg(msg)
+    }
+
+    /// Processes one already-dequeued message: detectors, receive,
+    /// re-broadcast, and trace event.
+    fn deliver_msg(&mut self, msg: Message) -> bool {
         self.delivered += 1;
         if let Some(ds) = &mut self.detectors {
             ds[msg.to.index()].observe(
@@ -237,6 +276,16 @@ impl Simulator {
         if changed {
             self.broadcast(msg.to);
         }
+        self.step += 1;
+        if let Some(obs) = &self.observer {
+            obs.emit(&Event::Deliver {
+                step: self.step,
+                from: msg.from.0,
+                to: msg.to.0,
+                seq: msg.seq,
+                view_changed: changed,
+            });
+        }
         changed
     }
 
@@ -246,6 +295,14 @@ impl Simulator {
         let changed = self.agents[agent.index()].build_bundle();
         if changed {
             self.broadcast(agent);
+        }
+        self.step += 1;
+        if let Some(obs) = &self.observer {
+            obs.emit(&Event::Bid {
+                step: self.step,
+                agent: agent.0,
+                placed: changed,
+            });
         }
         changed
     }
@@ -276,22 +333,7 @@ impl Simulator {
             rounds += 1;
             let batch = std::mem::take(&mut self.inflight);
             for msg in batch {
-                self.delivered += 1;
-                if let Some(ds) = &mut self.detectors {
-                    ds[msg.to.index()].observe(
-                        msg.from,
-                        msg.seq,
-                        &msg.view,
-                        self.agents[msg.to.index()].claims(),
-                    );
-                }
-                let changed = self.agents[msg.to.index()].receive(&msg.view);
-                if let Some(ds) = &mut self.detectors {
-                    ds[msg.to.index()].sync_owner_view(self.agents[msg.to.index()].claims());
-                }
-                if changed {
-                    self.broadcast(msg.to);
-                }
+                self.deliver_msg(msg);
             }
             for i in 0..self.agents.len() {
                 self.bid(AgentId(i as u32));
@@ -313,13 +355,30 @@ impl Simulator {
             let choice = rng.gen_range(0..total);
             if choice < self.inflight.len() {
                 if faults.drop_probability > 0.0 && rng.gen_bool(faults.drop_probability) {
-                    self.inflight.swap_remove(choice);
+                    let msg = self.inflight.swap_remove(choice);
+                    self.step += 1;
+                    if let Some(obs) = &self.observer {
+                        obs.emit(&Event::MessageDropped {
+                            step: self.step,
+                            from: msg.from.0,
+                            to: msg.to.0,
+                            seq: msg.seq,
+                        });
+                    }
                     continue;
                 }
-                if faults.duplicate_probability > 0.0
-                    && rng.gen_bool(faults.duplicate_probability)
+                if faults.duplicate_probability > 0.0 && rng.gen_bool(faults.duplicate_probability)
                 {
                     let copy = self.inflight[choice].clone();
+                    self.step += 1;
+                    if let Some(obs) = &self.observer {
+                        obs.emit(&Event::MessageDuplicated {
+                            step: self.step,
+                            from: copy.from.0,
+                            to: copy.to.0,
+                            seq: copy.seq,
+                        });
+                    }
                     self.inflight.push(copy);
                 }
                 self.deliver(choice);
@@ -352,8 +411,16 @@ impl Simulator {
     }
 
     fn outcome(&self, rounds: usize) -> SimOutcome {
+        let converged = self.quiescent() && self.consensus_reached() && self.conflict_free();
+        if let Some(obs) = &self.observer {
+            obs.emit(&Event::Converged {
+                step: self.step,
+                delivered: self.delivered as u64,
+                consensus: converged,
+            });
+        }
         SimOutcome {
-            converged: self.quiescent() && self.consensus_reached() && self.conflict_free(),
+            converged,
             rounds,
             messages_delivered: self.delivered,
             allocation: self.allocation(),
@@ -543,5 +610,87 @@ mod tests {
         let sim = fig1_sim();
         // Agents want to bid before start.
         assert!(!sim.quiescent());
+    }
+
+    #[test]
+    fn observer_sees_delivers_bids_and_outcome() {
+        use mca_obs::{CollectSink, Handle};
+
+        let handle = Handle::new(CollectSink::default());
+        let mut sim = fig1_sim();
+        sim.set_observer(Some(handle.observer()));
+        let out = sim.run_synchronous(10);
+        assert!(out.converged);
+
+        handle.with(|sink| {
+            let delivers = sink
+                .events
+                .iter()
+                .filter(|e| matches!(e, Event::Deliver { .. }))
+                .count();
+            assert_eq!(delivers, out.messages_delivered);
+            assert!(sink
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::Bid { placed: true, .. })));
+            assert!(matches!(
+                sink.events.last(),
+                Some(Event::Converged {
+                    consensus: true,
+                    ..
+                })
+            ));
+            // Steps are strictly increasing across transition events.
+            let steps: Vec<u64> = sink
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Deliver { step, .. } | Event::Bid { step, .. } => Some(*step),
+                    _ => None,
+                })
+                .collect();
+            assert!(steps.windows(2).all(|w| w[0] < w[1]), "steps: {steps:?}");
+        });
+    }
+
+    #[test]
+    fn fault_injection_is_traced() {
+        use mca_obs::{CollectSink, Handle};
+
+        let handle = Handle::new(CollectSink::default());
+        let mut sim = fig1_sim();
+        sim.set_observer(Some(handle.observer()));
+        sim.run_async(
+            3,
+            5000,
+            FaultPlan {
+                drop_probability: 0.4,
+                duplicate_probability: 0.4,
+            },
+        );
+        handle.with(|sink| {
+            assert!(sink
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::MessageDropped { .. })));
+            assert!(sink
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::MessageDuplicated { .. })));
+        });
+    }
+
+    #[test]
+    fn no_observer_leaves_behavior_unchanged() {
+        let mut plain = fig1_sim();
+        let mut observed = fig1_sim();
+        observed.set_observer(Some(mca_obs::SharedObserver::new(
+            mca_obs::CollectSink::default(),
+        )));
+        let a = plain.run_async(9, 1000, FaultPlan::default());
+        let b = observed.run_async(9, 1000, FaultPlan::default());
+        assert_eq!(a.converged, b.converged);
+        assert_eq!(a.messages_delivered, b.messages_delivered);
+        assert_eq!(a.allocation, b.allocation);
     }
 }

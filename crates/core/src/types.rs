@@ -110,9 +110,7 @@ impl Claim {
     /// well-defined).
     pub fn beats(&self, other: &Claim) -> bool {
         match (self.winner, other.winner) {
-            (Some(w1), Some(w2)) => {
-                self.bid > other.bid || (self.bid == other.bid && w1 < w2)
-            }
+            (Some(w1), Some(w2)) => self.bid > other.bid || (self.bid == other.bid && w1 < w2),
             (Some(_), None) => true,
             (None, _) => false,
         }

@@ -73,7 +73,10 @@ pub fn achieved_network_utility(agents: &[Agent]) -> i64 {
 pub fn optimal_network_utility(policies: &[Policy], num_items: usize) -> i64 {
     let n = policies.len();
     let combos = (n as u64 + 1).pow(num_items as u32);
-    assert!(combos <= 10_000_000, "scope too large for exhaustive optimum");
+    assert!(
+        combos <= 10_000_000,
+        "scope too large for exhaustive optimum"
+    );
     let mut best = 0i64;
     for code in 0..combos {
         let mut c = code;
@@ -186,8 +189,7 @@ mod tests {
             let mut sim = crate::scenarios::compliant(Network::complete(3), 3, seed);
             let out = sim.run_synchronous(64);
             assert!(out.converged);
-            let policies: Vec<Policy> =
-                sim.agents().iter().map(|a| a.policy().clone()).collect();
+            let policies: Vec<Policy> = sim.agents().iter().map(|a| a.policy().clone()).collect();
             let achieved = achieved_network_utility(sim.agents());
             let optimal = optimal_network_utility(&policies, 3);
             assert!(

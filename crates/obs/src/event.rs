@@ -1,0 +1,334 @@
+//! The structured trace vocabulary.
+//!
+//! Every variant is keyed by **logical** progress — the simulator's step
+//! counter, the checker's states-explored count, the solver's conflict
+//! count — never by wall-clock time. Two runs of a deterministic workload
+//! therefore produce byte-identical traces (asserted by the
+//! `obs_trace` integration test in the umbrella crate).
+
+use crate::json::Json;
+
+/// One structured trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// The simulator delivered in-flight message `seq` from `from` to `to`
+    /// at logical step `step`. `view_changed` is whether the receiver's
+    /// view changed (triggering a re-broadcast).
+    Deliver {
+        /// Logical simulation step (counts deliver/bid/drop transitions).
+        step: u64,
+        /// Sender agent index.
+        from: u32,
+        /// Receiver agent index.
+        to: u32,
+        /// The sender's broadcast sequence number.
+        seq: u64,
+        /// Whether the receiver's view changed.
+        view_changed: bool,
+    },
+    /// Agent `agent` ran its bidding phase at step `step`; `placed` is
+    /// whether it placed bids (and broadcast).
+    Bid {
+        /// Logical simulation step.
+        step: u64,
+        /// The bidding agent's index.
+        agent: u32,
+        /// Whether the bidding phase placed bids.
+        placed: bool,
+    },
+    /// Fault injection dropped message `seq` from `from` to `to`.
+    MessageDropped {
+        /// Logical simulation step.
+        step: u64,
+        /// Sender agent index.
+        from: u32,
+        /// Receiver agent index.
+        to: u32,
+        /// The dropped message's sequence number.
+        seq: u64,
+    },
+    /// Fault injection re-enqueued (duplicated) message `seq`.
+    MessageDuplicated {
+        /// Logical simulation step.
+        step: u64,
+        /// Sender agent index.
+        from: u32,
+        /// Receiver agent index.
+        to: u32,
+        /// The duplicated message's sequence number.
+        seq: u64,
+    },
+    /// A simulation run finished (quiesced or hit its bound).
+    Converged {
+        /// Logical step at which the run ended.
+        step: u64,
+        /// Total messages delivered over the run.
+        delivered: u64,
+        /// Whether the run quiesced in a conflict-free consensus state.
+        consensus: bool,
+    },
+    /// Periodic checker progress: emitted every N distinct states.
+    CheckerProgress {
+        /// Distinct (normalized) states explored so far.
+        states_explored: u64,
+        /// Depth (delivered messages) of the state being expanded.
+        frontier_depth: u64,
+    },
+    /// The checker finished.
+    CheckerDone {
+        /// Distinct states explored in total.
+        states_explored: u64,
+        /// The longest execution, in delivered messages.
+        max_messages: u64,
+        /// Verdict kind (`"converges"`, `"no-consensus"`, …).
+        verdict: String,
+    },
+    /// The encoder translated one relation to CNF.
+    RelationEncoded {
+        /// The relation's name.
+        relation: String,
+        /// The relation's arity.
+        arity: u64,
+        /// Primary (free-tuple) variables allocated for the relation.
+        vars: u64,
+        /// CNF clauses mentioning at least one of those variables.
+        clauses: u64,
+    },
+    /// A whole problem finished translating to CNF.
+    EncodingDone {
+        /// Human label for the encoding (e.g. `"naive (Int + ternary)"`).
+        encoding: String,
+        /// Primary (free-tuple) variables.
+        primary_vars: u64,
+        /// Total CNF variables after Tseitin transformation.
+        cnf_vars: u64,
+        /// Total CNF clauses.
+        cnf_clauses: u64,
+    },
+    /// Periodic SAT-solver progress (forwarded from the solver's progress
+    /// callback, typically every N conflicts).
+    SolverProgress {
+        /// Conflicts so far.
+        conflicts: u64,
+        /// Decisions so far.
+        decisions: u64,
+        /// Unit propagations so far.
+        propagations: u64,
+        /// Restarts so far.
+        restarts: u64,
+        /// Learnt clauses currently in the database.
+        learnt: u64,
+    },
+}
+
+impl Event {
+    /// The event's kind tag — the `"event"` field of its JSON rendering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Deliver { .. } => "deliver",
+            Event::Bid { .. } => "bid",
+            Event::MessageDropped { .. } => "drop",
+            Event::MessageDuplicated { .. } => "duplicate",
+            Event::Converged { .. } => "converged",
+            Event::CheckerProgress { .. } => "checker-progress",
+            Event::CheckerDone { .. } => "checker-done",
+            Event::RelationEncoded { .. } => "relation-encoded",
+            Event::EncodingDone { .. } => "encoding-done",
+            Event::SolverProgress { .. } => "solver-progress",
+        }
+    }
+
+    /// The event as a [`Json`] object. Field order is fixed per variant, so
+    /// rendering is deterministic.
+    pub fn to_json(&self) -> Json {
+        let kind = Json::from(self.kind());
+        match *self {
+            Event::Deliver {
+                step,
+                from,
+                to,
+                seq,
+                view_changed,
+            } => Json::obj([
+                ("event", kind),
+                ("step", step.into()),
+                ("from", from.into()),
+                ("to", to.into()),
+                ("seq", seq.into()),
+                ("view_changed", view_changed.into()),
+            ]),
+            Event::Bid {
+                step,
+                agent,
+                placed,
+            } => Json::obj([
+                ("event", kind),
+                ("step", step.into()),
+                ("agent", agent.into()),
+                ("placed", placed.into()),
+            ]),
+            Event::MessageDropped {
+                step,
+                from,
+                to,
+                seq,
+            } => Json::obj([
+                ("event", kind),
+                ("step", step.into()),
+                ("from", from.into()),
+                ("to", to.into()),
+                ("seq", seq.into()),
+            ]),
+            Event::MessageDuplicated {
+                step,
+                from,
+                to,
+                seq,
+            } => Json::obj([
+                ("event", kind),
+                ("step", step.into()),
+                ("from", from.into()),
+                ("to", to.into()),
+                ("seq", seq.into()),
+            ]),
+            Event::Converged {
+                step,
+                delivered,
+                consensus,
+            } => Json::obj([
+                ("event", kind),
+                ("step", step.into()),
+                ("delivered", delivered.into()),
+                ("consensus", consensus.into()),
+            ]),
+            Event::CheckerProgress {
+                states_explored,
+                frontier_depth,
+            } => Json::obj([
+                ("event", kind),
+                ("states_explored", states_explored.into()),
+                ("frontier_depth", frontier_depth.into()),
+            ]),
+            Event::CheckerDone {
+                states_explored,
+                max_messages,
+                ref verdict,
+            } => Json::obj([
+                ("event", kind),
+                ("states_explored", states_explored.into()),
+                ("max_messages", max_messages.into()),
+                ("verdict", verdict.as_str().into()),
+            ]),
+            Event::RelationEncoded {
+                ref relation,
+                arity,
+                vars,
+                clauses,
+            } => Json::obj([
+                ("event", kind),
+                ("relation", relation.as_str().into()),
+                ("arity", arity.into()),
+                ("vars", vars.into()),
+                ("clauses", clauses.into()),
+            ]),
+            Event::EncodingDone {
+                ref encoding,
+                primary_vars,
+                cnf_vars,
+                cnf_clauses,
+            } => Json::obj([
+                ("event", kind),
+                ("encoding", encoding.as_str().into()),
+                ("primary_vars", primary_vars.into()),
+                ("cnf_vars", cnf_vars.into()),
+                ("cnf_clauses", cnf_clauses.into()),
+            ]),
+            Event::SolverProgress {
+                conflicts,
+                decisions,
+                propagations,
+                restarts,
+                learnt,
+            } => Json::obj([
+                ("event", kind),
+                ("conflicts", conflicts.into()),
+                ("decisions", decisions.into()),
+                ("propagations", propagations.into()),
+                ("restarts", restarts.into()),
+                ("learnt", learnt.into()),
+            ]),
+        }
+    }
+
+    /// The event as one line of JSON (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Event;
+
+    #[test]
+    fn deliver_renders_stably() {
+        let e = Event::Deliver {
+            step: 3,
+            from: 0,
+            to: 1,
+            seq: 2,
+            view_changed: true,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            r#"{"event":"deliver","step":3,"from":0,"to":1,"seq":2,"view_changed":true}"#
+        );
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            Event::Bid {
+                step: 0,
+                agent: 0,
+                placed: false,
+            }
+            .kind(),
+            Event::MessageDropped {
+                step: 0,
+                from: 0,
+                to: 0,
+                seq: 0,
+            }
+            .kind(),
+            Event::MessageDuplicated {
+                step: 0,
+                from: 0,
+                to: 0,
+                seq: 0,
+            }
+            .kind(),
+            Event::CheckerProgress {
+                states_explored: 0,
+                frontier_depth: 0,
+            }
+            .kind(),
+        ];
+        let unique: std::collections::BTreeSet<_> = kinds.iter().collect();
+        assert_eq!(unique.len(), kinds.len());
+    }
+
+    #[test]
+    fn no_event_field_is_wall_clock() {
+        // Events must be reproducible across runs: the JSON rendering of a
+        // fixed event is a pure function of its payload.
+        let e = Event::SolverProgress {
+            conflicts: 100,
+            decisions: 250,
+            propagations: 9000,
+            restarts: 1,
+            learnt: 42,
+        };
+        assert_eq!(e.to_json_line(), e.to_json_line());
+    }
+}

@@ -1,0 +1,35 @@
+//! Structured tracing and metrics for the MCA verification suite.
+//!
+//! This crate is the observability layer shared by the simulator, the
+//! explicit-state checker, the relational-to-CNF encoder, and the `repro`
+//! experiment driver:
+//!
+//! * [`Event`] — the structured trace vocabulary. Every event is keyed by
+//!   *logical* progress (simulation step, states explored, conflict count),
+//!   never wall-clock time, so traces of deterministic runs are
+//!   byte-for-byte reproducible.
+//! * [`Observer`] / [`SharedObserver`] / [`Handle`] — the hook instrumented
+//!   code calls into. Instrumentation sites are written as
+//!   `if let Some(obs) = &self.observer { obs.emit(..) }`, so with no
+//!   observer attached the cost is a branch on an `Option` — events are
+//!   never constructed.
+//! * [`Metrics`] — a registry of named counters, gauges, log₂-binned
+//!   histograms, and monotonic timers, with deterministic JSON export and
+//!   merging (wall-clock appears only in timers, which callers opt into).
+//! * [`JsonlSink`], [`SummarySink`], [`CollectSink`] — ready-made
+//!   observers: newline-delimited JSON for `jq`, a human-readable run
+//!   summary, and an in-memory vector for tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod sink;
+
+pub use event::Event;
+pub use metrics::{Histogram, Metrics};
+pub use observer::{Handle, Observer, SharedObserver};
+pub use sink::{CollectSink, JsonlSink, SummarySink};

@@ -1,0 +1,459 @@
+//! A registry of named counters, gauges, log₂-binned histograms, and
+//! monotonic timers.
+//!
+//! All collections are `BTreeMap`s and every exporter iterates them in key
+//! order, so [`Metrics::to_json`] output is deterministic for deterministic
+//! workloads. Wall-clock time enters only through the timer family, which
+//! callers opt into explicitly; counters, gauges, and histograms are pure
+//! functions of the observed values.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A log₂-binned histogram of `u64` samples.
+///
+/// Bin 0 holds exactly the value `0`; bin `k ≥ 1` holds the half-open range
+/// `[2^(k-1), 2^k)`. Binning is exact integer arithmetic
+/// (`64 - leading_zeros`), so histograms merge and export reproducibly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `bins[k]` counts samples in bin `k`; trailing zero bins are not
+    /// stored.
+    bins: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// The bin index for `value`.
+    pub fn bin_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `(lo, hi)` range of bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 64`.
+    pub fn bin_range(index: usize) -> (u64, u64) {
+        assert!(index <= 64, "log2 bins run 0..=64");
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            k => (1 << (k - 1), (1 << k) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bin_index(value);
+        if self.bins.len() <= idx {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value as u128;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The count in bin `index` (0 for never-touched bins).
+    pub fn bin_count(&self, index: usize) -> u64 {
+        self.bins.get(index).copied().unwrap_or(0)
+    }
+
+    /// The mean sample, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Folds another histogram into this one; equivalent to having recorded
+    /// both sample streams into a single histogram.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.bins.len() < other.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// JSON rendering: count/sum/min/max plus non-empty bins with their
+    /// inclusive ranges.
+    pub fn to_json(&self) -> Json {
+        let bins: Vec<Json> = self
+            .bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| {
+                let (lo, hi) = Self::bin_range(k);
+                Json::obj([("lo", lo.into()), ("hi", hi.into()), ("count", c.into())])
+            })
+            .collect();
+        let mut pairs = vec![
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum.min(u64::MAX as u128) as u64)),
+        ];
+        if let (Some(min), Some(max)) = (self.min(), self.max()) {
+            pairs.push(("min", min.into()));
+            pairs.push(("max", max.into()));
+        }
+        pairs.push(("bins", Json::Array(bins)));
+        Json::obj(pairs)
+    }
+}
+
+/// The metrics registry.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+    timers_ns: BTreeMap<String, u64>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds 1 to counter `name`.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to counter `name` (created at 0 on first use).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// The value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// The value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Runs `f`, adding its (monotonic-clock) elapsed time to timer `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add_timer_ns(
+            name,
+            start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
+        out
+    }
+
+    /// Adds `ns` nanoseconds to timer `name`.
+    pub fn add_timer_ns(&mut self, name: &str, ns: u64) {
+        *self.timers_ns.entry(name.to_string()).or_insert(0) += ns;
+    }
+
+    /// Accumulated nanoseconds on timer `name` (0 if never touched).
+    pub fn timer_ns(&self, name: &str) -> u64 {
+        self.timers_ns.get(name).copied().unwrap_or(0)
+    }
+
+    /// Folds `other` into this registry: counters and timers add,
+    /// histograms merge sample streams, and gauges take `other`'s value
+    /// (last writer wins — a gauge is a level, not an accumulation).
+    pub fn merge_from(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge_from(h);
+        }
+        for (k, v) in &other.timers_ns {
+            *self.timers_ns.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// The registry as a JSON object with `counters` / `gauges` /
+    /// `histograms` / `timers_ns` sections, each sorted by name.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::from(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::from(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "timers_ns",
+                Json::Object(
+                    self.timers_ns
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::from(v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// A human-readable multi-line summary, sorted by name.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<40} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k:<40} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {k:<40} n={} min={} max={} mean={:.1}",
+                    h.count(),
+                    h.min().unwrap_or(0),
+                    h.max().unwrap_or(0),
+                    h.mean().unwrap_or(0.0),
+                );
+            }
+        }
+        if !self.timers_ns.is_empty() {
+            out.push_str("timers:\n");
+            for (k, v) in &self.timers_ns {
+                let _ = writeln!(out, "  {k:<40} {:.3} ms", *v as f64 / 1e6);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Histogram, Metrics};
+
+    #[test]
+    fn bin_index_matches_powers_of_two() {
+        assert_eq!(Histogram::bin_index(0), 0);
+        assert_eq!(Histogram::bin_index(1), 1);
+        assert_eq!(Histogram::bin_index(2), 2);
+        assert_eq!(Histogram::bin_index(3), 2);
+        assert_eq!(Histogram::bin_index(4), 3);
+        assert_eq!(Histogram::bin_index(1023), 10);
+        assert_eq!(Histogram::bin_index(1024), 11);
+        assert_eq!(Histogram::bin_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bin_ranges_partition_u64() {
+        // Every bin's hi + 1 is the next bin's lo, covering 0..=u64::MAX.
+        let (lo0, hi0) = Histogram::bin_range(0);
+        assert_eq!((lo0, hi0), (0, 0));
+        let mut prev_hi = hi0;
+        for k in 1..=64 {
+            let (lo, hi) = Histogram::bin_range(k);
+            assert_eq!(lo, prev_hi + 1, "bin {k} must start after bin {}", k - 1);
+            assert!(hi >= lo);
+            prev_hi = hi;
+        }
+        assert_eq!(prev_hi, u64::MAX);
+        // And every value's index lands in the range claiming it.
+        for v in [0u64, 1, 2, 3, 7, 8, 1 << 20, u64::MAX] {
+            let (lo, hi) = Histogram::bin_range(Histogram::bin_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside its bin [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_aggregates() {
+        let mut h = Histogram::default();
+        for v in [5u64, 0, 17, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 27);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(17));
+        assert_eq!(h.bin_count(0), 1); // the 0
+        assert_eq!(h.bin_count(3), 2); // the two 5s in [4, 8)
+        assert_eq!(h.bin_count(5), 1); // 17 in [16, 32)
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_stream() {
+        let xs = [1u64, 2, 3, 100, 0];
+        let ys = [7u64, 7, 4096];
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for &v in &xs {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let mut h = Histogram::default();
+        for v in [9u64, 10, 11] {
+            h.record(v);
+        }
+        let mut empty = Histogram::default();
+        empty.merge_from(&h);
+        assert_eq!(empty, h);
+        // ... and merging an empty in changes nothing.
+        let snapshot = h.clone();
+        h.merge_from(&Histogram::default());
+        assert_eq!(h, snapshot);
+    }
+
+    #[test]
+    fn registry_merge_semantics() {
+        let mut a = Metrics::new();
+        a.add("msgs", 3);
+        a.set_gauge("depth", 5);
+        a.observe("lat", 8);
+        a.add_timer_ns("solve", 100);
+
+        let mut b = Metrics::new();
+        b.add("msgs", 4);
+        b.inc("drops");
+        b.set_gauge("depth", 2);
+        b.observe("lat", 9);
+        b.add_timer_ns("solve", 50);
+
+        a.merge_from(&b);
+        assert_eq!(a.counter("msgs"), 7);
+        assert_eq!(a.counter("drops"), 1);
+        assert_eq!(a.gauge("depth"), Some(2)); // last writer wins
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        assert_eq!(a.timer_ns("solve"), 150);
+    }
+
+    #[test]
+    fn json_export_is_deterministic_and_sorted() {
+        let mut m = Metrics::new();
+        m.add("zeta", 1);
+        m.add("alpha", 2);
+        m.observe("h", 3);
+        let s = m.to_json().render();
+        assert_eq!(s, m.to_json().render());
+        let alpha = s.find("\"alpha\"").unwrap();
+        let zeta = s.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta, "counters must render in name order");
+        assert!(s.contains("\"histograms\""));
+    }
+
+    #[test]
+    fn summary_mentions_each_family() {
+        let mut m = Metrics::new();
+        m.inc("c");
+        m.set_gauge("g", -1);
+        m.observe("h", 2);
+        m.add_timer_ns("t", 1_500_000);
+        let s = m.summary();
+        for needle in ["counters:", "gauges:", "histograms:", "timers:", "1.500 ms"] {
+            assert!(s.contains(needle), "summary missing {needle:?}:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Ready-made observers: JSONL trace writer, human-readable summary, and
+//! an in-memory collector for tests.
+
+use crate::event::Event;
+use crate::observer::Observer;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Writes one JSON object per event, newline-delimited — the format `jq`
+/// and most log pipelines consume directly.
+///
+/// Events carry no wall-clock fields, so the trace of a deterministic run
+/// is byte-for-byte reproducible.
+pub struct JsonlSink<W: Write> {
+    out: W,
+    events_written: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Opens (truncating) `path` for trace output.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink<BufWriter<File>>> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            out,
+            events_written: 0,
+            error: None,
+        }
+    }
+
+    /// Number of events successfully written.
+    pub fn events_written(&self) -> u64 {
+        self.events_written
+    }
+
+    /// Flushes the writer and reports the first I/O error encountered (an
+    /// observer callback has nowhere to return one).
+    pub fn finish(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+
+    /// Flushes and returns the underlying writer (e.g. a `Vec<u8>` buffer).
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.finish()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> Observer for JsonlSink<W> {
+    fn on_event(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json_line();
+        match writeln!(self.out, "{line}") {
+            Ok(()) => self.events_written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Aggregates events into a short human-readable run summary instead of
+/// logging each one.
+#[derive(Clone, Debug, Default)]
+pub struct SummarySink {
+    counts: BTreeMap<&'static str, u64>,
+    last_step: u64,
+    last_checker_states: u64,
+    last_solver: Option<(u64, u64, u64, u64)>,
+    converged: Option<bool>,
+    relations: Vec<(String, u64, u64)>,
+}
+
+impl SummarySink {
+    /// A fresh summary.
+    pub fn new() -> SummarySink {
+        SummarySink::default()
+    }
+
+    /// How many events of `kind` were seen.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Renders the summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("trace summary:\n");
+        for (kind, n) in &self.counts {
+            let _ = writeln!(out, "  {kind:<20} {n}");
+        }
+        if self.last_step > 0 {
+            let _ = writeln!(out, "  last simulation step: {}", self.last_step);
+        }
+        if let Some(ok) = self.converged {
+            let _ = writeln!(
+                out,
+                "  outcome: {}",
+                if ok { "consensus" } else { "no consensus" }
+            );
+        }
+        if self.last_checker_states > 0 {
+            let _ = writeln!(out, "  states explored: {}", self.last_checker_states);
+        }
+        if let Some((conflicts, decisions, propagations, restarts)) = self.last_solver {
+            let _ = writeln!(
+                out,
+                "  solver: {conflicts} conflicts, {decisions} decisions, \
+                 {propagations} propagations, {restarts} restarts"
+            );
+        }
+        if !self.relations.is_empty() {
+            out.push_str("  relations encoded:\n");
+            for (name, vars, clauses) in &self.relations {
+                let _ = writeln!(out, "    {name:<28} {vars:>8} vars {clauses:>10} clauses");
+            }
+        }
+        out
+    }
+}
+
+impl Observer for SummarySink {
+    fn on_event(&mut self, event: &Event) {
+        *self.counts.entry(event.kind()).or_insert(0) += 1;
+        match event {
+            Event::Deliver { step, .. }
+            | Event::Bid { step, .. }
+            | Event::MessageDropped { step, .. }
+            | Event::MessageDuplicated { step, .. } => {
+                self.last_step = self.last_step.max(*step);
+            }
+            Event::Converged {
+                step, consensus, ..
+            } => {
+                self.last_step = self.last_step.max(*step);
+                self.converged = Some(*consensus);
+            }
+            Event::CheckerProgress {
+                states_explored, ..
+            }
+            | Event::CheckerDone {
+                states_explored, ..
+            } => {
+                self.last_checker_states = self.last_checker_states.max(*states_explored);
+            }
+            Event::SolverProgress {
+                conflicts,
+                decisions,
+                propagations,
+                restarts,
+                ..
+            } => {
+                self.last_solver = Some((*conflicts, *decisions, *propagations, *restarts));
+            }
+            Event::RelationEncoded {
+                relation,
+                vars,
+                clauses,
+                ..
+            } => {
+                self.relations.push((relation.clone(), *vars, *clauses));
+            }
+            Event::EncodingDone { .. } => {}
+        }
+    }
+}
+
+/// Collects events into a vector — the sink tests reach for.
+#[derive(Clone, Debug, Default)]
+pub struct CollectSink {
+    /// Every event received, in order.
+    pub events: Vec<Event>,
+}
+
+impl Observer for CollectSink {
+    fn on_event(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Deliver {
+                step: 1,
+                from: 0,
+                to: 1,
+                seq: 1,
+                view_changed: true,
+            },
+            Event::Bid {
+                step: 2,
+                agent: 1,
+                placed: false,
+            },
+            Event::Converged {
+                step: 2,
+                delivered: 1,
+                consensus: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for e in sample_events() {
+            sink.on_event(&e);
+        }
+        assert_eq!(sink.events_written(), 3);
+        sink.finish().unwrap();
+        let text = String::from_utf8(sink.out).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn summary_sink_aggregates() {
+        let mut sink = SummarySink::new();
+        for e in sample_events() {
+            sink.on_event(&e);
+        }
+        sink.on_event(&Event::RelationEncoded {
+            relation: "bidTriple".into(),
+            arity: 3,
+            vars: 12,
+            clauses: 80,
+        });
+        assert_eq!(sink.count("deliver"), 1);
+        assert_eq!(sink.count("bid"), 1);
+        let text = sink.render();
+        assert!(text.contains("outcome: consensus"));
+        assert!(text.contains("bidTriple"));
+    }
+
+    #[test]
+    fn collect_sink_keeps_order() {
+        let mut sink = CollectSink::default();
+        for e in sample_events() {
+            sink.on_event(&e);
+        }
+        assert_eq!(sink.events, sample_events());
+    }
+}

@@ -197,7 +197,11 @@ impl Expr {
 
     /// Conditional: `if c then self else other`.
     pub fn if_else(cond: &Formula, then: &Expr, els: &Expr) -> Expr {
-        Expr::wrap(ExprKind::IfThenElse(cond.clone(), then.clone(), els.clone()))
+        Expr::wrap(ExprKind::IfThenElse(
+            cond.clone(),
+            then.clone(),
+            els.clone(),
+        ))
     }
 
     /// Set comprehension `{vars | body}`: the tuples over the declared
@@ -214,7 +218,10 @@ impl Expr {
             .into_iter()
             .map(|(var, domain)| Decl { var, domain })
             .collect();
-        assert!(!decls.is_empty(), "comprehensions need at least one variable");
+        assert!(
+            !decls.is_empty(),
+            "comprehensions need at least one variable"
+        );
         Expr::wrap(ExprKind::Comprehension(decls, body.clone()))
     }
 

@@ -20,7 +20,7 @@ impl BitVec {
     ///
     /// Panics if `value` is not representable in `width` signed bits.
     pub fn constant(c: &Circuit, value: i64, width: usize) -> BitVec {
-        assert!(width >= 1 && width <= 63, "width must be in 1..=63");
+        assert!((1..=63).contains(&width), "width must be in 1..=63");
         let lo = -(1i64 << (width - 1));
         let hi = (1i64 << (width - 1)) - 1;
         assert!(
@@ -163,7 +163,9 @@ impl Circuit {
         let w = t.width().max(e.width());
         let t = t.sign_extend(w);
         let e = e.sign_extend(w);
-        let bits = (0..w).map(|i| self.ite(cond, t.bits[i], e.bits[i])).collect();
+        let bits = (0..w)
+            .map(|i| self.ite(cond, t.bits[i], e.bits[i]))
+            .collect();
         BitVec { bits }
     }
 

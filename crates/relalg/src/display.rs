@@ -5,9 +5,7 @@
 //! models as `.als` text for cross-checking against the real Alloy
 //! Analyzer.
 
-use crate::ast::{
-    CmpOp, Expr, ExprKind, Formula, FormulaKind, IntExpr, IntExprKind, RelationId,
-};
+use crate::ast::{CmpOp, Expr, ExprKind, Formula, FormulaKind, IntExpr, IntExprKind, RelationId};
 use crate::universe::AtomId;
 
 /// Naming callbacks for rendering.
@@ -117,16 +115,8 @@ pub fn pretty_int(ie: &IntExpr, names: &Names<'_>) -> String {
         IntExprKind::Const(v) => v.to_string(),
         IntExprKind::Card(e) => format!("#({})", pretty_expr(e, names)),
         IntExprKind::SumValues(e) => format!("(sum {})", pretty_expr(e, names)),
-        IntExprKind::Add(a, b) => format!(
-            "({} + {})",
-            pretty_int(a, names),
-            pretty_int(b, names)
-        ),
-        IntExprKind::Sub(a, b) => format!(
-            "({} - {})",
-            pretty_int(a, names),
-            pretty_int(b, names)
-        ),
+        IntExprKind::Add(a, b) => format!("({} + {})", pretty_int(a, names), pretty_int(b, names)),
+        IntExprKind::Sub(a, b) => format!("({} - {})", pretty_int(a, names), pretty_int(b, names)),
         IntExprKind::Neg(a) => format!("(-{})", pretty_int(a, names)),
         IntExprKind::Ite(c, t, e) => format!(
             "({} => {} else {})",
@@ -200,7 +190,10 @@ mod tests {
     fn renders_integers() {
         let n = names();
         let r = Expr::relation(RelationId::from_index(0));
-        let f = r.count().add(&crate::ast::IntExpr::constant(2)).le(&r.sum_values());
+        let f = r
+            .count()
+            .add(&crate::ast::IntExpr::constant(2))
+            .le(&r.sum_values());
         let rendered = pretty_formula(&f, &n);
         assert_eq!(rendered, "(#(r0) + 2) <= (sum r0)");
     }

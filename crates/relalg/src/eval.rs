@@ -59,9 +59,7 @@ impl<'a> Evaluator<'a> {
         Ok(match e.kind() {
             ExprKind::Relation(r) => self.instance.tuples(*r).clone(),
             ExprKind::Atom(a) => TupleSet::singleton(*a),
-            ExprKind::Iden => {
-                TupleSet::from_pairs(self.universe.iter().map(|a| (a, a)))
-            }
+            ExprKind::Iden => TupleSet::from_pairs(self.universe.iter().map(|a| (a, a))),
             ExprKind::Univ => TupleSet::all_atoms(self.universe),
             ExprKind::Empty(a) => TupleSet::new(*a),
             ExprKind::Var(v) => {
@@ -153,11 +151,8 @@ impl<'a> Evaluator<'a> {
                 // Odometer over the (possibly empty) domains.
                 if domains.iter().all(|d| !d.is_empty()) {
                     loop {
-                        let atoms: Vec<AtomId> = stack
-                            .iter()
-                            .zip(&domains)
-                            .map(|(&i, d)| d[i])
-                            .collect();
+                        let atoms: Vec<AtomId> =
+                            stack.iter().zip(&domains).map(|(&i, d)| d[i]).collect();
                         let prev: Vec<Option<AtomId>> = decls
                             .iter()
                             .zip(&atoms)
@@ -297,11 +292,12 @@ impl<'a> Evaluator<'a> {
                 let mut sum = 0i64;
                 for t in ts.iter() {
                     let a = t.atoms()[0];
-                    sum += self.universe.int_value(a).ok_or_else(|| {
-                        TranslateError::NonIntAtom {
-                            atom: self.universe.name(a).to_string(),
-                        }
-                    })?;
+                    sum +=
+                        self.universe
+                            .int_value(a)
+                            .ok_or_else(|| TranslateError::NonIntAtom {
+                                atom: self.universe.name(a).to_string(),
+                            })?;
                 }
                 sum
             }
@@ -396,9 +392,7 @@ mod tests {
     use crate::ast::{IntExpr, QuantVar};
     use crate::problem::{Outcome, Problem};
 
-    fn solved(
-        build: impl FnOnce(&mut Problem, &[AtomId]),
-    ) -> (Problem, Instance) {
+    fn solved(build: impl FnOnce(&mut Problem, &[AtomId])) -> (Problem, Instance) {
         let mut u = Universe::new();
         let atoms = u.add_atoms("N", 3);
         let mut p = Problem::new(u);
@@ -457,7 +451,9 @@ mod tests {
         let mut p = Problem::new(u);
         let r = p.declare_constant("picked", TupleSet::from_atoms([ints[0], ints[2]]));
         let out = p.solve().unwrap();
-        let Outcome::Sat(inst) = out.result else { panic!() };
+        let Outcome::Sat(inst) = out.result else {
+            panic!()
+        };
         let mut ev = Evaluator::new(p.universe(), &inst);
         let re = Expr::relation(r);
         assert_eq!(ev.int_expr(&re.count()).unwrap(), 2);
@@ -487,10 +483,7 @@ mod tests {
     fn multiplicity_predicates() {
         let (p, inst) = solved(|p, atoms| {
             p.declare_constant("one_atom", TupleSet::from_atoms([atoms[1]]));
-            p.declare_constant(
-                "two_atoms",
-                TupleSet::from_atoms([atoms[0], atoms[2]]),
-            );
+            p.declare_constant("two_atoms", TupleSet::from_atoms([atoms[0], atoms[2]]));
         });
         let one = Expr::relation(crate::ast::RelationId::from_index(0));
         let two = Expr::relation(crate::ast::RelationId::from_index(1));
@@ -513,10 +506,7 @@ mod tests {
         });
         let r = Expr::relation(crate::ast::RelationId::from_index(0));
         let x = QuantVar::fresh("x");
-        let senders = Expr::comprehension(
-            [(x.clone(), Expr::univ())],
-            &x.expr().join(&r).some(),
-        );
+        let senders = Expr::comprehension([(x.clone(), Expr::univ())], &x.expr().join(&r).some());
         let mut ev = Evaluator::new(p.universe(), &inst);
         assert_eq!(ev.expr(&senders).unwrap().len(), 2);
         // Binary comprehension: the relation itself, reconstructed.

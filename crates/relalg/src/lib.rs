@@ -66,6 +66,6 @@ pub use problem::{
     CertifiedCheck, Check, CheckOutcome, Instance, Outcome, Problem, ProofCertificate,
     RelationDecl, SolveOutcome,
 };
-pub use translate::{Translation, TranslationStats};
+pub use translate::{RelationStats, Translation, TranslationStats};
 pub use tuple::{Tuple, TupleSet};
 pub use universe::{AtomId, Universe};

@@ -8,10 +8,10 @@
 
 use crate::ast::{Expr, Formula, RelationId};
 use crate::error::TranslateError;
-use crate::translate::{Translation, TranslationStats, Translator};
-use crate::tuple::TupleSet;
+use crate::translate::{RelationStats, Translation, TranslationStats, Translator};
+use crate::tuple::{Tuple, TupleSet};
 use crate::universe::Universe;
-use mca_sat::SolveResult;
+use mca_sat::{SolveResult, SolverStats};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -165,12 +165,56 @@ impl Problem {
             cnf_literals: cnf.num_literals(),
             translation_secs: start.elapsed().as_secs_f64(),
         };
+        let relation_stats = self.relation_stats(&cnf, &input_vars, &tr.input_tuples);
         Ok(Translation {
             cnf,
             stats,
+            relation_stats,
             input_vars,
             input_tuples: tr.input_tuples,
         })
+    }
+
+    /// Per-relation primary-variable and clause-incidence counts: one pass
+    /// mapping each primary CNF variable back to its declaring relation,
+    /// then one pass over the clauses counting, per relation, the clauses
+    /// touching at least one of its variables.
+    fn relation_stats(
+        &self,
+        cnf: &mca_sat::CnfFormula,
+        input_vars: &[mca_sat::Var],
+        input_tuples: &[(RelationId, Tuple)],
+    ) -> Vec<RelationStats> {
+        let mut out: Vec<RelationStats> = self
+            .relations
+            .iter()
+            .map(|decl| RelationStats {
+                name: decl.name().to_string(),
+                arity: decl.arity(),
+                primary_vars: 0,
+                clauses: 0,
+            })
+            .collect();
+        let mut var_to_rel: Vec<Option<u32>> = vec![None; cnf.num_vars()];
+        for (var, (rid, _)) in input_vars.iter().zip(input_tuples) {
+            var_to_rel[var.index()] = Some(rid.0);
+            out[rid.index()].primary_vars += 1;
+        }
+        // `seen_in_clause` avoids double-counting a clause with several
+        // variables of the same relation; reset lazily via a stamp.
+        let mut stamp = vec![0u32; self.relations.len()];
+        for (i, clause) in cnf.clauses().iter().enumerate() {
+            let clause_stamp = i as u32 + 1;
+            for lit in clause {
+                if let Some(rel) = var_to_rel[lit.var().index()] {
+                    if stamp[rel as usize] != clause_stamp {
+                        stamp[rel as usize] = clause_stamp;
+                        out[rel as usize].clauses += 1;
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Finds an instance satisfying all facts.
@@ -201,6 +245,8 @@ impl Problem {
         Ok(SolveOutcome {
             result,
             stats: translation.stats,
+            relation_stats: translation.relation_stats,
+            solver_stats: *solver.stats(),
             solve_secs: start.elapsed().as_secs_f64(),
         })
     }
@@ -219,6 +265,8 @@ impl Problem {
                 Outcome::Unsat => Check::Valid,
             },
             stats: outcome.stats,
+            relation_stats: outcome.relation_stats,
+            solver_stats: outcome.solver_stats,
             solve_secs: outcome.solve_secs,
         })
     }
@@ -253,13 +301,21 @@ impl Problem {
             SolveResult::Unsat => {
                 let proof = solver.take_proof().expect("proof was enabled");
                 let verified = mca_sat::check_drat(&translation.cnf, &proof).is_ok();
-                (Check::Valid, Some(ProofCertificate { verified, steps: proof.len() }))
+                (
+                    Check::Valid,
+                    Some(ProofCertificate {
+                        verified,
+                        steps: proof.len(),
+                    }),
+                )
             }
         };
         Ok(CertifiedCheck {
             outcome: CheckOutcome {
                 result,
                 stats: translation.stats,
+                relation_stats: translation.relation_stats,
+                solver_stats: *solver.stats(),
                 solve_secs: start.elapsed().as_secs_f64(),
             },
             certificate,
@@ -351,6 +407,10 @@ pub struct SolveOutcome {
     pub result: Outcome,
     /// Translation size statistics.
     pub stats: TranslationStats,
+    /// Per-relation variable and clause counts, in declaration order.
+    pub relation_stats: Vec<RelationStats>,
+    /// Search statistics of the SAT solver that produced the result.
+    pub solver_stats: SolverStats,
     /// Wall-clock seconds spent in the SAT solver.
     pub solve_secs: f64,
 }
@@ -391,8 +451,7 @@ pub struct CertifiedCheck {
 impl CertifiedCheck {
     /// `true` iff the assertion is valid **and** the DRAT proof verified.
     pub fn is_certified_valid(&self) -> bool {
-        self.outcome.result.is_valid()
-            && self.certificate.as_ref().is_some_and(|c| c.verified)
+        self.outcome.result.is_valid() && self.certificate.as_ref().is_some_and(|c| c.verified)
     }
 }
 
@@ -412,6 +471,10 @@ pub struct CheckOutcome {
     pub result: Check,
     /// Translation size statistics.
     pub stats: TranslationStats,
+    /// Per-relation variable and clause counts, in declaration order.
+    pub relation_stats: Vec<RelationStats>,
+    /// Search statistics of the SAT solver that produced the result.
+    pub solver_stats: SolverStats,
     /// Wall-clock seconds spent in the SAT solver.
     pub solve_secs: f64,
 }
@@ -483,11 +546,8 @@ impl Instance {
                     for tb in y.iter() {
                         let (la, lb) = (ta.atoms(), tb.atoms());
                         if la[la.len() - 1] == lb[0] {
-                            let joined: Vec<_> = la[..la.len() - 1]
-                                .iter()
-                                .chain(&lb[1..])
-                                .copied()
-                                .collect();
+                            let joined: Vec<_> =
+                                la[..la.len() - 1].iter().chain(&lb[1..]).copied().collect();
                             let t = crate::tuple::Tuple::new(joined);
                             match &mut out {
                                 Some(ts) => {
@@ -592,11 +652,7 @@ mod tests {
     fn quantifiers_ground_correctly() {
         let (u, atoms) = small_universe();
         let mut p = Problem::new(u);
-        let r = p.declare_relation(
-            "r",
-            TupleSet::new(2),
-            TupleSet::full(p.universe(), 2),
-        );
+        let r = p.declare_relation("r", TupleSet::new(2), TupleSet::full(p.universe(), 2));
         let _ = atoms;
         // all x: univ | some x.r  — every atom has an outgoing edge.
         let x = QuantVar::fresh("x");
@@ -607,8 +663,7 @@ mod tests {
         let rel = inst.tuples(r);
         for a in 0..3 {
             assert!(
-                rel.iter()
-                    .any(|t| t.atoms()[0].index() == a),
+                rel.iter().any(|t| t.atoms()[0].index() == a),
                 "atom {a} must have an outgoing edge"
             );
         }
@@ -738,6 +793,60 @@ mod tests {
         );
         let valid = p.check(&diag.equals(&Expr::iden())).unwrap();
         assert!(valid.result.is_valid());
+    }
+
+    #[test]
+    fn relation_stats_partition_primary_vars() {
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        // `fixed` is constant (no free vars); `r` unary over 3 atoms;
+        // `s` binary over all 9 pairs.
+        let fixed = p.declare_constant("fixed", TupleSet::from_atoms([atoms[0]]));
+        let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+        let s = p.declare_relation("s", TupleSet::new(2), TupleSet::full(p.universe(), 2));
+        p.require(Expr::relation(r).some());
+        p.require(Expr::relation(s).in_(&Expr::relation(r).product(&Expr::relation(r))));
+        let t = p.translate(&Formula::true_()).unwrap();
+        assert_eq!(t.relation_stats.len(), 3);
+        let by_name = |n: &str| {
+            t.relation_stats
+                .iter()
+                .find(|rs| rs.name == n)
+                .unwrap()
+                .clone()
+        };
+        assert_eq!(by_name("fixed").primary_vars, 0);
+        assert_eq!(by_name("fixed").clauses, 0);
+        assert_eq!(by_name("r").primary_vars, 3);
+        assert_eq!(by_name("r").arity, 1);
+        assert_eq!(by_name("s").primary_vars, 9);
+        assert_eq!(by_name("s").arity, 2);
+        // Every relation's primary vars sum to the translation total.
+        let total: usize = t.relation_stats.iter().map(|rs| rs.primary_vars).sum();
+        assert_eq!(total, t.stats.primary_vars);
+        // Both constrained relations appear in some clause, and no
+        // per-relation incidence count exceeds the clause total.
+        assert!(by_name("r").clauses > 0);
+        assert!(by_name("s").clauses > 0);
+        for rs in &t.relation_stats {
+            assert!(rs.clauses <= t.stats.cnf_clauses);
+        }
+        let _ = fixed;
+    }
+
+    #[test]
+    fn solve_outcome_carries_solver_stats() {
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+        p.require(Expr::relation(r).some());
+        let out = p.solve().unwrap();
+        assert!(out.result.is_sat());
+        assert_eq!(out.solver_stats.solves, 1);
+        assert_eq!(out.relation_stats.len(), 1);
+        let chk = p.check(&Expr::relation(r).lone()).unwrap();
+        assert_eq!(chk.solver_stats.solves, 1);
+        assert_eq!(chk.relation_stats[0].name, "r");
     }
 
     #[test]

@@ -118,6 +118,25 @@ pub struct TranslationStats {
     pub translation_secs: f64,
 }
 
+/// Per-relation share of a translation, for observability: how many
+/// primary variables a declared relation contributed and how many CNF
+/// clauses constrain at least one of them.
+///
+/// Clause counts are *incidences*, not a partition — a clause mentioning
+/// primary variables of two relations is counted once for each, and
+/// Tseitin-auxiliary-only clauses are counted for none.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationStats {
+    /// The relation's diagnostic name.
+    pub name: String,
+    /// The relation's arity.
+    pub arity: usize,
+    /// Free (primary) variables allocated for the relation's tuples.
+    pub primary_vars: usize,
+    /// CNF clauses containing at least one of those variables.
+    pub clauses: usize,
+}
+
 /// The output of translating a [`Problem`]: a CNF formula plus the
 /// information needed to decode models back into relational instances.
 #[derive(Debug)]
@@ -126,6 +145,8 @@ pub struct Translation {
     pub cnf: mca_sat::CnfFormula,
     /// Size statistics.
     pub stats: TranslationStats,
+    /// Per-relation variable and clause counts, in declaration order.
+    pub relation_stats: Vec<RelationStats>,
     /// CNF variables corresponding to circuit inputs, in input order.
     pub(crate) input_vars: Vec<mca_sat::Var>,
     /// For each circuit input: which relation tuple it controls.

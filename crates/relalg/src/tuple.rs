@@ -282,7 +282,9 @@ impl FromIterator<Tuple> for TupleSet {
     /// disagree on arity.
     fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> TupleSet {
         let mut it = iter.into_iter();
-        let first = it.next().expect("cannot infer arity from an empty iterator");
+        let first = it
+            .next()
+            .expect("cannot infer arity from an empty iterator");
         let mut ts = TupleSet::new(first.arity());
         ts.insert(first);
         for t in it {

@@ -97,7 +97,9 @@ impl Universe {
 
     /// Adds `n` atoms named `{prefix}0 … {prefix}{n-1}` and returns their ids.
     pub fn add_atoms(&mut self, prefix: &str, n: usize) -> Vec<AtomId> {
-        (0..n).map(|i| self.add_atom(format!("{prefix}{i}"))).collect()
+        (0..n)
+            .map(|i| self.add_atom(format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Adds integer atoms for every value in `range`, named `Int[v]`, and

@@ -108,10 +108,7 @@ impl Gen<'_> {
                 let body = self.formula(depth - 1);
                 self.scope.pop();
                 self.scope.pop();
-                Expr::comprehension(
-                    [(vx, Expr::univ()), (vy, Expr::univ())],
-                    &body,
-                )
+                Expr::comprehension([(vx, Expr::univ()), (vy, Expr::univ())], &body)
             }
             _ => self.binary(0),
         }

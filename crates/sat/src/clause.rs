@@ -182,7 +182,10 @@ mod tests {
     use crate::lit::Var;
 
     fn lits(codes: &[i64]) -> Vec<Lit> {
-        codes.iter().map(|&c| Lit::from_dimacs(c).unwrap()).collect()
+        codes
+            .iter()
+            .map(|&c| Lit::from_dimacs(c).unwrap())
+            .collect()
     }
 
     #[test]
@@ -214,10 +217,7 @@ mod tests {
     fn display_is_dimacs() {
         let mut db = ClauseDb::new();
         let c = db.push(
-            vec![
-                Var::from_index(0).positive(),
-                Var::from_index(1).negative(),
-            ],
+            vec![Var::from_index(0).positive(), Var::from_index(1).negative()],
             false,
         );
         assert_eq!(db.get(c).to_string(), "1 -2 0");

@@ -113,8 +113,7 @@ impl VarHeap {
             }
             let right = left + 1;
             let mut child = left;
-            if right < n
-                && activity[self.heap[right] as usize] > activity[self.heap[left] as usize]
+            if right < n && activity[self.heap[right] as usize] > activity[self.heap[left] as usize]
             {
                 child = right;
             }

@@ -57,4 +57,6 @@ pub use lit::{LBool, Lit, Var};
 pub use luby::{luby, LubyRestarts};
 pub use proof::{check_drat, DratError, Proof, ProofStep};
 pub use simplify::{simplify, SimplifyStats};
-pub use solver::{Model, SolveResult, Solver, SolverConfig, SolverStats};
+pub use solver::{
+    Model, ProgressCallback, ProgressFn, SolveResult, Solver, SolverConfig, SolverStats,
+};

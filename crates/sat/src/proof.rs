@@ -150,7 +150,10 @@ impl fmt::Display for DratError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DratError::NotRup { step } => {
-                write!(f, "step {step} is not a reverse-unit-propagation consequence")
+                write!(
+                    f,
+                    "step {step} is not a reverse-unit-propagation consequence"
+                )
             }
             DratError::NoEmptyClause => write!(f, "proof does not derive the empty clause"),
         }
@@ -300,6 +303,7 @@ mod tests {
     use crate::lit::Var;
     use crate::solver::{SolveResult, Solver};
 
+    #[allow(clippy::needless_range_loop)]
     fn unsat_pigeonhole(n: usize) -> (CnfFormula, Proof) {
         let mut cnf = CnfFormula::new();
         let p: Vec<Vec<Lit>> = (0..n + 1)

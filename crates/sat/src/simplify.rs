@@ -257,10 +257,7 @@ mod tests {
         let cnf = cnf_of(3, &[&[1, 2], &[1, -2, 3]]);
         let (out, stats) = simplify(&cnf);
         assert!(stats.strengthened_literals >= 1);
-        assert!(out
-            .clauses()
-            .iter()
-            .any(|c| c == &vec![lit(1), lit(3)]));
+        assert!(out.clauses().iter().any(|c| c == &vec![lit(1), lit(3)]));
     }
 
     #[test]

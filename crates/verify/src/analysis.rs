@@ -9,10 +9,12 @@
 use crate::dynamic_model::{DynamicModel, DynamicScenario};
 use crate::encoding::NumberEncoding;
 use crate::static_model::{StaticModel, StaticScope};
-use mca_core::checker::{check_consensus, CheckerOptions, Verdict};
+use mca_core::checker::{check_consensus, check_consensus_observed, CheckerOptions, Verdict};
 use mca_core::scenarios::{self, PolicyCell};
 use mca_core::{Network, Simulator};
-use mca_relalg::TranslationStats;
+use mca_obs::{Event, SharedObserver};
+use mca_relalg::{RelationStats, TranslationStats};
+use mca_sat::SolverStats;
 use std::fmt;
 use std::time::Instant;
 
@@ -34,7 +36,14 @@ pub struct Fig1Report {
 
 /// Runs E1 and checks the exact vectors of Figure 1.
 pub fn run_fig1() -> Fig1Report {
+    run_fig1_observed(None)
+}
+
+/// [`run_fig1`] with an optional observer attached to the simulator, so the
+/// worked example's deliver/bid schedule lands in the trace.
+pub fn run_fig1_observed(observer: Option<SharedObserver>) -> Fig1Report {
     let mut sim = scenarios::fig1();
+    sim.set_observer(observer);
     let out = sim.run_synchronous(16);
     let a0 = &sim.agents()[0];
     Fig1Report {
@@ -52,8 +61,16 @@ pub fn run_fig1() -> Fig1Report {
 impl fmt::Display for Fig1Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "E1 (Figure 1) — two agents, three items, one exchange")?;
-        writeln!(f, "  converged: {}   messages: {}", self.converged, self.messages)?;
-        writeln!(f, "  final bid vector b = {:?}   (paper: (20, 15, 30))", self.final_bids)?;
+        writeln!(
+            f,
+            "  converged: {}   messages: {}",
+            self.converged, self.messages
+        )?;
+        writeln!(
+            f,
+            "  final bid vector b = {:?}   (paper: (20, 15, 30))",
+            self.final_bids
+        )?;
         write!(
             f,
             "  final winners    a = {:?}   (paper: (agent2, agent2, agent1), 0-based: (1, 1, 0))",
@@ -91,13 +108,25 @@ impl fmt::Display for PolicyMatrixRow {
         write!(
             f,
             "  p_u={}  p_RO={}   paper: {}   checker: {}  {}  [{:.2}s] {}",
-            if self.cell.submodular { "submodular    " } else { "non-submodular" },
-            if self.cell.release_outbid { "release" } else { "keep   " },
+            if self.cell.submodular {
+                "submodular    "
+            } else {
+                "non-submodular"
+            },
+            if self.cell.release_outbid {
+                "release"
+            } else {
+                "keep   "
+            },
             verdict_word(self.paper_converges),
             verdict_word(self.checker_converges),
             self.detail,
             self.secs,
-            if self.matches_paper() { "✓" } else { "✗ MISMATCH" },
+            if self.matches_paper() {
+                "✓"
+            } else {
+                "✗ MISMATCH"
+            },
         )
     }
 }
@@ -113,12 +142,19 @@ fn verdict_word(converges: bool) -> &'static str {
 /// E3 (Result 1): checks all four policy combinations of Figure 2's
 /// configuration with the exhaustive explicit-state checker.
 pub fn run_policy_matrix() -> Vec<PolicyMatrixRow> {
+    run_policy_matrix_observed(None)
+}
+
+/// [`run_policy_matrix`] with an optional observer: each cell's exhaustive
+/// check reports `checker-progress` / `checker-done` events.
+pub fn run_policy_matrix_observed(observer: Option<SharedObserver>) -> Vec<PolicyMatrixRow> {
     PolicyCell::grid()
         .into_iter()
         .map(|cell| {
             let sim = scenarios::fig2(cell);
             let start = Instant::now();
-            let verdict = check_consensus(sim, CheckerOptions::default());
+            let verdict =
+                check_consensus_observed(sim, CheckerOptions::default(), observer.clone());
             PolicyMatrixRow {
                 cell,
                 paper_converges: cell.paper_says_converges(),
@@ -196,7 +232,10 @@ impl AttackReport {
 
 impl fmt::Display for AttackReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E4 (Result 2) — rebidding attack (Remark-1 condition removed)")?;
+        writeln!(
+            f,
+            "E4 (Result 2) — rebidding attack (Remark-1 condition removed)"
+        )?;
         writeln!(
             f,
             "  explicit-state checker : {} {}",
@@ -206,28 +245,41 @@ impl fmt::Display for AttackReport {
         writeln!(
             f,
             "  SAT engine, naive      : consensus assertion {}",
-            if self.sat_naive_valid { "VALID" } else { "REFUTED (counterexample found)" }
+            if self.sat_naive_valid {
+                "VALID"
+            } else {
+                "REFUTED (counterexample found)"
+            }
         )?;
         writeln!(
             f,
             "  SAT engine, optimized  : consensus assertion {}",
-            if self.sat_optimized_valid { "VALID" } else { "REFUTED (counterexample found)" }
+            if self.sat_optimized_valid {
+                "VALID"
+            } else {
+                "REFUTED (counterexample found)"
+            }
         )?;
         write!(
             f,
             "  SAT control (no attack): consensus assertion {}   {}",
-            if self.sat_compliant_valid { "VALID" } else { "REFUTED" },
-            if self.matches_paper() { "✓ matches paper" } else { "✗ MISMATCH" }
+            if self.sat_compliant_valid {
+                "VALID"
+            } else {
+                "REFUTED"
+            },
+            if self.matches_paper() {
+                "✓ matches paper"
+            } else {
+                "✗ MISMATCH"
+            }
         )
     }
 }
 
 /// Runs E4 on the two-agent scenario with both engines.
 pub fn run_rebid_attack() -> AttackReport {
-    let explicit = check_consensus(
-        scenarios::rebid_attack(2, 2),
-        CheckerOptions::default(),
-    );
+    let explicit = check_consensus(scenarios::rebid_attack(2, 2), CheckerOptions::default());
     let sat = |encoding, scenario| {
         DynamicModel::build(encoding, scenario)
             .check_consensus()
@@ -268,6 +320,15 @@ pub struct EncodingRow {
     pub naive_check_secs: f64,
     /// End-to-end `check consensus` seconds, optimized.
     pub optimized_check_secs: f64,
+    /// Per-relation variable/clause breakdown, naive. Relation names are
+    /// prefixed `static:`/`dynamic:` by originating sub-model.
+    pub naive_relations: Vec<RelationStats>,
+    /// Per-relation breakdown, optimized.
+    pub optimized_relations: Vec<RelationStats>,
+    /// CDCL statistics from the naive `check consensus` solve.
+    pub naive_solver: SolverStats,
+    /// CDCL statistics from the optimized `check consensus` solve.
+    pub optimized_solver: SolverStats,
 }
 
 impl EncodingRow {
@@ -311,6 +372,14 @@ impl fmt::Display for EncodingRow {
 /// both encodings and reports SAT sizes and times. The static sub-model's
 /// sizes are folded in through a matching [`StaticModel`] at each scope.
 pub fn run_encoding_comparison() -> Vec<EncodingRow> {
+    run_encoding_comparison_observed(None)
+}
+
+/// [`run_encoding_comparison`] with an optional observer. Each relation of
+/// each (scope, encoding) pair is reported as an
+/// [`Event::RelationEncoded`], followed by one [`Event::EncodingDone`]
+/// carrying the combined static+dynamic totals.
+pub fn run_encoding_comparison_observed(observer: Option<SharedObserver>) -> Vec<EncodingRow> {
     let scopes: Vec<(String, DynamicScenario, StaticScope)> = vec![
         (
             "2 pnodes, 2 vnodes".into(),
@@ -336,14 +405,22 @@ pub fn run_encoding_comparison() -> Vec<EncodingRow> {
                 optimized: TranslationStats::default(),
                 naive_check_secs: 0.0,
                 optimized_check_secs: 0.0,
+                naive_relations: Vec::new(),
+                optimized_relations: Vec::new(),
+                naive_solver: SolverStats::default(),
+                optimized_solver: SolverStats::default(),
             };
             for encoding in [NumberEncoding::NaiveInt, NumberEncoding::OptimizedValue] {
-                let static_stats = StaticModel::build(encoding, static_scope)
+                let static_model = StaticModel::build(encoding, static_scope);
+                let static_stats = static_model
                     .translation_stats()
+                    .expect("static model translates");
+                let static_rels = static_model
+                    .relation_stats()
                     .expect("static model translates");
                 let dynamic = DynamicModel::build(encoding, dyn_scenario.clone());
                 let start = Instant::now();
-                let _ = dynamic.check_consensus().expect("dynamic model checks");
+                let outcome = dynamic.check_consensus().expect("dynamic model checks");
                 let secs = start.elapsed().as_secs_f64();
                 let dyn_stats = dynamic.translation_stats().expect("stats");
                 let combined = TranslationStats {
@@ -352,17 +429,48 @@ pub fn run_encoding_comparison() -> Vec<EncodingRow> {
                     cnf_vars: static_stats.cnf_vars + dyn_stats.cnf_vars,
                     cnf_clauses: static_stats.cnf_clauses + dyn_stats.cnf_clauses,
                     cnf_literals: static_stats.cnf_literals + dyn_stats.cnf_literals,
-                    translation_secs: static_stats.translation_secs
-                        + dyn_stats.translation_secs,
+                    translation_secs: static_stats.translation_secs + dyn_stats.translation_secs,
                 };
+                // The dynamic breakdown comes from the check itself (facts
+                // ∧ ¬consensus — the formula actually solved), the static
+                // one from a facts-only translation.
+                let mut relations: Vec<RelationStats> = Vec::new();
+                relations.extend(static_rels.into_iter().map(|r| RelationStats {
+                    name: format!("static:{}", r.name),
+                    ..r
+                }));
+                relations.extend(outcome.relation_stats.iter().map(|r| RelationStats {
+                    name: format!("dynamic:{}", r.name),
+                    ..r.clone()
+                }));
+                if let Some(obs) = &observer {
+                    for r in &relations {
+                        obs.emit(&Event::RelationEncoded {
+                            relation: r.name.clone(),
+                            arity: r.arity as u64,
+                            vars: r.primary_vars as u64,
+                            clauses: r.clauses as u64,
+                        });
+                    }
+                    obs.emit(&Event::EncodingDone {
+                        encoding: encoding.to_string(),
+                        primary_vars: combined.primary_vars as u64,
+                        cnf_vars: combined.cnf_vars as u64,
+                        cnf_clauses: combined.cnf_clauses as u64,
+                    });
+                }
                 match encoding {
                     NumberEncoding::NaiveInt => {
                         row.naive = combined;
                         row.naive_check_secs = secs;
+                        row.naive_relations = relations;
+                        row.naive_solver = outcome.solver_stats;
                     }
                     NumberEncoding::OptimizedValue => {
                         row.optimized = combined;
                         row.optimized_check_secs = secs;
+                        row.optimized_relations = relations;
+                        row.optimized_solver = outcome.solver_stats;
                     }
                 }
             }
@@ -421,12 +529,14 @@ impl fmt::Display for BoundRow {
     }
 }
 
+type TopologyFactory = Box<dyn Fn(usize) -> Network>;
+
 /// E6: measures synchronous rounds-to-consensus against the `D · |V_H|`
 /// bound across topologies and scales, with compliant (sub-modular)
 /// policies.
 pub fn run_convergence_bound(seeds: &[u64]) -> Vec<BoundRow> {
     let mut rows = Vec::new();
-    let topologies: Vec<(String, Box<dyn Fn(usize) -> Network>)> = vec![
+    let topologies: Vec<(String, TopologyFactory)> = vec![
         ("complete".into(), Box::new(Network::complete)),
         ("line".into(), Box::new(Network::line)),
         ("ring".into(), Box::new(Network::ring)),
@@ -506,7 +616,11 @@ impl fmt::Display for WelfareRow {
             self.achieved,
             self.optimal,
             self.ratio(),
-            if self.within_guarantee() { "✓ >= 1-1/e" } else { "✗ BELOW 1-1/e" }
+            if self.within_guarantee() {
+                "✓ >= 1-1/e"
+            } else {
+                "✗ BELOW 1-1/e"
+            }
         )
     }
 }
@@ -571,6 +685,39 @@ mod tests {
     fn fig2_oscillation_trace_exists() {
         let trace = run_fig2_oscillation().expect("oscillation per the paper");
         assert!(trace.contains("deliver") || trace.contains("bidding"));
+    }
+
+    #[test]
+    fn observed_encoding_comparison_reports_relations_and_solver_stats() {
+        let handle = mca_obs::Handle::new(mca_obs::CollectSink::default());
+        let rows = run_encoding_comparison_observed(Some(handle.observer()));
+        assert!(!rows.is_empty());
+        for row in &rows {
+            // Both breakdowns cover the model's relations and sum to the
+            // primary-variable totals.
+            for (rels, stats) in [
+                (&row.naive_relations, &row.naive),
+                (&row.optimized_relations, &row.optimized),
+            ] {
+                assert!(!rels.is_empty());
+                let sum: usize = rels.iter().map(|r| r.primary_vars).sum();
+                assert_eq!(sum, stats.primary_vars);
+            }
+            // The check actually ran the CDCL solver.
+            assert!(row.naive_solver.solves >= 1);
+            assert!(row.optimized_solver.solves >= 1);
+            assert!(row.naive_solver.propagations > 0);
+        }
+        handle.with(|sink| {
+            let done: Vec<_> = sink
+                .events
+                .iter()
+                .filter(|e| e.kind() == "encoding-done")
+                .collect();
+            // One EncodingDone per (scope, encoding) pair.
+            assert_eq!(done.len(), rows.len() * 2);
+            assert!(sink.events.iter().any(|e| e.kind() == "relation-encoded"));
+        });
     }
 
     #[test]

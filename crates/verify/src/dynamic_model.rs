@@ -39,7 +39,9 @@
 
 use crate::encoding::{NumberEncoding, Numbers};
 use mca_alloy::{FieldId, Model, Multiplicity};
-use mca_relalg::{AtomId, CheckOutcome, Expr, Formula, TranslateError, TranslationStats};
+use mca_relalg::{
+    AtomId, CheckOutcome, Expr, Formula, RelationStats, TranslateError, TranslationStats,
+};
 
 /// A concrete dynamic-model scenario.
 #[derive(Clone, Debug)]
@@ -183,7 +185,11 @@ impl DynamicModel {
     /// fewer than 2 states).
     pub fn build(encoding: NumberEncoding, scenario: DynamicScenario) -> DynamicModel {
         assert!(scenario.states >= 2, "need at least two states");
-        assert_eq!(scenario.bids.len(), scenario.pnodes, "one bid row per agent");
+        assert_eq!(
+            scenario.bids.len(),
+            scenario.pnodes,
+            "one bid row per agent"
+        );
         for row in &scenario.bids {
             assert_eq!(row.len(), scenario.vnodes, "one bid per item");
         }
@@ -235,17 +241,29 @@ impl DynamicModel {
 
         let views = match encoding {
             NumberEncoding::NaiveInt => {
-                let winner = m.field("winner", net_state, &[pnode, vnode, pnode], Multiplicity::Set);
+                let winner = m.field(
+                    "winner",
+                    net_state,
+                    &[pnode, vnode, pnode],
+                    Multiplicity::Set,
+                );
                 let bid = m.field("bid", net_state, &[pnode, vnode, nsig], Multiplicity::Set);
-                let time = m.field("bidTime", net_state, &[pnode, vnode, nsig], Multiplicity::Set);
+                let time = m.field(
+                    "bidTime",
+                    net_state,
+                    &[pnode, vnode, nsig],
+                    Multiplicity::Set,
+                );
                 Views::Naive { winner, bid, time }
             }
             NumberEncoding::OptimizedValue => {
                 let n_cells = scenario.states * scenario.pnodes * scenario.vnodes;
                 let cell = m.sig("viewCell", n_cells);
                 let cell_atoms = m.atoms(cell).to_vec();
-                let mut cells =
-                    vec![vec![vec![cell_atoms[0]; scenario.vnodes]; scenario.pnodes]; scenario.states];
+                let mut cells = vec![
+                    vec![vec![cell_atoms[0]; scenario.vnodes]; scenario.pnodes];
+                    scenario.states
+                ];
                 let mut idx = 0;
                 let mut state_pairs = Vec::new();
                 let mut agent_pairs = Vec::new();
@@ -330,9 +348,9 @@ impl DynamicModel {
                 &Expr::atom(self.pnode_atoms[p])
                     .join(&Expr::atom(self.state_atoms[s]).join(&self.model.field_expr(*bid))),
             ),
-            Views::Optimized { cells, cell_bid, .. } => {
-                Expr::atom(cells[s][p][v]).join(&self.model.field_expr(*cell_bid))
-            }
+            Views::Optimized {
+                cells, cell_bid, ..
+            } => Expr::atom(cells[s][p][v]).join(&self.model.field_expr(*cell_bid)),
         }
     }
 
@@ -438,9 +456,8 @@ impl DynamicModel {
             let mut alternatives = Vec::new();
 
             // Stutter: empty buffer, nothing changes.
-            let all_framed = Formula::and_all(
-                (0..self.scenario.pnodes).map(|p| self.frame_agent(s, s2, p)),
-            );
+            let all_framed =
+                Formula::and_all((0..self.scenario.pnodes).map(|p| self.frame_agent(s, s2, p)));
             alternatives.push(
                 self.buff_at(s)
                     .no()
@@ -460,11 +477,9 @@ impl DynamicModel {
                     // is strictly greater, or equal with a lower winner id —
                     // the deterministic tiebreak of distributed winner
                     // determination.
-                    let gt = self.numbers.gt(
-                        &self.model,
-                        &self.bid(s, q, v),
-                        &self.bid(s, r, v),
-                    );
+                    let gt = self
+                        .numbers
+                        .gt(&self.model, &self.bid(s, q, v), &self.bid(s, r, v));
                     let eq_bid = self.bid(s, q, v).equals(&self.bid(s, r, v));
                     let mut lower_id_cases = Vec::new();
                     for wq in 0..self.scenario.pnodes {
@@ -501,20 +516,13 @@ impl DynamicModel {
                 );
 
                 let removed = self.buff_at(s).difference(&m_atom);
-                let with_rebroadcast = self
-                    .buff_at(s2)
-                    .equals(&removed.union(&self.out_msgs(r)));
+                let with_rebroadcast = self.buff_at(s2).equals(&removed.union(&self.out_msgs(r)));
                 let without = self.buff_at(s2).equals(&removed);
                 let buffer_update = changed
                     .implies(&with_rebroadcast)
                     .and(&changed.not().implies(&without));
 
-                alternatives.push(
-                    in_buffer
-                        .and(&merge)
-                        .and(&frame_others)
-                        .and(&buffer_update),
-                );
+                alternatives.push(in_buffer.and(&merge).and(&frame_others).and(&buffer_update));
             }
 
             // Rebidding attack (Remark 1 removed): attacker re-asserts
@@ -533,7 +541,11 @@ impl DynamicModel {
                         .win(s2, a, v)
                         .equals(&Expr::atom(self.pnode_atoms[a]))
                         .and(&self.bid(s2, a, v).equals(&self.numbers.num(&self.model, b)))
-                        .and(&self.time(s2, a, v).equals(&self.numbers.num(&self.model, 1)));
+                        .and(
+                            &self
+                                .time(s2, a, v)
+                                .equals(&self.numbers.num(&self.model, 1)),
+                        );
                     let frame_other_items = Formula::and_all(
                         (0..self.scenario.vnodes)
                             .filter(|&w| w != v)
@@ -601,9 +613,7 @@ impl DynamicModel {
     /// # Errors
     ///
     /// Propagates translation errors.
-    pub fn check_consensus_certified(
-        &self,
-    ) -> Result<mca_relalg::CertifiedCheck, TranslateError> {
+    pub fn check_consensus_certified(&self) -> Result<mca_relalg::CertifiedCheck, TranslateError> {
         self.model.check_certified(&self.consensus_assertion())
     }
 
@@ -616,6 +626,17 @@ impl DynamicModel {
     pub fn translation_stats(&self) -> Result<TranslationStats, TranslateError> {
         self.model
             .translation_stats(&self.consensus_assertion().not())
+    }
+
+    /// Per-relation variable and clause counts for facts ∧ ¬consensus —
+    /// the fine-grained E5 probe behind
+    /// [`translation_stats`](Self::translation_stats).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation errors.
+    pub fn relation_stats(&self) -> Result<Vec<RelationStats>, TranslateError> {
+        self.model.relation_stats(&self.consensus_assertion().not())
     }
 
     /// The underlying model (for instance inspection).
@@ -691,10 +712,8 @@ mod tests {
             DynamicScenario::two_agent_compliant(),
             DynamicScenario::two_agent_rebid_attack(),
         ] {
-            let naive =
-                DynamicModel::build(NumberEncoding::NaiveInt, scenario.clone());
-            let optimized =
-                DynamicModel::build(NumberEncoding::OptimizedValue, scenario.clone());
+            let naive = DynamicModel::build(NumberEncoding::NaiveInt, scenario.clone());
+            let optimized = DynamicModel::build(NumberEncoding::OptimizedValue, scenario.clone());
             let vn = naive.check_consensus().unwrap().result.is_valid();
             let vo = optimized.check_consensus().unwrap().result.is_valid();
             assert_eq!(vn, vo, "encodings must agree");

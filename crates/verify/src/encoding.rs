@@ -134,6 +134,8 @@ mod tests {
     #[test]
     fn display_names() {
         assert!(NumberEncoding::NaiveInt.to_string().contains("naive"));
-        assert!(NumberEncoding::OptimizedValue.to_string().contains("optimized"));
+        assert!(NumberEncoding::OptimizedValue
+            .to_string()
+            .contains("optimized"));
     }
 }

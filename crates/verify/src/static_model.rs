@@ -25,7 +25,9 @@
 
 use crate::encoding::{NumberEncoding, Numbers};
 use mca_alloy::{FieldId, Model, Multiplicity, SigId};
-use mca_relalg::{CheckOutcome, Formula, QuantVar, TranslateError, TranslationStats};
+use mca_relalg::{
+    CheckOutcome, Formula, QuantVar, RelationStats, TranslateError, TranslationStats,
+};
 
 /// Scope parameters for the static model.
 #[derive(Clone, Copy, Debug)]
@@ -80,17 +82,12 @@ impl StaticModel {
         match encoding {
             NumberEncoding::NaiveInt => {
                 let init_bids = m.field("initBids", pnode, &[vnode, nsig], Multiplicity::Set);
-                let init_times =
-                    m.field("initBidTimes", pnode, &[vnode, nsig], Multiplicity::Set);
+                let init_times = m.field("initBidTimes", pnode, &[vnode, nsig], Multiplicity::Set);
                 // Each (pnode, vnode) has at most one bid and one time.
                 let p = QuantVar::fresh("p");
                 let v = QuantVar::fresh("v");
-                let bid_cell = v
-                    .expr()
-                    .join(&p.expr().join(&m.field_expr(init_bids)));
-                let time_cell = v
-                    .expr()
-                    .join(&p.expr().join(&m.field_expr(init_times)));
+                let bid_cell = v.expr().join(&p.expr().join(&m.field_expr(init_bids)));
+                let time_cell = v.expr().join(&p.expr().join(&m.field_expr(init_times)));
                 m.fact(Formula::forall(
                     &p,
                     &m.sig_expr(pnode),
@@ -122,8 +119,7 @@ impl StaticModel {
                 let _bid_t = m.field("bid_t", bid_triple, &[nsig], Multiplicity::One);
                 // bid_w over pnode, `lone` (absence = NULL).
                 let _bid_w = m.field("bid_w", bid_triple, &[pnode], Multiplicity::Lone);
-                let init_bids =
-                    m.field("initBids", pnode, &[bid_triple], Multiplicity::Set);
+                let init_bids = m.field("initBids", pnode, &[bid_triple], Multiplicity::Set);
                 // Each triple belongs to at most one pnode; per pnode at
                 // most one triple per vnode.
                 let t = QuantVar::fresh("t");
@@ -168,7 +164,10 @@ impl StaticModel {
         let symmetric = pn1
             .expr()
             .in_(&pn2.expr().join(&m.field_expr(pconnections)))
-            .iff(&pn2.expr().in_(&pn1.expr().join(&m.field_expr(pconnections))));
+            .iff(
+                &pn2.expr()
+                    .in_(&pn1.expr().join(&m.field_expr(pconnections))),
+            );
         let diff_ids = pn1
             .expr()
             .join(&m.field_expr(pid))
@@ -254,10 +253,7 @@ impl StaticModel {
     pub fn everyone_bids_assertion(&self) -> Formula {
         // In both encodings, an instance with no bids at all refutes this.
         let p = QuantVar::fresh("p");
-        let has_cap = p
-            .expr()
-            .join(&self.model.field_expr(self.pcp))
-            .some();
+        let has_cap = p.expr().join(&self.model.field_expr(self.pcp)).some();
         // (trivially true part) and a false conjunct: pnode set is empty.
         let _ = has_cap;
         self.model.sig_expr(self.vnode).no()
@@ -280,6 +276,17 @@ impl StaticModel {
     /// Propagates translation errors.
     pub fn translation_stats(&self) -> Result<TranslationStats, TranslateError> {
         self.model.translation_stats(&Formula::true_())
+    }
+
+    /// Per-relation variable and clause counts for the full static model
+    /// (facts only) — the fine-grained E5 probe behind
+    /// [`translation_stats`](Self::translation_stats).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation errors.
+    pub fn relation_stats(&self) -> Result<Vec<RelationStats>, TranslateError> {
+        self.model.relation_stats(&Formula::true_())
     }
 }
 

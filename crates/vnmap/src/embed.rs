@@ -112,7 +112,10 @@ pub fn auction_simulator(pnet: &PhysicalNetwork, vnet: &VirtualNetwork) -> Simul
         .nodes()
         .map(|p| {
             Policy::new(
-                Arc::new(ResidualCapacityUtility::new(pnet.cpu(p), Arc::clone(&demands))),
+                Arc::new(ResidualCapacityUtility::new(
+                    pnet.cpu(p),
+                    Arc::clone(&demands),
+                )),
                 vnet.len(),
             )
         })
@@ -139,11 +142,8 @@ pub fn embed(
     }
     let mut nodes: BTreeMap<VNodeId, PNodeId> = BTreeMap::new();
     for v in vnet.nodes() {
-        match outcome.allocation.get(&ItemId(v.0)) {
-            Some(agent) => {
-                nodes.insert(v, PNodeId(agent.0));
-            }
-            None => {}
+        if let Some(agent) = outcome.allocation.get(&ItemId(v.0)) {
+            nodes.insert(v, PNodeId(agent.0));
         }
     }
     let unassigned: Vec<VNodeId> = vnet.nodes().filter(|v| !nodes.contains_key(v)).collect();
@@ -232,11 +232,15 @@ pub fn validate(
             return Err(format!("path for virtual link {idx} is empty"));
         };
         if mapping.nodes.get(&vl.a) != Some(&first) || mapping.nodes.get(&vl.b) != Some(&last) {
-            return Err(format!("path endpoints for virtual link {idx} do not match hosts"));
+            return Err(format!(
+                "path endpoints for virtual link {idx} do not match hosts"
+            ));
         }
         for (a, b) in path.edges() {
             let Some(&(_, lid)) = pnet.neighbors(a).iter().find(|&&(nb, _)| nb == b) else {
-                return Err(format!("path for virtual link {idx} uses a non-existent edge"));
+                return Err(format!(
+                    "path for virtual link {idx} uses a non-existent edge"
+                ));
             };
             bw_used[lid] += vl.bandwidth;
         }
@@ -337,7 +341,10 @@ mod tests {
         let mut vnet = VirtualNetwork::new(vec![30, 30]);
         vnet.add_link(VNodeId(0), VNodeId(1), 99); // huge bandwidth, but co-located
         let emb = embed(&pnet, &vnet, EmbedConfig::default()).expect("co-located");
-        assert_eq!(emb.mapping.nodes[&VNodeId(0)], emb.mapping.nodes[&VNodeId(1)]);
+        assert_eq!(
+            emb.mapping.nodes[&VNodeId(0)],
+            emb.mapping.nodes[&VNodeId(1)]
+        );
         assert_eq!(emb.mapping.link_paths[&0].hops(), 0);
         validate(&pnet, &vnet, &emb.mapping).expect("valid");
     }
@@ -362,7 +369,9 @@ mod tests {
         let mut mapping = Mapping::default();
         mapping.nodes.insert(VNodeId(0), PNodeId(0));
         mapping.nodes.insert(VNodeId(1), PNodeId(1));
-        mapping.link_paths.insert(0, Path(vec![PNodeId(0), PNodeId(2)]));
+        mapping
+            .link_paths
+            .insert(0, Path(vec![PNodeId(0), PNodeId(2)]));
         let err = validate(&pnet, &vnet, &mapping).unwrap_err();
         assert!(err.contains("endpoints"));
     }

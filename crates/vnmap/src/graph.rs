@@ -87,7 +87,10 @@ impl PhysicalNetwork {
     ///
     /// Panics on out-of-range endpoints, self-loops, or negative bandwidth.
     pub fn add_link(&mut self, a: PNodeId, b: PNodeId, bandwidth: i64) {
-        assert!(a.index() < self.len() && b.index() < self.len(), "endpoint out of range");
+        assert!(
+            a.index() < self.len() && b.index() < self.len(),
+            "endpoint out of range"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         assert!(bandwidth >= 0, "bandwidth must be >= 0");
         let idx = self.links.len();
@@ -130,10 +133,7 @@ impl PhysicalNetwork {
     pub fn to_agent_network(&self) -> mca_core::Network {
         let mut g = mca_core::Network::new(self.len());
         for l in &self.links {
-            g.add_link(
-                mca_core::AgentId(l.a.0),
-                mca_core::AgentId(l.b.0),
-            );
+            g.add_link(mca_core::AgentId(l.a.0), mca_core::AgentId(l.b.0));
         }
         g
     }
@@ -178,7 +178,10 @@ impl VirtualNetwork {
     ///
     /// Panics on out-of-range endpoints, self-loops, or negative bandwidth.
     pub fn add_link(&mut self, a: VNodeId, b: VNodeId, bandwidth: i64) {
-        assert!(a.index() < self.len() && b.index() < self.len(), "endpoint out of range");
+        assert!(
+            a.index() < self.len() && b.index() < self.len(),
+            "endpoint out of range"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         assert!(bandwidth >= 0, "bandwidth must be >= 0");
         self.links.push(VLink { a, b, bandwidth });

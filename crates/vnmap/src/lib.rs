@@ -44,8 +44,7 @@ mod paths;
 pub mod workload;
 
 pub use embed::{
-    auction_simulator, embed, validate, EmbedConfig, EmbedError, Embedding,
-    ResidualCapacityUtility,
+    auction_simulator, embed, validate, EmbedConfig, EmbedError, Embedding, ResidualCapacityUtility,
 };
 pub use graph::{Mapping, PLink, PNodeId, Path, PhysicalNetwork, VLink, VNodeId, VirtualNetwork};
 pub use paths::{k_shortest_paths, shortest_path};

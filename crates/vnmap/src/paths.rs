@@ -72,12 +72,7 @@ pub fn shortest_path(
 /// Yen's algorithm: up to `k` shortest loop-free paths from `src` to `dst`,
 /// sorted by hop count (ties resolved deterministically by discovery
 /// order).
-pub fn k_shortest_paths(
-    net: &PhysicalNetwork,
-    src: PNodeId,
-    dst: PNodeId,
-    k: usize,
-) -> Vec<Path> {
+pub fn k_shortest_paths(net: &PhysicalNetwork, src: PNodeId, dst: PNodeId, k: usize) -> Vec<Path> {
     let mut result: Vec<Path> = Vec::new();
     if k == 0 {
         return result;
@@ -105,11 +100,8 @@ pub fn k_shortest_paths(
                 }
             }
             // Ban root nodes except the spur node (loop-freedom).
-            let banned_nodes: HashSet<PNodeId> =
-                root[..root.len() - 1].iter().copied().collect();
-            if let Some(spur) =
-                shortest_path(net, spur_node, dst, &banned_nodes, &banned_edges)
-            {
+            let banned_nodes: HashSet<PNodeId> = root[..root.len() - 1].iter().copied().collect();
+            if let Some(spur) = shortest_path(net, spur_node, dst, &banned_nodes, &banned_edges) {
                 let mut total = root.clone();
                 total.extend_from_slice(&spur.0[1..]);
                 let candidate = Path(total);
@@ -154,8 +146,8 @@ mod tests {
     #[test]
     fn shortest_is_direct() {
         let g = diamond();
-        let p = shortest_path(&g, PNodeId(0), PNodeId(3), &HashSet::new(), &HashSet::new())
-            .unwrap();
+        let p =
+            shortest_path(&g, PNodeId(0), PNodeId(3), &HashSet::new(), &HashSet::new()).unwrap();
         assert_eq!(p.0, vec![PNodeId(0), PNodeId(3)]);
     }
 
@@ -164,8 +156,7 @@ mod tests {
         let g = diamond();
         let mut banned_edges = HashSet::new();
         banned_edges.insert((PNodeId(0), PNodeId(3)));
-        let p = shortest_path(&g, PNodeId(0), PNodeId(3), &HashSet::new(), &banned_edges)
-            .unwrap();
+        let p = shortest_path(&g, PNodeId(0), PNodeId(3), &HashSet::new(), &banned_edges).unwrap();
         assert_eq!(p.hops(), 2);
         let mut banned_nodes = HashSet::new();
         banned_nodes.insert(PNodeId(1));
@@ -177,8 +168,8 @@ mod tests {
     #[test]
     fn same_node_path_is_trivial() {
         let g = diamond();
-        let p = shortest_path(&g, PNodeId(2), PNodeId(2), &HashSet::new(), &HashSet::new())
-            .unwrap();
+        let p =
+            shortest_path(&g, PNodeId(2), PNodeId(2), &HashSet::new(), &HashSet::new()).unwrap();
         assert_eq!(p.0, vec![PNodeId(2)]);
         assert_eq!(p.hops(), 0);
     }

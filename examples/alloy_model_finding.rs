@@ -57,15 +57,12 @@ fn main() {
         &Formula::forall(
             &p2,
             &m.sig_expr(pnode),
-            &p1.expr()
-                .equals(&p2.expr())
-                .not()
-                .implies(
-                    &p1.expr()
-                        .join(&m.field_expr(id))
-                        .equals(&p2.expr().join(&m.field_expr(id)))
-                        .not(),
-                ),
+            &p1.expr().equals(&p2.expr()).not().implies(
+                &p1.expr()
+                    .join(&m.field_expr(id))
+                    .equals(&p2.expr().join(&m.field_expr(id)))
+                    .not(),
+            ),
         ),
     );
     let check = m.check(&unique_id).expect("well-formed model");
@@ -91,7 +88,10 @@ fn main() {
     let run = m.run(&Formula::true_()).expect("well-formed model");
     match &run.result {
         Outcome::Sat(instance) => {
-            println!("\nrun {{}} for 3 — instance found:\n{}", m.show_instance(instance));
+            println!(
+                "\nrun {{}} for 3 — instance found:\n{}",
+                m.show_instance(instance)
+            );
         }
         Outcome::Unsat => panic!("the model must be satisfiable"),
     }

@@ -75,7 +75,10 @@ fn run_row(cell: PolicyCell, label: &str) {
         .collect();
 
     iteration(&mut sim);
-    print!("{}", show_iteration(&sim, "  Iteration 2 (after exchange + rebid):"));
+    print!(
+        "{}",
+        show_iteration(&sim, "  Iteration 2 (after exchange + rebid):")
+    );
 
     iteration(&mut sim);
     print!("{}", show_iteration(&sim, "  Iteration 3:"));
@@ -104,7 +107,11 @@ fn run_row(cell: PolicyCell, label: &str) {
         let out = sim.run_synchronous(32);
         println!(
             "  -> {} after {} more rounds\n",
-            if out.converged { "agreement reached" } else { "still unsettled" },
+            if out.converged {
+                "agreement reached"
+            } else {
+                "still unsettled"
+            },
             out.rounds
         );
     }

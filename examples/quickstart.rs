@@ -25,12 +25,7 @@ fn main() {
     let names = ["A", "B", "C"];
     for (item, winner) in &outcome.allocation {
         let bid = sim.agents()[0].claims()[item.index()].bid;
-        println!(
-            "item {} -> {} at bid {}",
-            names[item.index()],
-            winner,
-            bid
-        );
+        println!("item {} -> {} at bid {}", names[item.index()], winner, bid);
     }
 
     // The paper's final vectors: b = (20, 15, 30), a = (2, 2, 1).

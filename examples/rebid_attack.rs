@@ -20,7 +20,10 @@ fn main() {
 
     let report = run_rebid_attack();
     println!("{report}\n");
-    assert!(report.matches_paper(), "all engines must agree with the paper");
+    assert!(
+        report.matches_paper(),
+        "all engines must agree with the paper"
+    );
 
     // Show a concrete counterexample execution from the explicit checker.
     println!("== counterexample execution (explicit-state checker) ==\n");

@@ -72,6 +72,9 @@ fn submodular_release_is_safe_under_random_schedules() {
     for seed in 0..40 {
         let mut sim = fig2(cell);
         let out = sim.run_async(seed, 4000, FaultPlan::default());
-        assert!(out.converged, "sub-modular + release must converge (seed {seed})");
+        assert!(
+            out.converged,
+            "sub-modular + release must converge (seed {seed})"
+        );
     }
 }

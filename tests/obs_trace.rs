@@ -1,0 +1,92 @@
+//! Trace determinism: `mca-obs` events are keyed by logical step, never by
+//! wall-clock, so two simulator runs with the same seed must serialize to a
+//! byte-identical JSONL trace.
+
+use mca_core::scenarios;
+use mca_core::FaultPlan;
+use mca_core::Network;
+use mca_obs::{CollectSink, Event, Handle, JsonlSink, Observer};
+
+/// One short asynchronous run with faults (so the trace exercises deliver,
+/// drop, duplicate, bid, and converged events), traced into `sink`.
+fn traced_run(seed: u64) -> Vec<u8> {
+    let handle = Handle::new(JsonlSink::new(Vec::<u8>::new()));
+    let mut sim = scenarios::compliant(Network::ring(4), 3, seed);
+    sim.set_observer(Some(handle.observer()));
+    // Convergence is irrelevant here (lossy schedules may legitimately
+    // stall); the property under test is trace reproducibility.
+    let _ = sim.run_async(
+        seed,
+        100_000,
+        FaultPlan {
+            drop_probability: 0.2,
+            duplicate_probability: 0.2,
+        },
+    );
+    // Detach the observer so the handle is the sole owner again.
+    sim.set_observer(None);
+    let sink = handle.try_into_inner().expect("sole owner");
+    assert!(sink.events_written() > 0);
+    sink.into_inner().expect("in-memory writes cannot fail")
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_jsonl_traces() {
+    let a = traced_run(42);
+    let b = traced_run(42);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed traces must be byte-identical");
+
+    // And a different seed gives a different schedule — the equality above
+    // is not vacuous.
+    let c = traced_run(43);
+    assert_ne!(a, c, "distinct seeds should trace distinct schedules");
+}
+
+#[test]
+fn trace_lines_are_one_json_object_per_event() {
+    let bytes = traced_run(7);
+    let text = String::from_utf8(bytes).expect("traces are UTF-8");
+    let mut lines = 0;
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad line: {line}"
+        );
+        assert!(line.contains("\"event\":"), "untagged line: {line}");
+        lines += 1;
+    }
+    assert!(lines > 0);
+}
+
+#[test]
+fn collected_events_match_between_same_seed_runs() {
+    // The structured (pre-serialization) event streams agree too.
+    let collect = |seed: u64| {
+        let handle = Handle::new(CollectSink::default());
+        let mut sim = scenarios::compliant(Network::line(3), 2, seed);
+        sim.set_observer(Some(handle.observer()));
+        sim.run_async(seed, 100_000, FaultPlan::default());
+        handle.with(|s| s.events.len())
+    };
+    assert_eq!(collect(11), collect(11));
+}
+
+#[test]
+fn observer_trait_is_object_safe_for_custom_sinks() {
+    // A user-defined sink: counts deliveries only.
+    #[derive(Default)]
+    struct DeliverCounter(u64);
+    impl Observer for DeliverCounter {
+        fn on_event(&mut self, event: &Event) {
+            if matches!(event, Event::Deliver { .. }) {
+                self.0 += 1;
+            }
+        }
+    }
+    let handle = Handle::new(DeliverCounter::default());
+    let mut sim = scenarios::fig1();
+    sim.set_observer(Some(handle.observer()));
+    let out = sim.run_synchronous(16);
+    assert_eq!(handle.with(|c| c.0), out.messages_delivered as u64);
+}

@@ -11,10 +11,7 @@ use std::sync::Arc;
 /// positive sub-modular utilities (non-increasing position values).
 fn arb_config() -> impl Strategy<Value = (usize, usize, Vec<Vec<Vec<i64>>>)> {
     (2usize..5, 1usize..4).prop_flat_map(|(n, m)| {
-        let per_agent = proptest::collection::vec(
-            proptest::collection::vec(1i64..40, m),
-            n,
-        );
+        let per_agent = proptest::collection::vec(proptest::collection::vec(1i64..40, m), n);
         per_agent.prop_map(move |bases| {
             // Values per position: base, base/2, base/4 … (sub-modular).
             let tables: Vec<Vec<Vec<i64>>> = bases
@@ -145,4 +142,64 @@ proptest! {
         };
         prop_assert_eq!(utility(&a), utility(&b));
     }
+}
+
+// --------------------------------------------------------------------------
+// Pinned regressions.
+//
+// `proptest_protocol.proptest-regressions` records two historical failures
+// of `winning_bids_are_authentic` (the only property whose shrunk input is
+// a bare `(n, m, tables)` triple). Both pin the same bug class: with two
+// agents and two items whose second-position values collapse under the
+// sub-modular halving (e.g. bases 33/16 vs 30/15), the consensus bid for an
+// item could be a *stale* bundle-position value that appeared in no
+// agent's utility table — fusion invented a bid instead of forwarding one.
+//
+// The vendored `proptest` stub under compat/ cannot replay the opaque `cc`
+// seed hashes in that file, so the shrunk cases are pinned verbatim here as
+// plain tests; they run on every `cargo test` regardless of RNG.
+
+/// Re-asserts the `winning_bids_are_authentic` property (plus convergence
+/// and conflict-freedom) on one concrete configuration.
+fn assert_authentic_on(n: usize, m: usize, tables: &[Vec<Vec<i64>>]) {
+    let mut sim = build_sim(n, m, tables, 0);
+    let out = sim.run_synchronous(512);
+    assert!(out.converged, "pinned case must converge");
+    assert!(consensus_predicate(sim.agents()));
+    assert!(conflict_free(sim.agents()));
+    let agents = sim.agents();
+    for (item, winner) in allocation(agents) {
+        let winning_bid = agents[0].claims()[item.index()].bid;
+        let table = &tables[winner.index()][item.index()];
+        assert!(
+            table.contains(&winning_bid),
+            "item {item}: bid {winning_bid} not in the winner's table {table:?}"
+        );
+    }
+}
+
+#[test]
+fn regression_stale_bid_33_16() {
+    // cc e479eea4… — shrinks to (2, 2, [[[33, 16], [1, 1]], [[30, 15], [2, 1]]])
+    assert_authentic_on(
+        2,
+        2,
+        &[
+            vec![vec![33, 16], vec![1, 1]],
+            vec![vec![30, 15], vec![2, 1]],
+        ],
+    );
+}
+
+#[test]
+fn regression_stale_bid_22_11() {
+    // cc 07cdd2c2… — shrinks to (2, 2, [[[22, 11], [2, 1]], [[23, 11], [1, 1]]])
+    assert_authentic_on(
+        2,
+        2,
+        &[
+            vec![vec![22, 11], vec![2, 1]],
+            vec![vec![23, 11], vec![1, 1]],
+        ],
+    );
 }

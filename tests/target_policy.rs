@@ -78,18 +78,16 @@ fn heterogeneous_targets_verify_exhaustively() {
 fn target_interacts_with_release_policy() {
     // With release-outbid and a target of 1, losing the only held item
     // releases nothing else — convergence must be unaffected.
-    let p0 = policy(vec![(ItemId(0), vec![10]), (ItemId(1), vec![9])], 1)
-        .with_release_outbid(true);
-    let p1 = policy(vec![(ItemId(0), vec![20]), (ItemId(1), vec![2])], 1)
-        .with_release_outbid(true);
+    let p0 = policy(vec![(ItemId(0), vec![10]), (ItemId(1), vec![9])], 1).with_release_outbid(true);
+    let p1 = policy(vec![(ItemId(0), vec![20]), (ItemId(1), vec![2])], 1).with_release_outbid(true);
     let sim = Simulator::new(Network::complete(2), 2, vec![p0, p1]);
     let verdict = check_consensus(sim, CheckerOptions::default());
     assert!(verdict.converges(), "{verdict:?}");
     let mut sim2 = {
-        let p0 = policy(vec![(ItemId(0), vec![10]), (ItemId(1), vec![9])], 1)
-            .with_release_outbid(true);
-        let p1 = policy(vec![(ItemId(0), vec![20]), (ItemId(1), vec![2])], 1)
-            .with_release_outbid(true);
+        let p0 =
+            policy(vec![(ItemId(0), vec![10]), (ItemId(1), vec![9])], 1).with_release_outbid(true);
+        let p1 =
+            policy(vec![(ItemId(0), vec![20]), (ItemId(1), vec![2])], 1).with_release_outbid(true);
         Simulator::new(Network::complete(2), 2, vec![p0, p1])
     };
     let out = sim2.run_synchronous(32);

@@ -34,7 +34,10 @@ fn generated_workloads_embed_and_validate() {
             assert!(embedding.auction.converged);
         }
     }
-    assert!(accepted >= 15, "most small requests should fit ({accepted}/20)");
+    assert!(
+        accepted >= 15,
+        "most small requests should fit ({accepted}/20)"
+    );
 }
 
 #[test]
@@ -44,10 +47,7 @@ fn auction_is_deterministic() {
     let a = embed(&substrate, &request, EmbedConfig::default()).expect("fits");
     let b = embed(&substrate, &request, EmbedConfig::default()).expect("fits");
     assert_eq!(a.mapping.nodes, b.mapping.nodes);
-    assert_eq!(
-        a.mapping.link_paths.len(),
-        b.mapping.link_paths.len()
-    );
+    assert_eq!(a.mapping.link_paths.len(), b.mapping.link_paths.len());
 }
 
 proptest! {
