@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_detection-05f0835dbd434961.d: tests/attack_detection.rs
+
+/root/repo/target/debug/deps/attack_detection-05f0835dbd434961: tests/attack_detection.rs
+
+tests/attack_detection.rs:

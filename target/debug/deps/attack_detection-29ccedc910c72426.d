@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack_detection-29ccedc910c72426.d: tests/attack_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack_detection-29ccedc910c72426.rmeta: tests/attack_detection.rs Cargo.toml
+
+tests/attack_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

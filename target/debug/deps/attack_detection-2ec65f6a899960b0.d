@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_detection-2ec65f6a899960b0.d: tests/attack_detection.rs
+
+/root/repo/target/debug/deps/attack_detection-2ec65f6a899960b0: tests/attack_detection.rs
+
+tests/attack_detection.rs:

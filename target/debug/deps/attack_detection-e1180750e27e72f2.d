@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_detection-e1180750e27e72f2.d: tests/attack_detection.rs
+
+/root/repo/target/debug/deps/attack_detection-e1180750e27e72f2: tests/attack_detection.rs
+
+tests/attack_detection.rs:

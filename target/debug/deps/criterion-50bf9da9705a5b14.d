@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-50bf9da9705a5b14.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-50bf9da9705a5b14: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-97abe1fbad8ddc26.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-97abe1fbad8ddc26.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-97abe1fbad8ddc26.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

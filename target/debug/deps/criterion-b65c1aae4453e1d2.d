@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-b65c1aae4453e1d2.d: compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-b65c1aae4453e1d2.rmeta: compat/criterion/src/lib.rs Cargo.toml
+
+compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-338b3a9135ee7c00.d: tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-338b3a9135ee7c00: tests/cross_engine.rs
+
+tests/cross_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-9738bfdc249d0c5a.d: tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-9738bfdc249d0c5a: tests/cross_engine.rs
+
+tests/cross_engine.rs:

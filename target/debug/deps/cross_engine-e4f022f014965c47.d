@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-e4f022f014965c47.d: tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-e4f022f014965c47: tests/cross_engine.rs
+
+tests/cross_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_engine-f5dec3a9b1ff3b02.d: tests/cross_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_engine-f5dec3a9b1ff3b02.rmeta: tests/cross_engine.rs Cargo.toml
+
+tests/cross_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

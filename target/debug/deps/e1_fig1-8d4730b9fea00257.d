@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_fig1-8d4730b9fea00257.d: crates/bench/benches/e1_fig1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_fig1-8d4730b9fea00257.rmeta: crates/bench/benches/e1_fig1.rs Cargo.toml
+
+crates/bench/benches/e1_fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

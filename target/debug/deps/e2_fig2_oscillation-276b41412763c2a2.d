@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_fig2_oscillation-276b41412763c2a2.d: crates/bench/benches/e2_fig2_oscillation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_fig2_oscillation-276b41412763c2a2.rmeta: crates/bench/benches/e2_fig2_oscillation.rs Cargo.toml
+
+crates/bench/benches/e2_fig2_oscillation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_policy_matrix-423e23fc897d90d4.d: crates/bench/benches/e3_policy_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_policy_matrix-423e23fc897d90d4.rmeta: crates/bench/benches/e3_policy_matrix.rs Cargo.toml
+
+crates/bench/benches/e3_policy_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

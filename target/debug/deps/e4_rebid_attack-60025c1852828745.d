@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_rebid_attack-60025c1852828745.d: crates/bench/benches/e4_rebid_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_rebid_attack-60025c1852828745.rmeta: crates/bench/benches/e4_rebid_attack.rs Cargo.toml
+
+crates/bench/benches/e4_rebid_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

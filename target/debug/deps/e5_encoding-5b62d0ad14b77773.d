@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_encoding-5b62d0ad14b77773.d: crates/bench/benches/e5_encoding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_encoding-5b62d0ad14b77773.rmeta: crates/bench/benches/e5_encoding.rs Cargo.toml
+
+crates/bench/benches/e5_encoding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

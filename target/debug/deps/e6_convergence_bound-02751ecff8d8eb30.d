@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_convergence_bound-02751ecff8d8eb30.d: crates/bench/benches/e6_convergence_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_convergence_bound-02751ecff8d8eb30.rmeta: crates/bench/benches/e6_convergence_bound.rs Cargo.toml
+
+crates/bench/benches/e6_convergence_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

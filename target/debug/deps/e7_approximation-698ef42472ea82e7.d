@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_approximation-698ef42472ea82e7.d: crates/bench/benches/e7_approximation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_approximation-698ef42472ea82e7.rmeta: crates/bench/benches/e7_approximation.rs Cargo.toml
+
+crates/bench/benches/e7_approximation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

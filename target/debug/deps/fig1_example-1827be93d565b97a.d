@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_example-1827be93d565b97a.d: tests/fig1_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_example-1827be93d565b97a.rmeta: tests/fig1_example.rs Cargo.toml
+
+tests/fig1_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

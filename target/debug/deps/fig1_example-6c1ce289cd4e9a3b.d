@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_example-6c1ce289cd4e9a3b.d: tests/fig1_example.rs
+
+/root/repo/target/debug/deps/fig1_example-6c1ce289cd4e9a3b: tests/fig1_example.rs
+
+tests/fig1_example.rs:

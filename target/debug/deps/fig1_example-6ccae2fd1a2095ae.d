@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_example-6ccae2fd1a2095ae.d: tests/fig1_example.rs
+
+/root/repo/target/debug/deps/fig1_example-6ccae2fd1a2095ae: tests/fig1_example.rs
+
+tests/fig1_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_example-a716b641f72f9913.d: tests/fig1_example.rs
+
+/root/repo/target/debug/deps/fig1_example-a716b641f72f9913: tests/fig1_example.rs
+
+tests/fig1_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_oscillation-1e013262f3379018.d: tests/fig2_oscillation.rs
+
+/root/repo/target/debug/deps/fig2_oscillation-1e013262f3379018: tests/fig2_oscillation.rs
+
+tests/fig2_oscillation.rs:

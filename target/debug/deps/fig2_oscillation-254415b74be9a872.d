@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_oscillation-254415b74be9a872.d: tests/fig2_oscillation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_oscillation-254415b74be9a872.rmeta: tests/fig2_oscillation.rs Cargo.toml
+
+tests/fig2_oscillation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

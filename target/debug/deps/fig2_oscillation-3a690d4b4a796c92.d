@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_oscillation-3a690d4b4a796c92.d: tests/fig2_oscillation.rs
+
+/root/repo/target/debug/deps/fig2_oscillation-3a690d4b4a796c92: tests/fig2_oscillation.rs
+
+tests/fig2_oscillation.rs:

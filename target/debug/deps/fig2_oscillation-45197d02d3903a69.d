@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_oscillation-45197d02d3903a69.d: tests/fig2_oscillation.rs
+
+/root/repo/target/debug/deps/fig2_oscillation-45197d02d3903a69: tests/fig2_oscillation.rs
+
+tests/fig2_oscillation.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mca_alloy-465b6f953f60c06c.d: crates/alloy/src/lib.rs crates/alloy/src/export.rs crates/alloy/src/model.rs crates/alloy/src/ordering.rs crates/alloy/src/value.rs
+
+/root/repo/target/debug/deps/libmca_alloy-465b6f953f60c06c.rlib: crates/alloy/src/lib.rs crates/alloy/src/export.rs crates/alloy/src/model.rs crates/alloy/src/ordering.rs crates/alloy/src/value.rs
+
+/root/repo/target/debug/deps/libmca_alloy-465b6f953f60c06c.rmeta: crates/alloy/src/lib.rs crates/alloy/src/export.rs crates/alloy/src/model.rs crates/alloy/src/ordering.rs crates/alloy/src/value.rs
+
+crates/alloy/src/lib.rs:
+crates/alloy/src/export.rs:
+crates/alloy/src/model.rs:
+crates/alloy/src/ordering.rs:
+crates/alloy/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mca_alloy-7f40819dcdc14dab.d: crates/alloy/src/lib.rs crates/alloy/src/export.rs crates/alloy/src/model.rs crates/alloy/src/ordering.rs crates/alloy/src/value.rs
+
+/root/repo/target/debug/deps/mca_alloy-7f40819dcdc14dab: crates/alloy/src/lib.rs crates/alloy/src/export.rs crates/alloy/src/model.rs crates/alloy/src/ordering.rs crates/alloy/src/value.rs
+
+crates/alloy/src/lib.rs:
+crates/alloy/src/export.rs:
+crates/alloy/src/model.rs:
+crates/alloy/src/ordering.rs:
+crates/alloy/src/value.rs:

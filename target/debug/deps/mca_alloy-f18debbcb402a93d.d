@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mca_alloy-f18debbcb402a93d.d: crates/alloy/src/lib.rs crates/alloy/src/export.rs crates/alloy/src/model.rs crates/alloy/src/ordering.rs crates/alloy/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmca_alloy-f18debbcb402a93d.rmeta: crates/alloy/src/lib.rs crates/alloy/src/export.rs crates/alloy/src/model.rs crates/alloy/src/ordering.rs crates/alloy/src/value.rs Cargo.toml
+
+crates/alloy/src/lib.rs:
+crates/alloy/src/export.rs:
+crates/alloy/src/model.rs:
+crates/alloy/src/ordering.rs:
+crates/alloy/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

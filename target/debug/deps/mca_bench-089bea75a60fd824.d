@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mca_bench-089bea75a60fd824.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mca_bench-089bea75a60fd824: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

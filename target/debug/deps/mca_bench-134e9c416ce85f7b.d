@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mca_bench-134e9c416ce85f7b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmca_bench-134e9c416ce85f7b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmca_bench-134e9c416ce85f7b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

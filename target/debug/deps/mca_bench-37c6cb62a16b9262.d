@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mca_bench-37c6cb62a16b9262.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmca_bench-37c6cb62a16b9262.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmca_bench-37c6cb62a16b9262.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mca_bench-99a5ecd4fa4d2baf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mca_bench-99a5ecd4fa4d2baf: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mca_bench-9f2548e2a200cf65.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmca_bench-9f2548e2a200cf65.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mca_bench-facc31b8c70ff2ce.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmca_bench-facc31b8c70ff2ce.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

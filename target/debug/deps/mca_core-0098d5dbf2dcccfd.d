@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mca_core-0098d5dbf2dcccfd.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/checker.rs crates/core/src/detector.rs crates/core/src/network.rs crates/core/src/policy.rs crates/core/src/resolution_table_tests.rs crates/core/src/scenarios.rs crates/core/src/sim.rs crates/core/src/types.rs crates/core/src/welfare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmca_core-0098d5dbf2dcccfd.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/checker.rs crates/core/src/detector.rs crates/core/src/network.rs crates/core/src/policy.rs crates/core/src/resolution_table_tests.rs crates/core/src/scenarios.rs crates/core/src/sim.rs crates/core/src/types.rs crates/core/src/welfare.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/checker.rs:
+crates/core/src/detector.rs:
+crates/core/src/network.rs:
+crates/core/src/policy.rs:
+crates/core/src/resolution_table_tests.rs:
+crates/core/src/scenarios.rs:
+crates/core/src/sim.rs:
+crates/core/src/types.rs:
+crates/core/src/welfare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mca_core-359a8add95658bd7.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/checker.rs crates/core/src/detector.rs crates/core/src/network.rs crates/core/src/policy.rs crates/core/src/resolution_table_tests.rs crates/core/src/scenarios.rs crates/core/src/sim.rs crates/core/src/types.rs crates/core/src/welfare.rs
+
+/root/repo/target/debug/deps/mca_core-359a8add95658bd7: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/checker.rs crates/core/src/detector.rs crates/core/src/network.rs crates/core/src/policy.rs crates/core/src/resolution_table_tests.rs crates/core/src/scenarios.rs crates/core/src/sim.rs crates/core/src/types.rs crates/core/src/welfare.rs
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/checker.rs:
+crates/core/src/detector.rs:
+crates/core/src/network.rs:
+crates/core/src/policy.rs:
+crates/core/src/resolution_table_tests.rs:
+crates/core/src/scenarios.rs:
+crates/core/src/sim.rs:
+crates/core/src/types.rs:
+crates/core/src/welfare.rs:

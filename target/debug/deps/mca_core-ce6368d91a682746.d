@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mca_core-ce6368d91a682746.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/checker.rs crates/core/src/detector.rs crates/core/src/network.rs crates/core/src/policy.rs crates/core/src/scenarios.rs crates/core/src/sim.rs crates/core/src/types.rs crates/core/src/welfare.rs
+
+/root/repo/target/debug/deps/libmca_core-ce6368d91a682746.rlib: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/checker.rs crates/core/src/detector.rs crates/core/src/network.rs crates/core/src/policy.rs crates/core/src/scenarios.rs crates/core/src/sim.rs crates/core/src/types.rs crates/core/src/welfare.rs
+
+/root/repo/target/debug/deps/libmca_core-ce6368d91a682746.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/checker.rs crates/core/src/detector.rs crates/core/src/network.rs crates/core/src/policy.rs crates/core/src/scenarios.rs crates/core/src/sim.rs crates/core/src/types.rs crates/core/src/welfare.rs
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/checker.rs:
+crates/core/src/detector.rs:
+crates/core/src/network.rs:
+crates/core/src/policy.rs:
+crates/core/src/scenarios.rs:
+crates/core/src/sim.rs:
+crates/core/src/types.rs:
+crates/core/src/welfare.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mca_obs-86210eb61257941a.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmca_obs-86210eb61257941a.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/sink.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mca_obs-a1570f90ca0b71a4.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/sink.rs
+
+/root/repo/target/debug/deps/libmca_obs-a1570f90ca0b71a4.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/sink.rs
+
+/root/repo/target/debug/deps/libmca_obs-a1570f90ca0b71a4.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/sink.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/sink.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mca_relalg-51673ae5d729001f.d: crates/relalg/src/lib.rs crates/relalg/src/ast.rs crates/relalg/src/bitvec.rs crates/relalg/src/circuit.rs crates/relalg/src/display.rs crates/relalg/src/error.rs crates/relalg/src/eval.rs crates/relalg/src/problem.rs crates/relalg/src/translate.rs crates/relalg/src/tuple.rs crates/relalg/src/universe.rs
+
+/root/repo/target/debug/deps/libmca_relalg-51673ae5d729001f.rlib: crates/relalg/src/lib.rs crates/relalg/src/ast.rs crates/relalg/src/bitvec.rs crates/relalg/src/circuit.rs crates/relalg/src/display.rs crates/relalg/src/error.rs crates/relalg/src/eval.rs crates/relalg/src/problem.rs crates/relalg/src/translate.rs crates/relalg/src/tuple.rs crates/relalg/src/universe.rs
+
+/root/repo/target/debug/deps/libmca_relalg-51673ae5d729001f.rmeta: crates/relalg/src/lib.rs crates/relalg/src/ast.rs crates/relalg/src/bitvec.rs crates/relalg/src/circuit.rs crates/relalg/src/display.rs crates/relalg/src/error.rs crates/relalg/src/eval.rs crates/relalg/src/problem.rs crates/relalg/src/translate.rs crates/relalg/src/tuple.rs crates/relalg/src/universe.rs
+
+crates/relalg/src/lib.rs:
+crates/relalg/src/ast.rs:
+crates/relalg/src/bitvec.rs:
+crates/relalg/src/circuit.rs:
+crates/relalg/src/display.rs:
+crates/relalg/src/error.rs:
+crates/relalg/src/eval.rs:
+crates/relalg/src/problem.rs:
+crates/relalg/src/translate.rs:
+crates/relalg/src/tuple.rs:
+crates/relalg/src/universe.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mca_relalg-78789a5e132fef9f.d: crates/relalg/src/lib.rs crates/relalg/src/ast.rs crates/relalg/src/bitvec.rs crates/relalg/src/circuit.rs crates/relalg/src/display.rs crates/relalg/src/error.rs crates/relalg/src/eval.rs crates/relalg/src/problem.rs crates/relalg/src/translate.rs crates/relalg/src/tuple.rs crates/relalg/src/universe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmca_relalg-78789a5e132fef9f.rmeta: crates/relalg/src/lib.rs crates/relalg/src/ast.rs crates/relalg/src/bitvec.rs crates/relalg/src/circuit.rs crates/relalg/src/display.rs crates/relalg/src/error.rs crates/relalg/src/eval.rs crates/relalg/src/problem.rs crates/relalg/src/translate.rs crates/relalg/src/tuple.rs crates/relalg/src/universe.rs Cargo.toml
+
+crates/relalg/src/lib.rs:
+crates/relalg/src/ast.rs:
+crates/relalg/src/bitvec.rs:
+crates/relalg/src/circuit.rs:
+crates/relalg/src/display.rs:
+crates/relalg/src/error.rs:
+crates/relalg/src/eval.rs:
+crates/relalg/src/problem.rs:
+crates/relalg/src/translate.rs:
+crates/relalg/src/tuple.rs:
+crates/relalg/src/universe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mca_relalg-9a008214ba6662bd.d: crates/relalg/src/lib.rs crates/relalg/src/ast.rs crates/relalg/src/bitvec.rs crates/relalg/src/circuit.rs crates/relalg/src/display.rs crates/relalg/src/error.rs crates/relalg/src/eval.rs crates/relalg/src/problem.rs crates/relalg/src/translate.rs crates/relalg/src/tuple.rs crates/relalg/src/universe.rs
+
+/root/repo/target/debug/deps/mca_relalg-9a008214ba6662bd: crates/relalg/src/lib.rs crates/relalg/src/ast.rs crates/relalg/src/bitvec.rs crates/relalg/src/circuit.rs crates/relalg/src/display.rs crates/relalg/src/error.rs crates/relalg/src/eval.rs crates/relalg/src/problem.rs crates/relalg/src/translate.rs crates/relalg/src/tuple.rs crates/relalg/src/universe.rs
+
+crates/relalg/src/lib.rs:
+crates/relalg/src/ast.rs:
+crates/relalg/src/bitvec.rs:
+crates/relalg/src/circuit.rs:
+crates/relalg/src/display.rs:
+crates/relalg/src/error.rs:
+crates/relalg/src/eval.rs:
+crates/relalg/src/problem.rs:
+crates/relalg/src/translate.rs:
+crates/relalg/src/tuple.rs:
+crates/relalg/src/universe.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mca_sat-2d127088fd312ef3.d: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/clause.rs crates/sat/src/cnf.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/luby.rs crates/sat/src/proof.rs crates/sat/src/simplify.rs crates/sat/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmca_sat-2d127088fd312ef3.rmeta: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/clause.rs crates/sat/src/cnf.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/luby.rs crates/sat/src/proof.rs crates/sat/src/simplify.rs crates/sat/src/solver.rs Cargo.toml
+
+crates/sat/src/lib.rs:
+crates/sat/src/brute.rs:
+crates/sat/src/clause.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/luby.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/simplify.rs:
+crates/sat/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mca_sat-6fbb85b4e2060118.d: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/clause.rs crates/sat/src/cnf.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/luby.rs crates/sat/src/proof.rs crates/sat/src/simplify.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/mca_sat-6fbb85b4e2060118: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/clause.rs crates/sat/src/cnf.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/luby.rs crates/sat/src/proof.rs crates/sat/src/simplify.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/brute.rs:
+crates/sat/src/clause.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/luby.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/simplify.rs:
+crates/sat/src/solver.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mca_sat-ab588d03f7400b66.d: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/clause.rs crates/sat/src/cnf.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/luby.rs crates/sat/src/proof.rs crates/sat/src/simplify.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/libmca_sat-ab588d03f7400b66.rlib: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/clause.rs crates/sat/src/cnf.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/luby.rs crates/sat/src/proof.rs crates/sat/src/simplify.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/libmca_sat-ab588d03f7400b66.rmeta: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/clause.rs crates/sat/src/cnf.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/luby.rs crates/sat/src/proof.rs crates/sat/src/simplify.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/brute.rs:
+crates/sat/src/clause.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/luby.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/simplify.rs:
+crates/sat/src/solver.rs:

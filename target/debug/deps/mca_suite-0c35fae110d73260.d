@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mca_suite-0c35fae110d73260.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmca_suite-0c35fae110d73260.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmca_suite-0c35fae110d73260.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mca_suite-6d56cee51b9e33c2.d: src/lib.rs
+
+/root/repo/target/debug/deps/mca_suite-6d56cee51b9e33c2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mca_suite-8130bbd3f6799ec7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmca_suite-8130bbd3f6799ec7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmca_suite-8130bbd3f6799ec7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mca_suite-b3f9465660713531.d: src/lib.rs
+
+/root/repo/target/debug/deps/mca_suite-b3f9465660713531: src/lib.rs
+
+src/lib.rs:

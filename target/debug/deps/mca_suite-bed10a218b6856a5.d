@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mca_suite-bed10a218b6856a5.d: src/lib.rs
+
+/root/repo/target/debug/deps/mca_suite-bed10a218b6856a5: src/lib.rs
+
+src/lib.rs:

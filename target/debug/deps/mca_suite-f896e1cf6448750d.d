@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mca_suite-f896e1cf6448750d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmca_suite-f896e1cf6448750d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmca_suite-f896e1cf6448750d.rmeta: src/lib.rs
+
+src/lib.rs:

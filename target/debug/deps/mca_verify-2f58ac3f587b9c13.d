@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mca_verify-2f58ac3f587b9c13.d: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmca_verify-2f58ac3f587b9c13.rmeta: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/analysis.rs:
+crates/verify/src/dynamic_model.rs:
+crates/verify/src/encoding.rs:
+crates/verify/src/static_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

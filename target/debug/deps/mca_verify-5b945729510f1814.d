@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mca_verify-5b945729510f1814.d: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+/root/repo/target/debug/deps/mca_verify-5b945729510f1814: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/analysis.rs:
+crates/verify/src/dynamic_model.rs:
+crates/verify/src/encoding.rs:
+crates/verify/src/static_model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mca_verify-b754a2a8ea71dfa0.d: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+/root/repo/target/debug/deps/libmca_verify-b754a2a8ea71dfa0.rlib: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+/root/repo/target/debug/deps/libmca_verify-b754a2a8ea71dfa0.rmeta: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/analysis.rs:
+crates/verify/src/dynamic_model.rs:
+crates/verify/src/encoding.rs:
+crates/verify/src/static_model.rs:

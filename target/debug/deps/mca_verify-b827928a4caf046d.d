@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mca_verify-b827928a4caf046d.d: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+/root/repo/target/debug/deps/libmca_verify-b827928a4caf046d.rlib: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+/root/repo/target/debug/deps/libmca_verify-b827928a4caf046d.rmeta: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/analysis.rs:
+crates/verify/src/dynamic_model.rs:
+crates/verify/src/encoding.rs:
+crates/verify/src/static_model.rs:

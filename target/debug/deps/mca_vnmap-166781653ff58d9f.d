@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mca_vnmap-166781653ff58d9f.d: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmca_vnmap-166781653ff58d9f.rmeta: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs Cargo.toml
+
+crates/vnmap/src/lib.rs:
+crates/vnmap/src/embed.rs:
+crates/vnmap/src/gen.rs:
+crates/vnmap/src/graph.rs:
+crates/vnmap/src/paths.rs:
+crates/vnmap/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

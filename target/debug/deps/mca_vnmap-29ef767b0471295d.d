@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mca_vnmap-29ef767b0471295d.d: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs
+
+/root/repo/target/debug/deps/libmca_vnmap-29ef767b0471295d.rlib: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs
+
+/root/repo/target/debug/deps/libmca_vnmap-29ef767b0471295d.rmeta: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs
+
+crates/vnmap/src/lib.rs:
+crates/vnmap/src/embed.rs:
+crates/vnmap/src/gen.rs:
+crates/vnmap/src/graph.rs:
+crates/vnmap/src/paths.rs:
+crates/vnmap/src/workload.rs:

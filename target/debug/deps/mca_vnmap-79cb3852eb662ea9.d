@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mca_vnmap-79cb3852eb662ea9.d: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs
+
+/root/repo/target/debug/deps/mca_vnmap-79cb3852eb662ea9: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs
+
+crates/vnmap/src/lib.rs:
+crates/vnmap/src/embed.rs:
+crates/vnmap/src/gen.rs:
+crates/vnmap/src/graph.rs:
+crates/vnmap/src/paths.rs:
+crates/vnmap/src/workload.rs:

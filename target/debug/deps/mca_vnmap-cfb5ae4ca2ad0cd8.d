@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mca_vnmap-cfb5ae4ca2ad0cd8.d: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs
+
+/root/repo/target/debug/deps/libmca_vnmap-cfb5ae4ca2ad0cd8.rlib: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs
+
+/root/repo/target/debug/deps/libmca_vnmap-cfb5ae4ca2ad0cd8.rmeta: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs
+
+crates/vnmap/src/lib.rs:
+crates/vnmap/src/embed.rs:
+crates/vnmap/src/gen.rs:
+crates/vnmap/src/graph.rs:
+crates/vnmap/src/paths.rs:
+crates/vnmap/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_trace-bdbee8c5ff211cf6.d: tests/obs_trace.rs
+
+/root/repo/target/debug/deps/obs_trace-bdbee8c5ff211cf6: tests/obs_trace.rs
+
+tests/obs_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_trace-dc1c1001d1d56739.d: tests/obs_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_trace-dc1c1001d1d56739.rmeta: tests/obs_trace.rs Cargo.toml
+
+tests/obs_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

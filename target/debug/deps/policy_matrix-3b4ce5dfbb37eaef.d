@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_matrix-3b4ce5dfbb37eaef.d: tests/policy_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_matrix-3b4ce5dfbb37eaef.rmeta: tests/policy_matrix.rs Cargo.toml
+
+tests/policy_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

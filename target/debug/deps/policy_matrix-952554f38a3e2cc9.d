@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_matrix-952554f38a3e2cc9.d: tests/policy_matrix.rs
+
+/root/repo/target/debug/deps/policy_matrix-952554f38a3e2cc9: tests/policy_matrix.rs
+
+tests/policy_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_matrix-e305412736e2819d.d: tests/policy_matrix.rs
+
+/root/repo/target/debug/deps/policy_matrix-e305412736e2819d: tests/policy_matrix.rs
+
+tests/policy_matrix.rs:

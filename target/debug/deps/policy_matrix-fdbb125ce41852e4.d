@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_matrix-fdbb125ce41852e4.d: tests/policy_matrix.rs
+
+/root/repo/target/debug/deps/policy_matrix-fdbb125ce41852e4: tests/policy_matrix.rs
+
+tests/policy_matrix.rs:

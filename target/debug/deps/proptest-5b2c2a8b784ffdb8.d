@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-5b2c2a8b784ffdb8.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5b2c2a8b784ffdb8.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5b2c2a8b784ffdb8.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

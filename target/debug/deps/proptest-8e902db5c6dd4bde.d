@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-8e902db5c6dd4bde.d: compat/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-8e902db5c6dd4bde.rmeta: compat/proptest/src/lib.rs Cargo.toml
+
+compat/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b4346bc19784bbdf.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-b4346bc19784bbdf: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

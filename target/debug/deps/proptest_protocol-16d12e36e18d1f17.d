@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_protocol-16d12e36e18d1f17.d: tests/proptest_protocol.rs
+
+/root/repo/target/debug/deps/proptest_protocol-16d12e36e18d1f17: tests/proptest_protocol.rs
+
+tests/proptest_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_protocol-4286c287353129dc.d: tests/proptest_protocol.rs
+
+/root/repo/target/debug/deps/proptest_protocol-4286c287353129dc: tests/proptest_protocol.rs
+
+tests/proptest_protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_protocol-450caf1cf151ed68.d: tests/proptest_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_protocol-450caf1cf151ed68.rmeta: tests/proptest_protocol.rs Cargo.toml
+
+tests/proptest_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_protocol-e3cf450153ab0b40.d: tests/proptest_protocol.rs
+
+/root/repo/target/debug/deps/proptest_protocol-e3cf450153ab0b40: tests/proptest_protocol.rs
+
+tests/proptest_protocol.rs:

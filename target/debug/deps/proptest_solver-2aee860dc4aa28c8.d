@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_solver-2aee860dc4aa28c8.d: crates/sat/tests/proptest_solver.rs
+
+/root/repo/target/debug/deps/proptest_solver-2aee860dc4aa28c8: crates/sat/tests/proptest_solver.rs
+
+crates/sat/tests/proptest_solver.rs:

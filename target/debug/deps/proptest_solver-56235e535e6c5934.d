@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_solver-56235e535e6c5934.d: crates/sat/tests/proptest_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_solver-56235e535e6c5934.rmeta: crates/sat/tests/proptest_solver.rs Cargo.toml
+
+crates/sat/tests/proptest_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

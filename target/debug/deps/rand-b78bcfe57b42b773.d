@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b78bcfe57b42b773.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b78bcfe57b42b773.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b78bcfe57b42b773.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-f3cdc0ae4d045a72.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-f3cdc0ae4d045a72: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rebid_attack-1f4d57b1d94fa68d.d: tests/rebid_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebid_attack-1f4d57b1d94fa68d.rmeta: tests/rebid_attack.rs Cargo.toml
+
+tests/rebid_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

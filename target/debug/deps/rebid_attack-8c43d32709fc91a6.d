@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebid_attack-8c43d32709fc91a6.d: tests/rebid_attack.rs
+
+/root/repo/target/debug/deps/rebid_attack-8c43d32709fc91a6: tests/rebid_attack.rs
+
+tests/rebid_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebid_attack-a97ba4e976449628.d: tests/rebid_attack.rs
+
+/root/repo/target/debug/deps/rebid_attack-a97ba4e976449628: tests/rebid_attack.rs
+
+tests/rebid_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebid_attack-bccd1b0349b9b639.d: tests/rebid_attack.rs
+
+/root/repo/target/debug/deps/rebid_attack-bccd1b0349b9b639: tests/rebid_attack.rs
+
+tests/rebid_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-37494f298bb87f02.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-37494f298bb87f02: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

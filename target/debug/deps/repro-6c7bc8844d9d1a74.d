@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6c7bc8844d9d1a74.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6c7bc8844d9d1a74: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

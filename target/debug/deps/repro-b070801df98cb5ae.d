@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-b070801df98cb5ae.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-b070801df98cb5ae: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-c1c75d31b596501a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-c1c75d31b596501a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sat_solver-dfd196d110848574.d: crates/bench/benches/sat_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsat_solver-dfd196d110848574.rmeta: crates/bench/benches/sat_solver.rs Cargo.toml
+
+crates/bench/benches/sat_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/target_policy-48dbedc2dc0bbbaf.d: tests/target_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtarget_policy-48dbedc2dc0bbbaf.rmeta: tests/target_policy.rs Cargo.toml
+
+tests/target_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/target_policy-748b8d7e86c38178.d: tests/target_policy.rs
+
+/root/repo/target/debug/deps/target_policy-748b8d7e86c38178: tests/target_policy.rs
+
+tests/target_policy.rs:

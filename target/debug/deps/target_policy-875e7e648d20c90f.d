@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/target_policy-875e7e648d20c90f.d: tests/target_policy.rs
+
+/root/repo/target/debug/deps/target_policy-875e7e648d20c90f: tests/target_policy.rs
+
+tests/target_policy.rs:

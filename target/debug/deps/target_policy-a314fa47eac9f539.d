@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/target_policy-a314fa47eac9f539.d: tests/target_policy.rs
+
+/root/repo/target/debug/deps/target_policy-a314fa47eac9f539: tests/target_policy.rs
+
+tests/target_policy.rs:

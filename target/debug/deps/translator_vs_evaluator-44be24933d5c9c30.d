@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/translator_vs_evaluator-44be24933d5c9c30.d: crates/relalg/tests/translator_vs_evaluator.rs
+
+/root/repo/target/debug/deps/translator_vs_evaluator-44be24933d5c9c30: crates/relalg/tests/translator_vs_evaluator.rs
+
+crates/relalg/tests/translator_vs_evaluator.rs:

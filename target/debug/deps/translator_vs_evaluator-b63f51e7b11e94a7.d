@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/translator_vs_evaluator-b63f51e7b11e94a7.d: crates/relalg/tests/translator_vs_evaluator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtranslator_vs_evaluator-b63f51e7b11e94a7.rmeta: crates/relalg/tests/translator_vs_evaluator.rs Cargo.toml
+
+crates/relalg/tests/translator_vs_evaluator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vnmap_end_to_end-6539ea6bae1673b4.d: tests/vnmap_end_to_end.rs
+
+/root/repo/target/debug/deps/vnmap_end_to_end-6539ea6bae1673b4: tests/vnmap_end_to_end.rs
+
+tests/vnmap_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vnmap_end_to_end-6c2e95cf9ac5653d.d: tests/vnmap_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvnmap_end_to_end-6c2e95cf9ac5653d.rmeta: tests/vnmap_end_to_end.rs Cargo.toml
+
+tests/vnmap_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

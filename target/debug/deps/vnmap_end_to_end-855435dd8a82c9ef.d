@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vnmap_end_to_end-855435dd8a82c9ef.d: tests/vnmap_end_to_end.rs
+
+/root/repo/target/debug/deps/vnmap_end_to_end-855435dd8a82c9ef: tests/vnmap_end_to_end.rs
+
+tests/vnmap_end_to_end.rs:

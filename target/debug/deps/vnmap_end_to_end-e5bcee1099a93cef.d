@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vnmap_end_to_end-e5bcee1099a93cef.d: tests/vnmap_end_to_end.rs
+
+/root/repo/target/debug/deps/vnmap_end_to_end-e5bcee1099a93cef: tests/vnmap_end_to_end.rs
+
+tests/vnmap_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vnmap_mapping-180423f6d258d03b.d: crates/bench/benches/vnmap_mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvnmap_mapping-180423f6d258d03b.rmeta: crates/bench/benches/vnmap_mapping.rs Cargo.toml
+
+crates/bench/benches/vnmap_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alloy_model_finding-38e6885f94d59b01.d: examples/alloy_model_finding.rs
+
+/root/repo/target/debug/examples/alloy_model_finding-38e6885f94d59b01: examples/alloy_model_finding.rs
+
+examples/alloy_model_finding.rs:

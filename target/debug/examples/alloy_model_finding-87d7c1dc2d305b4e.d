@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/alloy_model_finding-87d7c1dc2d305b4e.d: examples/alloy_model_finding.rs Cargo.toml
+
+/root/repo/target/debug/examples/liballoy_model_finding-87d7c1dc2d305b4e.rmeta: examples/alloy_model_finding.rs Cargo.toml
+
+examples/alloy_model_finding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

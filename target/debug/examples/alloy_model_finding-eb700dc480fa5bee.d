@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alloy_model_finding-eb700dc480fa5bee.d: examples/alloy_model_finding.rs
+
+/root/repo/target/debug/examples/alloy_model_finding-eb700dc480fa5bee: examples/alloy_model_finding.rs
+
+examples/alloy_model_finding.rs:

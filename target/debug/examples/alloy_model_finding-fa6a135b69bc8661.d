@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alloy_model_finding-fa6a135b69bc8661.d: examples/alloy_model_finding.rs
+
+/root/repo/target/debug/examples/alloy_model_finding-fa6a135b69bc8661: examples/alloy_model_finding.rs
+
+examples/alloy_model_finding.rs:

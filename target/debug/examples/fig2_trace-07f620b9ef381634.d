@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fig2_trace-07f620b9ef381634.d: examples/fig2_trace.rs
+
+/root/repo/target/debug/examples/fig2_trace-07f620b9ef381634: examples/fig2_trace.rs
+
+examples/fig2_trace.rs:

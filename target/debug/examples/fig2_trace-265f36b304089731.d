@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fig2_trace-265f36b304089731.d: examples/fig2_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfig2_trace-265f36b304089731.rmeta: examples/fig2_trace.rs Cargo.toml
+
+examples/fig2_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

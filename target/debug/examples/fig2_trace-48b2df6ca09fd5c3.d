@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fig2_trace-48b2df6ca09fd5c3.d: examples/fig2_trace.rs
+
+/root/repo/target/debug/examples/fig2_trace-48b2df6ca09fd5c3: examples/fig2_trace.rs
+
+examples/fig2_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fig2_trace-6079351aafb8c64f.d: examples/fig2_trace.rs
+
+/root/repo/target/debug/examples/fig2_trace-6079351aafb8c64f: examples/fig2_trace.rs
+
+examples/fig2_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/online_embedding-156f3e7f6f745cdc.d: examples/online_embedding.rs Cargo.toml
+
+/root/repo/target/debug/examples/libonline_embedding-156f3e7f6f745cdc.rmeta: examples/online_embedding.rs Cargo.toml
+
+examples/online_embedding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

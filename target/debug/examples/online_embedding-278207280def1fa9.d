@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/online_embedding-278207280def1fa9.d: examples/online_embedding.rs
+
+/root/repo/target/debug/examples/online_embedding-278207280def1fa9: examples/online_embedding.rs
+
+examples/online_embedding.rs:

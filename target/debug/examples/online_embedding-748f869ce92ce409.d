@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/online_embedding-748f869ce92ce409.d: examples/online_embedding.rs
+
+/root/repo/target/debug/examples/online_embedding-748f869ce92ce409: examples/online_embedding.rs
+
+examples/online_embedding.rs:

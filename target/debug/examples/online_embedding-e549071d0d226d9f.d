@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/online_embedding-e549071d0d226d9f.d: examples/online_embedding.rs
+
+/root/repo/target/debug/examples/online_embedding-e549071d0d226d9f: examples/online_embedding.rs
+
+examples/online_embedding.rs:

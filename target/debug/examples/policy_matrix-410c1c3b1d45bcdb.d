@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_matrix-410c1c3b1d45bcdb.d: examples/policy_matrix.rs
+
+/root/repo/target/debug/examples/policy_matrix-410c1c3b1d45bcdb: examples/policy_matrix.rs
+
+examples/policy_matrix.rs:

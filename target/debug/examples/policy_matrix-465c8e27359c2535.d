@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_matrix-465c8e27359c2535.d: examples/policy_matrix.rs
+
+/root/repo/target/debug/examples/policy_matrix-465c8e27359c2535: examples/policy_matrix.rs
+
+examples/policy_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_matrix-6c104fdfef9d3f1c.d: examples/policy_matrix.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_matrix-6c104fdfef9d3f1c.rmeta: examples/policy_matrix.rs Cargo.toml
+
+examples/policy_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_matrix-dffb4c386735cc52.d: examples/policy_matrix.rs
+
+/root/repo/target/debug/examples/policy_matrix-dffb4c386735cc52: examples/policy_matrix.rs
+
+examples/policy_matrix.rs:

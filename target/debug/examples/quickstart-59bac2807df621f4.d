@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-59bac2807df621f4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-59bac2807df621f4: examples/quickstart.rs
+
+examples/quickstart.rs:

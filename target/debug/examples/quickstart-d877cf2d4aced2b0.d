@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d877cf2d4aced2b0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d877cf2d4aced2b0: examples/quickstart.rs
+
+examples/quickstart.rs:

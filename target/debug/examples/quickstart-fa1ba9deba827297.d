@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fa1ba9deba827297.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fa1ba9deba827297: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rebid_attack-181bf2f1cb0ab3b6.d: examples/rebid_attack.rs
+
+/root/repo/target/debug/examples/rebid_attack-181bf2f1cb0ab3b6: examples/rebid_attack.rs
+
+examples/rebid_attack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rebid_attack-54d4dfe9302d6123.d: examples/rebid_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/librebid_attack-54d4dfe9302d6123.rmeta: examples/rebid_attack.rs Cargo.toml
+
+examples/rebid_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

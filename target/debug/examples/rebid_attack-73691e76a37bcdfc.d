@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rebid_attack-73691e76a37bcdfc.d: examples/rebid_attack.rs
+
+/root/repo/target/debug/examples/rebid_attack-73691e76a37bcdfc: examples/rebid_attack.rs
+
+examples/rebid_attack.rs:

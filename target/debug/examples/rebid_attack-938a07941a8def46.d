@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rebid_attack-938a07941a8def46.d: examples/rebid_attack.rs
+
+/root/repo/target/debug/examples/rebid_attack-938a07941a8def46: examples/rebid_attack.rs
+
+examples/rebid_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vn_mapping-347cc3a4e202cae3.d: examples/vn_mapping.rs
+
+/root/repo/target/debug/examples/vn_mapping-347cc3a4e202cae3: examples/vn_mapping.rs
+
+examples/vn_mapping.rs:

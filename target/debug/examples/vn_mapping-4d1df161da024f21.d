@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vn_mapping-4d1df161da024f21.d: examples/vn_mapping.rs
+
+/root/repo/target/debug/examples/vn_mapping-4d1df161da024f21: examples/vn_mapping.rs
+
+examples/vn_mapping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vn_mapping-bd01daec682b0c4a.d: examples/vn_mapping.rs
+
+/root/repo/target/debug/examples/vn_mapping-bd01daec682b0c4a: examples/vn_mapping.rs
+
+examples/vn_mapping.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vn_mapping-ff8d5f1a53c661f8.d: examples/vn_mapping.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvn_mapping-ff8d5f1a53c661f8.rmeta: examples/vn_mapping.rs Cargo.toml
+
+examples/vn_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

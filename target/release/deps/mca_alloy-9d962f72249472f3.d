@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mca_alloy-9d962f72249472f3.d: crates/alloy/src/lib.rs crates/alloy/src/export.rs crates/alloy/src/model.rs crates/alloy/src/ordering.rs crates/alloy/src/value.rs
+
+/root/repo/target/release/deps/libmca_alloy-9d962f72249472f3.rlib: crates/alloy/src/lib.rs crates/alloy/src/export.rs crates/alloy/src/model.rs crates/alloy/src/ordering.rs crates/alloy/src/value.rs
+
+/root/repo/target/release/deps/libmca_alloy-9d962f72249472f3.rmeta: crates/alloy/src/lib.rs crates/alloy/src/export.rs crates/alloy/src/model.rs crates/alloy/src/ordering.rs crates/alloy/src/value.rs
+
+crates/alloy/src/lib.rs:
+crates/alloy/src/export.rs:
+crates/alloy/src/model.rs:
+crates/alloy/src/ordering.rs:
+crates/alloy/src/value.rs:

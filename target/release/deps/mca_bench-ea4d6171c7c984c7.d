@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mca_bench-ea4d6171c7c984c7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmca_bench-ea4d6171c7c984c7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmca_bench-ea4d6171c7c984c7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mca_core-4dadcd69326d469f.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/checker.rs crates/core/src/detector.rs crates/core/src/network.rs crates/core/src/policy.rs crates/core/src/scenarios.rs crates/core/src/sim.rs crates/core/src/types.rs crates/core/src/welfare.rs
+
+/root/repo/target/release/deps/libmca_core-4dadcd69326d469f.rlib: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/checker.rs crates/core/src/detector.rs crates/core/src/network.rs crates/core/src/policy.rs crates/core/src/scenarios.rs crates/core/src/sim.rs crates/core/src/types.rs crates/core/src/welfare.rs
+
+/root/repo/target/release/deps/libmca_core-4dadcd69326d469f.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/checker.rs crates/core/src/detector.rs crates/core/src/network.rs crates/core/src/policy.rs crates/core/src/scenarios.rs crates/core/src/sim.rs crates/core/src/types.rs crates/core/src/welfare.rs
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/checker.rs:
+crates/core/src/detector.rs:
+crates/core/src/network.rs:
+crates/core/src/policy.rs:
+crates/core/src/scenarios.rs:
+crates/core/src/sim.rs:
+crates/core/src/types.rs:
+crates/core/src/welfare.rs:

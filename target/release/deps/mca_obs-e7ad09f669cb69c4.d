@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mca_obs-e7ad09f669cb69c4.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/sink.rs
+
+/root/repo/target/release/deps/libmca_obs-e7ad09f669cb69c4.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/sink.rs
+
+/root/repo/target/release/deps/libmca_obs-e7ad09f669cb69c4.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/observer.rs crates/obs/src/sink.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/observer.rs:
+crates/obs/src/sink.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mca_relalg-d045e0936e4141fc.d: crates/relalg/src/lib.rs crates/relalg/src/ast.rs crates/relalg/src/bitvec.rs crates/relalg/src/circuit.rs crates/relalg/src/display.rs crates/relalg/src/error.rs crates/relalg/src/eval.rs crates/relalg/src/problem.rs crates/relalg/src/translate.rs crates/relalg/src/tuple.rs crates/relalg/src/universe.rs
+
+/root/repo/target/release/deps/libmca_relalg-d045e0936e4141fc.rlib: crates/relalg/src/lib.rs crates/relalg/src/ast.rs crates/relalg/src/bitvec.rs crates/relalg/src/circuit.rs crates/relalg/src/display.rs crates/relalg/src/error.rs crates/relalg/src/eval.rs crates/relalg/src/problem.rs crates/relalg/src/translate.rs crates/relalg/src/tuple.rs crates/relalg/src/universe.rs
+
+/root/repo/target/release/deps/libmca_relalg-d045e0936e4141fc.rmeta: crates/relalg/src/lib.rs crates/relalg/src/ast.rs crates/relalg/src/bitvec.rs crates/relalg/src/circuit.rs crates/relalg/src/display.rs crates/relalg/src/error.rs crates/relalg/src/eval.rs crates/relalg/src/problem.rs crates/relalg/src/translate.rs crates/relalg/src/tuple.rs crates/relalg/src/universe.rs
+
+crates/relalg/src/lib.rs:
+crates/relalg/src/ast.rs:
+crates/relalg/src/bitvec.rs:
+crates/relalg/src/circuit.rs:
+crates/relalg/src/display.rs:
+crates/relalg/src/error.rs:
+crates/relalg/src/eval.rs:
+crates/relalg/src/problem.rs:
+crates/relalg/src/translate.rs:
+crates/relalg/src/tuple.rs:
+crates/relalg/src/universe.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mca_sat-65bf2dc533b471c1.d: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/clause.rs crates/sat/src/cnf.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/luby.rs crates/sat/src/proof.rs crates/sat/src/simplify.rs crates/sat/src/solver.rs
+
+/root/repo/target/release/deps/libmca_sat-65bf2dc533b471c1.rlib: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/clause.rs crates/sat/src/cnf.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/luby.rs crates/sat/src/proof.rs crates/sat/src/simplify.rs crates/sat/src/solver.rs
+
+/root/repo/target/release/deps/libmca_sat-65bf2dc533b471c1.rmeta: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/clause.rs crates/sat/src/cnf.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/luby.rs crates/sat/src/proof.rs crates/sat/src/simplify.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/brute.rs:
+crates/sat/src/clause.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/luby.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/simplify.rs:
+crates/sat/src/solver.rs:

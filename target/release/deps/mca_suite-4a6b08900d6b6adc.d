@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mca_suite-4a6b08900d6b6adc.d: src/lib.rs
+
+/root/repo/target/release/deps/libmca_suite-4a6b08900d6b6adc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmca_suite-4a6b08900d6b6adc.rmeta: src/lib.rs
+
+src/lib.rs:

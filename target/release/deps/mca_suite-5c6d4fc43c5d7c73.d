@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mca_suite-5c6d4fc43c5d7c73.d: src/lib.rs
+
+/root/repo/target/release/deps/libmca_suite-5c6d4fc43c5d7c73.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmca_suite-5c6d4fc43c5d7c73.rmeta: src/lib.rs
+
+src/lib.rs:

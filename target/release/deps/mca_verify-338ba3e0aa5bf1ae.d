@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mca_verify-338ba3e0aa5bf1ae.d: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+/root/repo/target/release/deps/libmca_verify-338ba3e0aa5bf1ae.rlib: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+/root/repo/target/release/deps/libmca_verify-338ba3e0aa5bf1ae.rmeta: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/analysis.rs:
+crates/verify/src/dynamic_model.rs:
+crates/verify/src/encoding.rs:
+crates/verify/src/static_model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mca_verify-8b8086e0b97b9dfb.d: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+/root/repo/target/release/deps/libmca_verify-8b8086e0b97b9dfb.rlib: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+/root/repo/target/release/deps/libmca_verify-8b8086e0b97b9dfb.rmeta: crates/verify/src/lib.rs crates/verify/src/analysis.rs crates/verify/src/dynamic_model.rs crates/verify/src/encoding.rs crates/verify/src/static_model.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/analysis.rs:
+crates/verify/src/dynamic_model.rs:
+crates/verify/src/encoding.rs:
+crates/verify/src/static_model.rs:

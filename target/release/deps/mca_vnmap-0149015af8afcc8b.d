@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mca_vnmap-0149015af8afcc8b.d: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs
+
+/root/repo/target/release/deps/libmca_vnmap-0149015af8afcc8b.rlib: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs
+
+/root/repo/target/release/deps/libmca_vnmap-0149015af8afcc8b.rmeta: crates/vnmap/src/lib.rs crates/vnmap/src/embed.rs crates/vnmap/src/gen.rs crates/vnmap/src/graph.rs crates/vnmap/src/paths.rs crates/vnmap/src/workload.rs
+
+crates/vnmap/src/lib.rs:
+crates/vnmap/src/embed.rs:
+crates/vnmap/src/gen.rs:
+crates/vnmap/src/graph.rs:
+crates/vnmap/src/paths.rs:
+crates/vnmap/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-9634279cac0ef1bd.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-9634279cac0ef1bd: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

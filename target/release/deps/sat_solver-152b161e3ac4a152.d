@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sat_solver-152b161e3ac4a152.d: crates/bench/benches/sat_solver.rs
+
+/root/repo/target/release/deps/sat_solver-152b161e3ac4a152: crates/bench/benches/sat_solver.rs
+
+crates/bench/benches/sat_solver.rs:
