@@ -6,7 +6,16 @@
 //! repro --list                   # list experiments
 //! repro e5 --metrics e5.json     # write a metrics registry as JSON
 //! repro --trace run.jsonl        # write a JSONL event trace
+//! repro e3 --threads 4           # fan E3/E4 across 4 workers
 //! ```
+//!
+//! `--threads N` routes E3 and E4 through the `mca-runtime` work-stealing
+//! pool (`--threads 0`, the default, auto-detects the machine's
+//! parallelism; `--threads 1` forces the sequential drivers). Outcomes are
+//! identical at every thread count — parallelism only changes wall-clock —
+//! and a multi-threaded E3 run also records the sequential-vs-parallel
+//! comparison (including a solver-portfolio race on the paper-scope
+//! optimized encoding) in `BENCH_PAR.json`.
 //!
 //! Running E5 also (re)generates `BENCH_E5.json` in the current directory:
 //! the per-encoding variable/clause counts and solver statistics that seed
@@ -14,9 +23,13 @@
 
 use mca_obs::json::Json;
 use mca_obs::{Handle, JsonlSink, Metrics, SharedObserver};
+use mca_runtime::{diversified_configs, Runtime};
 use mca_verify::analysis::{self, EncodingRow};
+use mca_verify::parallel;
+use mca_verify::{DynamicModel, DynamicScenario, NumberEncoding};
 use std::fs::File;
 use std::io::BufWriter;
+use std::time::Instant;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
     ("e1", "Figure 1 — two agents, three items, one exchange"),
@@ -53,6 +66,7 @@ fn main() {
     let mut selected: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut threads: usize = 0;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -73,6 +87,13 @@ fn main() {
             }
             "--metrics" => metrics_path = Some(flag_value("--metrics")),
             "--trace" => trace_path = Some(flag_value("--trace")),
+            "--threads" => {
+                let v = flag_value("--threads");
+                threads = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads requires a number, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
             id if is_experiment(id) => selected.push(id.to_string()),
             other => {
                 eprintln!("unknown argument `{other}` (try --list)");
@@ -81,6 +102,11 @@ fn main() {
         }
         i += 1;
     }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    };
     if selected.is_empty() {
         selected = EXPERIMENTS.iter().map(|(id, _)| id.to_string()).collect();
     }
@@ -100,6 +126,9 @@ fn main() {
             });
     let observer: Option<SharedObserver> = trace.as_ref().map(Handle::observer);
     let mut metrics = Metrics::new();
+    // The pool exists only for multi-threaded runs; `--threads 1` keeps
+    // the sequential drivers on the main thread.
+    let runtime = (threads > 1).then(|| Runtime::new(threads));
 
     let mut all_match = true;
     for exp in &selected {
@@ -107,9 +136,9 @@ fn main() {
         match exp.as_str() {
             "e1" => all_match &= run_e1(&mut metrics, observer.clone()),
             "e2" => all_match &= run_e2(&mut metrics),
-            "e3" => all_match &= run_e3(&mut metrics, observer.clone()),
-            "e4" => all_match &= run_e4(&mut metrics),
-            "e5" => all_match &= run_e5(&mut metrics, observer.clone()),
+            "e3" => all_match &= run_e3(&mut metrics, observer.clone(), runtime.as_ref()),
+            "e4" => all_match &= run_e4(&mut metrics, runtime.as_ref()),
+            "e5" => all_match &= run_e5(&mut metrics, observer.clone(), threads),
             "e6" => all_match &= run_e6(&mut metrics),
             "e7" => all_match &= run_e7(&mut metrics),
             other => {
@@ -118,6 +147,15 @@ fn main() {
             }
         }
         println!();
+    }
+
+    // Job lifecycles land in the same trace and metrics registry as the
+    // experiment events, in deterministic (job-id) order.
+    if let Some(rt) = &runtime {
+        if let Some(obs) = &observer {
+            rt.emit_job_events(obs);
+        }
+        rt.record_metrics(&mut metrics, "runtime");
     }
 
     if let Some(path) = &metrics_path {
@@ -193,9 +231,11 @@ fn run_e2(metrics: &mut Metrics) -> bool {
     }
 }
 
-fn run_e3(metrics: &mut Metrics, observer: Option<SharedObserver>) -> bool {
+fn run_e3(metrics: &mut Metrics, observer: Option<SharedObserver>, rt: Option<&Runtime>) -> bool {
     println!("E3 (Result 1) — policy matrix (exhaustive explicit-state checking)");
+    let seq_start = Instant::now();
     let rows = metrics.time("e3.run", || analysis::run_policy_matrix_observed(observer));
+    let seq_secs = seq_start.elapsed().as_secs_f64();
     let mut ok = true;
     for row in &rows {
         println!("{row}");
@@ -213,29 +253,146 @@ fn run_e3(metrics: &mut Metrics, observer: Option<SharedObserver>) -> bool {
             "MISMATCH ✗"
         }
     );
+    if let Some(rt) = rt {
+        ok &= run_e3_parallel(metrics, rt, &rows, seq_secs);
+    }
     ok
 }
 
-fn run_e4(metrics: &mut Metrics) -> bool {
-    let report = metrics.time("e4.run", analysis::run_rebid_attack);
+/// The multi-threaded E3 section: re-runs the matrix on the pool, checks
+/// outcome equality against the sequential rows, adds the extended
+/// 16-cell matrix and a solver-portfolio race, and records everything in
+/// `BENCH_PAR.json`.
+fn run_e3_parallel(
+    metrics: &mut Metrics,
+    rt: &Runtime,
+    seq_rows: &[analysis::PolicyMatrixRow],
+    seq_secs: f64,
+) -> bool {
+    println!("\n  --- parallel runtime ({} threads) ---", rt.threads());
+    let par_start = Instant::now();
+    let par_rows = metrics.time("e3.par.run", || parallel::run_policy_matrix_parallel(rt));
+    let par_secs = par_start.elapsed().as_secs_f64();
+    let outcomes_match = seq_rows.len() == par_rows.len()
+        && seq_rows.iter().zip(&par_rows).all(|(s, p)| {
+            s.cell == p.cell && s.checker_converges == p.checker_converges && s.detail == p.detail
+        });
+    let speedup = seq_secs / par_secs.max(1e-9);
+    println!(
+        "  matrix: sequential {seq_secs:.3}s vs parallel {par_secs:.3}s — speedup {speedup:.2}x, outcomes {}",
+        if outcomes_match { "identical ✓" } else { "DIFFER ✗" }
+    );
+
+    println!("  extended matrix (policy × rebid × topology, 16 cells):");
+    let xrows = metrics.time("e3.extended.run", || {
+        parallel::run_extended_policy_matrix(rt)
+    });
+    let mut xmatch = 0;
+    for row in &xrows {
+        println!("{row}");
+        xmatch += usize::from(row.matches_paper());
+    }
+    metrics.set_gauge("e3.extended.cells_matching", xmatch as i64);
+
+    // Portfolio race on the paper-scope optimized encoding — the formula
+    // E5 identifies as the suite's flagship SAT workload.
+    let model = DynamicModel::build(
+        NumberEncoding::OptimizedValue,
+        DynamicScenario::paper_scope(),
+    );
+    let solve_seq_start = Instant::now();
+    let seq_valid = model
+        .check_consensus()
+        .expect("well-formed model")
+        .result
+        .is_valid();
+    let solve_seq_secs = solve_seq_start.elapsed().as_secs_f64();
+    let entrants = diversified_configs(rt.threads().clamp(2, 8));
+    let solve_par_start = Instant::now();
+    let (par_valid, report) = parallel::check_consensus_portfolio(rt, &model, &entrants);
+    let solve_par_secs = solve_par_start.elapsed().as_secs_f64();
+    let verdict_match = seq_valid == par_valid;
+    println!(
+        "  portfolio (paper scope, optimized): sequential {solve_seq_secs:.3}s vs race {solve_par_secs:.3}s — winner {} of {} entrants, verdict {}",
+        report.winner_label,
+        report.entrants,
+        if verdict_match { "identical ✓" } else { "DIFFERS ✗" }
+    );
+
+    let bench = Json::obj([
+        ("threads", Json::from(rt.threads() as u64)),
+        (
+            "e3",
+            Json::obj([
+                ("seq_secs", Json::from(seq_secs)),
+                ("par_secs", Json::from(par_secs)),
+                ("speedup", Json::from(speedup)),
+                ("outcomes_match", Json::from(outcomes_match)),
+                ("extended_cells", Json::from(xrows.len() as u64)),
+                ("extended_matching", Json::from(xmatch as u64)),
+            ]),
+        ),
+        (
+            "portfolio",
+            Json::obj([
+                ("scope", Json::from("3 pnodes, 2 vnodes (paper scope)")),
+                ("encoding", Json::from("optimized")),
+                ("seq_secs", Json::from(solve_seq_secs)),
+                ("par_secs", Json::from(solve_par_secs)),
+                (
+                    "speedup",
+                    Json::from(solve_seq_secs / solve_par_secs.max(1e-9)),
+                ),
+                ("verdict_match", Json::from(verdict_match)),
+                ("valid", Json::from(par_valid)),
+                ("winner", Json::from(report.winner_label.as_str())),
+                ("entrants", Json::from(report.entrants as u64)),
+                (
+                    "winner_conflicts",
+                    Json::from(report.winner_stats.conflicts),
+                ),
+                ("winner_restarts", Json::from(report.winner_stats.restarts)),
+            ]),
+        ),
+    ]);
+    match std::fs::write("BENCH_PAR.json", bench.render() + "\n") {
+        Ok(()) => println!("  sequential-vs-parallel comparison written to BENCH_PAR.json"),
+        Err(e) => eprintln!("  cannot write BENCH_PAR.json: {e}"),
+    }
+    outcomes_match && verdict_match
+}
+
+fn run_e4(metrics: &mut Metrics, rt: Option<&Runtime>) -> bool {
+    let report = match rt {
+        Some(rt) => metrics.time("e4.run", || parallel::run_rebid_attack_parallel(rt)),
+        None => metrics.time("e4.run", analysis::run_rebid_attack),
+    };
     println!("{report}");
+    if let Some(rt) = rt {
+        println!("  (checks fanned across {} workers)", rt.threads());
+    }
     metrics.set_gauge("e4.matches_paper", i64::from(report.matches_paper()));
     report.matches_paper()
 }
 
-fn run_e5(metrics: &mut Metrics, observer: Option<SharedObserver>) -> bool {
+fn run_e5(metrics: &mut Metrics, observer: Option<SharedObserver>, threads: usize) -> bool {
     println!("E5 (Abstractions Efficiency) — static + dynamic model, both encodings");
     println!("(paper: 259K -> 190K clauses, ~a day -> <2h, scope 3 pnodes / 2 vnodes)\n");
+    let wall_start = Instant::now();
     let rows = metrics.time("e5.run", || {
         analysis::run_encoding_comparison_observed(observer)
     });
+    let wall_clock_secs = wall_start.elapsed().as_secs_f64();
     let mut ok = true;
     for (i, row) in rows.iter().enumerate() {
         println!("{row}\n");
         ok &= row.clause_ratio() > 1.0 && row.time_ratio() > 1.0;
         record_e5_metrics(metrics, i, row);
     }
-    match std::fs::write("BENCH_E5.json", bench_e5_json(&rows).render() + "\n") {
+    match std::fs::write(
+        "BENCH_E5.json",
+        bench_e5_json(&rows, wall_clock_secs, threads).render() + "\n",
+    ) {
         Ok(()) => println!("  per-encoding breakdown written to BENCH_E5.json"),
         Err(e) => eprintln!("  cannot write BENCH_E5.json: {e}"),
     }
@@ -278,8 +435,9 @@ fn record_e5_metrics(metrics: &mut Metrics, scope_index: usize, row: &EncodingRo
 }
 
 /// The committed `BENCH_E5.json` artifact: every number of the paper's
-/// encoding-efficiency table, per scope and per encoding.
-fn bench_e5_json(rows: &[EncodingRow]) -> Json {
+/// encoding-efficiency table, per scope and per encoding, plus the run's
+/// total wall-clock and the configured thread count.
+fn bench_e5_json(rows: &[EncodingRow], wall_clock_secs: f64, threads: usize) -> Json {
     let encoding_json = |stats: &mca_relalg::TranslationStats,
                          relations: &[mca_relalg::RelationStats],
                          solver: &mca_sat::SolverStats,
@@ -321,6 +479,8 @@ fn bench_e5_json(rows: &[EncodingRow]) -> Json {
     };
     Json::obj([
         ("experiment", Json::from("e5")),
+        ("wall_clock_secs", Json::from(wall_clock_secs)),
+        ("threads", Json::from(threads as u64)),
         (
             "paper",
             Json::obj([

@@ -327,9 +327,25 @@ impl Simulator {
     /// A round delivers every in-flight message (in order) and then runs
     /// every agent's bidding phase.
     pub fn run_synchronous(&mut self, max_rounds: usize) -> SimOutcome {
+        self.run_synchronous_budgeted(max_rounds, usize::MAX)
+    }
+
+    /// Like [`Simulator::run_synchronous`], but additionally stops
+    /// (non-converged) once
+    /// more than `max_messages` deliveries have happened, checked between
+    /// rounds. Divergent configurations on networks with ≥2 neighbors per
+    /// agent re-broadcast every view change, so their per-round message
+    /// volume grows *geometrically* with the round number; a round bound
+    /// alone does not bound their memory. Convergent runs are unaffected as
+    /// long as the budget exceeds their total traffic.
+    pub fn run_synchronous_budgeted(
+        &mut self,
+        max_rounds: usize,
+        max_messages: usize,
+    ) -> SimOutcome {
         self.start();
         let mut rounds = 0;
-        while !self.quiescent() && rounds < max_rounds {
+        while !self.quiescent() && rounds < max_rounds && self.delivered <= max_messages {
             rounds += 1;
             let batch = std::mem::take(&mut self.inflight);
             for msg in batch {

@@ -105,6 +105,36 @@ pub enum Event {
         /// Total CNF clauses.
         cnf_clauses: u64,
     },
+    /// A verification job was submitted to the parallel runtime. Job ids
+    /// are assigned in submission order, so a drained trace is
+    /// deterministic for a fixed workload regardless of scheduling.
+    JobScheduled {
+        /// Runtime-assigned job id (submission order).
+        job: u64,
+        /// Human label (e.g. `"e3:cell2"`, `"portfolio:cfg1"`).
+        label: String,
+    },
+    /// A worker picked the job up and began executing it. Which worker ran
+    /// the job is a scheduling accident, so it never enters the trace —
+    /// per-worker attribution lives in the metrics registry instead
+    /// (alongside the other wall-clock-ish data).
+    JobStarted {
+        /// Runtime-assigned job id.
+        job: u64,
+    },
+    /// The job ran to completion.
+    JobFinished {
+        /// Runtime-assigned job id.
+        job: u64,
+        /// Outcome label (e.g. `"sat"`, `"unsat"`, `"ok"`).
+        outcome: String,
+    },
+    /// The job observed its cancellation token and stopped early (e.g. a
+    /// losing portfolio entrant after the winner returned).
+    JobCancelled {
+        /// Runtime-assigned job id.
+        job: u64,
+    },
     /// Periodic SAT-solver progress (forwarded from the solver's progress
     /// callback, typically every N conflicts).
     SolverProgress {
@@ -134,6 +164,10 @@ impl Event {
             Event::CheckerDone { .. } => "checker-done",
             Event::RelationEncoded { .. } => "relation-encoded",
             Event::EncodingDone { .. } => "encoding-done",
+            Event::JobScheduled { .. } => "job-scheduled",
+            Event::JobStarted { .. } => "job-started",
+            Event::JobFinished { .. } => "job-finished",
+            Event::JobCancelled { .. } => "job-cancelled",
             Event::SolverProgress { .. } => "solver-progress",
         }
     }
@@ -243,6 +277,18 @@ impl Event {
                 ("cnf_vars", cnf_vars.into()),
                 ("cnf_clauses", cnf_clauses.into()),
             ]),
+            Event::JobScheduled { job, ref label } => Json::obj([
+                ("event", kind),
+                ("job", job.into()),
+                ("label", label.as_str().into()),
+            ]),
+            Event::JobStarted { job } => Json::obj([("event", kind), ("job", job.into())]),
+            Event::JobFinished { job, ref outcome } => Json::obj([
+                ("event", kind),
+                ("job", job.into()),
+                ("outcome", outcome.as_str().into()),
+            ]),
+            Event::JobCancelled { job } => Json::obj([("event", kind), ("job", job.into())]),
             Event::SolverProgress {
                 conflicts,
                 decisions,
@@ -316,6 +362,28 @@ mod tests {
         ];
         let unique: std::collections::BTreeSet<_> = kinds.iter().collect();
         assert_eq!(unique.len(), kinds.len());
+    }
+
+    #[test]
+    fn job_events_render_stably() {
+        let scheduled = Event::JobScheduled {
+            job: 0,
+            label: "e3:cell0".into(),
+        };
+        assert_eq!(
+            scheduled.to_json_line(),
+            r#"{"event":"job-scheduled","job":0,"label":"e3:cell0"}"#
+        );
+        let finished = Event::JobFinished {
+            job: 0,
+            outcome: "unsat".into(),
+        };
+        assert_eq!(
+            finished.to_json_line(),
+            r#"{"event":"job-finished","job":0,"outcome":"unsat"}"#
+        );
+        assert_eq!(Event::JobStarted { job: 1 }.kind(), "job-started");
+        assert_eq!(Event::JobCancelled { job: 1 }.kind(), "job-cancelled");
     }
 
     #[test]

@@ -81,6 +81,8 @@ pub struct SummarySink {
     last_solver: Option<(u64, u64, u64, u64)>,
     converged: Option<bool>,
     relations: Vec<(String, u64, u64)>,
+    jobs_finished: u64,
+    jobs_cancelled: u64,
 }
 
 impl SummarySink {
@@ -119,6 +121,13 @@ impl SummarySink {
                 out,
                 "  solver: {conflicts} conflicts, {decisions} decisions, \
                  {propagations} propagations, {restarts} restarts"
+            );
+        }
+        if self.jobs_finished + self.jobs_cancelled > 0 {
+            let _ = writeln!(
+                out,
+                "  runtime jobs: {} finished, {} cancelled",
+                self.jobs_finished, self.jobs_cancelled
             );
         }
         if !self.relations.is_empty() {
@@ -172,7 +181,13 @@ impl Observer for SummarySink {
             } => {
                 self.relations.push((relation.clone(), *vars, *clauses));
             }
-            Event::EncodingDone { .. } => {}
+            Event::JobFinished { .. } => {
+                self.jobs_finished += 1;
+            }
+            Event::JobCancelled { .. } => {
+                self.jobs_cancelled += 1;
+            }
+            Event::EncodingDone { .. } | Event::JobScheduled { .. } | Event::JobStarted { .. } => {}
         }
     }
 }

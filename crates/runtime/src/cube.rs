@@ -1,0 +1,192 @@
+//! Cube-and-conquer: split a formula on its top decision variables into
+//! `2^k` assumption-guided subproblems and conquer them in parallel.
+//!
+//! The cubes partition the assignment space of the chosen split variables
+//! exhaustively, so the combined verdict is exact:
+//!
+//! * any cube SAT  ⇒  the formula is SAT (that cube's model is a model);
+//! * all cubes UNSAT  ⇒  the formula is UNSAT.
+//!
+//! A SAT cube cancels the shared token so sibling cubes stop early; for
+//! UNSAT formulas every cube runs to completion. Each cube gets a fresh
+//! solver and passes its sign assignment as *assumptions* (via
+//! [`mca_sat::Solver::solve_under_assumptions`]), not as unit clauses, so
+//! per-cube UNSAT answers are conclusions about the cube, not artifacts of
+//! clause-database mutation.
+
+use crate::pool::Runtime;
+use mca_sat::{CancelToken, CnfFormula, Lit, SolveResult, Var};
+
+/// The outcome of a cube-and-conquer run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CubeReport {
+    /// The combined verdict (exact; see module docs).
+    pub result: SolveResult,
+    /// The variables the formula was split on, most frequent first.
+    pub split_vars: Vec<Var>,
+    /// Number of cubes conquered or cancelled (`2^split_vars.len()`).
+    pub cubes: usize,
+    /// Cubes that ran to a SAT/UNSAT verdict.
+    pub decided: usize,
+    /// Cubes cancelled after a sibling reported SAT.
+    pub cancelled: usize,
+    /// Index of the first SAT cube in cube order, if any.
+    pub sat_cube: Option<usize>,
+    /// Total conflicts across all conquered cubes.
+    pub conflicts: u64,
+}
+
+/// Picks the `k` most frequently occurring variables as split candidates
+/// (ties broken toward the lower variable index, so the choice is
+/// deterministic). Frequency is a crude but encoder-agnostic proxy for
+/// "high influence": variables mentioned by many clauses split the
+/// formula into cubes that each simplify substantially.
+pub fn top_split_vars(cnf: &CnfFormula, k: usize) -> Vec<Var> {
+    let mut occurrences = vec![0u64; cnf.num_vars()];
+    for clause in cnf.clauses() {
+        for lit in clause {
+            occurrences[lit.var().index()] += 1;
+        }
+    }
+    let mut by_count: Vec<usize> = (0..cnf.num_vars()).collect();
+    by_count.sort_by_key(|&v| (std::cmp::Reverse(occurrences[v]), v));
+    by_count.into_iter().take(k).map(Var::from_index).collect()
+}
+
+/// The `2^k` sign cubes over `vars`, in binary-counter order: cube `i`
+/// assigns `vars[j]` positively iff bit `j` of `i` is set.
+pub fn sign_cubes(vars: &[Var]) -> Vec<Vec<Lit>> {
+    let n = vars.len();
+    assert!(n < usize::BITS as usize, "too many split variables");
+    (0..1usize << n)
+        .map(|i| {
+            vars.iter()
+                .enumerate()
+                .map(|(j, &v)| v.lit(i >> j & 1 == 1))
+                .collect()
+        })
+        .collect()
+}
+
+/// Splits `cnf` on its `split` most frequent variables and conquers the
+/// resulting `2^split` cubes on the runtime's workers.
+///
+/// `split == 0` degenerates to a single sequential solve (one empty cube).
+pub fn solve_cubes(rt: &Runtime, cnf: &CnfFormula, split: usize) -> CubeReport {
+    let split_vars = top_split_vars(cnf, split);
+    let cubes = sign_cubes(&split_vars);
+    let token = CancelToken::new();
+    let jobs: Vec<(String, _)> = cubes
+        .iter()
+        .enumerate()
+        .map(|(i, cube)| {
+            let cube = cube.clone();
+            let cnf = cnf.clone();
+            (
+                format!("cube:{i}/{}", cubes.len()),
+                move |token: &CancelToken| -> (Option<SolveResult>, u64) {
+                    let mut solver = cnf.to_solver();
+                    solver.set_terminate(token.clone());
+                    let verdict = solver.solve_under_assumptions(&cube);
+                    if verdict == Some(SolveResult::Sat) {
+                        token.cancel();
+                    }
+                    (verdict, solver.stats().conflicts)
+                },
+            )
+        })
+        .collect();
+    let outcomes = rt.run_batch_with_token(jobs, &token);
+    let decided = outcomes.iter().filter(|(v, _)| v.is_some()).count();
+    let sat_cube = outcomes
+        .iter()
+        .position(|(v, _)| *v == Some(SolveResult::Sat));
+    let result = if sat_cube.is_some() {
+        SolveResult::Sat
+    } else {
+        SolveResult::Unsat
+    };
+    CubeReport {
+        result,
+        cubes: outcomes.len(),
+        decided,
+        cancelled: outcomes.len() - decided,
+        sat_cube,
+        conflicts: outcomes.iter().map(|(_, c)| c).sum(),
+        split_vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_cubes_enumerate_all_assignments() {
+        let vars: Vec<Var> = (0..3).map(Var::from_index).collect();
+        let cubes = sign_cubes(&vars);
+        assert_eq!(cubes.len(), 8);
+        let distinct: std::collections::BTreeSet<Vec<i64>> = cubes
+            .iter()
+            .map(|c| c.iter().map(|l| l.to_dimacs()).collect())
+            .collect();
+        assert_eq!(distinct.len(), 8, "cubes must be pairwise distinct");
+    }
+
+    #[test]
+    fn top_split_vars_prefers_frequency_then_index() {
+        let mut cnf = CnfFormula::new();
+        let vars = cnf.new_vars(4);
+        // vars[2] in 3 clauses, vars[0] and vars[1] in 2, vars[3] in 1.
+        cnf.add_clause([vars[2].positive(), vars[0].positive()]);
+        cnf.add_clause([vars[2].negative(), vars[1].positive()]);
+        cnf.add_clause([vars[2].positive(), vars[0].negative(), vars[1].negative()]);
+        cnf.add_clause([vars[3].positive()]);
+        assert_eq!(top_split_vars(&cnf, 2), vec![vars[2], vars[0]]);
+    }
+
+    #[test]
+    fn cube_and_conquer_agrees_with_sequential_on_unsat() {
+        // x1 = x2, x2 = x3, x1 != x3 — unsatisfiable equality cycle.
+        let mut cnf = CnfFormula::new();
+        let v = cnf.new_vars(3);
+        cnf.add_clause([v[0].negative(), v[1].positive()]);
+        cnf.add_clause([v[0].positive(), v[1].negative()]);
+        cnf.add_clause([v[1].negative(), v[2].positive()]);
+        cnf.add_clause([v[1].positive(), v[2].negative()]);
+        cnf.add_clause([v[0].positive(), v[2].positive()]);
+        cnf.add_clause([v[0].negative(), v[2].negative()]);
+        let rt = Runtime::new(2);
+        let report = solve_cubes(&rt, &cnf, 2);
+        assert_eq!(report.result, SolveResult::Unsat);
+        assert_eq!(report.cubes, 4);
+        assert_eq!(report.decided, 4, "UNSAT runs conquer every cube");
+        assert_eq!(report.result, cnf.to_solver().solve());
+    }
+
+    #[test]
+    fn cube_and_conquer_agrees_with_sequential_on_sat() {
+        let mut cnf = CnfFormula::new();
+        let v = cnf.new_vars(4);
+        cnf.add_clause([v[0].positive(), v[1].positive()]);
+        cnf.add_clause([v[2].negative(), v[3].positive()]);
+        let rt = Runtime::new(2);
+        let report = solve_cubes(&rt, &cnf, 2);
+        assert_eq!(report.result, SolveResult::Sat);
+        assert!(report.sat_cube.is_some());
+        assert_eq!(report.result, cnf.to_solver().solve());
+    }
+
+    #[test]
+    fn zero_split_degenerates_to_sequential() {
+        let mut cnf = CnfFormula::new();
+        let v = cnf.new_vars(2);
+        cnf.add_clause([v[0].positive()]);
+        cnf.add_clause([v[0].negative(), v[1].positive()]);
+        let rt = Runtime::new(1);
+        let report = solve_cubes(&rt, &cnf, 0);
+        assert_eq!(report.cubes, 1);
+        assert_eq!(report.result, SolveResult::Sat);
+        assert!(report.split_vars.is_empty());
+    }
+}

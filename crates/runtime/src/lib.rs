@@ -1,0 +1,78 @@
+//! # mca-runtime — the parallel verification engine
+//!
+//! A std-only work-stealing job engine (plain `std::thread` + channels +
+//! condvars; no external dependencies) that fans the suite's verification
+//! workloads across cores. Three execution modes:
+//!
+//! * **Batch** ([`Runtime::run_batch`]) — run a list of independent jobs
+//!   (the E3 policy-matrix cells, the E4 attack checks, `mca-vnmap`
+//!   embedding searches) and return the results in submission order. With
+//!   deterministic jobs the output is bit-identical to a sequential run,
+//!   whatever the worker count.
+//! * **Portfolio** ([`solve_portfolio`]) — race diversified
+//!   [`mca_sat::SolverConfig`]s on the same CNF; the first finisher
+//!   cancels the losers through a shared [`mca_sat::CancelToken`]. The
+//!   verdict never differs from a sequential solve (complete solvers
+//!   agree); only latency and the winning configuration vary.
+//! * **Cube-and-conquer** ([`solve_cubes`]) — split a formula on its top
+//!   decision variables into `2^k` assumption-guided subproblems that
+//!   exhaustively partition the assignment space, and conquer them in
+//!   parallel: any SAT cube ⇒ SAT, all UNSAT ⇒ UNSAT.
+//!
+//! Job lifecycles are traced: every submission, start, finish, and
+//! cancellation is recorded and can be drained as `mca-obs`
+//! [`JobScheduled`](mca_obs::Event::JobScheduled) /
+//! [`JobStarted`](mca_obs::Event::JobStarted) /
+//! [`JobFinished`](mca_obs::Event::JobFinished) /
+//! [`JobCancelled`](mca_obs::Event::JobCancelled) events, sorted by job
+//! id so the trace is deterministic regardless of scheduling (see
+//! [`Runtime::drain_job_events`]). Per-worker counters are exposed via
+//! [`Runtime::worker_stats`] and [`Runtime::record_metrics`].
+//!
+//! ## Example: a portfolio race
+//!
+//! ```
+//! use mca_runtime::{diversified_configs, solve_portfolio, Runtime};
+//! use mca_sat::{CnfFormula, SolveResult};
+//!
+//! // (a ∨ b) ∧ (¬a ∨ b) — satisfiable with b = true.
+//! let mut cnf = CnfFormula::new();
+//! let a = cnf.new_var();
+//! let b = cnf.new_var();
+//! cnf.add_clause([a.positive(), b.positive()]);
+//! cnf.add_clause([a.negative(), b.positive()]);
+//!
+//! let rt = Runtime::new(2);
+//! let report = solve_portfolio(&rt, &cnf, &diversified_configs(4));
+//! assert_eq!(report.result, SolveResult::Sat);
+//! assert_eq!(report.entrants, 4);
+//! // The winner is one of the four raced configurations…
+//! assert!(report.winner < 4);
+//! // …and the verdict matches a plain sequential solve.
+//! assert_eq!(report.result, cnf.to_solver().solve());
+//!
+//! // The race leaves a job trace behind, ordered by job id.
+//! let events = rt.drain_job_events();
+//! assert!(events.iter().any(|e| e.kind() == "job-finished"));
+//! ```
+//!
+//! ## Determinism contract
+//!
+//! Parallelism must never change a verification *outcome*, only its
+//! latency. Batch results are ordered by submission index; portfolio and
+//! cube verdicts are invariant by construction; drained job traces are
+//! sorted by job id. The umbrella crate's `runtime_determinism`
+//! integration test pins E3/E4 outcome equality across thread counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod pool;
+mod portfolio;
+mod trace;
+
+pub use cube::{sign_cubes, solve_cubes, top_split_vars, CubeReport};
+pub use pool::{PortfolioWin, Runtime, WorkerCtx, WorkerStats};
+pub use portfolio::{diversified_configs, solve_portfolio, PortfolioEntry, PortfolioReport};
+pub use trace::{JobPhase, JobTraceLog};

@@ -1,0 +1,494 @@
+//! The work-stealing worker pool.
+//!
+//! A std-only job engine: `N` OS threads, one local deque per worker plus a
+//! shared overflow queue. Submitted jobs are distributed round-robin across
+//! the local deques; an idle worker pops its own deque first, then steals
+//! from its peers, then drains the overflow queue, then parks on a condvar.
+//!
+//! Every job carries a monotonically increasing id (submission order) and a
+//! human label; the pool records a [`JobPhase`] trace entry for each state
+//! transition, which [`Runtime::drain_job_events`] converts into
+//! `mca-obs` events in deterministic (job-id) order.
+
+use crate::trace::{JobPhase, JobTraceLog};
+use mca_obs::{Event, Metrics, SharedObserver};
+use mca_sat::CancelToken;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+type Job = Box<dyn FnOnce(&WorkerCtx) + Send + 'static>;
+
+/// Context handed to every executing job.
+pub struct WorkerCtx {
+    /// Index of the worker thread running the job (0-based).
+    pub worker: usize,
+    /// The job's runtime-assigned id (submission order).
+    pub job: u64,
+}
+
+/// Cumulative per-worker execution statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// Jobs this worker executed.
+    pub jobs: u64,
+    /// Jobs this worker stole from a peer's deque.
+    pub steals: u64,
+    /// Nanoseconds spent executing jobs (excludes idle time).
+    pub busy_ns: u64,
+}
+
+struct PoolState {
+    /// Claim tickets: jobs pushed but not yet picked up.
+    pending: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    signal: Condvar,
+    /// One local deque per worker; `spawn` round-robins new jobs across
+    /// them and idle workers steal from non-owned deques.
+    queues: Vec<Mutex<VecDeque<(u64, Job)>>>,
+    jobs_executed: Vec<AtomicU64>,
+    jobs_stolen: Vec<AtomicU64>,
+    busy_ns: Vec<AtomicU64>,
+    trace: JobTraceLog,
+}
+
+impl Shared {
+    /// Claims one pending-job ticket, blocking until one is available.
+    /// Returns `false` on shutdown with nothing left to run.
+    fn claim(&self) -> bool {
+        let mut state = self.state.lock().expect("pool state poisoned");
+        loop {
+            if state.pending > 0 {
+                state.pending -= 1;
+                return true;
+            }
+            if state.shutdown {
+                return false;
+            }
+            state = self.signal.wait(state).expect("pool state poisoned");
+        }
+    }
+
+    /// Finds the job backing an already-claimed ticket. Jobs are enqueued
+    /// before their ticket is published, so a claimed ticket's job is
+    /// always discoverable; the loop only spins when another worker is
+    /// between `pop` and re-publication (never, in this design).
+    fn find_job(&self, own: usize) -> (u64, Job, bool) {
+        loop {
+            if let Some(job) = self.queues[own].lock().expect("queue poisoned").pop_front() {
+                return (job.0, job.1, false);
+            }
+            for offset in 1..self.queues.len() {
+                let victim = (own + offset) % self.queues.len();
+                let stolen = self.queues[victim]
+                    .lock()
+                    .expect("queue poisoned")
+                    .pop_back();
+                if let Some(job) = stolen {
+                    return (job.0, job.1, true);
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    while shared.claim() {
+        let (id, job, stolen) = shared.find_job(index);
+        if stolen {
+            shared.jobs_stolen[index].fetch_add(1, Ordering::Relaxed);
+        }
+        shared.trace.record(id, JobPhase::Started { worker: index });
+        let start = Instant::now();
+        job(&WorkerCtx {
+            worker: index,
+            job: id,
+        });
+        shared.busy_ns[index].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.jobs_executed[index].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-size work-stealing pool of verification workers.
+///
+/// Dropping the runtime shuts the pool down after all submitted jobs have
+/// run. The high-level entry points ([`run_batch`](Runtime::run_batch),
+/// [`portfolio`](Runtime::portfolio), and the solver drivers
+/// [`crate::solve_portfolio`] / [`crate::solve_cubes`]) all block until
+/// their jobs complete, so results never outlive the runtime.
+///
+/// Jobs must not submit further work to the same runtime: all workers
+/// could then be blocked waiting on jobs that no thread is free to run.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_job: AtomicU64,
+    next_queue: AtomicUsize,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("threads", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// Creates a pool with `threads` workers. `threads == 0` selects the
+    /// machine's available parallelism.
+    pub fn new(threads: usize) -> Runtime {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                pending: 0,
+                shutdown: false,
+            }),
+            signal: Condvar::new(),
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            jobs_executed: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            jobs_stolen: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            trace: JobTraceLog::default(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("mca-runtime-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Runtime {
+            shared,
+            workers,
+            next_job: AtomicU64::new(0),
+            next_queue: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one raw job, recording its `job-scheduled` trace entry.
+    /// Returns the job id.
+    fn submit(&self, label: &str, job: Job) -> u64 {
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        self.shared.trace.record(
+            id,
+            JobPhase::Scheduled {
+                label: label.to_string(),
+            },
+        );
+        let queue = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        self.shared.queues[queue]
+            .lock()
+            .expect("queue poisoned")
+            .push_back((id, job));
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        state.pending += 1;
+        drop(state);
+        self.shared.signal.notify_one();
+        id
+    }
+
+    /// **Batch mode**: runs every job to completion and returns the results
+    /// in submission order, regardless of which workers ran what — batch
+    /// output is therefore deterministic whenever the jobs themselves are.
+    ///
+    /// Each job receives a shared [`CancelToken`] (uncancelled unless
+    /// `token` is supplied pre-armed by the caller); jobs that observe a
+    /// cancellation and return early should report it by returning their
+    /// `T` anyway — use [`portfolio`](Runtime::portfolio) for first-result
+    /// / cancel-losers semantics.
+    pub fn run_batch<T, F>(&self, jobs: Vec<(String, F)>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&CancelToken) -> T + Send + 'static,
+    {
+        self.run_batch_with_token(jobs, &CancelToken::new())
+    }
+
+    /// [`run_batch`](Runtime::run_batch) with a caller-provided token, so a
+    /// batch can be cancelled from outside (or a job can cancel its
+    /// siblings, as cube-and-conquer does on a SAT cube). Every closure
+    /// runs and returns its `T` — cancellation is cooperative, so a job
+    /// that finds the token cancelled should return a cheap sentinel value.
+    /// Jobs that start under an already-cancelled token are recorded as
+    /// `job-cancelled`; all others as `job-finished` with outcome `"ok"`.
+    pub fn run_batch_with_token<T, F>(&self, jobs: Vec<(String, F)>, token: &CancelToken) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&CancelToken) -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        for (index, (label, f)) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            let token = token.clone();
+            let trace = self.shared.trace.clone();
+            self.submit(
+                &label,
+                Box::new(move |ctx| {
+                    let cancelled_at_start = token.is_cancelled();
+                    let value = f(&token);
+                    let phase = if cancelled_at_start {
+                        JobPhase::Cancelled { worker: ctx.worker }
+                    } else {
+                        JobPhase::Finished {
+                            worker: ctx.worker,
+                            outcome: "ok".to_string(),
+                        }
+                    };
+                    trace.record(ctx.job, phase);
+                    let _ = tx.send((index, value));
+                }),
+            );
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (index, value) in rx {
+            slots[index] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every batch job reports exactly once"))
+            .collect()
+    }
+
+    /// **Portfolio mode**: races the entrants on the same problem and
+    /// returns the first non-`None` result, cancelling the shared token so
+    /// the losers stop early. Entrants that observe the cancellation return
+    /// `None` and are recorded as `job-cancelled`.
+    ///
+    /// Returns `None` only if every entrant returned `None` (e.g. a
+    /// pre-cancelled token).
+    pub fn portfolio<T, F>(&self, entrants: Vec<(String, F)>) -> Option<PortfolioWin<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce(&CancelToken) -> Option<T> + Send + 'static,
+    {
+        let token = CancelToken::new();
+        self.portfolio_with_token(entrants, &token)
+    }
+
+    /// [`portfolio`](Runtime::portfolio) with a caller-provided token.
+    pub fn portfolio_with_token<T, F>(
+        &self,
+        entrants: Vec<(String, F)>,
+        token: &CancelToken,
+    ) -> Option<PortfolioWin<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce(&CancelToken) -> Option<T> + Send + 'static,
+    {
+        let n = entrants.len();
+        // usize::MAX = no winner yet; compare_exchange elects exactly one.
+        let winner = Arc::new(AtomicUsize::new(usize::MAX));
+        let (tx, rx) = mpsc::channel::<(usize, String, Option<T>)>();
+        for (index, (label, f)) in entrants.into_iter().enumerate() {
+            let tx = tx.clone();
+            let token = token.clone();
+            let winner = winner.clone();
+            let trace = self.shared.trace.clone();
+            let job_label = label.clone();
+            self.submit(
+                &job_label,
+                Box::new(move |ctx| {
+                    let value = if token.is_cancelled() {
+                        None
+                    } else {
+                        f(&token)
+                    };
+                    let phase = match &value {
+                        Some(_)
+                            if winner
+                                .compare_exchange(
+                                    usize::MAX,
+                                    index,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                )
+                                .is_ok() =>
+                        {
+                            token.cancel();
+                            JobPhase::Finished {
+                                worker: ctx.worker,
+                                outcome: "won".to_string(),
+                            }
+                        }
+                        Some(_) => JobPhase::Finished {
+                            worker: ctx.worker,
+                            outcome: "lost".to_string(),
+                        },
+                        None => JobPhase::Cancelled { worker: ctx.worker },
+                    };
+                    trace.record(ctx.job, phase);
+                    let _ = tx.send((index, label, value));
+                }),
+            );
+        }
+        drop(tx);
+        let mut results: Vec<Option<(String, T)>> = (0..n).map(|_| None).collect();
+        for (index, label, value) in rx {
+            if let Some(v) = value {
+                results[index] = Some((label, v));
+            }
+        }
+        let winner = winner.load(Ordering::Acquire);
+        let (label, result) = results.into_iter().nth(winner.min(n)).flatten()?;
+        Some(PortfolioWin {
+            winner,
+            label,
+            result,
+        })
+    }
+
+    /// Drains the recorded job trace as `mca-obs` events, sorted by
+    /// (job id, phase) so the output is deterministic for a fixed workload
+    /// regardless of how the scheduler interleaved the jobs.
+    pub fn drain_job_events(&self) -> Vec<Event> {
+        self.shared.trace.drain_events()
+    }
+
+    /// Drains the job trace into an observer (see
+    /// [`drain_job_events`](Runtime::drain_job_events)).
+    pub fn emit_job_events(&self, observer: &SharedObserver) {
+        for event in self.drain_job_events() {
+            observer.emit(&event);
+        }
+    }
+
+    /// Per-worker execution statistics, indexed by worker.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        (0..self.threads())
+            .map(|i| WorkerStats {
+                jobs: self.shared.jobs_executed[i].load(Ordering::Relaxed),
+                steals: self.shared.jobs_stolen[i].load(Ordering::Relaxed),
+                busy_ns: self.shared.busy_ns[i].load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Records per-worker gauges and busy timers into a metrics registry
+    /// under `prefix` (e.g. `runtime.w0.jobs`, `runtime.w1.busy`).
+    pub fn record_metrics(&self, metrics: &mut Metrics, prefix: &str) {
+        metrics.set_gauge(&format!("{prefix}.threads"), self.threads() as i64);
+        for (i, w) in self.worker_stats().iter().enumerate() {
+            metrics.set_gauge(&format!("{prefix}.w{i}.jobs"), w.jobs as i64);
+            metrics.set_gauge(&format!("{prefix}.w{i}.steals"), w.steals as i64);
+            metrics.add_timer_ns(&format!("{prefix}.w{i}.busy"), w.busy_ns);
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            state.shutdown = true;
+        }
+        self.shared.signal.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The winning entrant of a [`Runtime::portfolio`] race.
+#[derive(Clone, Debug)]
+pub struct PortfolioWin<T> {
+    /// Index of the winning entrant in submission order.
+    pub winner: usize,
+    /// The winning entrant's label.
+    pub label: String,
+    /// The winner's result.
+    pub result: T,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_returns_results_in_submission_order() {
+        let rt = Runtime::new(4);
+        let jobs: Vec<(String, _)> = (0..32)
+            .map(|i| (format!("square:{i}"), move |_: &CancelToken| i * i))
+            .collect();
+        let results = rt.run_batch(jobs);
+        assert_eq!(results, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn portfolio_elects_exactly_one_winner_and_cancels_losers() {
+        let rt = Runtime::new(3);
+        let entrants: Vec<(String, _)> = (0..6)
+            .map(|i| {
+                (format!("entrant:{i}"), move |token: &CancelToken| {
+                    if token.is_cancelled() {
+                        None
+                    } else {
+                        Some(i)
+                    }
+                })
+            })
+            .collect();
+        let win = rt.portfolio(entrants).expect("some entrant finishes");
+        assert!(win.winner < 6);
+        assert_eq!(win.label, format!("entrant:{}", win.winner));
+        let events = rt.drain_job_events();
+        let won = events
+            .iter()
+            .filter(|e| matches!(e, Event::JobFinished { outcome, .. } if outcome == "won"))
+            .count();
+        assert_eq!(won, 1, "exactly one winner in {events:?}");
+    }
+
+    #[test]
+    fn pre_cancelled_portfolio_returns_none() {
+        let rt = Runtime::new(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let entrants: Vec<(String, _)> = (0..4)
+            .map(|i| {
+                (format!("e:{i}"), move |t: &CancelToken| {
+                    (!t.is_cancelled()).then_some(i)
+                })
+            })
+            .collect();
+        assert!(rt.portfolio_with_token(entrants, &token).is_none());
+    }
+
+    #[test]
+    fn worker_stats_cover_all_executed_jobs() {
+        let rt = Runtime::new(2);
+        let jobs: Vec<(String, _)> = (0..10)
+            .map(|i| (format!("j{i}"), move |_: &CancelToken| i))
+            .collect();
+        rt.run_batch(jobs);
+        let total: u64 = rt.worker_stats().iter().map(|w| w.jobs).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn zero_threads_selects_available_parallelism() {
+        let rt = Runtime::new(0);
+        assert!(rt.threads() >= 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Portfolio SAT solving: race diversified solver configurations on the
+//! same CNF, cancel the losers as soon as any entrant finishes.
+//!
+//! Because every entrant solves the *same* formula with a *complete*
+//! solver, all entrants agree on the SAT/UNSAT verdict — the portfolio
+//! only changes *which* entrant reports it first (and, for SAT, which
+//! model is reported). [`solve_portfolio`] therefore never differs from a
+//! sequential [`mca_sat::Solver`] run in its verdict, a property pinned by
+//! the `runtime_determinism` integration test.
+
+use crate::pool::Runtime;
+use mca_sat::{CancelToken, CnfFormula, SolveResult, SolverConfig, SolverStats};
+
+/// One portfolio entrant: a label plus the solver configuration it runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortfolioEntry {
+    /// Human label (appears in job traces and reports).
+    pub label: String,
+    /// The configuration this entrant solves with.
+    pub config: SolverConfig,
+}
+
+/// The outcome of a portfolio race.
+#[derive(Clone, Debug)]
+pub struct PortfolioReport {
+    /// The verdict (identical across entrants; see module docs).
+    pub result: SolveResult,
+    /// Index of the winning entrant.
+    pub winner: usize,
+    /// Label of the winning entrant.
+    pub winner_label: String,
+    /// The winning solver's statistics.
+    pub winner_stats: SolverStats,
+    /// Total entrants raced.
+    pub entrants: usize,
+    /// Entrants that observed the cancellation and stopped early.
+    pub cancelled: usize,
+}
+
+/// A deterministic family of `n` diversified solver configurations.
+///
+/// Entrant 0 is always the default configuration (so a 1-entrant
+/// portfolio is exactly a sequential solve); later entrants vary restart
+/// cadence, activity decay, phase policy, and learnt-database handling.
+/// The family is a pure function of `n` — no randomness — so portfolio
+/// composition is reproducible.
+pub fn diversified_configs(n: usize) -> Vec<PortfolioEntry> {
+    let base = SolverConfig::default();
+    let variants: [(&str, SolverConfig); 8] = [
+        ("default", base),
+        (
+            "fast-restarts",
+            SolverConfig {
+                restart_base: 32,
+                ..base
+            },
+        ),
+        (
+            "pos-polarity",
+            SolverConfig {
+                phase_saving: false,
+                default_polarity: true,
+                ..base
+            },
+        ),
+        (
+            "slow-decay",
+            SolverConfig {
+                var_decay: 0.99,
+                ..base
+            },
+        ),
+        (
+            "neg-polarity",
+            SolverConfig {
+                phase_saving: false,
+                default_polarity: false,
+                ..base
+            },
+        ),
+        (
+            "keep-learnts",
+            SolverConfig {
+                reduce_db: false,
+                ..base
+            },
+        ),
+        (
+            "agile",
+            SolverConfig {
+                restart_base: 16,
+                var_decay: 0.85,
+                ..base
+            },
+        ),
+        (
+            "stable",
+            SolverConfig {
+                restart_base: 512,
+                clause_decay: 0.99,
+                ..base
+            },
+        ),
+    ];
+    (0..n)
+        .map(|i| {
+            let (name, config) = variants[i % variants.len()];
+            let label = if i < variants.len() {
+                format!("cfg{i}:{name}")
+            } else {
+                // Past the base family, stretch the restart cadence so
+                // repeated variants still differ.
+                format!("cfg{i}:{name}-r{}", i / variants.len())
+            };
+            let config = if i < variants.len() {
+                config
+            } else {
+                SolverConfig {
+                    restart_base: config.restart_base * (1 + (i / variants.len()) as u64),
+                    ..config
+                }
+            };
+            PortfolioEntry { label, config }
+        })
+        .collect()
+}
+
+/// Races `entries` on `cnf` across the runtime's workers and returns the
+/// first finisher's verdict.
+///
+/// Each entrant loads a fresh [`mca_sat::Solver`] with its configuration,
+/// installs the shared [`CancelToken`], and solves via the cancellable
+/// path. The first entrant to finish cancels the token; losers abort at
+/// their next conflict or decision and are recorded as `job-cancelled` in
+/// the runtime's trace.
+///
+/// # Panics
+///
+/// Panics if `entries` is empty.
+pub fn solve_portfolio(
+    rt: &Runtime,
+    cnf: &CnfFormula,
+    entries: &[PortfolioEntry],
+) -> PortfolioReport {
+    assert!(!entries.is_empty(), "portfolio needs at least one entrant");
+    let entrants = entries.len();
+    let jobs: Vec<(String, _)> = entries
+        .iter()
+        .map(|entry| {
+            let label = entry.label.clone();
+            let config = entry.config;
+            let cnf = cnf.clone();
+            (
+                format!("portfolio:{label}"),
+                move |token: &CancelToken| -> Option<(SolveResult, SolverStats)> {
+                    let mut solver = mca_sat::Solver::with_config(config);
+                    solver.new_vars(cnf.num_vars());
+                    for clause in cnf.clauses() {
+                        solver.add_clause(clause.iter().copied());
+                    }
+                    solver.set_terminate(token.clone());
+                    solver
+                        .solve_under_assumptions(&[])
+                        .map(|result| (result, *solver.stats()))
+                },
+            )
+        })
+        .collect();
+    let win = rt
+        .portfolio(jobs)
+        .expect("a complete solver always finishes unless pre-cancelled");
+    let (result, winner_stats) = win.result;
+    PortfolioReport {
+        result,
+        winner: win.winner,
+        winner_label: entries[win.winner].label.clone(),
+        winner_stats,
+        entrants,
+        cancelled: entrants.saturating_sub(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::needless_range_loop)]
+    fn pigeonhole(holes: usize) -> CnfFormula {
+        // holes+1 pigeons into `holes` holes: classic small UNSAT family.
+        let pigeons = holes + 1;
+        let mut cnf = CnfFormula::new();
+        let vars: Vec<Vec<mca_sat::Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| cnf.new_var()).collect())
+            .collect();
+        for p in &vars {
+            cnf.add_clause(p.iter().map(|v| v.lit(true)));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    cnf.add_clause([vars[p1][h].lit(false), vars[p2][h].lit(false)]);
+                }
+            }
+        }
+        cnf
+    }
+
+    #[test]
+    fn diversified_configs_start_with_default_and_never_repeat_labels() {
+        let entries = diversified_configs(12);
+        assert_eq!(entries[0].config, SolverConfig::default());
+        let labels: std::collections::BTreeSet<_> =
+            entries.iter().map(|e| e.label.clone()).collect();
+        assert_eq!(labels.len(), 12, "labels must be unique: {labels:?}");
+        // Pure function of n: same call, same family.
+        assert_eq!(entries, diversified_configs(12));
+    }
+
+    #[test]
+    fn portfolio_verdict_matches_sequential_on_unsat() {
+        let cnf = pigeonhole(4);
+        let sequential = cnf.to_solver().solve();
+        let rt = Runtime::new(2);
+        let report = solve_portfolio(&rt, &cnf, &diversified_configs(4));
+        assert_eq!(report.result, sequential);
+        assert_eq!(report.result, SolveResult::Unsat);
+        assert_eq!(report.entrants, 4);
+    }
+
+    #[test]
+    fn portfolio_verdict_matches_sequential_on_sat() {
+        let mut cnf = CnfFormula::new();
+        let vars = cnf.new_vars(6);
+        cnf.add_clause([vars[0].lit(true), vars[1].lit(true)]);
+        cnf.add_clause([vars[2].lit(false), vars[3].lit(true)]);
+        cnf.add_clause([vars[4].lit(true), vars[5].lit(false)]);
+        let sequential = cnf.to_solver().solve();
+        let rt = Runtime::new(2);
+        let report = solve_portfolio(&rt, &cnf, &diversified_configs(3));
+        assert_eq!(report.result, sequential);
+        assert_eq!(report.result, SolveResult::Sat);
+        assert_eq!(
+            report.winner_label,
+            diversified_configs(3)[report.winner].label
+        );
+    }
+}

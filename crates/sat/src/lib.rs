@@ -15,6 +15,11 @@
 //! * VSIDS decision heuristic with phase saving.
 //! * Luby restarts ([`luby`]) and activity/LBD-based learnt-clause deletion.
 //! * Incremental solving under assumptions with failed-assumption extraction.
+//! * Cooperative cross-thread cancellation: share a [`CancelToken`] via
+//!   [`Solver::set_terminate`] and drive the search with
+//!   [`Solver::solve_under_assumptions`] — the loop checks the token at
+//!   every decision and conflict. This is what the `mca-runtime` portfolio
+//!   and cube-and-conquer engines use to cancel losing solver instances.
 //! * Model enumeration over a projection set
 //!   ([`Solver::enumerate_models`]) — this is what powers Alloy-style `run`
 //!   instance enumeration upstream.
@@ -58,5 +63,6 @@ pub use luby::{luby, LubyRestarts};
 pub use proof::{check_drat, DratError, Proof, ProofStep};
 pub use simplify::{simplify, SimplifyStats};
 pub use solver::{
-    Model, ProgressCallback, ProgressFn, SolveResult, Solver, SolverConfig, SolverStats,
+    CancelToken, Model, ProgressCallback, ProgressFn, SolveResult, Solver, SolverConfig,
+    SolverStats,
 };

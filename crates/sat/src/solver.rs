@@ -9,6 +9,43 @@ use crate::clause::{ClauseDb, ClauseRef};
 use crate::lit::{LBool, Lit, Var};
 use crate::luby::luby;
 use crate::proof::Proof;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shareable, thread-safe cancellation flag for cooperative solver
+/// interruption.
+///
+/// Clones share one underlying flag. Hand a clone to
+/// [`Solver::set_terminate`] and call [`cancel`](CancelToken::cancel) from
+/// any thread; the search loop of
+/// [`solve_under_assumptions`](Solver::solve_under_assumptions) checks the
+/// flag at every decision and conflict and returns `None` once it is set.
+/// The solver is left in a consistent state and can be solved again.
+///
+/// The plain [`solve`](Solver::solve) /
+/// [`solve_with_assumptions`](Solver::solve_with_assumptions) entry points
+/// ignore the token, so existing callers keep run-to-completion semantics.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Sets the flag. All clones observe the cancellation.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once any clone has called [`cancel`](CancelToken::cancel).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -77,6 +114,10 @@ pub struct SolverConfig {
     pub phase_saving: bool,
     /// Periodically delete low-activity learnt clauses.
     pub reduce_db: bool,
+    /// Branch polarity when phase saving is off (or a variable has no
+    /// saved phase yet). `false` matches MiniSat's sign-negative default;
+    /// portfolio solving flips it to diversify entrants.
+    pub default_polarity: bool,
 }
 
 impl Default for SolverConfig {
@@ -87,6 +128,7 @@ impl Default for SolverConfig {
             restart_base: 100,
             phase_saving: true,
             reduce_db: true,
+            default_polarity: false,
         }
     }
 }
@@ -102,6 +144,10 @@ pub struct SolverStats {
     pub conflicts: u64,
     /// Restarts performed.
     pub restarts: u64,
+    /// Conflicts that occurred while one or more assumption levels were on
+    /// the trail (i.e. at a decision level within the assumption prefix).
+    /// Always 0 for assumption-free solves.
+    pub assumption_conflicts: u64,
     /// Learnt clauses deleted by database reduction.
     pub deleted_clauses: u64,
     /// Learnt-clause database reduction passes.
@@ -197,6 +243,9 @@ pub struct Solver {
     proof: Option<Proof>,
     /// Periodic progress hook, when installed.
     progress: Option<ProgressCallback>,
+    /// Cooperative cancellation flag, honoured by
+    /// [`solve_under_assumptions`](Solver::solve_under_assumptions).
+    terminate: Option<CancelToken>,
     config: SolverConfig,
 }
 
@@ -251,8 +300,22 @@ impl Solver {
             lbd_stamp: 0,
             proof: None,
             progress: None,
+            terminate: None,
             config,
         }
+    }
+
+    /// Installs a cancellation token. Only
+    /// [`solve_under_assumptions`](Solver::solve_under_assumptions) checks
+    /// it; `solve` / `solve_with_assumptions` keep run-to-completion
+    /// semantics regardless.
+    pub fn set_terminate(&mut self, token: CancelToken) {
+        self.terminate = Some(token);
+    }
+
+    /// Removes the cancellation token, if any.
+    pub fn clear_terminate(&mut self) {
+        self.terminate = None;
     }
 
     /// Installs a progress hook invoked every `every` conflicts with the
@@ -774,16 +837,37 @@ impl Solver {
     /// assumptions responsible is available via
     /// [`failed_assumptions`](Solver::failed_assumptions).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_internal(assumptions, false)
+            .expect("uncancellable solve ran to completion")
+    }
+
+    /// Solves under the given assumption literals, honouring the
+    /// [`CancelToken`] installed with [`set_terminate`](Solver::set_terminate).
+    ///
+    /// Returns `None` if the token was cancelled before a verdict was
+    /// reached; the solver remains consistent and reusable. With no token
+    /// installed this is equivalent to
+    /// [`solve_with_assumptions`](Solver::solve_with_assumptions).
+    ///
+    /// This is the entry point the `mca-runtime` portfolio and
+    /// cube-and-conquer modes drive: the token is shared between racing
+    /// solver instances (or cube subproblems) and the first finisher
+    /// cancels the rest.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> Option<SolveResult> {
+        self.solve_internal(assumptions, true)
+    }
+
+    fn solve_internal(&mut self, assumptions: &[Lit], respect_cancel: bool) -> Option<SolveResult> {
         self.stats.solves += 1;
         self.conflict_assumptions.clear();
         if self.unsat {
-            return SolveResult::Unsat;
+            return Some(SolveResult::Unsat);
         }
         self.backtrack_to(0);
         if self.propagate().is_some() {
             self.log_add(&[]);
             self.unsat = true;
-            return SolveResult::Unsat;
+            return Some(SolveResult::Unsat);
         }
 
         let mut restart_index = 0u64;
@@ -791,13 +875,19 @@ impl Solver {
         let mut max_learnts = (self.db.num_problem() as f64 * 0.5).max(100.0);
 
         loop {
-            match self.search(assumptions, &mut conflicts_until_restart, max_learnts) {
-                SearchOutcome::Sat => {
-                    let result = SolveResult::Sat;
-                    return result;
-                }
-                SearchOutcome::Unsat => {
-                    return SolveResult::Unsat;
+            match self.search(
+                assumptions,
+                &mut conflicts_until_restart,
+                max_learnts,
+                respect_cancel,
+            ) {
+                SearchOutcome::Sat => return Some(SolveResult::Sat),
+                SearchOutcome::Unsat => return Some(SolveResult::Unsat),
+                SearchOutcome::Cancelled => {
+                    // Leave the solver reusable: unwind to the root level so
+                    // a later solve starts from a clean trail.
+                    self.backtrack_to(0);
+                    return None;
                 }
                 SearchOutcome::Restart => {
                     self.stats.restarts += 1;
@@ -810,10 +900,32 @@ impl Solver {
         }
     }
 
-    fn search(&mut self, assumptions: &[Lit], budget: &mut u64, max_learnts: f64) -> SearchOutcome {
+    #[inline]
+    fn cancelled(&self, respect_cancel: bool) -> bool {
+        respect_cancel
+            && self
+                .terminate
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &mut u64,
+        max_learnts: f64,
+        respect_cancel: bool,
+    ) -> SearchOutcome {
         loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
+                if self.decision_level() > 0 && self.decision_level() as usize <= assumptions.len()
+                {
+                    self.stats.assumption_conflicts += 1;
+                }
+                if self.cancelled(respect_cancel) {
+                    return SearchOutcome::Cancelled;
+                }
                 if let Some(p) = &mut self.progress {
                     if self.stats.conflicts >= p.next_at {
                         p.next_at = self.stats.conflicts + p.every;
@@ -874,11 +986,18 @@ impl Solver {
                         }
                     }
                 }
+                if self.cancelled(respect_cancel) {
+                    return SearchOutcome::Cancelled;
+                }
                 match self.pick_branch_var() {
                     None => return SearchOutcome::Sat,
                     Some(v) => {
                         self.stats.decisions += 1;
-                        let phase = self.config.phase_saving && self.phase[v.index()];
+                        let phase = if self.config.phase_saving {
+                            self.phase[v.index()]
+                        } else {
+                            self.config.default_polarity
+                        };
                         self.trail_lim.push(self.trail.len());
                         self.unchecked_enqueue(v.lit(phase), None);
                     }
@@ -949,6 +1068,7 @@ enum SearchOutcome {
     Sat,
     Unsat,
     Restart,
+    Cancelled,
 }
 
 #[cfg(test)]
@@ -1196,6 +1316,76 @@ mod tests {
         let m = s.model().unwrap();
         assert_ne!(m.value(Var::from_index(0)), m.value(Var::from_index(1)));
         assert_eq!(m.value(Var::from_index(0)), m.value(Var::from_index(2)));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn cancelled_token_aborts_solve_and_leaves_solver_reusable() {
+        // Pigeonhole 6-into-5 needs real search; a pre-cancelled token must
+        // abort it before any verdict.
+        let n = 6usize;
+        let m = 5usize;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..m).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        let token = CancelToken::new();
+        s.set_terminate(token.clone());
+        token.cancel();
+        assert_eq!(s.solve_under_assumptions(&[]), None);
+        // Un-cancelled solving afterwards reaches the real verdict.
+        s.clear_terminate();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn no_token_means_solve_under_assumptions_matches_plain_solve() {
+        let mut s = Solver::new();
+        add(&mut s, &[1, 2]);
+        add(&mut s, &[-1, 2]);
+        assert_eq!(s.solve_under_assumptions(&[]), Some(SolveResult::Sat));
+        let b = Lit::from_dimacs(2).unwrap();
+        assert_eq!(s.solve_under_assumptions(&[!b]), Some(SolveResult::Unsat));
+        assert!(!s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn assumption_conflicts_are_counted() {
+        // Assuming x1 propagates both x2 and ¬x2: the conflict occurs while
+        // the assumption level is on the trail.
+        let mut s = Solver::new();
+        add(&mut s, &[-1, 2]);
+        add(&mut s, &[-1, -2]);
+        let a = Lit::from_dimacs(1).unwrap();
+        assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Unsat);
+        assert!(
+            s.stats().assumption_conflicts > 0,
+            "conflict under assumptions must be counted: {:?}",
+            s.stats()
+        );
+        // An assumption-free solve adds none.
+        let before = s.stats().assumption_conflicts;
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().assumption_conflicts, before);
     }
 
     #[test]

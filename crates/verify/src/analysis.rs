@@ -166,7 +166,7 @@ pub fn run_policy_matrix_observed(observer: Option<SharedObserver>) -> Vec<Polic
         .collect()
 }
 
-fn verdict_detail(v: &Verdict) -> String {
+pub(crate) fn verdict_detail(v: &Verdict) -> String {
     match v {
         Verdict::Converges {
             states_explored,

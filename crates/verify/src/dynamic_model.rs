@@ -606,6 +606,23 @@ impl DynamicModel {
         self.model.check(&self.consensus_assertion())
     }
 
+    /// The raw CNF of facts ∧ ¬consensus — exactly the formula
+    /// [`check_consensus`](Self::check_consensus) solves. The parallel
+    /// solver drivers (portfolio and cube-and-conquer in `mca-runtime`)
+    /// consume this directly: the consensus assertion is **valid** iff
+    /// this CNF is UNSAT.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation errors.
+    pub fn consensus_cnf(&self) -> Result<mca_sat::CnfFormula, TranslateError> {
+        Ok(self
+            .model
+            .to_problem()
+            .translate(&self.consensus_assertion().not())?
+            .cnf)
+    }
+
     /// `check consensus` with a certified verdict: when the assertion is
     /// valid, the UNSAT answer carries a DRAT proof verified by an
     /// independent unit-propagation checker.

@@ -45,6 +45,7 @@
 pub mod analysis;
 mod dynamic_model;
 mod encoding;
+pub mod parallel;
 mod static_model;
 
 pub use dynamic_model::{DynamicModel, DynamicScenario};

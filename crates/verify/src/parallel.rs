@@ -1,0 +1,304 @@
+//! Parallel experiment drivers: the sequential analyses of
+//! [`crate::analysis`] fanned across an [`mca_runtime::Runtime`].
+//!
+//! Every driver here is **outcome-equivalent** to its sequential twin:
+//! batch results come back in submission order, portfolio and cube solves
+//! are verdict-invariant by construction, and each job builds its own
+//! simulator/model from `Copy`/`Clone` scenario data (closures must be
+//! `Send`; simulators and observers are not). Only the wall-clock column
+//! and — for portfolio — the *winning configuration* may differ between a
+//! 1-thread and an N-thread run. The `runtime_determinism` integration
+//! test pins this.
+
+use crate::analysis::{verdict_detail, AttackReport, PolicyMatrixRow};
+use crate::dynamic_model::{DynamicModel, DynamicScenario};
+use crate::encoding::NumberEncoding;
+use mca_core::checker::{check_consensus, CheckerOptions};
+use mca_core::scenarios::{self, ExtendedPolicyCell, PolicyCell};
+use mca_runtime::{
+    solve_cubes, solve_portfolio, CubeReport, PortfolioEntry, PortfolioReport, Runtime,
+};
+use mca_sat::SolveResult;
+use std::fmt;
+use std::time::Instant;
+
+/// E3 in parallel: the four Result-1 policy cells checked concurrently.
+/// Row order, verdicts, and details are identical to
+/// [`crate::analysis::run_policy_matrix`]; only `secs` differs.
+pub fn run_policy_matrix_parallel(rt: &Runtime) -> Vec<PolicyMatrixRow> {
+    let jobs: Vec<(String, _)> = PolicyCell::grid()
+        .into_iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            (format!("e3:cell{i}"), move |_: &mca_sat::CancelToken| {
+                let start = Instant::now();
+                let verdict = check_consensus(scenarios::fig2(cell), CheckerOptions::default());
+                PolicyMatrixRow {
+                    cell,
+                    paper_converges: cell.paper_says_converges(),
+                    checker_converges: verdict.converges(),
+                    detail: verdict_detail(&verdict),
+                    secs: start.elapsed().as_secs_f64(),
+                }
+            })
+        })
+        .collect();
+    rt.run_batch(jobs)
+}
+
+/// One row of the extended 16-cell policy matrix (see
+/// [`ExtendedPolicyCell`]): the Result-1 grid crossed with Remark-1
+/// compliance and network topology.
+#[derive(Clone, Debug)]
+pub struct ExtendedMatrixRow {
+    /// The policy/topology combination.
+    pub cell: ExtendedPolicyCell,
+    /// The prediction extrapolated from Results 1–2.
+    pub paper_converges: bool,
+    /// Whether the bounded synchronous run quiesced in consensus.
+    pub sim_converges: bool,
+    /// Synchronous rounds used (or where the round/message budget stopped
+    /// a non-quiescing run).
+    pub rounds: usize,
+    /// Wall-clock seconds for the cell.
+    pub secs: f64,
+}
+
+impl ExtendedMatrixRow {
+    /// `true` if the simulation verdict matches the prediction.
+    pub fn matches_paper(&self) -> bool {
+        self.paper_converges == self.sim_converges
+    }
+}
+
+impl fmt::Display for ExtendedMatrixRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "  {:<24} predicted: {:<12} simulated: {:<12} rounds={:<3} [{:.3}s] {}",
+            self.cell.label(),
+            if self.paper_converges {
+                "consensus"
+            } else {
+                "no-consensus"
+            },
+            if self.sim_converges {
+                "consensus"
+            } else {
+                "no-consensus"
+            },
+            self.rounds,
+            self.secs,
+            if self.matches_paper() { "✓" } else { "✗" },
+        )
+    }
+}
+
+/// The extended policy matrix: all sixteen [`ExtendedPolicyCell`]s
+/// simulated under a bounded synchronous schedule, fanned across the
+/// runtime's workers. Rows come back in grid order.
+pub fn run_extended_policy_matrix(rt: &Runtime) -> Vec<ExtendedMatrixRow> {
+    let jobs: Vec<(String, _)> = ExtendedPolicyCell::grid()
+        .into_iter()
+        .map(|cell| {
+            (
+                format!("e3x:{}", cell.label()),
+                move |_: &mca_sat::CancelToken| {
+                    let start = Instant::now();
+                    // Budgeted: divergent cells re-broadcast every view
+                    // change, so their synchronous message volume grows
+                    // geometrically with the round number.
+                    let out = scenarios::extended(cell).run_synchronous_budgeted(64, 20_000);
+                    ExtendedMatrixRow {
+                        cell,
+                        paper_converges: cell.paper_says_converges(),
+                        sim_converges: out.converged,
+                        rounds: out.rounds,
+                        secs: start.elapsed().as_secs_f64(),
+                    }
+                },
+            )
+        })
+        .collect();
+    rt.run_batch(jobs)
+}
+
+/// The pieces of E4, computed as independent jobs.
+enum AttackPiece {
+    Explicit { converges: bool, detail: String },
+    Sat { valid: bool },
+}
+
+/// E4 in parallel: the explicit-state check and the three SAT checks of
+/// [`crate::analysis::run_rebid_attack`] run as four concurrent jobs.
+/// The report is field-for-field identical to the sequential driver's.
+pub fn run_rebid_attack_parallel(rt: &Runtime) -> AttackReport {
+    type PieceJob = Box<dyn FnOnce(&mca_sat::CancelToken) -> AttackPiece + Send>;
+    let sat_piece = |encoding: NumberEncoding, scenario: DynamicScenario| -> PieceJob {
+        Box::new(move |_| AttackPiece::Sat {
+            valid: DynamicModel::build(encoding, scenario)
+                .check_consensus()
+                .expect("well-formed model")
+                .result
+                .is_valid(),
+        })
+    };
+    let jobs: Vec<(String, PieceJob)> = vec![
+        (
+            "e4:explicit".into(),
+            Box::new(|_| {
+                let verdict =
+                    check_consensus(scenarios::rebid_attack(2, 2), CheckerOptions::default());
+                AttackPiece::Explicit {
+                    converges: verdict.converges(),
+                    detail: verdict_detail(&verdict),
+                }
+            }),
+        ),
+        (
+            "e4:sat-naive".into(),
+            sat_piece(
+                NumberEncoding::NaiveInt,
+                DynamicScenario::two_agent_rebid_attack(),
+            ),
+        ),
+        (
+            "e4:sat-optimized".into(),
+            sat_piece(
+                NumberEncoding::OptimizedValue,
+                DynamicScenario::two_agent_rebid_attack(),
+            ),
+        ),
+        (
+            "e4:sat-compliant".into(),
+            sat_piece(
+                NumberEncoding::OptimizedValue,
+                DynamicScenario::two_agent_compliant(),
+            ),
+        ),
+    ];
+    let jobs: Vec<(String, _)> = jobs
+        .into_iter()
+        .map(|(label, job)| (label, move |token: &mca_sat::CancelToken| job(token)))
+        .collect();
+    let mut pieces = rt.run_batch(jobs).into_iter();
+    let AttackPiece::Explicit { converges, detail } =
+        pieces.next().expect("explicit piece present")
+    else {
+        unreachable!("job 0 is the explicit check")
+    };
+    let mut sat = pieces.map(|p| match p {
+        AttackPiece::Sat { valid } => valid,
+        AttackPiece::Explicit { .. } => unreachable!("jobs 1-3 are SAT checks"),
+    });
+    AttackReport {
+        explicit_converges: converges,
+        explicit_detail: detail,
+        sat_naive_valid: sat.next().expect("naive piece"),
+        sat_optimized_valid: sat.next().expect("optimized piece"),
+        sat_compliant_valid: sat.next().expect("compliant piece"),
+    }
+}
+
+/// The consensus assertion checked by a portfolio of diversified solver
+/// configurations racing on the model's `facts ∧ ¬consensus` CNF.
+/// Returns the validity verdict (valid ⇔ the CNF is UNSAT — never differs
+/// from [`DynamicModel::check_consensus`]) plus the race report.
+pub fn check_consensus_portfolio(
+    rt: &Runtime,
+    model: &DynamicModel,
+    entrants: &[PortfolioEntry],
+) -> (bool, PortfolioReport) {
+    let cnf = model.consensus_cnf().expect("well-formed model");
+    let report = solve_portfolio(rt, &cnf, entrants);
+    (report.result == SolveResult::Unsat, report)
+}
+
+/// The consensus assertion checked by cube-and-conquer: the CNF is split
+/// on its `split` most frequent variables and the `2^split` cubes are
+/// conquered in parallel. Valid ⇔ every cube is UNSAT.
+pub fn check_consensus_cubes(
+    rt: &Runtime,
+    model: &DynamicModel,
+    split: usize,
+) -> (bool, CubeReport) {
+    let cnf = model.consensus_cnf().expect("well-formed model");
+    let report = solve_cubes(rt, &cnf, split);
+    (report.result == SolveResult::Unsat, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{run_policy_matrix, run_rebid_attack};
+    use mca_runtime::diversified_configs;
+
+    #[test]
+    fn parallel_policy_matrix_matches_sequential() {
+        let rt = Runtime::new(2);
+        let par = run_policy_matrix_parallel(&rt);
+        let seq = run_policy_matrix();
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.cell, s.cell);
+            assert_eq!(p.paper_converges, s.paper_converges);
+            assert_eq!(p.checker_converges, s.checker_converges);
+            assert_eq!(p.detail, s.detail);
+        }
+    }
+
+    #[test]
+    fn parallel_rebid_attack_matches_sequential() {
+        let rt = Runtime::new(2);
+        let par = run_rebid_attack_parallel(&rt);
+        let seq = run_rebid_attack();
+        assert_eq!(par.explicit_converges, seq.explicit_converges);
+        assert_eq!(par.explicit_detail, seq.explicit_detail);
+        assert_eq!(par.sat_naive_valid, seq.sat_naive_valid);
+        assert_eq!(par.sat_optimized_valid, seq.sat_optimized_valid);
+        assert_eq!(par.sat_compliant_valid, seq.sat_compliant_valid);
+        assert!(par.matches_paper());
+    }
+
+    #[test]
+    fn extended_matrix_has_sixteen_deterministic_rows() {
+        let rt = Runtime::new(2);
+        let a = run_extended_policy_matrix(&rt);
+        let b = run_extended_policy_matrix(&rt);
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cell, y.cell);
+            assert_eq!(x.sim_converges, y.sim_converges);
+            assert_eq!(x.rounds, y.rounds);
+        }
+        // Compliant sub-modular cells must satisfy the paper's prediction.
+        for row in &a {
+            if row.cell.submodular && !row.cell.rebid {
+                assert!(row.matches_paper(), "unexpected verdict: {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_and_cube_consensus_agree_with_sequential_check() {
+        let rt = Runtime::new(2);
+        for scenario in [
+            DynamicScenario::two_agent_compliant(),
+            DynamicScenario::two_agent_rebid_attack(),
+        ] {
+            let model = DynamicModel::build(NumberEncoding::OptimizedValue, scenario);
+            let sequential = model
+                .check_consensus()
+                .expect("well-formed model")
+                .result
+                .is_valid();
+            let (portfolio_valid, report) =
+                check_consensus_portfolio(&rt, &model, &diversified_configs(3));
+            assert_eq!(portfolio_valid, sequential);
+            assert_eq!(report.entrants, 3);
+            let (cube_valid, cubes) = check_consensus_cubes(&rt, &model, 2);
+            assert_eq!(cube_valid, sequential);
+            assert_eq!(cubes.cubes, 4);
+        }
+    }
+}

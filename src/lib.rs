@@ -3,7 +3,9 @@
 
 pub use mca_alloy as alloy;
 pub use mca_core as core;
+pub use mca_obs as obs;
 pub use mca_relalg as relalg;
+pub use mca_runtime as runtime;
 pub use mca_sat as sat;
 pub use mca_verify as verify;
 pub use mca_vnmap as vnmap;

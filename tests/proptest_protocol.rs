@@ -203,3 +203,48 @@ fn regression_stale_bid_22_11() {
         ],
     );
 }
+
+/// Re-checks one pinned regression's bid profile through the SAT engine's
+/// *assumption-enabled* solve path: the consensus CNF must get the same
+/// verdict from `solve()` and from `solve_under_assumptions(&[])` (the
+/// entry the parallel runtime drives), and that verdict must agree with
+/// `check_consensus`. Guards the assumption-prefix machinery added for
+/// cube-and-conquer against divergence from the plain search loop.
+fn assert_assumption_path_agrees(bids: Vec<Vec<i64>>) {
+    use mca_sat::SolveResult;
+    use mca_verify::{DynamicModel, DynamicScenario, NumberEncoding};
+    let scenario = DynamicScenario {
+        pnodes: 2,
+        vnodes: 2,
+        states: 5,
+        bids,
+        links: vec![(0, 1)],
+        attackers: Vec::new(),
+    };
+    let model = DynamicModel::build(NumberEncoding::OptimizedValue, scenario);
+    let cnf = model.consensus_cnf().expect("well-formed model");
+    let plain = cnf.to_solver().solve();
+    let under_assumptions = cnf
+        .to_solver()
+        .solve_under_assumptions(&[])
+        .expect("no token installed, solve runs to completion");
+    assert_eq!(plain, under_assumptions, "solve paths disagree");
+    let valid = model
+        .check_consensus()
+        .expect("well-formed model")
+        .result
+        .is_valid();
+    assert_eq!(valid, plain == SolveResult::Unsat, "verdict mapping broken");
+}
+
+#[test]
+fn regression_33_16_verdict_survives_assumption_path() {
+    // First-position bids of the 33/16 pinned case above.
+    assert_assumption_path_agrees(vec![vec![33, 1], vec![30, 2]]);
+}
+
+#[test]
+fn regression_22_11_verdict_survives_assumption_path() {
+    // First-position bids of the 22/11 pinned case above.
+    assert_assumption_path_agrees(vec![vec![22, 2], vec![23, 1]]);
+}
