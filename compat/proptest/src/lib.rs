@@ -17,6 +17,7 @@
 //!   this crate — pin any regression cases as explicit `#[test]` functions
 //!   instead (see `tests/proptest_protocol.rs` for the pattern).
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::fmt::Debug;

@@ -309,6 +309,22 @@ impl Model {
         self.to_problem().check_certified(assertion)
     }
 
+    /// Like [`check_certified`](Model::check_certified), optionally running
+    /// SatELite-style preprocessing before the search (see
+    /// [`mca_relalg::Problem::check_certified_opts`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] on ill-formed formulas.
+    pub fn check_certified_opts(
+        &self,
+        assertion: &Formula,
+        preprocess: bool,
+    ) -> Result<mca_relalg::CertifiedCheck, TranslateError> {
+        self.to_problem()
+            .check_certified_opts(assertion, preprocess)
+    }
+
     /// Enumerates up to `limit` instances satisfying the facts plus `goal`
     /// (the Analyzer's "next instance" button). Returns the number found;
     /// the callback may return `false` to stop early.

@@ -20,6 +20,10 @@
 //! Running E5 also (re)generates `BENCH_E5.json` in the current directory:
 //! the per-encoding variable/clause counts and solver statistics that seed
 //! the repo's performance trajectory.
+//!
+//! E8 (the scope-scaling sweep) writes `BENCH_SCALE.json`. `--smoke`
+//! restricts it to the 2×2 scope (the CI configuration); `--stretch` adds
+//! the 5×3 scope to the default 2×2 → 4×3 axis.
 
 use mca_obs::json::Json;
 use mca_obs::{Handle, JsonlSink, Metrics, SharedObserver};
@@ -48,6 +52,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "e7",
         "Approximation ratio — achieved vs optimal utility (Remark 3)",
     ),
+    (
+        "e8",
+        "Scope scaling — naive vs optimized vs preprocessed, incremental sweeps",
+    ),
 ];
 
 fn is_experiment(id: &str) -> bool {
@@ -67,6 +75,8 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut threads: usize = 0;
+    let mut smoke = false;
+    let mut stretch = false;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -87,6 +97,8 @@ fn main() {
             }
             "--metrics" => metrics_path = Some(flag_value("--metrics")),
             "--trace" => trace_path = Some(flag_value("--trace")),
+            "--smoke" => smoke = true,
+            "--stretch" => stretch = true,
             "--threads" => {
                 let v = flag_value("--threads");
                 threads = v.parse().unwrap_or_else(|_| {
@@ -141,6 +153,16 @@ fn main() {
             "e5" => all_match &= run_e5(&mut metrics, observer.clone(), threads),
             "e6" => all_match &= run_e6(&mut metrics),
             "e7" => all_match &= run_e7(&mut metrics),
+            "e8" => {
+                all_match &= run_e8(
+                    &mut metrics,
+                    observer.clone(),
+                    runtime.as_ref(),
+                    threads,
+                    smoke,
+                    stretch,
+                )
+            }
             other => {
                 eprintln!("unknown experiment `{other}` (try --list)");
                 std::process::exit(2);
@@ -516,6 +538,284 @@ fn bench_e5_json(rows: &[EncodingRow], wall_clock_secs: f64, threads: usize) -> 
                             ),
                             ("clause_ratio", Json::from(row.clause_ratio())),
                             ("time_ratio", Json::from(row.time_ratio())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn run_e8(
+    metrics: &mut Metrics,
+    observer: Option<SharedObserver>,
+    rt: Option<&Runtime>,
+    threads: usize,
+    smoke: bool,
+    stretch: bool,
+) -> bool {
+    println!("E8 — scope scaling: naive vs optimized vs optimized+preprocessed");
+    println!("(every variant must reach the same verdict at every scope)\n");
+    let scopes = if smoke {
+        vec![(2, 2)]
+    } else {
+        analysis::e8_scopes(stretch)
+    };
+    let wall_start = Instant::now();
+    let rows = match rt {
+        Some(rt) => {
+            let rows = metrics
+                .time("e8.run", || parallel::run_scale_sweep_parallel(rt, &scopes))
+                .expect("well-formed scale models");
+            // Parallel measurement, deterministic reporting: events are
+            // emitted post-hoc in row order, so the trace is identical to
+            // a sequential run's.
+            if let Some(obs) = &observer {
+                for row in &rows {
+                    analysis::emit_scale_row(obs, row);
+                }
+            }
+            rows
+        }
+        None => metrics
+            .time("e8.run", || {
+                analysis::run_scale_sweep_observed(&scopes, observer)
+            })
+            .expect("well-formed scale models"),
+    };
+    let wall_clock_secs = wall_start.elapsed().as_secs_f64();
+    let mut ok = true;
+    for row in &rows {
+        println!("{row}");
+        ok &= row.verdicts_agree() && row.valid();
+        record_e8_metrics(metrics, row);
+    }
+
+    // End-to-end certification: the preprocessed pipeline's "valid" verdict
+    // at the smallest scope, with the simplifier's DRAT steps prepended to
+    // the solver's, verified by the independent proof checker.
+    let certified = metrics.time("e8.certify", || {
+        DynamicModel::build(
+            NumberEncoding::OptimizedValue,
+            DynamicScenario::at_scope(2, 2),
+        )
+        .check_consensus_certified_opts(true)
+        .expect("well-formed model")
+    });
+    let cert_ok = certified.is_certified_valid();
+    let cert_steps = certified.certificate.as_ref().map_or(0, |c| c.steps);
+    metrics.set_gauge("e8.certified", i64::from(cert_ok));
+    metrics.set_gauge("e8.certified.proof_steps", cert_steps as i64);
+    println!(
+        "  certification (2x2, optimized+pre): {} ({} DRAT steps)",
+        if cert_ok {
+            "proof verified ✓"
+        } else {
+            "NOT verified ✗"
+        },
+        cert_steps
+    );
+    ok &= cert_ok;
+
+    match std::fs::write(
+        "BENCH_SCALE.json",
+        bench_scale_json(&rows, &certified, wall_clock_secs, threads).render() + "\n",
+    ) {
+        Ok(()) => println!("  scaling sweep written to BENCH_SCALE.json"),
+        Err(e) => eprintln!("  cannot write BENCH_SCALE.json: {e}"),
+    }
+    println!(
+        "  => {}",
+        if ok {
+            "all variants agree and the preprocessed proof certifies ✓"
+        } else {
+            "verdict or certification MISMATCH ✗"
+        }
+    );
+    ok
+}
+
+/// Flattens one E8 row into gauge/timer entries, e.g.
+/// `e8.3x2.optimized+pre.cnf_clauses`, `e8.3x2.optimized+pre.simplify.subsumed`
+/// or `e8.3x2.sweep.conflicts` — including the simplifier's statistics,
+/// which earlier revisions computed and then dropped.
+fn record_e8_metrics(metrics: &mut Metrics, row: &analysis::ScaleRow) {
+    for v in &row.variants {
+        let p = format!("e8.{}.{}", row.scope, v.variant);
+        metrics.set_gauge(&format!("{p}.valid"), i64::from(v.valid));
+        metrics.set_gauge(&format!("{p}.cnf_vars"), v.stats.cnf_vars as i64);
+        metrics.set_gauge(&format!("{p}.cnf_clauses"), v.stats.cnf_clauses as i64);
+        metrics.set_gauge(&format!("{p}.solver.conflicts"), v.solver.conflicts as i64);
+        metrics.set_gauge(
+            &format!("{p}.solver.propagations"),
+            v.solver.propagations as i64,
+        );
+        metrics.add_timer_ns(&format!("{p}.check"), (v.check_secs * 1e9) as u64);
+        if let Some(s) = &v.simplify {
+            record_simplify_metrics(metrics, &p, s);
+        }
+    }
+    let p = format!("e8.{}.sweep", row.scope);
+    metrics.set_gauge(
+        &format!("{p}.valid_from"),
+        row.sweep.valid_from.map_or(-1, |k| k as i64),
+    );
+    metrics.set_gauge(&format!("{p}.queries"), row.sweep.per_state.len() as i64);
+    metrics.set_gauge(&format!("{p}.conflicts"), row.sweep.solver.conflicts as i64);
+    metrics.add_timer_ns(&format!("{p}.run"), (row.sweep_secs * 1e9) as u64);
+    if let Some(s) = &row.sweep.simplify {
+        record_simplify_metrics(metrics, &p, s);
+    }
+}
+
+/// Records a [`mca_sat::SimplifyStats`] under `<prefix>.simplify.*`.
+fn record_simplify_metrics(metrics: &mut Metrics, prefix: &str, s: &mca_sat::SimplifyStats) {
+    metrics.set_gauge(&format!("{prefix}.simplify.subsumed"), s.subsumed as i64);
+    metrics.set_gauge(
+        &format!("{prefix}.simplify.strengthened_literals"),
+        s.strengthened_literals as i64,
+    );
+    metrics.set_gauge(
+        &format!("{prefix}.simplify.propagated_literals"),
+        s.propagated_literals as i64,
+    );
+    metrics.set_gauge(
+        &format!("{prefix}.simplify.satisfied_clauses"),
+        s.satisfied_clauses as i64,
+    );
+}
+
+/// The committed `BENCH_SCALE.json` artifact: per-scope, per-variant sizes,
+/// solver and simplifier statistics, the incremental sweep curves, and the
+/// end-to-end certification record.
+fn bench_scale_json(
+    rows: &[analysis::ScaleRow],
+    certified: &mca_relalg::CertifiedCheck,
+    wall_clock_secs: f64,
+    threads: usize,
+) -> Json {
+    let simplify_json = |s: &Option<mca_sat::SimplifyStats>| match s {
+        None => Json::Null,
+        Some(s) => Json::obj([
+            ("subsumed", Json::from(s.subsumed as u64)),
+            (
+                "strengthened_literals",
+                Json::from(s.strengthened_literals as u64),
+            ),
+            (
+                "propagated_literals",
+                Json::from(s.propagated_literals as u64),
+            ),
+            ("satisfied_clauses", Json::from(s.satisfied_clauses as u64)),
+            ("found_unsat", Json::from(s.found_unsat)),
+        ]),
+    };
+    Json::obj([
+        ("experiment", Json::from("e8")),
+        ("wall_clock_secs", Json::from(wall_clock_secs)),
+        ("threads", Json::from(threads as u64)),
+        (
+            "certification",
+            Json::obj([
+                ("scope", Json::from("2x2")),
+                ("variant", Json::from("optimized+pre")),
+                ("certified", Json::from(certified.is_certified_valid())),
+                (
+                    "proof_steps",
+                    Json::from(certified.certificate.as_ref().map_or(0, |c| c.steps) as u64),
+                ),
+                ("simplify", simplify_json(&certified.simplify)),
+            ]),
+        ),
+        (
+            "scopes",
+            Json::Array(
+                rows.iter()
+                    .map(|row| {
+                        Json::obj([
+                            ("scope", Json::from(row.scope.as_str())),
+                            ("pnodes", Json::from(row.pnodes as u64)),
+                            ("vnodes", Json::from(row.vnodes as u64)),
+                            ("states", Json::from(row.states as u64)),
+                            ("valid", Json::from(row.valid())),
+                            ("verdicts_agree", Json::from(row.verdicts_agree())),
+                            (
+                                "variants",
+                                Json::Array(
+                                    row.variants
+                                        .iter()
+                                        .map(|v| {
+                                            Json::obj([
+                                                ("variant", Json::from(v.variant.as_str())),
+                                                ("valid", Json::from(v.valid)),
+                                                ("check_secs", Json::from(v.check_secs)),
+                                                ("cnf_vars", Json::from(v.stats.cnf_vars as u64)),
+                                                (
+                                                    "cnf_clauses",
+                                                    Json::from(v.stats.cnf_clauses as u64),
+                                                ),
+                                                (
+                                                    "solver",
+                                                    Json::obj([
+                                                        (
+                                                            "decisions",
+                                                            Json::from(v.solver.decisions),
+                                                        ),
+                                                        (
+                                                            "propagations",
+                                                            Json::from(v.solver.propagations),
+                                                        ),
+                                                        (
+                                                            "conflicts",
+                                                            Json::from(v.solver.conflicts),
+                                                        ),
+                                                        ("restarts", Json::from(v.solver.restarts)),
+                                                    ]),
+                                                ),
+                                                ("simplify", simplify_json(&v.simplify)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "sweep",
+                                Json::obj([
+                                    (
+                                        "valid_from",
+                                        row.sweep
+                                            .valid_from
+                                            .map_or(Json::Null, |k| Json::from(k as u64)),
+                                    ),
+                                    (
+                                        "per_state",
+                                        Json::Array(
+                                            row.sweep
+                                                .per_state
+                                                .iter()
+                                                .map(|&v| Json::from(v))
+                                                .collect(),
+                                        ),
+                                    ),
+                                    (
+                                        "conflicts_after",
+                                        Json::Array(
+                                            row.sweep
+                                                .conflicts_after
+                                                .iter()
+                                                .map(|&c| Json::from(c))
+                                                .collect(),
+                                        ),
+                                    ),
+                                    (
+                                        "cnf_clauses",
+                                        Json::from(row.sweep.stats.cnf_clauses as u64),
+                                    ),
+                                    ("conflicts", Json::from(row.sweep.solver.conflicts)),
+                                    ("sweep_secs", Json::from(row.sweep_secs)),
+                                    ("simplify", simplify_json(&row.sweep.simplify)),
+                                ]),
+                            ),
                         ])
                     })
                     .collect(),

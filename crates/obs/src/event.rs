@@ -135,6 +135,36 @@ pub enum Event {
         /// Runtime-assigned job id.
         job: u64,
     },
+    /// The SAT preprocessor (unit propagation + subsumption +
+    /// self-subsuming resolution) finished simplifying a formula.
+    SimplifyDone {
+        /// Human label for the formula (e.g. `"e8:3x2:optimized+pre"`).
+        label: String,
+        /// Clauses removed by subsumption.
+        subsumed: u64,
+        /// Literals removed by self-subsuming resolution.
+        strengthened_literals: u64,
+        /// Literals removed by unit propagation.
+        propagated_literals: u64,
+        /// Clauses removed because a unit satisfied them.
+        satisfied_clauses: u64,
+        /// Whether preprocessing alone refuted the formula.
+        found_unsat: bool,
+    },
+    /// One query of an incremental solving session finished: the shared
+    /// clause prefix was reused and the query was activated via an
+    /// assumption literal.
+    IncrementalSolve {
+        /// Human label for the session (e.g. `"e8:3x2:sweep"`).
+        label: String,
+        /// Zero-based query index within the session.
+        query: u64,
+        /// Whether the query's assertion was valid (UNSAT under the
+        /// assumption).
+        valid: bool,
+        /// The session solver's cumulative conflict count after the query.
+        conflicts: u64,
+    },
     /// Periodic SAT-solver progress (forwarded from the solver's progress
     /// callback, typically every N conflicts).
     SolverProgress {
@@ -168,6 +198,8 @@ impl Event {
             Event::JobStarted { .. } => "job-started",
             Event::JobFinished { .. } => "job-finished",
             Event::JobCancelled { .. } => "job-cancelled",
+            Event::SimplifyDone { .. } => "simplify-done",
+            Event::IncrementalSolve { .. } => "incremental-solve",
             Event::SolverProgress { .. } => "solver-progress",
         }
     }
@@ -289,6 +321,34 @@ impl Event {
                 ("outcome", outcome.as_str().into()),
             ]),
             Event::JobCancelled { job } => Json::obj([("event", kind), ("job", job.into())]),
+            Event::SimplifyDone {
+                ref label,
+                subsumed,
+                strengthened_literals,
+                propagated_literals,
+                satisfied_clauses,
+                found_unsat,
+            } => Json::obj([
+                ("event", kind),
+                ("label", label.as_str().into()),
+                ("subsumed", subsumed.into()),
+                ("strengthened_literals", strengthened_literals.into()),
+                ("propagated_literals", propagated_literals.into()),
+                ("satisfied_clauses", satisfied_clauses.into()),
+                ("found_unsat", found_unsat.into()),
+            ]),
+            Event::IncrementalSolve {
+                ref label,
+                query,
+                valid,
+                conflicts,
+            } => Json::obj([
+                ("event", kind),
+                ("label", label.as_str().into()),
+                ("query", query.into()),
+                ("valid", valid.into()),
+                ("conflicts", conflicts.into()),
+            ]),
             Event::SolverProgress {
                 conflicts,
                 decisions,
@@ -384,6 +444,33 @@ mod tests {
         );
         assert_eq!(Event::JobStarted { job: 1 }.kind(), "job-started");
         assert_eq!(Event::JobCancelled { job: 1 }.kind(), "job-cancelled");
+    }
+
+    #[test]
+    fn preprocessing_events_render_stably() {
+        let simplify = Event::SimplifyDone {
+            label: "e8:2x2:optimized+pre".into(),
+            subsumed: 4,
+            strengthened_literals: 2,
+            propagated_literals: 17,
+            satisfied_clauses: 9,
+            found_unsat: false,
+        };
+        assert_eq!(
+            simplify.to_json_line(),
+            r#"{"event":"simplify-done","label":"e8:2x2:optimized+pre","subsumed":4,"strengthened_literals":2,"propagated_literals":17,"satisfied_clauses":9,"found_unsat":false}"#
+        );
+        let inc = Event::IncrementalSolve {
+            label: "e8:2x2:sweep".into(),
+            query: 3,
+            valid: true,
+            conflicts: 120,
+        };
+        assert_eq!(
+            inc.to_json_line(),
+            r#"{"event":"incremental-solve","label":"e8:2x2:sweep","query":3,"valid":true,"conflicts":120}"#
+        );
+        assert_ne!(simplify.kind(), inc.kind());
     }
 
     #[test]

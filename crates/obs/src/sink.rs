@@ -187,7 +187,11 @@ impl Observer for SummarySink {
             Event::JobCancelled { .. } => {
                 self.jobs_cancelled += 1;
             }
-            Event::EncodingDone { .. } | Event::JobScheduled { .. } | Event::JobStarted { .. } => {}
+            Event::EncodingDone { .. }
+            | Event::JobScheduled { .. }
+            | Event::JobStarted { .. }
+            | Event::SimplifyDone { .. }
+            | Event::IncrementalSolve { .. } => {}
         }
     }
 }

@@ -274,13 +274,30 @@ impl Circuit {
     /// Only nodes reachable from the roots are encoded, so dead gates cost
     /// nothing.
     pub fn to_cnf(&self, roots: &[B]) -> (CnfFormula, Vec<Var>) {
+        let (cnf, input_vars, _) = self.to_cnf_with_goals(roots, &[]);
+        (cnf, input_vars)
+    }
+
+    /// Like [`to_cnf`](Circuit::to_cnf), but additionally returns one CNF
+    /// literal per `goals` edge *without asserting it*. Because the Tseitin
+    /// encoding is a full biconditional per gate, each returned literal is
+    /// true in a model exactly when its edge evaluates to true — so the
+    /// goals can be activated individually as solver assumptions, which is
+    /// the seam incremental solving plugs into: encode the shared clause
+    /// prefix once, then flip between goals across
+    /// [`solve_with_assumptions`](mca_sat::Solver::solve_with_assumptions)
+    /// calls while retaining learnt clauses.
+    ///
+    /// Constant goal edges are materialized as frozen variables (forced
+    /// true) so every goal has a literal.
+    pub fn to_cnf_with_goals(&self, roots: &[B], goals: &[B]) -> (CnfFormula, Vec<Var>, Vec<Lit>) {
         let mut cnf = CnfFormula::new();
         // Inputs get the first variables so instance decoding is stable.
         let input_vars: Vec<Var> = (0..self.num_inputs).map(|_| cnf.new_var()).collect();
 
         // Collect reachable nodes (iterative DFS).
         let mut reachable = vec![false; self.nodes.len()];
-        let mut stack: Vec<usize> = roots.iter().map(|r| r.node()).collect();
+        let mut stack: Vec<usize> = roots.iter().chain(goals.iter()).map(|r| r.node()).collect();
         while let Some(n) = stack.pop() {
             if reachable[n] {
                 continue;
@@ -351,7 +368,11 @@ impl Circuit {
             let l = edge_lit(r, &mut cnf, &mut node_lit);
             cnf.add_clause([l]);
         }
-        (cnf, input_vars)
+        let goal_lits: Vec<Lit> = goals
+            .iter()
+            .map(|&g| edge_lit(g, &mut cnf, &mut node_lit))
+            .collect();
+        (cnf, input_vars, goal_lits)
     }
 }
 
@@ -471,6 +492,35 @@ mod tests {
             }
         }
         assert_eq!(sat_inputs, expected);
+    }
+
+    #[test]
+    fn goal_literals_gate_without_asserting() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let g1 = c.and2(x, y);
+        let g2 = c.xor2(x, y);
+        let (cnf, inputs, goals) = c.to_cnf_with_goals(&[], &[g1, g2]);
+        let mut s = cnf.to_solver();
+        // No goal asserted: satisfiable.
+        assert!(s.solve().is_sat());
+        // Activate each goal as an assumption and check the projection.
+        assert!(s.solve_with_assumptions(&[goals[0]]).is_sat());
+        let m = s.model().unwrap();
+        assert!(m.value(inputs[0]) && m.value(inputs[1]));
+        assert!(s.solve_with_assumptions(&[goals[1]]).is_sat());
+        let m = s.model().unwrap();
+        assert_ne!(m.value(inputs[0]), m.value(inputs[1]));
+        // Both goals at once are contradictory; neither is asserted, so the
+        // solver stays reusable afterwards.
+        assert!(!s.solve_with_assumptions(&[goals[0], goals[1]]).is_sat());
+        assert!(s.solve().is_sat());
+        // Constant goals get (frozen) literals too.
+        let (cnf2, _, goals2) = c.to_cnf_with_goals(&[], &[c.tru(), c.fls()]);
+        let mut s2 = cnf2.to_solver();
+        assert!(s2.solve_with_assumptions(&[goals2[0]]).is_sat());
+        assert!(!s2.solve_with_assumptions(&[goals2[1]]).is_sat());
     }
 
     #[test]

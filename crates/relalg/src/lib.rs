@@ -63,8 +63,8 @@ pub use ast::{
 pub use error::TranslateError;
 pub use eval::Evaluator;
 pub use problem::{
-    CertifiedCheck, Check, CheckOutcome, Instance, Outcome, Problem, ProofCertificate,
-    RelationDecl, SolveOutcome,
+    CertifiedCheck, Check, CheckOutcome, IncrementalChecker, Instance, Outcome, Problem,
+    ProofCertificate, RelationDecl, SolveOutcome,
 };
 pub use translate::{RelationStats, Translation, TranslationStats};
 pub use tuple::{Tuple, TupleSet};

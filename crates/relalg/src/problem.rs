@@ -175,6 +175,95 @@ impl Problem {
         })
     }
 
+    /// Translates the facts (asserted) plus a batch of `goals` compiled to
+    /// *unasserted* goal literals, for incremental solving.
+    ///
+    /// The returned [`Translation`] encodes only the facts; the `i`-th
+    /// returned literal is true exactly when `goals[i]` holds, but nothing
+    /// forces it either way. Loading the CNF into one solver and passing a
+    /// goal literal to `solve_with_assumptions` answers the same query as
+    /// [`solve_with_goal`](Problem::solve_with_goal), while clauses learnt
+    /// from the shared fact prefix are retained across queries. This is the
+    /// seam [`incremental_checker`](Problem::incremental_checker) builds on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] on ill-formed expressions.
+    pub fn translate_goals(
+        &self,
+        goals: &[Formula],
+    ) -> Result<(Translation, Vec<mca_sat::Lit>), TranslateError> {
+        let start = Instant::now();
+        let mut tr = Translator::new(self);
+        let mut root = tr.formula(&Formula::true_())?;
+        for fact in &self.facts {
+            let f = tr.formula(fact)?;
+            root = tr.circuit.and2(root, f);
+        }
+        let goal_nodes = goals
+            .iter()
+            .map(|g| tr.formula(g))
+            .collect::<Result<Vec<_>, _>>()?;
+        let (cnf, input_vars, goal_lits) = tr.circuit.to_cnf_with_goals(&[root], &goal_nodes);
+        let stats = TranslationStats {
+            primary_vars: tr.input_tuples.len(),
+            circuit_gates: tr.circuit.num_gates(),
+            cnf_vars: cnf.num_vars(),
+            cnf_clauses: cnf.num_clauses(),
+            cnf_literals: cnf.num_literals(),
+            translation_secs: start.elapsed().as_secs_f64(),
+        };
+        let relation_stats = self.relation_stats(&cnf, &input_vars, &tr.input_tuples);
+        Ok((
+            Translation {
+                cnf,
+                stats,
+                relation_stats,
+                input_vars,
+                input_tuples: tr.input_tuples,
+            },
+            goal_lits,
+        ))
+    }
+
+    /// Builds an [`IncrementalChecker`] over a batch of assertions.
+    ///
+    /// The facts are translated and loaded into a single solver **once**;
+    /// each assertion is compiled to an unasserted "¬assertion" goal
+    /// literal. [`IncrementalChecker::check`] then activates one goal as a
+    /// solver assumption, so consecutive checks reuse both the shared CNF
+    /// prefix and the clauses learnt while answering earlier checks.
+    ///
+    /// With `preprocess = true` the loaded formula is first simplified
+    /// in-place by [`mca_sat::Solver::preprocess`] (unit propagation,
+    /// subsumption, self-subsuming resolution); verdicts are unchanged
+    /// because preprocessing preserves the model set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] on ill-formed formulas.
+    pub fn incremental_checker(
+        &self,
+        assertions: &[Formula],
+        preprocess: bool,
+    ) -> Result<IncrementalChecker<'_>, TranslateError> {
+        let goals: Vec<Formula> = assertions.iter().map(|a| a.not()).collect();
+        let (translation, goal_lits) = self.translate_goals(&goals)?;
+        let mut solver = mca_sat::Solver::new();
+        solver.new_vars(translation.cnf.num_vars());
+        for c in translation.cnf.clauses() {
+            solver.add_clause(c.iter().copied());
+        }
+        let simplify = preprocess.then(|| solver.preprocess());
+        Ok(IncrementalChecker {
+            problem: self,
+            translation,
+            goal_lits,
+            solver,
+            simplify,
+        })
+    }
+
     /// Per-relation primary-variable and clause-incidence counts: one pass
     /// mapping each primary CNF variable back to its declaring relation,
     /// then one pass over the clauses counting, per relation, the clauses
@@ -282,6 +371,25 @@ impl Problem {
     ///
     /// Returns a [`TranslateError`] on ill-formed formulas.
     pub fn check_certified(&self, assertion: &Formula) -> Result<CertifiedCheck, TranslateError> {
+        self.check_certified_opts(assertion, false)
+    }
+
+    /// Like [`check_certified`](Problem::check_certified), optionally
+    /// running SatELite-style preprocessing
+    /// ([`mca_sat::Solver::preprocess`]) before the search. Every
+    /// simplification step is itself logged as a DRAT step, so the proof
+    /// for a preprocessed refutation still checks against the *original*
+    /// translated CNF — the trust chain is unchanged. The simplification
+    /// statistics are surfaced in [`CertifiedCheck::simplify`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] on ill-formed formulas.
+    pub fn check_certified_opts(
+        &self,
+        assertion: &Formula,
+        preprocess: bool,
+    ) -> Result<CertifiedCheck, TranslateError> {
         let translation = self.translate(&assertion.not())?;
         let start = Instant::now();
         let mut solver = mca_sat::Solver::new();
@@ -290,6 +398,7 @@ impl Problem {
         for c in translation.cnf.clauses() {
             solver.add_clause(c.iter().copied());
         }
+        let simplify = preprocess.then(|| solver.preprocess());
         let (result, certificate) = match solver.solve() {
             SolveResult::Sat => {
                 let model = solver.model().expect("model after Sat");
@@ -319,6 +428,7 @@ impl Problem {
                 solve_secs: start.elapsed().as_secs_f64(),
             },
             certificate,
+            simplify,
         })
     }
 
@@ -446,12 +556,89 @@ pub struct CertifiedCheck {
     pub outcome: CheckOutcome,
     /// Present when the assertion was valid: the refutation certificate.
     pub certificate: Option<ProofCertificate>,
+    /// Present when preprocessing was requested
+    /// ([`Problem::check_certified_opts`] with `preprocess = true`): what
+    /// the simplifier did before the search.
+    pub simplify: Option<mca_sat::SimplifyStats>,
 }
 
 impl CertifiedCheck {
     /// `true` iff the assertion is valid **and** the DRAT proof verified.
     pub fn is_certified_valid(&self) -> bool {
         self.outcome.result.is_valid() && self.certificate.as_ref().is_some_and(|c| c.verified)
+    }
+}
+
+/// A batch assertion checker that encodes the facts once and answers each
+/// check with an assumption-activated goal literal, retaining learnt
+/// clauses across checks. Built by [`Problem::incremental_checker`].
+///
+/// # Examples
+///
+/// ```
+/// use mca_relalg::{Problem, Universe, TupleSet, Expr};
+///
+/// let mut u = Universe::new();
+/// let atoms = u.add_atoms("N", 3);
+/// let mut p = Problem::new(u);
+/// let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+/// p.require(Expr::relation(r).lone());
+/// let assertions = [Expr::relation(r).lone(), Expr::relation(r).some()];
+/// let mut inc = p.incremental_checker(&assertions, false).unwrap();
+/// assert!(inc.check(0).is_valid()); // lone r is a fact
+/// assert!(!inc.check(1).is_valid()); // nothing forces r non-empty
+/// ```
+#[derive(Debug)]
+pub struct IncrementalChecker<'p> {
+    problem: &'p Problem,
+    translation: Translation,
+    goal_lits: Vec<mca_sat::Lit>,
+    solver: mca_sat::Solver,
+    simplify: Option<mca_sat::SimplifyStats>,
+}
+
+impl IncrementalChecker<'_> {
+    /// Number of assertions this checker was built over.
+    pub fn num_assertions(&self) -> usize {
+        self.goal_lits.len()
+    }
+
+    /// Translation size statistics of the shared encoding (facts plus the
+    /// unasserted goal circuits of every assertion).
+    pub fn translation_stats(&self) -> &TranslationStats {
+        &self.translation.stats
+    }
+
+    /// What the preprocessor did, when the checker was built with
+    /// `preprocess = true`.
+    pub fn simplify_stats(&self) -> Option<&mca_sat::SimplifyStats> {
+        self.simplify.as_ref()
+    }
+
+    /// Cumulative search statistics of the shared solver across all checks
+    /// so far.
+    pub fn solver_stats(&self) -> &SolverStats {
+        self.solver.stats()
+    }
+
+    /// Checks assertion `i` (as passed to
+    /// [`Problem::incremental_checker`]): searches for an instance of the
+    /// facts violating it by assuming the corresponding "¬assertion" goal
+    /// literal. Verdicts match a fresh
+    /// [`Problem::check`] of the same assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn check(&mut self, i: usize) -> Check {
+        let goal = self.goal_lits[i];
+        match self.solver.solve_with_assumptions(&[goal]) {
+            SolveResult::Sat => {
+                let model = self.solver.model().expect("model after Sat");
+                Check::Counterexample(self.problem.decode(&self.translation, &model))
+            }
+            SolveResult::Unsat => Check::Valid,
+        }
     }
 }
 
@@ -847,6 +1034,121 @@ mod tests {
         let chk = p.check(&Expr::relation(r).lone()).unwrap();
         assert_eq!(chk.solver_stats.solves, 1);
         assert_eq!(chk.relation_stats[0].name, "r");
+    }
+
+    #[test]
+    fn incremental_checker_matches_fresh_checks() {
+        let (u, _atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(2), TupleSet::full(p.universe(), 2));
+        let re = Expr::relation(r);
+        p.require(re.equals(&re.transpose()));
+        p.require(re.some());
+        let assertions = [
+            re.some(),               // valid: a fact
+            re.in_(&re.transpose()), // valid: symmetry
+            re.count().eq_(&{
+                use crate::ast::IntExpr;
+                IntExpr::constant(1)
+            }), // refutable: |r| unconstrained
+            re.no(),                 // refutable: contradicts `some`
+            Expr::iden().in_(&re),   // refutable
+        ];
+        for preprocess in [false, true] {
+            let mut inc = p.incremental_checker(&assertions, preprocess).unwrap();
+            assert_eq!(inc.num_assertions(), assertions.len());
+            assert_eq!(inc.simplify_stats().is_some(), preprocess);
+            // Query out of declaration order to exercise reuse.
+            for &i in &[3usize, 0, 4, 1, 2, 3, 0] {
+                let fresh = p.check(&assertions[i]).unwrap();
+                let incr = inc.check(i);
+                assert_eq!(
+                    incr.is_valid(),
+                    fresh.result.is_valid(),
+                    "assertion {i} disagrees (preprocess = {preprocess})"
+                );
+                // Counterexamples decode into real instances of the facts.
+                if let Check::Counterexample(cx) = &incr {
+                    for t in cx.tuples(r).iter() {
+                        assert!(cx.tuples(r).contains(&t.reversed()));
+                    }
+                }
+            }
+            assert!(inc.solver_stats().solves >= 7);
+            assert!(inc.translation_stats().cnf_clauses > 0);
+        }
+    }
+
+    #[test]
+    fn incremental_checker_unsat_facts_are_vacuously_valid() {
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+        p.require(Expr::relation(r).some());
+        p.require(Expr::relation(r).no());
+        for preprocess in [false, true] {
+            let mut inc = p
+                .incremental_checker(&[Expr::relation(r).some()], preprocess)
+                .unwrap();
+            assert!(inc.check(0).is_valid());
+        }
+    }
+
+    #[test]
+    fn preprocessed_certified_check_verifies() {
+        // Degenerate valid assertion: the negated goal collapses to
+        // constant false in translation (the CNF is a lone empty clause),
+        // so preprocessing reports unsat outright and the empty proof
+        // certifies the formula against itself.
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+        p.require(Expr::relation(r).lone());
+        let trivial = p
+            .check_certified_opts(&Expr::relation(r).lone(), true)
+            .unwrap();
+        assert!(trivial.is_certified_valid());
+        assert!(trivial.simplify.expect("preprocess requested").found_unsat);
+
+        // Non-degenerate valid assertion: a total injective function on 3
+        // atoms is surjective — a counting argument the preprocessor alone
+        // cannot settle, so the proof interleaves logged simplification
+        // steps with real search steps and must still verify against the
+        // *original* translated CNF.
+        let (u2, _) = small_universe();
+        let mut p2 = Problem::new(u2);
+        let f = p2.declare_relation("f", TupleSet::new(2), TupleSet::full(p2.universe(), 2));
+        let fe = Expr::relation(f);
+        let x = QuantVar::fresh("x");
+        p2.require(Formula::forall(
+            &x,
+            &Expr::univ(),
+            &x.expr().join(&fe).one(),
+        ));
+        p2.require(Formula::forall(
+            &x,
+            &Expr::univ(),
+            &fe.join(&x.expr()).lone(),
+        ));
+        let surjective = Formula::forall(&x, &Expr::univ(), &fe.join(&x.expr()).some());
+        let valid = p2.check_certified_opts(&surjective, true).unwrap();
+        assert!(valid.is_certified_valid());
+        let stats = valid.simplify.expect("preprocess requested");
+        assert!(!stats.found_unsat);
+        assert!(valid.certificate.expect("valid").steps > 0);
+
+        // Refuted assertion: no certificate, still a counterexample.
+        let refuted = p2.check_certified_opts(&fe.no(), true).unwrap();
+        assert!(!refuted.outcome.result.is_valid());
+        assert!(refuted.certificate.is_none());
+        assert!(refuted.simplify.is_some());
+
+        // The plain entry point reports no simplification.
+        assert!(p
+            .check_certified(&Expr::relation(r).lone())
+            .unwrap()
+            .simplify
+            .is_none());
     }
 
     #[test]

@@ -156,6 +156,15 @@ impl ClauseDb {
             .map(|(i, _)| ClauseRef(i as u32))
     }
 
+    /// Iterates over handles of live *problem* (non-learnt) clauses.
+    pub fn iter_problem_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted && !c.learnt)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
     /// Iterates over handles of live *learnt* clauses.
     pub fn iter_learnt_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
         self.clauses

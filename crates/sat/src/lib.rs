@@ -61,7 +61,7 @@ pub use cnf::{CnfFormula, DimacsError};
 pub use lit::{LBool, Lit, Var};
 pub use luby::{luby, LubyRestarts};
 pub use proof::{check_drat, DratError, Proof, ProofStep};
-pub use simplify::{simplify, SimplifyStats};
+pub use simplify::{simplify, simplify_logged, SimplifyStats};
 pub use solver::{
     CancelToken, Model, ProgressCallback, ProgressFn, SolveResult, Solver, SolverConfig,
     SolverStats,

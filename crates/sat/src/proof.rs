@@ -8,9 +8,13 @@
 //! and hence every "assertion valid" verdict produced by the model-finding
 //! pipeline above — can be certified without trusting the solver.
 //!
-//! Only RUP steps are checked (our solver never produces proper RAT steps);
-//! proofs refer to a single [`solve`](crate::Solver::solve) call without
-//! assumptions.
+//! Only RUP steps are checked (our solver never produces proper RAT steps).
+//! A proof certifies one refutation of the formula the solver was loaded
+//! with: either a plain [`solve`](crate::Solver::solve) call, or a
+//! [`preprocess`](crate::Solver::preprocess)-then-solve pipeline — the
+//! simplifier logs each of its rewrites as Add/Delete steps, so the
+//! combined log still checks against the *original* formula. Proofs do not
+//! span assumption-based incremental queries.
 
 use crate::cnf::CnfFormula;
 use crate::lit::{LBool, Lit};
@@ -172,6 +176,12 @@ impl std::error::Error for DratError {}
 /// derived.
 pub fn check_drat(cnf: &CnfFormula, proof: &Proof) -> Result<(), DratError> {
     let mut db: Vec<Vec<Lit>> = cnf.clauses().to_vec();
+    // A formula that already contains the empty clause is refuted by
+    // itself; every proof (including the empty one) certifies it. This
+    // arises when translation simplifies a goal to constant false.
+    if db.iter().any(|c| c.is_empty()) {
+        return Ok(());
+    }
     let mut live: Vec<bool> = vec![true; db.len()];
     let mut num_vars = cnf.num_vars();
     for step in proof.steps() {
@@ -302,6 +312,15 @@ mod tests {
     use super::*;
     use crate::lit::Var;
     use crate::solver::{SolveResult, Solver};
+
+    #[test]
+    fn formula_with_empty_clause_needs_no_proof() {
+        let mut cnf = CnfFormula::new();
+        let v = cnf.new_var();
+        cnf.add_clause([v.positive()]);
+        cnf.add_clause([] as [Lit; 0]);
+        assert!(check_drat(&cnf, &Proof::new()).is_ok());
+    }
 
     #[allow(clippy::needless_range_loop)]
     fn unsat_pigeonhole(n: usize) -> (CnfFormula, Proof) {

@@ -352,10 +352,12 @@ impl Solver {
     /// the proof with [`take_proof`](Solver::take_proof) after an
     /// unsatisfiable [`solve`](Solver::solve).
     ///
-    /// Proofs certify plain `solve()` refutations only: assumption-based
-    /// solving and post-solve clause additions (e.g. model enumeration's
-    /// blocking clauses) are not consequences of the original formula and
-    /// would make the log unverifiable.
+    /// Proofs certify plain `solve()` refutations, optionally preceded by
+    /// [`preprocess`](Solver::preprocess) (every simplification step is
+    /// itself logged as a checkable DRAT step). Assumption-based solving
+    /// and post-solve clause additions (e.g. model enumeration's blocking
+    /// clauses) are not consequences of the original formula and would make
+    /// the log unverifiable.
     pub fn enable_proof(&mut self) {
         self.proof = Some(Proof::new());
     }
@@ -826,6 +828,88 @@ impl Solver {
         };
         self.watches[(!l0).code()].retain(|w| w.cref != cref);
         self.watches[(!l1).code()].retain(|w| w.cref != cref);
+    }
+
+    /// Runs SatELite-style preprocessing over the problem clauses as an
+    /// optional pre-solve stage: unit propagation to fixpoint, subsumption
+    /// and self-subsuming resolution (see [`simplify`](crate::simplify())).
+    /// Returns the simplification statistics.
+    ///
+    /// The simplified formula has exactly the same model set over the
+    /// solver's variables, so verdicts, models, assumption solving and
+    /// enumeration are unaffected. When proof logging is enabled
+    /// ([`enable_proof`](Solver::enable_proof)), every transformation is
+    /// appended to the DRAT log, so a later refutation still checks against
+    /// the *original* clauses with [`check_drat`](crate::check_drat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if learnt clauses are present: preprocess before the first
+    /// solve (or after solves that learnt nothing), while the clause
+    /// database still holds only problem clauses.
+    pub fn preprocess(&mut self) -> crate::simplify::SimplifyStats {
+        assert_eq!(
+            self.db.num_learnt(),
+            0,
+            "preprocess the problem clauses before search learns from them"
+        );
+        self.backtrack_to(0);
+        if self.unsat {
+            return crate::simplify::SimplifyStats {
+                found_unsat: true,
+                ..Default::default()
+            };
+        }
+        // Snapshot the problem: stored clauses plus root-level trail units.
+        let mut cnf = crate::cnf::CnfFormula::new();
+        cnf.new_vars(self.num_vars());
+        let refs: Vec<ClauseRef> = self.db.iter_problem_refs().collect();
+        for cref in refs {
+            cnf.add_clause(self.db.get(cref).lits().iter().copied());
+        }
+        // The trail holds explicit unit clauses *and* literals implied by
+        // root-level propagation. The implied ones exist in no stored
+        // clause, yet the simplifier will use (and log steps against) all
+        // of them as units — so materialize every trail literal as an Add
+        // step first. Each is RUP at its emission point: in trail order it
+        // is a unit-propagation consequence of the clauses before it.
+        for &l in &self.trail {
+            if let Some(p) = &mut self.proof {
+                p.add(vec![l]);
+            }
+            cnf.add_clause([l]);
+        }
+        let (simplified, stats) = match &mut self.proof {
+            Some(p) => crate::simplify::simplify_logged(&cnf, p),
+            None => crate::simplify::simplify(&cnf),
+        };
+        // Rebuild the clause store and root assignment from the simplified
+        // formula; heuristic state (activities, saved phases) is kept.
+        self.db = ClauseDb::new();
+        for w in &mut self.watches {
+            w.clear();
+        }
+        self.trail.clear();
+        self.trail_lim.clear();
+        self.qhead = 0;
+        for i in 0..self.assigns.len() {
+            self.assigns[i] = LBool::Undef;
+            self.level[i] = 0;
+            self.reason[i] = None;
+            let v = Var::from_index(i);
+            if !self.order.contains(v) {
+                self.order.insert(v, &self.activity);
+            }
+        }
+        // Re-adding through `add_clause` re-establishes watches and the
+        // unit trail. The simplified formula is at unit-propagation
+        // fixpoint, so no clause is filtered and nothing is re-logged.
+        for c in simplified.clauses() {
+            if !self.add_clause(c.iter().copied()) {
+                break;
+            }
+        }
+        stats
     }
 
     /// Solves the current formula.
@@ -1386,6 +1470,131 @@ mod tests {
         let before = s.stats().assumption_conflicts;
         assert_eq!(s.solve(), SolveResult::Sat);
         assert_eq!(s.stats().assumption_conflicts, before);
+    }
+
+    fn load(cnf: &crate::cnf::CnfFormula, proof: bool) -> Solver {
+        let mut s = Solver::new();
+        if proof {
+            s.enable_proof();
+        }
+        s.new_vars(cnf.num_vars());
+        for c in cnf.clauses() {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+
+    #[test]
+    fn preprocess_preserves_verdicts_and_models() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x9e9);
+        for round in 0..150 {
+            let vars = rng.gen_range(3..10usize);
+            let n_clauses = rng.gen_range(0..30usize);
+            let mut cnf = crate::cnf::CnfFormula::new();
+            cnf.new_vars(vars);
+            for _ in 0..n_clauses {
+                let len = rng.gen_range(1..4usize);
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    c.push(Lit::new(
+                        Var::from_index(rng.gen_range(0..vars)),
+                        rng.gen_bool(0.5),
+                    ));
+                }
+                cnf.add_clause(c);
+            }
+            let baseline = cnf.to_solver().solve();
+            let mut s = cnf.to_solver();
+            s.preprocess();
+            let verdict = s.solve();
+            assert_eq!(baseline, verdict, "round {round}: verdict must not change");
+            if verdict.is_sat() {
+                let m = s.model().expect("sat");
+                assert!(
+                    crate::brute::model_satisfies(&cnf, &m),
+                    "round {round}: model of the preprocessed solver must satisfy the original"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preprocess_alone_refutes_with_checkable_proof() {
+        // All four 2-literal clauses over {a, b}: no units for the solver's
+        // own root propagation, but the simplifier refutes by strengthening.
+        let mut cnf = crate::cnf::CnfFormula::new();
+        cnf.new_vars(2);
+        for c in [[1i64, 2], [1, -2], [-1, 2], [-1, -2]] {
+            cnf.add_clause(c.iter().map(|&n| Lit::from_dimacs(n).unwrap()));
+        }
+        let mut s = load(&cnf, true);
+        assert!(!s.is_known_unsat());
+        let stats = s.preprocess();
+        assert!(stats.found_unsat);
+        assert!(s.is_known_unsat());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let proof = s.take_proof().expect("proof enabled");
+        assert!(proof.derives_empty_clause());
+        crate::proof::check_drat(&cnf, &proof).expect("preprocessing refutation must check");
+    }
+
+    #[test]
+    fn preprocessed_refutations_certify() {
+        // Random mixed-length UNSAT formulas, preprocessed inside the solver
+        // under proof logging: the combined DRAT log must check against the
+        // original formula.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x0dda);
+        let mut checked = 0;
+        for _ in 0..50 {
+            let vars = 8usize;
+            let n_clauses = 45usize;
+            let mut cnf = crate::cnf::CnfFormula::new();
+            cnf.new_vars(vars);
+            for _ in 0..n_clauses {
+                let len = rng.gen_range(1..4usize);
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    c.push(Lit::new(
+                        Var::from_index(rng.gen_range(0..vars)),
+                        rng.gen_bool(0.5),
+                    ));
+                }
+                cnf.add_clause(c);
+            }
+            let mut s = load(&cnf, true);
+            s.preprocess();
+            if s.solve() == SolveResult::Unsat {
+                let proof = s.take_proof().expect("proof enabled");
+                crate::proof::check_drat(&cnf, &proof)
+                    .expect("every preprocessed refutation must check");
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "expected many UNSAT instances, got {checked}");
+    }
+
+    #[test]
+    fn preprocess_then_incremental_solving() {
+        // Preprocessing composes with assumption solving and later clause
+        // additions.
+        let mut s = Solver::new();
+        add(&mut s, &[1, 2, 3]);
+        add(&mut s, &[1, 2]); // subsumes the ternary clause
+        add(&mut s, &[-4]); // root-level unit, survives the round-trip
+        let stats = s.preprocess();
+        assert!(stats.subsumed >= 1);
+        let a = Lit::from_dimacs(1).unwrap();
+        let b = Lit::from_dimacs(2).unwrap();
+        assert_eq!(s.solve_with_assumptions(&[!a]), SolveResult::Sat);
+        assert!(s.model().unwrap().lit_value(b));
+        add(&mut s, &[-2]);
+        assert_eq!(s.solve_with_assumptions(&[!a]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model().unwrap().lit_value(a));
     }
 
     #[test]

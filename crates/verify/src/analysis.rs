@@ -1,5 +1,7 @@
 //! Push-button experiment drivers for every artifact of the paper's
-//! evaluation (experiments E1–E6 of DESIGN.md).
+//! evaluation (experiments E1–E7 of DESIGN.md) plus the E8 scope-scaling
+//! sweep (naive vs optimized vs optimized+preprocessed encodings, with
+//! incremental per-state convergence sweeps — see `docs/ARCHITECTURE.md`).
 //!
 //! Each driver returns plain data with a `Display` that prints the
 //! paper-shaped row(s); the `repro` binary, the Criterion benches, the
@@ -13,7 +15,7 @@ use mca_core::checker::{check_consensus, check_consensus_observed, CheckerOption
 use mca_core::scenarios::{self, PolicyCell};
 use mca_core::{Network, Simulator};
 use mca_obs::{Event, SharedObserver};
-use mca_relalg::{RelationStats, TranslationStats};
+use mca_relalg::{RelationStats, TranslateError, TranslationStats};
 use mca_sat::SolverStats;
 use std::fmt;
 use std::time::Instant;
@@ -649,6 +651,267 @@ pub fn run_approximation_ratio(seeds: &[u64]) -> Vec<WelfareRow> {
     rows
 }
 
+// ---------------------------------------------------------------- E8 ----
+
+/// The three encoding variants the E8 scaling sweep compares:
+/// `(label, encoding, preprocess)`.
+pub const E8_VARIANTS: [(&str, NumberEncoding, bool); 3] = [
+    ("naive", NumberEncoding::NaiveInt, false),
+    ("optimized", NumberEncoding::OptimizedValue, false),
+    ("optimized+pre", NumberEncoding::OptimizedValue, true),
+];
+
+/// The E8 scope axis: `(pnodes, vnodes)` pairs from 2×2 up to 4×3, with
+/// 5×3 as the stretch scope when `stretch` is set.
+pub fn e8_scopes(stretch: bool) -> Vec<(usize, usize)> {
+    let mut scopes = vec![(2, 2), (3, 2), (3, 3), (4, 3)];
+    if stretch {
+        scopes.push((5, 3));
+    }
+    scopes
+}
+
+/// One encoding variant's measurement at one E8 scope.
+#[derive(Clone, Debug)]
+pub struct ScaleVariant {
+    /// Variant label (one of [`E8_VARIANTS`]).
+    pub variant: String,
+    /// Consensus verdict at the scenario's final state.
+    pub valid: bool,
+    /// End-to-end seconds for build + translate + (preprocess +) solve.
+    pub check_secs: f64,
+    /// Translation sizes (facts + goal circuit).
+    pub stats: TranslationStats,
+    /// CDCL statistics.
+    pub solver: SolverStats,
+    /// Preprocessor statistics, for the preprocessed variant.
+    pub simplify: Option<mca_sat::SimplifyStats>,
+}
+
+/// One scope row of the E8 scaling sweep: the three encoding variants plus
+/// the incremental per-state convergence sweep.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Scope label, e.g. `"3x2"`.
+    pub scope: String,
+    /// Physical nodes (agents).
+    pub pnodes: usize,
+    /// Virtual nodes (items).
+    pub vnodes: usize,
+    /// `netState` count of the scenario.
+    pub states: usize,
+    /// One entry per [`E8_VARIANTS`] element, in that order.
+    pub variants: Vec<ScaleVariant>,
+    /// Incremental, preprocessed per-state sweep (optimized encoding):
+    /// the facts are encoded once and every state's consensus query is
+    /// answered by the same solver.
+    pub sweep: crate::dynamic_model::ConsensusSweep,
+    /// Seconds for the whole sweep.
+    pub sweep_secs: f64,
+}
+
+impl ScaleRow {
+    /// `true` when all three variants and the sweep's final state agree on
+    /// the verdict — E8's bit-identical-verdict requirement.
+    pub fn verdicts_agree(&self) -> bool {
+        let v = self.valid();
+        self.variants.iter().all(|x| x.valid == v)
+            && self.sweep.per_state.last().copied() == Some(v)
+    }
+
+    /// The consensus verdict at this scope (from the first variant).
+    pub fn valid(&self) -> bool {
+        self.variants.first().map(|v| v.valid).unwrap_or(false)
+    }
+}
+
+impl fmt::Display for ScaleRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  scope {} ({} states): consensus {}  {}",
+            self.scope,
+            self.states,
+            if self.valid() { "VALID" } else { "REFUTED" },
+            if self.verdicts_agree() {
+                "✓ all variants agree"
+            } else {
+                "✗ VERDICT MISMATCH"
+            }
+        )?;
+        for v in &self.variants {
+            write!(
+                f,
+                "    {:<14} vars={:>7} clauses={:>8} conflicts={:>7} check={:>8.3}s",
+                v.variant, v.stats.cnf_vars, v.stats.cnf_clauses, v.solver.conflicts, v.check_secs
+            )?;
+            if let Some(s) = &v.simplify {
+                write!(
+                    f,
+                    "  (pre: -{} subsumed, -{} lits)",
+                    s.subsumed, s.strengthened_literals
+                )?;
+            }
+            writeln!(f)?;
+        }
+        write!(
+            f,
+            "    incremental sweep: valid from state {}  conflicts={}  {:.3}s",
+            self.sweep
+                .valid_from
+                .map_or("never".into(), |k| k.to_string()),
+            self.sweep.solver.conflicts,
+            self.sweep_secs
+        )
+    }
+}
+
+/// E8: checks consensus at growing scopes under all three encoding
+/// variants (naive, optimized, optimized+preprocessed) and runs the
+/// incremental per-state convergence sweep at each scope.
+///
+/// # Errors
+///
+/// Propagates translation errors.
+pub fn run_scale_sweep(scopes: &[(usize, usize)]) -> Result<Vec<ScaleRow>, TranslateError> {
+    run_scale_sweep_observed(scopes, None)
+}
+
+/// [`run_scale_sweep`] with an optional observer: the preprocessed
+/// variant reports a [`Event::SimplifyDone`] per scope and the sweep one
+/// [`Event::IncrementalSolve`] per state query.
+///
+/// # Errors
+///
+/// Propagates translation errors.
+pub fn run_scale_sweep_observed(
+    scopes: &[(usize, usize)],
+    observer: Option<SharedObserver>,
+) -> Result<Vec<ScaleRow>, TranslateError> {
+    scopes
+        .iter()
+        .map(|&(p, v)| {
+            let row = scale_row(p, v)?;
+            if let Some(obs) = &observer {
+                emit_scale_row(obs, &row);
+            }
+            Ok(row)
+        })
+        .collect()
+}
+
+/// Measures one E8 scope: all three variants plus the incremental sweep.
+///
+/// # Errors
+///
+/// Propagates translation errors.
+pub fn scale_row(pnodes: usize, vnodes: usize) -> Result<ScaleRow, TranslateError> {
+    let scenario = DynamicScenario::at_scope(pnodes, vnodes);
+    let mut variants = Vec::with_capacity(E8_VARIANTS.len());
+    for (label, encoding, preprocess) in E8_VARIANTS {
+        variants.push(scale_variant(pnodes, vnodes, label, encoding, preprocess)?);
+    }
+    let (sweep, sweep_secs) = scale_sweep_at(pnodes, vnodes)?;
+    Ok(ScaleRow {
+        scope: scenario.scope_label(),
+        pnodes,
+        vnodes,
+        states: scenario.states,
+        variants,
+        sweep,
+        sweep_secs,
+    })
+}
+
+/// Measures a single E8 (scope, variant) cell — the unit of work the
+/// parallel driver fans across the runtime's batch pool.
+///
+/// # Errors
+///
+/// Propagates translation errors.
+pub fn scale_variant(
+    pnodes: usize,
+    vnodes: usize,
+    label: &str,
+    encoding: NumberEncoding,
+    preprocess: bool,
+) -> Result<ScaleVariant, TranslateError> {
+    let start = Instant::now();
+    let model = DynamicModel::build(encoding, DynamicScenario::at_scope(pnodes, vnodes));
+    let check = model.check_consensus_opts(preprocess)?;
+    Ok(ScaleVariant {
+        variant: label.to_string(),
+        valid: check.valid,
+        check_secs: start.elapsed().as_secs_f64(),
+        stats: check.stats,
+        solver: check.solver,
+        simplify: check.simplify,
+    })
+}
+
+/// Runs one scope's incremental, preprocessed per-state sweep (optimized
+/// encoding); returns the sweep and its wall-clock seconds.
+///
+/// # Errors
+///
+/// Propagates translation errors.
+pub fn scale_sweep_at(
+    pnodes: usize,
+    vnodes: usize,
+) -> Result<(crate::dynamic_model::ConsensusSweep, f64), TranslateError> {
+    let start = Instant::now();
+    let model = DynamicModel::build(
+        NumberEncoding::OptimizedValue,
+        DynamicScenario::at_scope(pnodes, vnodes),
+    );
+    let sweep = model.convergence_sweep(true)?;
+    Ok((sweep, start.elapsed().as_secs_f64()))
+}
+
+/// Reports a finished [`ScaleRow`] to an observer: one
+/// [`Event::SimplifyDone`] per preprocessed variant (and one for the
+/// sweep's shared prefix), one [`Event::IncrementalSolve`] per sweep
+/// query. Emission is deterministic — events describe logical progress,
+/// so they are identical no matter which worker measured the row.
+pub fn emit_scale_row(obs: &SharedObserver, row: &ScaleRow) {
+    for v in &row.variants {
+        if let Some(s) = &v.simplify {
+            obs.emit(&Event::SimplifyDone {
+                label: format!("e8:{}:{}", row.scope, v.variant),
+                subsumed: s.subsumed as u64,
+                strengthened_literals: s.strengthened_literals as u64,
+                propagated_literals: s.propagated_literals as u64,
+                satisfied_clauses: s.satisfied_clauses as u64,
+                found_unsat: s.found_unsat,
+            });
+        }
+    }
+    if let Some(s) = &row.sweep.simplify {
+        obs.emit(&Event::SimplifyDone {
+            label: format!("e8:{}:sweep", row.scope),
+            subsumed: s.subsumed as u64,
+            strengthened_literals: s.strengthened_literals as u64,
+            propagated_literals: s.propagated_literals as u64,
+            satisfied_clauses: s.satisfied_clauses as u64,
+            found_unsat: s.found_unsat,
+        });
+    }
+    for (k, (&valid, &conflicts)) in row
+        .sweep
+        .per_state
+        .iter()
+        .zip(&row.sweep.conflicts_after)
+        .enumerate()
+    {
+        obs.emit(&Event::IncrementalSolve {
+            label: format!("e8:{}:sweep", row.scope),
+            query: k as u64,
+            valid,
+            conflicts,
+        });
+    }
+}
+
 /// Convenience for tests/benches: an attacked simulator alongside a
 /// compliant one at matched scale.
 pub fn matched_pair(n: usize, seed: u64) -> (Simulator, Simulator) {
@@ -717,6 +980,33 @@ mod tests {
             // One EncodingDone per (scope, encoding) pair.
             assert_eq!(done.len(), rows.len() * 2);
             assert!(sink.events.iter().any(|e| e.kind() == "relation-encoded"));
+        });
+    }
+
+    #[test]
+    fn scale_sweep_smoke_verdicts_agree_and_events_flow() {
+        let handle = mca_obs::Handle::new(mca_obs::CollectSink::default());
+        let rows =
+            run_scale_sweep_observed(&[(2, 2)], Some(handle.observer())).expect("scale sweep");
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert!(row.verdicts_agree(), "verdict mismatch: {row}");
+        assert!(row.valid(), "the 2x2 compliant scope must reach consensus");
+        assert_eq!(row.variants.len(), E8_VARIANTS.len());
+        assert!(
+            row.variants[2].simplify.is_some(),
+            "the preprocessed variant must report simplifier stats"
+        );
+        assert_eq!(row.sweep.per_state.len(), row.states);
+        handle.with(|sink| {
+            assert!(sink.events.iter().any(|e| e.kind() == "simplify-done"));
+            assert_eq!(
+                sink.events
+                    .iter()
+                    .filter(|e| e.kind() == "incremental-solve")
+                    .count(),
+                row.states
+            );
         });
     }
 

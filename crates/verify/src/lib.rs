@@ -15,9 +15,13 @@
 //!   (Alloy-`Int`-style atoms + wide relations) and optimized (the `value`
 //!   signature + `bidTriple`-style binary fields), enabling the
 //!   "Abstractions Efficiency" comparison (E5).
-//! * [`analysis`] — one driver per evaluation artifact (E1–E6), shared by
+//! * [`analysis`] — one driver per evaluation artifact (E1–E8), shared by
 //!   the `repro` harness, the Criterion benches, the examples and the
-//!   integration tests.
+//!   integration tests. E8 extends past the paper: scope-parametric
+//!   scenarios ([`DynamicScenario::at_scope`]) checked under three
+//!   encoding pipelines (naive, optimized, optimized + DRAT-logged
+//!   preprocessing) with incremental per-state convergence sweeps
+//!   ([`DynamicModel::convergence_sweep`]).
 //!
 //! Two verification engines cross-validate each other: the SAT pipeline
 //! (`mca-sat` → `mca-relalg` → `mca-alloy`, like the Alloy Analyzer) and
@@ -48,6 +52,6 @@ mod encoding;
 pub mod parallel;
 mod static_model;
 
-pub use dynamic_model::{DynamicModel, DynamicScenario};
+pub use dynamic_model::{ConsensusSweep, DynamicModel, DynamicScenario, ScopedCheck};
 pub use encoding::{NumberEncoding, Numbers};
 pub use static_model::{StaticModel, StaticScope};

@@ -10,11 +10,15 @@
 //! 1-thread and an N-thread run. The `runtime_determinism` integration
 //! test pins this.
 
-use crate::analysis::{verdict_detail, AttackReport, PolicyMatrixRow};
-use crate::dynamic_model::{DynamicModel, DynamicScenario};
+use crate::analysis::{
+    scale_sweep_at, scale_variant, verdict_detail, AttackReport, PolicyMatrixRow, ScaleRow,
+    ScaleVariant, E8_VARIANTS,
+};
+use crate::dynamic_model::{ConsensusSweep, DynamicModel, DynamicScenario};
 use crate::encoding::NumberEncoding;
 use mca_core::checker::{check_consensus, CheckerOptions};
 use mca_core::scenarios::{self, ExtendedPolicyCell, PolicyCell};
+use mca_relalg::TranslateError;
 use mca_runtime::{
     solve_cubes, solve_portfolio, CubeReport, PortfolioEntry, PortfolioReport, Runtime,
 };
@@ -200,6 +204,74 @@ pub fn run_rebid_attack_parallel(rt: &Runtime) -> AttackReport {
     }
 }
 
+/// One piece of an E8 scope, computed as an independent job.
+enum ScalePiece {
+    Variant(Result<ScaleVariant, TranslateError>),
+    Sweep(Result<(ConsensusSweep, f64), TranslateError>),
+}
+
+/// E8 in parallel: every (scope, variant) cell and every per-scope
+/// incremental sweep becomes one job in the runtime's batch pool —
+/// `|scopes| × 4` jobs in total, labelled `e8:<scope>:<variant>` and
+/// `e8:<scope>:sweep`. Rows come back in scope order and are
+/// field-for-field identical to [`crate::analysis::run_scale_sweep`]
+/// apart from the wall-clock columns.
+///
+/// # Errors
+///
+/// Propagates the first translation error of any cell.
+pub fn run_scale_sweep_parallel(
+    rt: &Runtime,
+    scopes: &[(usize, usize)],
+) -> Result<Vec<ScaleRow>, TranslateError> {
+    type PieceJob = Box<dyn FnOnce(&mca_sat::CancelToken) -> ScalePiece + Send>;
+    let mut jobs: Vec<(String, PieceJob)> = Vec::new();
+    for &(p, v) in scopes {
+        for (label, encoding, preprocess) in E8_VARIANTS {
+            jobs.push((
+                format!("e8:{p}x{v}:{label}"),
+                Box::new(move |_| {
+                    ScalePiece::Variant(scale_variant(p, v, label, encoding, preprocess))
+                }),
+            ));
+        }
+        jobs.push((
+            format!("e8:{p}x{v}:sweep"),
+            Box::new(move |_| ScalePiece::Sweep(scale_sweep_at(p, v))),
+        ));
+    }
+    let jobs: Vec<(String, _)> = jobs
+        .into_iter()
+        .map(|(label, job)| (label, move |token: &mca_sat::CancelToken| job(token)))
+        .collect();
+    let mut pieces = rt.run_batch(jobs).into_iter();
+    let mut rows = Vec::with_capacity(scopes.len());
+    for &(p, v) in scopes {
+        let scenario = DynamicScenario::at_scope(p, v);
+        let mut variants = Vec::with_capacity(E8_VARIANTS.len());
+        for _ in E8_VARIANTS {
+            match pieces.next().expect("one piece per variant") {
+                ScalePiece::Variant(r) => variants.push(r?),
+                ScalePiece::Sweep(_) => unreachable!("variant pieces precede the sweep"),
+            }
+        }
+        let (sweep, sweep_secs) = match pieces.next().expect("one sweep piece per scope") {
+            ScalePiece::Sweep(r) => r?,
+            ScalePiece::Variant(_) => unreachable!("the sweep piece closes a scope"),
+        };
+        rows.push(ScaleRow {
+            scope: scenario.scope_label(),
+            pnodes: p,
+            vnodes: v,
+            states: scenario.states,
+            variants,
+            sweep,
+            sweep_secs,
+        });
+    }
+    Ok(rows)
+}
+
 /// The consensus assertion checked by a portfolio of diversified solver
 /// configurations racing on the model's `facts ∧ ¬consensus` CNF.
 /// Returns the validity verdict (valid ⇔ the CNF is UNSAT — never differs
@@ -276,6 +348,26 @@ mod tests {
             if row.cell.submodular && !row.cell.rebid {
                 assert!(row.matches_paper(), "unexpected verdict: {row}");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_scale_sweep_matches_sequential() {
+        let rt = Runtime::new(2);
+        let par = run_scale_sweep_parallel(&rt, &[(2, 2)]).expect("parallel sweep");
+        let seq = crate::analysis::run_scale_sweep(&[(2, 2)]).expect("sequential sweep");
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.scope, s.scope);
+            assert_eq!(p.states, s.states);
+            assert!(p.verdicts_agree(), "parallel verdict mismatch: {p}");
+            for (pv, sv) in p.variants.iter().zip(&s.variants) {
+                assert_eq!(pv.variant, sv.variant);
+                assert_eq!(pv.valid, sv.valid);
+                assert_eq!(pv.stats.cnf_clauses, sv.stats.cnf_clauses);
+            }
+            assert_eq!(p.sweep.per_state, s.sweep.per_state);
+            assert_eq!(p.sweep.valid_from, s.sweep.valid_from);
         }
     }
 

@@ -1,5 +1,12 @@
 //! `mca-suite` — umbrella package re-exporting the MCA verification suite crates
 //! for use by the repository-level examples and integration tests.
+//!
+//! The README below is compiled into this crate's documentation, which
+//! makes its API snippets **tested doc examples**: `cargo test --doc -p
+//! mca-suite` builds and runs every Rust block of the quickstart tour.
+#![doc = include_str!("../README.md")]
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use mca_alloy as alloy;
 pub use mca_core as core;
