@@ -7,7 +7,23 @@
 //! repro e5 --metrics e5.json     # write a metrics registry as JSON
 //! repro --trace run.jsonl        # write a JSONL event trace
 //! repro e3 --threads 4           # fan E3/E4 across 4 workers
+//! repro report run.jsonl         # render a profiling report from a trace
+//! repro diff old.json new.json   # regression-gate two BENCH artifacts
 //! ```
+//!
+//! With `--trace`, the run also records hierarchical **spans**: one
+//! `repro.<exp>` root per experiment, with `relalg.encode`, `sat.solve`,
+//! `sat.restart-epoch`, `verify.state-query`, and (on multi-threaded runs)
+//! `runtime.job:*` children. Span events carry wall-clock timestamps and
+//! resource fields, so a trace with spans is **not** byte-reproducible
+//! across runs — the logical (non-span) events still are.
+//!
+//! `repro report <trace.jsonl>` renders a self-contained markdown (or
+//! `--html`) report from such a trace: span-tree time breakdown, top-k hot
+//! spans, event counts, and (with `--metrics`) metrics tables and
+//! histograms. `repro diff <old.json> <new.json>` compares two `BENCH_*`
+//! artifacts and exits 1 when a `*secs*` / `*clauses*` / `*conflicts*`
+//! leaf regressed past its threshold — the CI tripwire.
 //!
 //! `--threads N` routes E3 and E4 through the `mca-runtime` work-stealing
 //! pool (`--threads 0`, the default, auto-detects the machine's
@@ -26,7 +42,10 @@
 //! the 5×3 scope to the default 2×2 → 4×3 axis.
 
 use mca_obs::json::Json;
-use mca_obs::{Handle, JsonlSink, Metrics, SharedObserver};
+use mca_obs::{Handle, JsonlSink, Metrics, SharedObserver, SpanRecorder};
+use mca_report::{
+    diff_bench, render_html, render_markdown, DiffConfig, ParsedTrace, ReportOptions,
+};
 use mca_runtime::{diversified_configs, Runtime};
 use mca_verify::analysis::{self, EncodingRow};
 use mca_verify::parallel;
@@ -64,6 +83,11 @@ fn is_experiment(id: &str) -> bool {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => cmd_report(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        _ => {}
+    }
     if args.iter().any(|a| a == "--list") {
         for (id, desc) in EXPERIMENTS {
             println!("{id}  {desc}");
@@ -123,9 +147,9 @@ fn main() {
         selected = EXPERIMENTS.iter().map(|(id, _)| id.to_string()).collect();
     }
 
-    // One trace sink and one metrics registry span the whole run; events
-    // are keyed by logical progress, so the trace is deterministic for a
-    // fixed experiment selection.
+    // One trace sink and one metrics registry span the whole run. Logical
+    // events are keyed by progress and deterministic for a fixed experiment
+    // selection; span events (below) add wall-clock timestamps on top.
     let trace: Option<Handle<JsonlSink<BufWriter<File>>>> =
         trace_path
             .as_ref()
@@ -137,6 +161,9 @@ fn main() {
                 }
             });
     let observer: Option<SharedObserver> = trace.as_ref().map(Handle::observer);
+    // Spans are opt-in: only a traced run pays for clock reads, and only
+    // the trace file sees the (wall-clock, hence non-reproducible) events.
+    let spans: Option<SpanRecorder> = observer.as_ref().map(|o| SpanRecorder::new(o.clone()));
     let mut metrics = Metrics::new();
     // The pool exists only for multi-threaded runs; `--threads 1` keeps
     // the sequential drivers on the main thread.
@@ -145,10 +172,18 @@ fn main() {
     let mut all_match = true;
     for exp in &selected {
         println!("{}", "=".repeat(76));
+        let root = spans.as_ref().map(|r| r.enter(&format!("repro.{exp}")));
         match exp.as_str() {
             "e1" => all_match &= run_e1(&mut metrics, observer.clone()),
             "e2" => all_match &= run_e2(&mut metrics),
-            "e3" => all_match &= run_e3(&mut metrics, observer.clone(), runtime.as_ref()),
+            "e3" => {
+                all_match &= run_e3(
+                    &mut metrics,
+                    observer.clone(),
+                    runtime.as_ref(),
+                    spans.as_ref(),
+                )
+            }
             "e4" => all_match &= run_e4(&mut metrics, runtime.as_ref()),
             "e5" => all_match &= run_e5(&mut metrics, observer.clone(), threads),
             "e6" => all_match &= run_e6(&mut metrics),
@@ -158,6 +193,7 @@ fn main() {
                     &mut metrics,
                     observer.clone(),
                     runtime.as_ref(),
+                    spans.as_ref(),
                     threads,
                     smoke,
                     stretch,
@@ -168,17 +204,28 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        if let Some(mut root) = root {
+            if let Some(kb) = mca_obs::peak_rss_kb() {
+                root.field("peak_rss_kb", kb);
+            }
+        }
         println!();
     }
 
     // Job lifecycles land in the same trace and metrics registry as the
-    // experiment events, in deterministic (job-id) order.
+    // experiment events, in deterministic (job-id) order. Job execution
+    // *windows* (wall-clock spans) are replayed separately, only into a
+    // span-recording trace.
     if let Some(rt) = &runtime {
         if let Some(obs) = &observer {
             rt.emit_job_events(obs);
         }
+        if let Some(spans) = &spans {
+            rt.emit_job_spans(spans);
+        }
         rt.record_metrics(&mut metrics, "runtime");
     }
+    drop(spans);
 
     if let Some(path) = &metrics_path {
         match std::fs::write(path, metrics.to_json().render() + "\n") {
@@ -201,7 +248,12 @@ fn main() {
                 }
                 println!("{written} events traced to {path}");
             }
-            Err(_) => eprintln!("trace sink still shared; {path} may be incomplete"),
+            Err(_) => {
+                // A leaked reference means buffered events may never be
+                // flushed — that is a bug, not a warning.
+                eprintln!("trace sink still shared; {path} may be incomplete");
+                std::process::exit(2);
+            }
         }
     }
 
@@ -217,6 +269,152 @@ fn main() {
     if !all_match {
         std::process::exit(1);
     }
+}
+
+/// Writes a `BENCH_*` artifact, exiting nonzero on failure — a benchmark
+/// run whose artifact silently vanished must not look green.
+fn write_bench_file(path: &str, doc: &Json) {
+    if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// The process-level resource record attached to every `BENCH_*` artifact.
+fn resources_json() -> Json {
+    Json::obj([(
+        "peak_rss_kb",
+        mca_obs::peak_rss_kb().map_or(Json::Null, Json::from),
+    )])
+}
+
+/// `repro report <trace.jsonl> [--metrics m.json] [--out path] [--html] [--top N]`
+fn cmd_report(args: &[String]) -> ! {
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut html = false;
+    let mut top = 10usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics" => metrics_path = Some(subcommand_flag_value(args, &mut i, "--metrics")),
+            "--out" => out_path = Some(subcommand_flag_value(args, &mut i, "--out")),
+            "--html" => html = true,
+            "--top" => {
+                let v = subcommand_flag_value(args, &mut i, "--top");
+                top = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--top requires a number, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            other if trace_path.is_none() && !other.starts_with('-') => {
+                trace_path = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown report argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(trace_path) = trace_path else {
+        eprintln!(
+            "usage: repro report <trace.jsonl> [--metrics m.json] [--out path] [--html] [--top N]"
+        );
+        std::process::exit(2);
+    };
+    let text = read_or_die(&trace_path);
+    let trace = ParsedTrace::parse(&text);
+    let metrics = metrics_path.as_ref().map(|p| {
+        let text = read_or_die(p);
+        Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse metrics file {p}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let opts = ReportOptions {
+        top,
+        source: trace_path.clone(),
+    };
+    let markdown = render_markdown(&trace, metrics.as_ref(), &opts);
+    let rendered = if html {
+        render_html(&markdown, &format!("mca-report: {trace_path}"))
+    } else {
+        markdown
+    };
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                eprintln!("cannot write report file {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("report written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    std::process::exit(0);
+}
+
+/// `repro diff <old.json> <new.json> [--max-time-ratio R] [--max-clause-ratio R]
+/// [--max-conflict-ratio R] [--min-secs S]` — exits 1 on regression.
+fn cmd_diff(args: &[String]) -> ! {
+    let mut cfg = DiffConfig::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let mut ratio = |slot: &mut f64| {
+            let v = subcommand_flag_value(args, &mut i, &flag);
+            *slot = v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} requires a number, got `{v}`");
+                std::process::exit(2);
+            });
+        };
+        match flag.as_str() {
+            "--max-time-ratio" => ratio(&mut cfg.max_time_ratio),
+            "--max-clause-ratio" => ratio(&mut cfg.max_clause_ratio),
+            "--max-conflict-ratio" => ratio(&mut cfg.max_conflict_ratio),
+            "--min-secs" => ratio(&mut cfg.min_secs),
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => {
+                eprintln!("unknown diff argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: repro diff <old.json> <new.json> [--max-time-ratio R] [--max-clause-ratio R] [--max-conflict-ratio R] [--min-secs S]");
+        std::process::exit(2);
+    };
+    let parse = |path: &str| {
+        Json::parse(&read_or_die(path)).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let outcome = diff_bench(&parse(old_path), &parse(new_path), &cfg);
+    print!("{}", outcome.render());
+    std::process::exit(i32::from(!outcome.is_clean()));
+}
+
+fn subcommand_flag_value(args: &[String], i: &mut usize, name: &str) -> String {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v.clone(),
+        None => {
+            eprintln!("{name} requires an argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn read_or_die(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn run_e1(metrics: &mut Metrics, observer: Option<SharedObserver>) -> bool {
@@ -253,10 +451,17 @@ fn run_e2(metrics: &mut Metrics) -> bool {
     }
 }
 
-fn run_e3(metrics: &mut Metrics, observer: Option<SharedObserver>, rt: Option<&Runtime>) -> bool {
+fn run_e3(
+    metrics: &mut Metrics,
+    observer: Option<SharedObserver>,
+    rt: Option<&Runtime>,
+    spans: Option<&SpanRecorder>,
+) -> bool {
     println!("E3 (Result 1) — policy matrix (exhaustive explicit-state checking)");
     let seq_start = Instant::now();
-    let rows = metrics.time("e3.run", || analysis::run_policy_matrix_observed(observer));
+    let rows = metrics.time("e3.run", || {
+        analysis::run_policy_matrix_spanned(observer, spans)
+    });
     let seq_secs = seq_start.elapsed().as_secs_f64();
     let mut ok = true;
     for row in &rows {
@@ -343,6 +548,7 @@ fn run_e3_parallel(
 
     let bench = Json::obj([
         ("threads", Json::from(rt.threads() as u64)),
+        ("resources", resources_json()),
         (
             "e3",
             Json::obj([
@@ -377,10 +583,8 @@ fn run_e3_parallel(
             ]),
         ),
     ]);
-    match std::fs::write("BENCH_PAR.json", bench.render() + "\n") {
-        Ok(()) => println!("  sequential-vs-parallel comparison written to BENCH_PAR.json"),
-        Err(e) => eprintln!("  cannot write BENCH_PAR.json: {e}"),
-    }
+    write_bench_file("BENCH_PAR.json", &bench);
+    println!("  sequential-vs-parallel comparison written to BENCH_PAR.json");
     outcomes_match && verdict_match
 }
 
@@ -411,13 +615,11 @@ fn run_e5(metrics: &mut Metrics, observer: Option<SharedObserver>, threads: usiz
         ok &= row.clause_ratio() > 1.0 && row.time_ratio() > 1.0;
         record_e5_metrics(metrics, i, row);
     }
-    match std::fs::write(
+    write_bench_file(
         "BENCH_E5.json",
-        bench_e5_json(&rows, wall_clock_secs, threads).render() + "\n",
-    ) {
-        Ok(()) => println!("  per-encoding breakdown written to BENCH_E5.json"),
-        Err(e) => eprintln!("  cannot write BENCH_E5.json: {e}"),
-    }
+        &bench_e5_json(&rows, wall_clock_secs, threads),
+    );
+    println!("  per-encoding breakdown written to BENCH_E5.json");
     println!(
         "  => {}",
         if ok {
@@ -503,6 +705,7 @@ fn bench_e5_json(rows: &[EncodingRow], wall_clock_secs: f64, threads: usize) -> 
         ("experiment", Json::from("e5")),
         ("wall_clock_secs", Json::from(wall_clock_secs)),
         ("threads", Json::from(threads as u64)),
+        ("resources", resources_json()),
         (
             "paper",
             Json::obj([
@@ -550,6 +753,7 @@ fn run_e8(
     metrics: &mut Metrics,
     observer: Option<SharedObserver>,
     rt: Option<&Runtime>,
+    spans: Option<&SpanRecorder>,
     threads: usize,
     smoke: bool,
     stretch: bool,
@@ -579,7 +783,7 @@ fn run_e8(
         }
         None => metrics
             .time("e8.run", || {
-                analysis::run_scale_sweep_observed(&scopes, observer)
+                analysis::run_scale_sweep_spanned(&scopes, observer, spans)
             })
             .expect("well-formed scale models"),
     };
@@ -617,13 +821,11 @@ fn run_e8(
     );
     ok &= cert_ok;
 
-    match std::fs::write(
+    write_bench_file(
         "BENCH_SCALE.json",
-        bench_scale_json(&rows, &certified, wall_clock_secs, threads).render() + "\n",
-    ) {
-        Ok(()) => println!("  scaling sweep written to BENCH_SCALE.json"),
-        Err(e) => eprintln!("  cannot write BENCH_SCALE.json: {e}"),
-    }
+        &bench_scale_json(&rows, &certified, wall_clock_secs, threads),
+    );
+    println!("  scaling sweep written to BENCH_SCALE.json");
     println!(
         "  => {}",
         if ok {
@@ -714,6 +916,7 @@ fn bench_scale_json(
         ("experiment", Json::from("e8")),
         ("wall_clock_secs", Json::from(wall_clock_secs)),
         ("threads", Json::from(threads as u64)),
+        ("resources", resources_json()),
         (
             "certification",
             Json::obj([

@@ -165,6 +165,32 @@ pub enum Event {
         /// The session solver's cumulative conflict count after the query.
         conflicts: u64,
     },
+    /// A hierarchical profiling span opened. Spans are the deliberate
+    /// exception to the no-wall-clock rule: `t_ns` is a monotonic offset
+    /// from the emitting [`SpanRecorder`](crate::span::SpanRecorder)'s
+    /// epoch, so span events appear only in opt-in profiling traces, never
+    /// in the reproducible event stream.
+    SpanEnter {
+        /// Trace-unique span id (allocation order).
+        id: u64,
+        /// The enclosing open span, if any.
+        parent: Option<u64>,
+        /// Span name (e.g. `"sat.solve"`, `"relalg.encode"`).
+        name: String,
+        /// Monotonic nanoseconds since the recorder's epoch.
+        t_ns: u64,
+    },
+    /// The matching close of a [`SpanEnter`](Event::SpanEnter), carrying
+    /// the span's resource-accounting fields (counts and byte/KiB sizes),
+    /// flattened into the JSON object.
+    SpanExit {
+        /// The id from the matching [`SpanEnter`](Event::SpanEnter).
+        id: u64,
+        /// Monotonic nanoseconds since the recorder's epoch.
+        t_ns: u64,
+        /// Resource fields attached at exit, in attachment order.
+        fields: Vec<(String, u64)>,
+    },
     /// Periodic SAT-solver progress (forwarded from the solver's progress
     /// callback, typically every N conflicts).
     SolverProgress {
@@ -200,6 +226,8 @@ impl Event {
             Event::JobCancelled { .. } => "job-cancelled",
             Event::SimplifyDone { .. } => "simplify-done",
             Event::IncrementalSolve { .. } => "incremental-solve",
+            Event::SpanEnter { .. } => "span-enter",
+            Event::SpanExit { .. } => "span-exit",
             Event::SolverProgress { .. } => "solver-progress",
         }
     }
@@ -349,6 +377,33 @@ impl Event {
                 ("valid", valid.into()),
                 ("conflicts", conflicts.into()),
             ]),
+            Event::SpanEnter {
+                id,
+                parent,
+                ref name,
+                t_ns,
+            } => Json::obj([
+                ("event", kind),
+                ("id", id.into()),
+                ("parent", parent.map_or(Json::Null, Json::from)),
+                ("name", name.as_str().into()),
+                ("t_ns", t_ns.into()),
+            ]),
+            Event::SpanExit {
+                id,
+                t_ns,
+                ref fields,
+            } => {
+                let mut pairs = vec![
+                    ("event".to_string(), kind),
+                    ("id".to_string(), id.into()),
+                    ("t_ns".to_string(), t_ns.into()),
+                ];
+                for (name, value) in fields {
+                    pairs.push((name.clone(), (*value).into()));
+                }
+                Json::Object(pairs)
+            }
             Event::SolverProgress {
                 conflicts,
                 decisions,
@@ -471,6 +526,39 @@ mod tests {
             r#"{"event":"incremental-solve","label":"e8:2x2:sweep","query":3,"valid":true,"conflicts":120}"#
         );
         assert_ne!(simplify.kind(), inc.kind());
+    }
+
+    #[test]
+    fn span_events_render_stably() {
+        let root = Event::SpanEnter {
+            id: 0,
+            parent: None,
+            name: "sat.solve".into(),
+            t_ns: 12,
+        };
+        assert_eq!(
+            root.to_json_line(),
+            r#"{"event":"span-enter","id":0,"parent":null,"name":"sat.solve","t_ns":12}"#
+        );
+        let child = Event::SpanEnter {
+            id: 1,
+            parent: Some(0),
+            name: "sat.restart-epoch".into(),
+            t_ns: 20,
+        };
+        assert_eq!(
+            child.to_json_line(),
+            r#"{"event":"span-enter","id":1,"parent":0,"name":"sat.restart-epoch","t_ns":20}"#
+        );
+        let exit = Event::SpanExit {
+            id: 1,
+            t_ns: 95,
+            fields: vec![("conflicts".into(), 4), ("clause_db_bytes".into(), 1024)],
+        };
+        assert_eq!(
+            exit.to_json_line(),
+            r#"{"event":"span-exit","id":1,"t_ns":95,"conflicts":4,"clause_db_bytes":1024}"#
+        );
     }
 
     #[test]

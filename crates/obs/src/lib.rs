@@ -19,6 +19,11 @@
 //! * [`JsonlSink`], [`SummarySink`], [`CollectSink`] — ready-made
 //!   observers: newline-delimited JSON for `jq`, a human-readable run
 //!   summary, and an in-memory vector for tests.
+//! * [`SpanRecorder`] / [`SpanGuard`] — opt-in hierarchical profiling
+//!   spans with monotonic timestamps and resource-accounting exit fields
+//!   (the one sanctioned wall-clock carve-out; plain event traces stay
+//!   byte-identical because nothing emits spans unless a recorder is
+//!   explicitly attached). `mca-report` turns span traces into reports.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,8 +33,11 @@ pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod sink;
+pub mod span;
 
 pub use event::Event;
+pub use json::Json;
 pub use metrics::{Histogram, Metrics};
 pub use observer::{Handle, Observer, SharedObserver};
 pub use sink::{CollectSink, JsonlSink, SummarySink};
+pub use span::{peak_rss_kb, SpanGuard, SpanRecorder};

@@ -2,12 +2,15 @@
 //! an in-memory collector for tests.
 
 use crate::event::Event;
+use crate::metrics::Metrics;
 use crate::observer::Observer;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::rc::Rc;
 
 /// Writes one JSON object per event, newline-delimited — the format `jq`
 /// and most log pipelines consume directly.
@@ -83,12 +86,23 @@ pub struct SummarySink {
     relations: Vec<(String, u64, u64)>,
     jobs_finished: u64,
     jobs_cancelled: u64,
+    spans_open: u64,
+    spans_closed: u64,
+    metrics: Option<Rc<RefCell<Metrics>>>,
 }
 
 impl SummarySink {
     /// A fresh summary.
     pub fn new() -> SummarySink {
         SummarySink::default()
+    }
+
+    /// Attaches a live metrics registry. [`render`](SummarySink::render)
+    /// snapshots the registry **at render time** — not at attach time and
+    /// not at first render — so counters, gauges, histograms, and timers
+    /// registered after an earlier render still appear in later renders.
+    pub fn attach_metrics(&mut self, metrics: Rc<RefCell<Metrics>>) {
+        self.metrics = Some(metrics);
     }
 
     /// How many events of `kind` were seen.
@@ -130,10 +144,28 @@ impl SummarySink {
                 self.jobs_finished, self.jobs_cancelled
             );
         }
+        if self.spans_open + self.spans_closed > 0 {
+            let _ = writeln!(
+                out,
+                "  spans: {} opened, {} closed",
+                self.spans_open, self.spans_closed
+            );
+        }
         if !self.relations.is_empty() {
             out.push_str("  relations encoded:\n");
             for (name, vars, clauses) in &self.relations {
                 let _ = writeln!(out, "    {name:<28} {vars:>8} vars {clauses:>10} clauses");
+            }
+        }
+        if let Some(metrics) = &self.metrics {
+            // Snapshot at render time: registrations made after a previous
+            // render are included here, never dropped.
+            let snapshot = metrics.borrow().summary();
+            if !snapshot.is_empty() {
+                out.push_str("metrics:\n");
+                for line in snapshot.lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
             }
         }
         out
@@ -186,6 +218,12 @@ impl Observer for SummarySink {
             }
             Event::JobCancelled { .. } => {
                 self.jobs_cancelled += 1;
+            }
+            Event::SpanEnter { .. } => {
+                self.spans_open += 1;
+            }
+            Event::SpanExit { .. } => {
+                self.spans_closed += 1;
             }
             Event::EncodingDone { .. }
             | Event::JobScheduled { .. }
@@ -267,6 +305,47 @@ mod tests {
         let text = sink.render();
         assert!(text.contains("outcome: consensus"));
         assert!(text.contains("bidTriple"));
+    }
+
+    #[test]
+    fn summary_sink_counts_spans() {
+        let mut sink = SummarySink::new();
+        sink.on_event(&Event::SpanEnter {
+            id: 0,
+            parent: None,
+            name: "sat.solve".into(),
+            t_ns: 1,
+        });
+        sink.on_event(&Event::SpanExit {
+            id: 0,
+            t_ns: 9,
+            fields: vec![],
+        });
+        assert_eq!(sink.count("span-enter"), 1);
+        assert_eq!(sink.count("span-exit"), 1);
+        assert!(sink.render().contains("spans: 1 opened, 1 closed"));
+    }
+
+    #[test]
+    fn summary_sink_snapshots_metrics_at_render_time() {
+        // Regression: metrics registered *after* the first render must
+        // still appear in later renders — the sink must not freeze the
+        // registry contents at attach time or first flush.
+        let metrics = Rc::new(RefCell::new(Metrics::default()));
+        let mut sink = SummarySink::new();
+        sink.attach_metrics(Rc::clone(&metrics));
+
+        metrics.borrow_mut().inc("early.counter");
+        let first = sink.render();
+        assert!(first.contains("early.counter"));
+        assert!(!first.contains("late.counter"));
+
+        metrics.borrow_mut().inc("late.counter");
+        metrics.borrow_mut().set_gauge("late.gauge", 7);
+        let second = sink.render();
+        assert!(second.contains("early.counter"));
+        assert!(second.contains("late.counter"), "{second}");
+        assert!(second.contains("late.gauge"), "{second}");
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub struct Problem {
     universe: Universe,
     relations: Vec<RelationDecl>,
     facts: Vec<Formula>,
+    spans: Option<mca_obs::SpanRecorder>,
 }
 
 impl Problem {
@@ -78,7 +79,26 @@ impl Problem {
             universe,
             relations: Vec::new(),
             facts: Vec::new(),
+            spans: None,
         }
+    }
+
+    /// Attaches a span recorder: translation emits `relalg.encode` (with
+    /// per-relation `relalg.encode.<name>` children) and the solvers built
+    /// by the check/solve paths inherit the recorder for `sat.*` spans.
+    /// Spans are strictly opt-in — without a recorder no event is emitted
+    /// and no clock is read.
+    pub fn set_spans(&mut self, spans: mca_obs::SpanRecorder) {
+        self.spans = Some(spans);
+    }
+
+    /// Detaches the span recorder.
+    pub fn clear_spans(&mut self) {
+        self.spans = None;
+    }
+
+    pub(crate) fn spans(&self) -> Option<&mca_obs::SpanRecorder> {
+        self.spans.as_ref()
     }
 
     /// The universe of discourse.
@@ -150,6 +170,7 @@ impl Problem {
     /// mismatches, unbound variables, non-integer sums).
     pub fn translate(&self, goal: &Formula) -> Result<Translation, TranslateError> {
         let start = Instant::now();
+        let mut span = self.spans.as_ref().map(|r| r.enter("relalg.encode"));
         let mut tr = Translator::new(self);
         let mut root = tr.formula(goal)?;
         for fact in &self.facts {
@@ -165,6 +186,11 @@ impl Problem {
             cnf_literals: cnf.num_literals(),
             translation_secs: start.elapsed().as_secs_f64(),
         };
+        if let Some(span) = span.as_mut() {
+            span.field("primary_vars", stats.primary_vars as u64);
+            span.field("cnf_vars", stats.cnf_vars as u64);
+            span.field("cnf_clauses", stats.cnf_clauses as u64);
+        }
         let relation_stats = self.relation_stats(&cnf, &input_vars, &tr.input_tuples);
         Ok(Translation {
             cnf,
@@ -194,6 +220,7 @@ impl Problem {
         goals: &[Formula],
     ) -> Result<(Translation, Vec<mca_sat::Lit>), TranslateError> {
         let start = Instant::now();
+        let mut span = self.spans.as_ref().map(|r| r.enter("relalg.encode"));
         let mut tr = Translator::new(self);
         let mut root = tr.formula(&Formula::true_())?;
         for fact in &self.facts {
@@ -213,6 +240,12 @@ impl Problem {
             cnf_literals: cnf.num_literals(),
             translation_secs: start.elapsed().as_secs_f64(),
         };
+        if let Some(span) = span.as_mut() {
+            span.field("primary_vars", stats.primary_vars as u64);
+            span.field("cnf_vars", stats.cnf_vars as u64);
+            span.field("cnf_clauses", stats.cnf_clauses as u64);
+            span.field("goals", goals.len() as u64);
+        }
         let relation_stats = self.relation_stats(&cnf, &input_vars, &tr.input_tuples);
         Ok((
             Translation {
@@ -250,6 +283,9 @@ impl Problem {
         let goals: Vec<Formula> = assertions.iter().map(|a| a.not()).collect();
         let (translation, goal_lits) = self.translate_goals(&goals)?;
         let mut solver = mca_sat::Solver::new();
+        if let Some(spans) = &self.spans {
+            solver.set_spans(spans.clone());
+        }
         solver.new_vars(translation.cnf.num_vars());
         for c in translation.cnf.clauses() {
             solver.add_clause(c.iter().copied());
@@ -324,6 +360,9 @@ impl Problem {
         let translation = self.translate(goal)?;
         let start = Instant::now();
         let mut solver = translation.cnf.to_solver();
+        if let Some(spans) = &self.spans {
+            solver.set_spans(spans.clone());
+        }
         let result = match solver.solve() {
             SolveResult::Sat => {
                 let model = solver.model().expect("model after Sat");
@@ -393,6 +432,9 @@ impl Problem {
         let translation = self.translate(&assertion.not())?;
         let start = Instant::now();
         let mut solver = mca_sat::Solver::new();
+        if let Some(spans) = &self.spans {
+            solver.set_spans(spans.clone());
+        }
         solver.enable_proof();
         solver.new_vars(translation.cnf.num_vars());
         for c in translation.cnf.clauses() {
@@ -409,7 +451,12 @@ impl Problem {
             }
             SolveResult::Unsat => {
                 let proof = solver.take_proof().expect("proof was enabled");
+                let mut span = self.spans.as_ref().map(|r| r.enter("sat.drat-check"));
                 let verified = mca_sat::check_drat(&translation.cnf, &proof).is_ok();
+                if let Some(span) = span.as_mut() {
+                    span.field("steps", proof.len() as u64);
+                    span.field("verified", u64::from(verified));
+                }
                 (
                     Check::Valid,
                     Some(ProofCertificate {

@@ -172,6 +172,10 @@ impl<'p> Translator<'p> {
         let mut input_tuples = Vec::new();
         for rid in problem.relation_ids() {
             let decl = problem.relation(rid);
+            let mut span = problem
+                .spans()
+                .map(|r| r.enter(&format!("relalg.encode.{}", decl.name())));
+            let inputs_before = input_tuples.len();
             let mut m = Matrix::filled(decl.arity(), n, circuit.fls());
             for t in decl.upper().iter() {
                 let coords: Vec<usize> = t.atoms().iter().map(|a| a.index()).collect();
@@ -182,6 +186,11 @@ impl<'p> Translator<'p> {
                     input_tuples.push((rid, t.clone()));
                     m.set(&coords, input);
                 }
+            }
+            if let Some(span) = span.as_mut() {
+                span.field("arity", decl.arity() as u64);
+                span.field("upper_tuples", decl.upper().len() as u64);
+                span.field("primary_vars", (input_tuples.len() - inputs_before) as u64);
             }
             rel_matrices.push(m);
         }

@@ -1,0 +1,325 @@
+//! Threshold diffing of two `BENCH_*.json` artifacts.
+//!
+//! The diff walks both documents in parallel, aligning object-array
+//! elements by their identifying key (`scope` / `variant` / `encoding` /
+//! `label` / `relation`) so a baseline with four scopes compares cleanly
+//! against a smoke run with one. Only paths present in **both** files are
+//! compared — new resource fields in a fresh run never trip against an
+//! older baseline.
+//!
+//! Three leaf families are gated, classified by the leaf's key name:
+//!
+//! * **time** (`*secs*`) — wall clock; noisy, so values below
+//!   [`DiffConfig::min_secs`] are ignored entirely.
+//! * **clauses** (`*clauses*`) — deterministic encoder output; the real
+//!   tripwire.
+//! * **conflicts** (`*conflicts*`) — deterministic solver work.
+//!
+//! A leaf regresses when `new > old × ratio` for its family's ratio.
+//! Leaves with an old value of 0 are skipped (no meaningful ratio).
+
+use mca_obs::Json;
+
+/// Regression thresholds. Each ratio is the allowed `new / old` factor.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffConfig {
+    /// Allowed growth factor for `*secs*` leaves.
+    pub max_time_ratio: f64,
+    /// Allowed growth factor for `*clauses*` leaves.
+    pub max_clause_ratio: f64,
+    /// Allowed growth factor for `*conflicts*` leaves.
+    pub max_conflict_ratio: f64,
+    /// Time leaves where **both** values are below this many seconds are
+    /// ignored — sub-threshold timings are scheduler noise.
+    pub min_secs: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            max_time_ratio: 2.0,
+            max_clause_ratio: 2.0,
+            max_conflict_ratio: 2.0,
+            min_secs: 0.05,
+        }
+    }
+}
+
+/// Which gated family a leaf belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Wall-clock seconds (`*secs*`).
+    Time,
+    /// CNF clause counts (`*clauses*`).
+    Clauses,
+    /// Solver conflict counts (`*conflicts*`).
+    Conflicts,
+}
+
+impl MetricKind {
+    fn classify(key: &str) -> Option<MetricKind> {
+        if key.contains("secs") {
+            Some(MetricKind::Time)
+        } else if key.contains("clauses") {
+            Some(MetricKind::Clauses)
+        } else if key.contains("conflicts") {
+            Some(MetricKind::Conflicts)
+        } else {
+            None
+        }
+    }
+}
+
+/// One threshold violation.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// Dotted path of the regressed leaf (array steps keyed, e.g.
+    /// `scopes[scope=2x2].variants[variant=optimized].check_secs`).
+    pub path: String,
+    /// The leaf's family.
+    pub kind: MetricKind,
+    /// Baseline value.
+    pub old: f64,
+    /// New value.
+    pub new: f64,
+    /// `new / old`.
+    pub ratio: f64,
+    /// The threshold it violated.
+    pub limit: f64,
+}
+
+/// The outcome of a diff: gated-leaf count and any violations.
+#[derive(Clone, Debug, Default)]
+pub struct DiffOutcome {
+    /// Gated leaves compared (present in both files, nonzero baseline).
+    pub compared: usize,
+    /// Threshold violations, in document order.
+    pub regressions: Vec<Regression>,
+}
+
+impl DiffOutcome {
+    /// `true` when no threshold was violated.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// A human-readable summary, one line per regression.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "compared {} gated leaves", self.compared);
+        if self.regressions.is_empty() {
+            out.push_str("no regressions\n");
+        }
+        for r in &self.regressions {
+            let _ = writeln!(
+                out,
+                "REGRESSION {}: {} -> {} ({:.2}x > {:.2}x allowed)",
+                r.path, r.old, r.new, r.ratio, r.limit
+            );
+        }
+        out
+    }
+}
+
+/// Keys that identify an element of an object array for alignment.
+const ALIGN_KEYS: [&str; 6] = [
+    "scope",
+    "variant",
+    "encoding",
+    "label",
+    "relation",
+    "experiment",
+];
+
+fn align_key(v: &Json) -> Option<(String, String)> {
+    for key in ALIGN_KEYS {
+        if let Some(s) = v.get(key) {
+            let rendered = match s {
+                Json::Str(s) => s.clone(),
+                other => other.render(),
+            };
+            return Some((key.to_string(), rendered));
+        }
+    }
+    None
+}
+
+/// Diffs two parsed BENCH documents under `cfg`.
+pub fn diff_bench(old: &Json, new: &Json, cfg: &DiffConfig) -> DiffOutcome {
+    let mut outcome = DiffOutcome::default();
+    walk(old, new, String::new(), cfg, &mut outcome);
+    outcome
+}
+
+fn walk(old: &Json, new: &Json, path: String, cfg: &DiffConfig, out: &mut DiffOutcome) {
+    match (old, new) {
+        (Json::Object(old_pairs), Json::Object(_)) => {
+            for (key, old_value) in old_pairs {
+                let Some(new_value) = new.get(key) else {
+                    continue; // only common paths are compared
+                };
+                let child_path = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                match (old_value.as_f64(), new_value.as_f64()) {
+                    (Some(o), Some(n)) => leaf(key, o, n, child_path, cfg, out),
+                    _ => walk(old_value, new_value, child_path, cfg, out),
+                }
+            }
+        }
+        (Json::Array(old_items), Json::Array(new_items)) => {
+            for (i, old_item) in old_items.iter().enumerate() {
+                let (label, new_item) = match align_key(old_item) {
+                    Some((key, value)) => {
+                        let matched = new_items.iter().find(|cand| {
+                            align_key(cand).is_some_and(|(k, v)| k == key && v == value)
+                        });
+                        (format!("[{key}={value}]"), matched)
+                    }
+                    None => (format!("[{i}]"), new_items.get(i)),
+                };
+                if let Some(new_item) = new_item {
+                    walk(old_item, new_item, format!("{path}{label}"), cfg, out);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn leaf(key: &str, old: f64, new: f64, path: String, cfg: &DiffConfig, out: &mut DiffOutcome) {
+    let Some(kind) = MetricKind::classify(key) else {
+        return;
+    };
+    if kind == MetricKind::Time && old.max(new) < cfg.min_secs {
+        return; // both below the noise floor
+    }
+    if old <= 0.0 {
+        return; // no meaningful ratio against a zero baseline
+    }
+    out.compared += 1;
+    let limit = match kind {
+        MetricKind::Time => cfg.max_time_ratio,
+        MetricKind::Clauses => cfg.max_clause_ratio,
+        MetricKind::Conflicts => cfg.max_conflict_ratio,
+    };
+    let ratio = new / old;
+    if ratio > limit {
+        out.regressions.push(Regression {
+            path,
+            kind,
+            old,
+            new,
+            ratio,
+            limit,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(check_secs: f64, clauses: u64, conflicts: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"experiment":"e8","wall_clock_secs":1.0,
+                "scopes":[{{"scope":"2x2","states":6,
+                  "variants":[{{"variant":"optimized","check_secs":{check_secs},
+                    "cnf_clauses":{clauses},
+                    "solver":{{"conflicts":{conflicts}}}}}]}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_documents_are_clean() {
+        let a = doc(1.0, 1000, 50);
+        let out = diff_bench(&a, &a, &DiffConfig::default());
+        assert!(out.is_clean());
+        assert!(out.compared >= 3);
+    }
+
+    #[test]
+    fn injected_2x_check_secs_regression_trips() {
+        let old = doc(1.0, 1000, 50);
+        let new = doc(2.5, 1000, 50);
+        let out = diff_bench(&old, &new, &DiffConfig::default());
+        assert_eq!(out.regressions.len(), 1);
+        let r = &out.regressions[0];
+        assert_eq!(r.kind, MetricKind::Time);
+        assert!(r.path.ends_with("check_secs"), "{}", r.path);
+        assert!(r.path.contains("[scope=2x2]"), "{}", r.path);
+        assert!(r.path.contains("[variant=optimized]"), "{}", r.path);
+        assert!((r.ratio - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clause_and_conflict_regressions_trip_independently() {
+        let old = doc(1.0, 1000, 50);
+        let new = doc(1.0, 2500, 200);
+        let out = diff_bench(&old, &new, &DiffConfig::default());
+        let kinds: Vec<MetricKind> = out.regressions.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![MetricKind::Clauses, MetricKind::Conflicts]);
+    }
+
+    #[test]
+    fn sub_noise_floor_times_are_ignored() {
+        let old = doc(0.001, 1000, 50);
+        let new = doc(0.04, 1000, 50); // 40x, but both < min_secs
+        let out = diff_bench(&old, &new, &DiffConfig::default());
+        assert!(out.is_clean(), "{:?}", out.regressions);
+    }
+
+    #[test]
+    fn scopes_missing_from_the_new_run_are_skipped() {
+        // Baseline has 4x3; the smoke run only has 2x2 — common scopes only.
+        let old = Json::parse(
+            r#"{"scopes":[
+                {"scope":"2x2","variants":[{"variant":"optimized","check_secs":1.0}]},
+                {"scope":"4x3","variants":[{"variant":"optimized","check_secs":100.0}]}]}"#,
+        )
+        .unwrap();
+        let new = Json::parse(
+            r#"{"scopes":[
+                {"scope":"2x2","variants":[{"variant":"optimized","check_secs":1.1}]}]}"#,
+        )
+        .unwrap();
+        let out = diff_bench(&old, &new, &DiffConfig::default());
+        assert!(out.is_clean());
+        assert_eq!(out.compared, 1);
+    }
+
+    #[test]
+    fn fields_missing_from_the_baseline_are_skipped() {
+        let old = Json::parse(r#"{"check_secs":1.0}"#).unwrap();
+        let new =
+            Json::parse(r#"{"check_secs":1.0,"peak_rss_kb":12345,"sweep_secs":99.0}"#).unwrap();
+        let out = diff_bench(&old, &new, &DiffConfig::default());
+        assert!(out.is_clean());
+        assert_eq!(out.compared, 1);
+    }
+
+    #[test]
+    fn zero_baselines_never_divide() {
+        let old = Json::parse(r#"{"conflicts":0}"#).unwrap();
+        let new = Json::parse(r#"{"conflicts":500}"#).unwrap();
+        let out = diff_bench(&old, &new, &DiffConfig::default());
+        assert!(out.is_clean());
+        assert_eq!(out.compared, 0);
+    }
+
+    #[test]
+    fn render_mentions_each_regression() {
+        let out = diff_bench(
+            &doc(1.0, 1000, 50),
+            &doc(9.0, 1000, 50),
+            &DiffConfig::default(),
+        );
+        let text = out.render();
+        assert!(text.contains("REGRESSION"));
+        assert!(text.contains("check_secs"));
+    }
+}

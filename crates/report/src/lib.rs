@@ -1,0 +1,30 @@
+//! Profiling reports and regression gating for the MCA verification suite.
+//!
+//! `mca-report` is the read side of the span layer in `mca-obs`:
+//!
+//! * [`trace`] — parses a JSONL trace (as written by
+//!   `repro <exp> --trace`) and reconstructs the hierarchical span tree
+//!   from `span-enter` / `span-exit` events. Malformed traces (orphan
+//!   exits, unclosed spans, duplicate closes, unknown parents, garbage
+//!   lines) produce diagnostics, never panics.
+//! * [`render`] — renders a parsed trace as a self-contained markdown (or
+//!   HTML-wrapped) report: span-tree time breakdown, top-k hot spans by
+//!   self time, event-kind counts, and — when a metrics JSON is supplied —
+//!   metrics histograms and solver stat tables.
+//! * [`diff`] — compares two `BENCH_*.json` artifacts and flags threshold
+//!   regressions in `*_secs` / `*clauses*` / `*conflicts*` leaves, the
+//!   regression tripwire CI runs against the committed baselines.
+//!
+//! Like the rest of the workspace the crate is std-only; JSON handling
+//! comes from [`mca_obs::Json`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod render;
+pub mod trace;
+
+pub use diff::{diff_bench, DiffConfig, DiffOutcome, MetricKind, Regression};
+pub use render::{render_html, render_markdown, ReportOptions};
+pub use trace::{ParsedTrace, SpanNode};

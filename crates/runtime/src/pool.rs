@@ -57,6 +57,15 @@ struct Shared {
     jobs_stolen: Vec<AtomicU64>,
     busy_ns: Vec<AtomicU64>,
     trace: JobTraceLog,
+    /// Pool creation time; job execution windows are recorded as offsets
+    /// from this epoch so [`Runtime::emit_job_spans`] can replay them
+    /// against any recorder's clock.
+    epoch: Instant,
+    /// `(job, start_off_ns, end_off_ns)` per executed job, in completion
+    /// order (drained by [`Runtime::emit_job_spans`]).
+    job_windows: Mutex<Vec<(u64, u64, u64)>>,
+    /// `(job, label)` per submitted job.
+    job_labels: Mutex<Vec<(u64, String)>>,
 }
 
 impl Shared {
@@ -107,13 +116,20 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
             shared.jobs_stolen[index].fetch_add(1, Ordering::Relaxed);
         }
         shared.trace.record(id, JobPhase::Started { worker: index });
+        let start_off = shared.epoch.elapsed().as_nanos() as u64;
         let start = Instant::now();
         job(&WorkerCtx {
             worker: index,
             job: id,
         });
+        let end_off = shared.epoch.elapsed().as_nanos() as u64;
         shared.busy_ns[index].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.jobs_executed[index].fetch_add(1, Ordering::Relaxed);
+        shared
+            .job_windows
+            .lock()
+            .expect("job windows poisoned")
+            .push((id, start_off, end_off));
     }
 }
 
@@ -162,6 +178,9 @@ impl Runtime {
             jobs_stolen: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             trace: JobTraceLog::default(),
+            epoch: Instant::now(),
+            job_windows: Mutex::new(Vec::new()),
+            job_labels: Mutex::new(Vec::new()),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -195,6 +214,11 @@ impl Runtime {
                 label: label.to_string(),
             },
         );
+        self.shared
+            .job_labels
+            .lock()
+            .expect("job labels poisoned")
+            .push((id, label.to_string()));
         let queue = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
         self.shared.queues[queue]
             .lock()
@@ -374,6 +398,46 @@ impl Runtime {
         }
     }
 
+    /// Drains the recorded per-job execution windows as
+    /// `runtime.job:<label>` spans on `spans`, in job-id order.
+    ///
+    /// Workers measure wall-clock offsets against the pool's own epoch;
+    /// this method replays them post-hoc against the recorder's clock, so
+    /// the recorder (which is single-threaded by design) is only ever
+    /// touched from the caller's thread and span emission order is
+    /// deterministic for a fixed workload regardless of scheduling. This is
+    /// deliberately separate from [`drain_job_events`](Runtime::drain_job_events):
+    /// job *events* are keyed by logical progress and byte-identical across
+    /// runs, while job *spans* carry wall-clock durations and are strictly
+    /// opt-in.
+    pub fn emit_job_spans(&self, spans: &mca_obs::SpanRecorder) {
+        let mut windows = std::mem::take(
+            &mut *self
+                .shared
+                .job_windows
+                .lock()
+                .expect("job windows poisoned"),
+        );
+        windows.sort_unstable_by_key(|&(id, ..)| id);
+        let labels = self.shared.job_labels.lock().expect("job labels poisoned");
+        // Align the pool epoch with the recorder epoch: both clocks are
+        // monotonic Instants, so one signed offset maps between them.
+        let delta = spans.now_ns() as i128 - self.shared.epoch.elapsed().as_nanos() as i128;
+        let map = |off: u64| u64::try_from(off as i128 + delta).unwrap_or(0);
+        for (id, start_off, end_off) in windows {
+            let label = labels
+                .iter()
+                .find(|(j, _)| *j == id)
+                .map_or("?", |(_, l)| l.as_str());
+            spans.emit_complete(
+                &format!("runtime.job:{label}"),
+                map(start_off),
+                map(end_off),
+                vec![("job".to_string(), id)],
+            );
+        }
+    }
+
     /// Per-worker execution statistics, indexed by worker.
     pub fn worker_stats(&self) -> Vec<WorkerStats> {
         (0..self.threads())
@@ -484,6 +548,36 @@ mod tests {
         rt.run_batch(jobs);
         let total: u64 = rt.worker_stats().iter().map(|w| w.jobs).sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn emit_job_spans_replays_windows_in_job_id_order() {
+        let rt = Runtime::new(3);
+        let jobs: Vec<(String, _)> = (0..8)
+            .map(|i| (format!("job:{i}"), move |_: &CancelToken| i))
+            .collect();
+        rt.run_batch(jobs);
+        let handle = mca_obs::Handle::new(mca_obs::CollectSink::default());
+        let spans = mca_obs::SpanRecorder::new(handle.observer());
+        rt.emit_job_spans(&spans);
+        let names: Vec<String> = handle.with(|sink| {
+            sink.events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::SpanEnter { name, .. } => Some(name.clone()),
+                    _ => None,
+                })
+                .collect()
+        });
+        assert_eq!(
+            names,
+            (0..8)
+                .map(|i| format!("runtime.job:job:{i}"))
+                .collect::<Vec<_>>()
+        );
+        // Drained: a second call replays nothing (8 enter/exit pairs).
+        rt.emit_job_spans(&spans);
+        assert_eq!(handle.with(|sink| sink.events.len()), 16);
     }
 
     #[test]

@@ -77,6 +77,8 @@ pub struct ClauseDb {
     num_learnt: usize,
     /// Number of live problem clauses.
     num_problem: usize,
+    /// Clauses ever pushed into this arena (never decremented).
+    allocations: u64,
 }
 
 impl ClauseDb {
@@ -91,6 +93,7 @@ impl ClauseDb {
     pub fn push(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
         let idx = self.clauses.len() as u32;
+        self.allocations += 1;
         if learnt {
             self.num_learnt += 1;
         } else {
@@ -144,6 +147,27 @@ impl ClauseDb {
     #[inline]
     pub fn num_problem(&self) -> usize {
         self.num_problem
+    }
+
+    /// Clauses ever allocated in this arena, including ones since deleted
+    /// or compacted away — a cumulative allocation counter, not a live
+    /// count.
+    #[inline]
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Estimated heap footprint of the arena in bytes: the clause-slot
+    /// vector plus every clause's literal buffer (capacity, not length —
+    /// deleted clauses' shrunk buffers count as 0).
+    pub fn bytes_estimate(&self) -> u64 {
+        let slots = self.clauses.capacity() * std::mem::size_of::<Clause>();
+        let lits: usize = self
+            .clauses
+            .iter()
+            .map(|c| c.lits.capacity() * std::mem::size_of::<Lit>())
+            .sum();
+        (slots + lits) as u64
     }
 
     /// Iterates over handles of all live clauses.
@@ -230,6 +254,22 @@ mod tests {
             false,
         );
         assert_eq!(db.get(c).to_string(), "1 -2 0");
+    }
+
+    #[test]
+    fn allocation_and_byte_accounting() {
+        let mut db = ClauseDb::new();
+        assert_eq!(db.allocations(), 0);
+        assert_eq!(db.bytes_estimate(), 0);
+        let a = db.push(lits(&[1, 2]), false);
+        db.push(lits(&[3, 4]), true);
+        assert_eq!(db.allocations(), 2);
+        assert!(db.bytes_estimate() > 0);
+        let before = db.bytes_estimate();
+        db.delete(a);
+        // Deletion shrinks the literal buffer but never the allocation count.
+        assert_eq!(db.allocations(), 2);
+        assert!(db.bytes_estimate() <= before);
     }
 
     #[test]

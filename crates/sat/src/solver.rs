@@ -246,6 +246,11 @@ pub struct Solver {
     /// Cooperative cancellation flag, honoured by
     /// [`solve_under_assumptions`](Solver::solve_under_assumptions).
     terminate: Option<CancelToken>,
+    /// Opt-in profiling-span recorder, installed with
+    /// [`set_spans`](Solver::set_spans).
+    spans: Option<mca_obs::SpanRecorder>,
+    /// Highest live learnt-clause count ever observed.
+    learnt_peak: usize,
     config: SolverConfig,
 }
 
@@ -301,7 +306,53 @@ impl Solver {
             proof: None,
             progress: None,
             terminate: None,
+            spans: None,
+            learnt_peak: 0,
             config,
+        }
+    }
+
+    /// Installs a profiling-span recorder: subsequent
+    /// [`preprocess`](Solver::preprocess) and solve calls emit
+    /// `sat.preprocess` / `sat.solve` / `sat.restart-epoch` spans with
+    /// resource-accounting exit fields (conflict/decision deltas,
+    /// clause-DB bytes, learnt live/peak counts, arena allocations, peak
+    /// RSS). Span recording is strictly opt-in: with no recorder the cost
+    /// is a branch on an `Option`, and plain event traces stay
+    /// byte-identical.
+    pub fn set_spans(&mut self, recorder: mca_obs::SpanRecorder) {
+        self.spans = Some(recorder);
+    }
+
+    /// Removes the span recorder, if any.
+    pub fn clear_spans(&mut self) {
+        self.spans = None;
+    }
+
+    /// Highest learnt-clause count the database ever held at once.
+    pub fn learnt_peak(&self) -> usize {
+        self.learnt_peak
+    }
+
+    /// Estimated heap footprint of the clause database in bytes.
+    pub fn clause_db_bytes(&self) -> u64 {
+        self.db.bytes_estimate()
+    }
+
+    /// Clauses ever allocated in the clause arena (cumulative, including
+    /// deleted ones).
+    pub fn clause_allocations(&self) -> u64 {
+        self.db.allocations()
+    }
+
+    /// Attaches the standard resource-accounting fields to a span exit.
+    fn attach_resource_fields(&self, span: &mut mca_obs::SpanGuard) {
+        span.field("clause_db_bytes", self.db.bytes_estimate());
+        span.field("clause_allocs", self.db.allocations());
+        span.field("learnt_live", self.db.num_learnt() as u64);
+        span.field("learnt_peak", self.learnt_peak as u64);
+        if let Some(kb) = mca_obs::peak_rss_kb() {
+            span.field("peak_rss_kb", kb);
         }
     }
 
@@ -848,6 +899,22 @@ impl Solver {
     /// solve (or after solves that learnt nothing), while the clause
     /// database still holds only problem clauses.
     pub fn preprocess(&mut self) -> crate::simplify::SimplifyStats {
+        match self.spans.clone() {
+            None => self.preprocess_inner(),
+            Some(recorder) => {
+                let mut span = recorder.enter("sat.preprocess");
+                let stats = self.preprocess_inner();
+                span.field("subsumed", stats.subsumed as u64);
+                span.field("strengthened_literals", stats.strengthened_literals as u64);
+                span.field("propagated_literals", stats.propagated_literals as u64);
+                span.field("satisfied_clauses", stats.satisfied_clauses as u64);
+                self.attach_resource_fields(&mut span);
+                stats
+            }
+        }
+    }
+
+    fn preprocess_inner(&mut self) -> crate::simplify::SimplifyStats {
         assert_eq!(
             self.db.num_learnt(),
             0,
@@ -942,6 +1009,26 @@ impl Solver {
     }
 
     fn solve_internal(&mut self, assumptions: &[Lit], respect_cancel: bool) -> Option<SolveResult> {
+        match self.spans.clone() {
+            None => self.solve_body(assumptions, respect_cancel),
+            Some(recorder) => {
+                let before = self.stats;
+                let mut span = recorder.enter("sat.solve");
+                let result = self.solve_body(assumptions, respect_cancel);
+                span.field("conflicts", self.stats.conflicts - before.conflicts);
+                span.field("decisions", self.stats.decisions - before.decisions);
+                span.field(
+                    "propagations",
+                    self.stats.propagations - before.propagations,
+                );
+                span.field("restarts", self.stats.restarts - before.restarts);
+                self.attach_resource_fields(&mut span);
+                result
+            }
+        }
+    }
+
+    fn solve_body(&mut self, assumptions: &[Lit], respect_cancel: bool) -> Option<SolveResult> {
         self.stats.solves += 1;
         self.conflict_assumptions.clear();
         if self.unsat {
@@ -959,12 +1046,26 @@ impl Solver {
         let mut max_learnts = (self.db.num_problem() as f64 * 0.5).max(100.0);
 
         loop {
-            match self.search(
+            // One span per restart epoch (the stretch of search between two
+            // restarts) — the report's finest-grained view into where solve
+            // time goes.
+            let mut epoch_span = self.spans.as_ref().map(|r| {
+                let mut g = r.enter("sat.restart-epoch");
+                g.field("epoch", restart_index);
+                g
+            });
+            let outcome = self.search(
                 assumptions,
                 &mut conflicts_until_restart,
                 max_learnts,
                 respect_cancel,
-            ) {
+            );
+            if let Some(g) = &mut epoch_span {
+                g.field("conflicts", self.stats.conflicts);
+                g.field("learnt_live", self.db.num_learnt() as u64);
+            }
+            drop(epoch_span);
+            match outcome {
                 SearchOutcome::Sat => return Some(SolveResult::Sat),
                 SearchOutcome::Unsat => return Some(SolveResult::Unsat),
                 SearchOutcome::Cancelled => {
@@ -1029,6 +1130,7 @@ impl Solver {
                 } else {
                     let lbd = self.lbd(&learnt);
                     let cref = self.db.push(learnt.clone(), true);
+                    self.learnt_peak = self.learnt_peak.max(self.db.num_learnt());
                     self.db.get_mut(cref).lbd = lbd;
                     self.attach(cref);
                     self.cla_bump(cref);

@@ -150,13 +150,39 @@ pub fn run_policy_matrix() -> Vec<PolicyMatrixRow> {
 /// [`run_policy_matrix`] with an optional observer: each cell's exhaustive
 /// check reports `checker-progress` / `checker-done` events.
 pub fn run_policy_matrix_observed(observer: Option<SharedObserver>) -> Vec<PolicyMatrixRow> {
+    run_policy_matrix_spanned(observer, None)
+}
+
+/// [`run_policy_matrix_observed`] with an optional span recorder: each
+/// cell's exhaustive check is additionally wrapped in an `e3.cell:…` span
+/// carrying the verdict. With `None` this is byte-for-byte the unspanned
+/// path — spans are strictly opt-in and never derived from the observer.
+pub fn run_policy_matrix_spanned(
+    observer: Option<SharedObserver>,
+    spans: Option<&mca_obs::SpanRecorder>,
+) -> Vec<PolicyMatrixRow> {
     PolicyCell::grid()
         .into_iter()
         .map(|cell| {
             let sim = scenarios::fig2(cell);
             let start = Instant::now();
+            let mut span = spans.map(|r| {
+                r.enter(&format!(
+                    "e3.cell:{}:{}",
+                    if cell.submodular { "sub" } else { "nonsub" },
+                    if cell.release_outbid {
+                        "release"
+                    } else {
+                        "keep"
+                    },
+                ))
+            });
             let verdict =
                 check_consensus_observed(sim, CheckerOptions::default(), observer.clone());
+            if let Some(span) = span.as_mut() {
+                span.field("converges", u64::from(verdict.converges()));
+            }
+            drop(span);
             PolicyMatrixRow {
                 cell,
                 paper_converges: cell.paper_says_converges(),
@@ -788,10 +814,30 @@ pub fn run_scale_sweep_observed(
     scopes: &[(usize, usize)],
     observer: Option<SharedObserver>,
 ) -> Result<Vec<ScaleRow>, TranslateError> {
+    run_scale_sweep_spanned(scopes, observer, None)
+}
+
+/// [`run_scale_sweep_observed`] with an optional span recorder: each scope
+/// gets an `e8.scope:<label>` span, each variant an `e8.variant:<label>`
+/// child (whose own children are the `relalg.encode` / `sat.*` spans of
+/// that measurement), and the incremental sweep an `e8.sweep` child with
+/// per-state `verify.state-query` spans. With `None` this is byte-for-byte
+/// the unspanned path.
+///
+/// # Errors
+///
+/// Propagates translation errors.
+pub fn run_scale_sweep_spanned(
+    scopes: &[(usize, usize)],
+    observer: Option<SharedObserver>,
+    spans: Option<&mca_obs::SpanRecorder>,
+) -> Result<Vec<ScaleRow>, TranslateError> {
     scopes
         .iter()
         .map(|&(p, v)| {
-            let row = scale_row(p, v)?;
+            let span = spans.map(|r| r.enter(&format!("e8.scope:{p}x{v}")));
+            let row = scale_row_spanned(p, v, spans)?;
+            drop(span);
             if let Some(obs) = &observer {
                 emit_scale_row(obs, &row);
             }
@@ -806,12 +852,32 @@ pub fn run_scale_sweep_observed(
 ///
 /// Propagates translation errors.
 pub fn scale_row(pnodes: usize, vnodes: usize) -> Result<ScaleRow, TranslateError> {
+    scale_row_spanned(pnodes, vnodes, None)
+}
+
+/// [`scale_row`] with an optional span recorder (see
+/// [`run_scale_sweep_spanned`]).
+///
+/// # Errors
+///
+/// Propagates translation errors.
+pub fn scale_row_spanned(
+    pnodes: usize,
+    vnodes: usize,
+    spans: Option<&mca_obs::SpanRecorder>,
+) -> Result<ScaleRow, TranslateError> {
     let scenario = DynamicScenario::at_scope(pnodes, vnodes);
     let mut variants = Vec::with_capacity(E8_VARIANTS.len());
     for (label, encoding, preprocess) in E8_VARIANTS {
-        variants.push(scale_variant(pnodes, vnodes, label, encoding, preprocess)?);
+        let span = spans.map(|r| r.enter(&format!("e8.variant:{label}")));
+        variants.push(scale_variant_spanned(
+            pnodes, vnodes, label, encoding, preprocess, spans,
+        )?);
+        drop(span);
     }
-    let (sweep, sweep_secs) = scale_sweep_at(pnodes, vnodes)?;
+    let span = spans.map(|r| r.enter("e8.sweep"));
+    let (sweep, sweep_secs) = scale_sweep_at_spanned(pnodes, vnodes, spans)?;
+    drop(span);
     Ok(ScaleRow {
         scope: scenario.scope_label(),
         pnodes,
@@ -836,9 +902,26 @@ pub fn scale_variant(
     encoding: NumberEncoding,
     preprocess: bool,
 ) -> Result<ScaleVariant, TranslateError> {
+    scale_variant_spanned(pnodes, vnodes, label, encoding, preprocess, None)
+}
+
+/// [`scale_variant`] with an optional span recorder (see
+/// [`run_scale_sweep_spanned`]).
+///
+/// # Errors
+///
+/// Propagates translation errors.
+pub fn scale_variant_spanned(
+    pnodes: usize,
+    vnodes: usize,
+    label: &str,
+    encoding: NumberEncoding,
+    preprocess: bool,
+    spans: Option<&mca_obs::SpanRecorder>,
+) -> Result<ScaleVariant, TranslateError> {
     let start = Instant::now();
     let model = DynamicModel::build(encoding, DynamicScenario::at_scope(pnodes, vnodes));
-    let check = model.check_consensus_opts(preprocess)?;
+    let check = model.check_consensus_opts_spanned(preprocess, spans)?;
     Ok(ScaleVariant {
         variant: label.to_string(),
         valid: check.valid,
@@ -859,12 +942,26 @@ pub fn scale_sweep_at(
     pnodes: usize,
     vnodes: usize,
 ) -> Result<(crate::dynamic_model::ConsensusSweep, f64), TranslateError> {
+    scale_sweep_at_spanned(pnodes, vnodes, None)
+}
+
+/// [`scale_sweep_at`] with an optional span recorder (see
+/// [`run_scale_sweep_spanned`]).
+///
+/// # Errors
+///
+/// Propagates translation errors.
+pub fn scale_sweep_at_spanned(
+    pnodes: usize,
+    vnodes: usize,
+    spans: Option<&mca_obs::SpanRecorder>,
+) -> Result<(crate::dynamic_model::ConsensusSweep, f64), TranslateError> {
     let start = Instant::now();
     let model = DynamicModel::build(
         NumberEncoding::OptimizedValue,
         DynamicScenario::at_scope(pnodes, vnodes),
     );
-    let sweep = model.convergence_sweep(true)?;
+    let sweep = model.convergence_sweep_spanned(true, spans)?;
     Ok((sweep, start.elapsed().as_secs_f64()))
 }
 

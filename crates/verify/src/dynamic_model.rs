@@ -756,9 +756,36 @@ impl DynamicModel {
     ///
     /// Propagates translation errors.
     pub fn check_consensus_opts(&self, preprocess: bool) -> Result<ScopedCheck, TranslateError> {
-        let problem = self.model.to_problem();
+        self.check_consensus_opts_spanned(preprocess, None)
+    }
+
+    /// [`check_consensus_opts`](Self::check_consensus_opts) with an
+    /// optional span recorder: translation and solving emit
+    /// `relalg.encode` / `sat.*` spans and the consensus query itself is
+    /// wrapped in a `verify.state-query` span. With `None` this is
+    /// byte-for-byte the unspanned path — spans are strictly opt-in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation errors.
+    pub fn check_consensus_opts_spanned(
+        &self,
+        preprocess: bool,
+        spans: Option<&mca_obs::SpanRecorder>,
+    ) -> Result<ScopedCheck, TranslateError> {
+        let mut problem = self.model.to_problem();
+        if let Some(spans) = spans {
+            problem.set_spans(spans.clone());
+        }
         let mut inc = problem.incremental_checker(&[self.consensus_assertion()], preprocess)?;
+        let mut span = spans.map(|r| r.enter("verify.state-query"));
         let valid = inc.check(0).is_valid();
+        if let Some(span) = span.as_mut() {
+            span.field("query", 0);
+            span.field("valid", u64::from(valid));
+            span.field("conflicts", inc.solver_stats().conflicts);
+        }
+        drop(span);
         Ok(ScopedCheck {
             valid,
             stats: *inc.translation_stats(),
@@ -781,16 +808,45 @@ impl DynamicModel {
     ///
     /// Propagates translation errors.
     pub fn convergence_sweep(&self, preprocess: bool) -> Result<ConsensusSweep, TranslateError> {
+        self.convergence_sweep_spanned(preprocess, None)
+    }
+
+    /// [`convergence_sweep`](Self::convergence_sweep) with an optional
+    /// span recorder: every per-state incremental query is wrapped in a
+    /// `verify.state-query` span carrying the query index, verdict, and
+    /// cumulative conflict count. With `None` this is byte-for-byte the
+    /// unspanned path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation errors.
+    pub fn convergence_sweep_spanned(
+        &self,
+        preprocess: bool,
+        spans: Option<&mca_obs::SpanRecorder>,
+    ) -> Result<ConsensusSweep, TranslateError> {
         let assertions: Vec<Formula> = (0..self.scenario.states)
             .map(|k| self.consensus_assertion_at(k))
             .collect();
-        let problem = self.model.to_problem();
+        let mut problem = self.model.to_problem();
+        if let Some(spans) = spans {
+            problem.set_spans(spans.clone());
+        }
         let mut inc = problem.incremental_checker(&assertions, preprocess)?;
         let mut per_state = Vec::with_capacity(assertions.len());
         let mut conflicts_after = Vec::with_capacity(assertions.len());
         for k in 0..assertions.len() {
-            per_state.push(inc.check(k).is_valid());
-            conflicts_after.push(inc.solver_stats().conflicts);
+            let mut span = spans.map(|r| r.enter("verify.state-query"));
+            let valid = inc.check(k).is_valid();
+            let conflicts = inc.solver_stats().conflicts;
+            if let Some(span) = span.as_mut() {
+                span.field("query", k as u64);
+                span.field("valid", u64::from(valid));
+                span.field("conflicts", conflicts);
+            }
+            drop(span);
+            per_state.push(valid);
+            conflicts_after.push(conflicts);
         }
         Ok(ConsensusSweep {
             valid_from: per_state.iter().position(|&v| v),

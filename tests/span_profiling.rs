@@ -1,0 +1,115 @@
+//! Span-layer contracts: spans are strictly opt-in, their *structure* is
+//! deterministic even when their timestamps are not, and recording them
+//! costs (almost) nothing.
+//!
+//! * The timestamp-free outline of a replayed trace is byte-identical at
+//!   1 and N worker threads — parallelism changes wall-clock, never the
+//!   span tree.
+//! * A span-enabled E3 run stays within 5% of the no-observer run.
+
+use mca_obs::{Handle, JsonlSink, SpanRecorder};
+use mca_report::ParsedTrace;
+use mca_runtime::Runtime;
+use mca_sat::CancelToken;
+use mca_verify::analysis::run_policy_matrix_spanned;
+use mca_verify::{DynamicModel, DynamicScenario, NumberEncoding};
+use std::time::Instant;
+
+/// Runs a fixed batch workload on `threads` workers, replays the job
+/// windows as spans, and returns the trace's timestamp-free outline.
+fn job_span_outline(threads: usize) -> String {
+    let rt = Runtime::new(threads);
+    let jobs: Vec<(String, _)> = (0..24u64)
+        .map(|i| {
+            (format!("work:{i}"), move |_: &CancelToken| {
+                // A little real work so execution interleaves across workers.
+                (0..2_000u64).fold(i, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+            })
+        })
+        .collect();
+    let results = rt.run_batch(jobs);
+    assert_eq!(results.len(), 24);
+    let handle = Handle::new(JsonlSink::new(Vec::<u8>::new()));
+    let spans = SpanRecorder::new(handle.observer());
+    rt.emit_job_spans(&spans);
+    drop(spans);
+    let bytes = handle
+        .try_into_inner()
+        .expect("sole owner")
+        .into_inner()
+        .expect("in-memory writes cannot fail");
+    let text = String::from_utf8(bytes).expect("traces are UTF-8");
+    ParsedTrace::parse(&text).outline()
+}
+
+#[test]
+fn job_span_outline_is_identical_at_one_and_many_threads() {
+    let one = job_span_outline(1);
+    let many = job_span_outline(4);
+    assert!(!one.is_empty());
+    assert_eq!(
+        one, many,
+        "span structure must not depend on the worker count"
+    );
+    // Sanity: the outline names every job, in job-id order.
+    let first = one.lines().next().unwrap();
+    assert!(first.starts_with("runtime.job:work:0"), "got: {first}");
+}
+
+#[test]
+fn spanned_sweep_outline_is_reproducible() {
+    let outline = || {
+        let handle = Handle::new(JsonlSink::new(Vec::<u8>::new()));
+        let spans = SpanRecorder::new(handle.observer());
+        let model = DynamicModel::build(
+            NumberEncoding::OptimizedValue,
+            DynamicScenario::two_agent_compliant(),
+        );
+        let sweep = model
+            .convergence_sweep_spanned(true, Some(&spans))
+            .expect("well-formed model");
+        assert!(sweep.valid_from.is_some());
+        drop(spans);
+        let bytes = handle
+            .try_into_inner()
+            .expect("sole owner")
+            .into_inner()
+            .expect("in-memory writes cannot fail");
+        ParsedTrace::parse(&String::from_utf8(bytes).expect("UTF-8")).outline()
+    };
+    let a = outline();
+    assert!(a.contains("verify.state-query"));
+    assert!(a.contains("relalg.encode"));
+    assert_eq!(a, outline(), "solver determinism must carry over to spans");
+}
+
+#[test]
+fn span_recording_overhead_on_e3_is_within_five_percent() {
+    // min-of-N on both sides: the minimum is the least noisy statistic of
+    // a repeated deterministic workload.
+    let runs = 3;
+    let time_min = |spanned: bool| {
+        (0..runs)
+            .map(|_| {
+                let start = Instant::now();
+                let rows = if spanned {
+                    let handle = Handle::new(mca_obs::CollectSink::default());
+                    let spans = SpanRecorder::new(handle.observer());
+                    run_policy_matrix_spanned(None, Some(&spans))
+                } else {
+                    run_policy_matrix_spanned(None, None)
+                };
+                assert_eq!(rows.len(), 4);
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let plain = time_min(false);
+    let spanned = time_min(true);
+    // 5% relative plus 10ms absolute slack: four spans cost nanoseconds,
+    // but sub-millisecond timer noise shouldn't fail the build.
+    assert!(
+        spanned <= plain * 1.05 + 0.010,
+        "span overhead too high: plain {plain:.4}s vs spanned {spanned:.4}s"
+    );
+}
