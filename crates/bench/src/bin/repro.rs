@@ -9,6 +9,7 @@
 //! repro e3 --threads 4           # fan E3/E4 across 4 workers
 //! repro report run.jsonl         # render a profiling report from a trace
 //! repro diff old.json new.json   # regression-gate two BENCH artifacts
+//! repro lint                     # static-analyze the scenario matrix
 //! ```
 //!
 //! With `--trace`, the run also records hierarchical **spans**: one
@@ -40,16 +41,25 @@
 //! E8 (the scope-scaling sweep) writes `BENCH_SCALE.json`. `--smoke`
 //! restricts it to the 2×2 scope (the CI configuration); `--stretch` adds
 //! the 5×3 scope to the default 2×2 → 4×3 axis.
+//!
+//! `repro lint` runs the `mca-lint` static analyzer over the scenario
+//! matrix (static model + dynamic scenarios at smoke scopes, both number
+//! encodings) plus the workspace source audit. It writes `LINT.jsonl` and
+//! `LINT.md` (`--html` adds `LINT.html`) and exits 1 if any
+//! `error`-severity finding fires — the CI lint gate. `--fixture
+//! pathological` lints the intentionally-broken fixture instead, which
+//! must exit 1 (CI asserts the analyzer still catches it).
 
 use mca_obs::json::Json;
 use mca_obs::{Handle, JsonlSink, Metrics, SharedObserver, SpanRecorder};
 use mca_report::{
-    diff_bench, render_html, render_markdown, DiffConfig, ParsedTrace, ReportOptions,
+    diff_bench, render_html, render_lint_markdown, render_markdown, DiffConfig, ParsedTrace,
+    ReportOptions,
 };
 use mca_runtime::{diversified_configs, Runtime};
 use mca_verify::analysis::{self, EncodingRow};
 use mca_verify::parallel;
-use mca_verify::{DynamicModel, DynamicScenario, NumberEncoding};
+use mca_verify::{DynamicModel, DynamicScenario, NumberEncoding, StaticModel, StaticScope};
 use std::fs::File;
 use std::io::BufWriter;
 use std::time::Instant;
@@ -86,6 +96,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         _ => {}
     }
     if args.iter().any(|a| a == "--list") {
@@ -399,6 +410,157 @@ fn cmd_diff(args: &[String]) -> ! {
     std::process::exit(i32::from(!outcome.is_clean()));
 }
 
+/// `repro lint [--out DIR] [--html] [--trace FILE] [--root DIR]
+/// [--fixture pathological]` — exits 1 when any error-severity finding
+/// fires, 2 on usage errors.
+fn cmd_lint(args: &[String]) -> ! {
+    let mut out_dir = ".".to_string();
+    let mut root_dir = ".".to_string();
+    let mut trace_path: Option<String> = None;
+    let mut html = false;
+    let mut fixture: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => out_dir = subcommand_flag_value(args, &mut i, "--out"),
+            "--root" => root_dir = subcommand_flag_value(args, &mut i, "--root"),
+            "--trace" => trace_path = Some(subcommand_flag_value(args, &mut i, "--trace")),
+            "--html" => html = true,
+            "--fixture" => fixture = Some(subcommand_flag_value(args, &mut i, "--fixture")),
+            other => {
+                eprintln!("unknown lint argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let lint_or_die = |target: &str,
+                       model: &mca_alloy::Model,
+                       assertions: &[mca_relalg::Formula]|
+     -> mca_lint::LintReport {
+        mca_lint::lint_model(target, model, assertions).unwrap_or_else(|e| {
+            eprintln!("lint target {target} failed to translate: {e:?}");
+            std::process::exit(2);
+        })
+    };
+
+    let mut reports: Vec<mca_lint::LintReport> = Vec::new();
+    match fixture.as_deref() {
+        Some("pathological") => {
+            let (model, assertion) = mca_lint::fixture::pathological();
+            reports.push(lint_or_die("fixture:pathological", &model, &[assertion]));
+        }
+        Some(other) => {
+            eprintln!("unknown fixture `{other}` (available: pathological)");
+            std::process::exit(2);
+        }
+        None => {
+            // The static auction model, both encodings, all assertions.
+            for encoding in [NumberEncoding::NaiveInt, NumberEncoding::OptimizedValue] {
+                let sm = StaticModel::build(encoding, StaticScope::default());
+                let assertions = [
+                    sm.unique_id_assertion(),
+                    sm.symmetry_assertion(),
+                    sm.everyone_bids_assertion(),
+                ];
+                reports.push(lint_or_die(
+                    &format!("static:{encoding}"),
+                    sm.model(),
+                    &assertions,
+                ));
+            }
+            // Every shipped dynamic scenario. Small scopes run under both
+            // encodings; the paper scopes under the optimized one (the
+            // naive paper-scope encoding is E5's long pole, and lint adds
+            // nothing encoding-specific beyond the small-scope coverage).
+            let small = [
+                (
+                    "e1:two_agent_compliant",
+                    DynamicScenario::two_agent_compliant(),
+                ),
+                (
+                    "e4:two_agent_rebid_attack",
+                    DynamicScenario::two_agent_rebid_attack(),
+                ),
+                (
+                    "e6:three_agent_line_compliant",
+                    DynamicScenario::three_agent_line_compliant(),
+                ),
+                ("e8:2x2", DynamicScenario::at_scope(2, 2)),
+            ];
+            for (label, scenario) in small {
+                for encoding in [NumberEncoding::NaiveInt, NumberEncoding::OptimizedValue] {
+                    let dm = DynamicModel::build(encoding, scenario.clone());
+                    reports.push(lint_or_die(
+                        &format!("{label}:{encoding}"),
+                        dm.model(),
+                        &[dm.consensus_assertion()],
+                    ));
+                }
+            }
+            for (label, scenario) in [
+                ("e3:paper_scope", DynamicScenario::paper_scope()),
+                ("e3:paper_scope_sound", DynamicScenario::paper_scope_sound()),
+            ] {
+                let dm = DynamicModel::build(NumberEncoding::OptimizedValue, scenario);
+                reports.push(lint_or_die(
+                    &format!("{label}:OptimizedValue"),
+                    dm.model(),
+                    &[dm.consensus_assertion()],
+                ));
+            }
+            reports.push(mca_lint::audit_sources(std::path::Path::new(&root_dir)));
+        }
+    }
+
+    let mut sink = JsonlSink::new(Vec::new());
+    let mut errors = 0usize;
+    for report in &reports {
+        report.emit(&mut sink);
+        print!("{}", report.render_console());
+        errors += report.errors();
+    }
+    let jsonl = String::from_utf8(sink.into_inner().unwrap_or_else(|e| {
+        eprintln!("cannot serialize lint events: {e}");
+        std::process::exit(2);
+    }))
+    .expect("JSONL is UTF-8");
+
+    let write_or_die = |path: std::path::PathBuf, contents: &str| {
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("wrote {}", path.display());
+    };
+    let out = std::path::Path::new(&out_dir);
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        std::process::exit(2);
+    }
+    write_or_die(out.join("LINT.jsonl"), &jsonl);
+    let markdown = render_lint_markdown(&jsonl, "mca-lint report");
+    write_or_die(out.join("LINT.md"), &markdown);
+    if html {
+        write_or_die(
+            out.join("LINT.html"),
+            &render_html(&markdown, "mca-lint report"),
+        );
+    }
+    if let Some(path) = trace_path {
+        write_or_die(std::path::PathBuf::from(path), &jsonl);
+    }
+
+    println!(
+        "lint: {} target(s), {} error finding(s) — {}",
+        reports.len(),
+        errors,
+        if errors == 0 { "clean" } else { "NOT clean" }
+    );
+    std::process::exit(i32::from(errors > 0));
+}
+
 fn subcommand_flag_value(args: &[String], i: &mut usize, name: &str) -> String {
     *i += 1;
     match args.get(*i) {
@@ -647,6 +809,10 @@ fn record_e5_metrics(metrics: &mut Metrics, scope_index: usize, row: &EncodingRo
         metrics.set_gauge(&format!("{p}.primary_vars"), stats.primary_vars as i64);
         metrics.set_gauge(&format!("{p}.cnf_vars"), stats.cnf_vars as i64);
         metrics.set_gauge(&format!("{p}.cnf_clauses"), stats.cnf_clauses as i64);
+        metrics.set_gauge(
+            &format!("{p}.clauses_deduped"),
+            stats.clauses_deduped as i64,
+        );
         metrics.set_gauge(&format!("{p}.solver.decisions"), solver.decisions as i64);
         metrics.set_gauge(
             &format!("{p}.solver.propagations"),
@@ -665,7 +831,8 @@ fn bench_e5_json(rows: &[EncodingRow], wall_clock_secs: f64, threads: usize) -> 
     let encoding_json = |stats: &mca_relalg::TranslationStats,
                          relations: &[mca_relalg::RelationStats],
                          solver: &mca_sat::SolverStats,
-                         secs: f64| {
+                         secs: f64,
+                         vacuous: bool| {
         Json::obj([
             ("primary_vars", Json::from(stats.primary_vars as u64)),
             ("cnf_vars", Json::from(stats.cnf_vars as u64)),
@@ -673,6 +840,7 @@ fn bench_e5_json(rows: &[EncodingRow], wall_clock_secs: f64, threads: usize) -> 
             ("cnf_literals", Json::from(stats.cnf_literals as u64)),
             ("circuit_gates", Json::from(stats.circuit_gates as u64)),
             ("check_secs", Json::from(secs)),
+            ("vacuous", Json::from(vacuous)),
             (
                 "solver",
                 Json::obj([
@@ -728,6 +896,7 @@ fn bench_e5_json(rows: &[EncodingRow], wall_clock_secs: f64, threads: usize) -> 
                                     &row.naive_relations,
                                     &row.naive_solver,
                                     row.naive_check_secs,
+                                    row.naive_vacuous,
                                 ),
                             ),
                             (
@@ -737,6 +906,7 @@ fn bench_e5_json(rows: &[EncodingRow], wall_clock_secs: f64, threads: usize) -> 
                                     &row.optimized_relations,
                                     &row.optimized_solver,
                                     row.optimized_check_secs,
+                                    row.optimized_vacuous,
                                 ),
                             ),
                             ("clause_ratio", Json::from(row.clause_ratio())),
@@ -845,8 +1015,13 @@ fn record_e8_metrics(metrics: &mut Metrics, row: &analysis::ScaleRow) {
     for v in &row.variants {
         let p = format!("e8.{}.{}", row.scope, v.variant);
         metrics.set_gauge(&format!("{p}.valid"), i64::from(v.valid));
+        metrics.set_gauge(&format!("{p}.vacuous"), i64::from(v.vacuous));
         metrics.set_gauge(&format!("{p}.cnf_vars"), v.stats.cnf_vars as i64);
         metrics.set_gauge(&format!("{p}.cnf_clauses"), v.stats.cnf_clauses as i64);
+        metrics.set_gauge(
+            &format!("{p}.clauses_deduped"),
+            v.stats.clauses_deduped as i64,
+        );
         metrics.set_gauge(&format!("{p}.solver.conflicts"), v.solver.conflicts as i64);
         metrics.set_gauge(
             &format!("{p}.solver.propagations"),
@@ -951,6 +1126,7 @@ fn bench_scale_json(
                                             Json::obj([
                                                 ("variant", Json::from(v.variant.as_str())),
                                                 ("valid", Json::from(v.valid)),
+                                                ("vacuous", Json::from(v.vacuous)),
                                                 ("check_secs", Json::from(v.check_secs)),
                                                 ("cnf_vars", Json::from(v.stats.cnf_vars as u64)),
                                                 (

@@ -1,0 +1,292 @@
+//! Bound-driven constant folding over relational formulas.
+//!
+//! All judgements here are *definite*: [`expr_empty`] says "this
+//! expression denotes the empty relation in **every** instance" (its upper
+//! bound is empty), [`expr_nonempty`] says "it is non-empty in every
+//! instance" (its lower bound forces a tuple), and [`fold_formula`]
+//! returns `Some(b)` only when the formula evaluates to `b` in every
+//! instance. `None` always means "statically unknown", never "false".
+//!
+//! The passes use these to flag dead sub-expressions (operands that can
+//! never contribute a tuple) and facts that fold to a constant — a
+//! constant-`true` fact constrains nothing, and a constant-`false` fact
+//! makes the whole model inconsistent.
+
+use mca_relalg::{CmpOp, Expr, ExprKind, Formula, FormulaKind, IntExpr, IntExprKind, RelationId};
+
+/// Relation-bound oracle the folder consults for declared relations.
+pub struct Bounds<'a> {
+    /// `true` iff the relation's upper bound is empty (it can never hold
+    /// a tuple).
+    pub empty: &'a dyn Fn(RelationId) -> bool,
+    /// `true` iff the relation's lower bound is non-empty (it always
+    /// holds a tuple).
+    pub nonempty: &'a dyn Fn(RelationId) -> bool,
+    /// `true` iff the universe has no atoms at all.
+    pub universe_empty: bool,
+}
+
+/// Is `e` the empty relation in every instance?
+pub fn expr_empty(e: &Expr, b: &Bounds<'_>) -> bool {
+    match e.kind() {
+        ExprKind::Relation(r) => (b.empty)(*r),
+        ExprKind::Atom(_) => false,
+        ExprKind::Iden | ExprKind::Univ => b.universe_empty,
+        ExprKind::Empty(_) => true,
+        // A quantified variable is bound to a singleton by construction.
+        ExprKind::Var(_) => false,
+        ExprKind::Union(x, y) => expr_empty(x, b) && expr_empty(y, b),
+        ExprKind::Intersect(x, y) | ExprKind::Join(x, y) | ExprKind::Product(x, y) => {
+            expr_empty(x, b) || expr_empty(y, b)
+        }
+        ExprKind::Difference(x, _) => expr_empty(x, b),
+        ExprKind::Transpose(x) | ExprKind::Closure(x) => expr_empty(x, b),
+        ExprKind::ReflexiveClosure(_) => b.universe_empty,
+        ExprKind::IfThenElse(c, t, f) => match fold_formula(c, b) {
+            Some(true) => expr_empty(t, b),
+            Some(false) => expr_empty(f, b),
+            None => expr_empty(t, b) && expr_empty(f, b),
+        },
+        ExprKind::Comprehension(decls, _) => decls.iter().any(|d| expr_empty(d.domain(), b)),
+    }
+}
+
+/// Is `e` non-empty in every instance?
+pub fn expr_nonempty(e: &Expr, b: &Bounds<'_>) -> bool {
+    match e.kind() {
+        ExprKind::Relation(r) => (b.nonempty)(*r),
+        ExprKind::Atom(_) | ExprKind::Var(_) => true,
+        ExprKind::Iden | ExprKind::Univ => !b.universe_empty,
+        ExprKind::Empty(_) => false,
+        ExprKind::Union(x, y) => expr_nonempty(x, b) || expr_nonempty(y, b),
+        ExprKind::Product(x, y) => expr_nonempty(x, b) && expr_nonempty(y, b),
+        // Non-emptiness of both operands does not survive intersection,
+        // difference, or join; stay conservative.
+        ExprKind::Intersect(..) | ExprKind::Difference(..) | ExprKind::Join(..) => false,
+        ExprKind::Transpose(x) | ExprKind::Closure(x) => expr_nonempty(x, b),
+        ExprKind::ReflexiveClosure(_) => !b.universe_empty,
+        ExprKind::IfThenElse(c, t, f) => match fold_formula(c, b) {
+            Some(true) => expr_nonempty(t, b),
+            Some(false) => expr_nonempty(f, b),
+            None => expr_nonempty(t, b) && expr_nonempty(f, b),
+        },
+        ExprKind::Comprehension(..) => false,
+    }
+}
+
+/// Folds `f` to a constant truth value when the bounds force one.
+pub fn fold_formula(f: &Formula, b: &Bounds<'_>) -> Option<bool> {
+    match f.kind() {
+        FormulaKind::Const(v) => Some(*v),
+        FormulaKind::Subset(x, _) if expr_empty(x, b) => Some(true),
+        FormulaKind::Subset(..) => None,
+        FormulaKind::Equal(x, y) if expr_empty(x, b) && expr_empty(y, b) => Some(true),
+        FormulaKind::Equal(..) => None,
+        FormulaKind::NonEmpty(e) => {
+            if expr_empty(e, b) {
+                Some(false)
+            } else if expr_nonempty(e, b) {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        FormulaKind::IsEmpty(e) => {
+            if expr_empty(e, b) {
+                Some(true)
+            } else if expr_nonempty(e, b) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        FormulaKind::ExactlyOne(e) => {
+            if expr_empty(e, b) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        FormulaKind::AtMostOne(e) => {
+            if expr_empty(e, b) {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        FormulaKind::Not(g) => fold_formula(g, b).map(|v| !v),
+        FormulaKind::And(fs) => fold_connective(fs, b, true),
+        FormulaKind::Or(fs) => fold_connective(fs, b, false),
+        FormulaKind::Implies(p, q) => match (fold_formula(p, b), fold_formula(q, b)) {
+            (Some(false), _) | (_, Some(true)) => Some(true),
+            (Some(true), q) => q,
+            (None, Some(false)) | (None, None) => None,
+        },
+        FormulaKind::Iff(p, q) => match (fold_formula(p, b), fold_formula(q, b)) {
+            (Some(x), Some(y)) => Some(x == y),
+            _ => None,
+        },
+        FormulaKind::ForAll(d, body) => {
+            if expr_empty(d.domain(), b) {
+                return Some(true);
+            }
+            // The fold ignores variable bindings, so a folded body is
+            // constant regardless of the bound value.
+            match fold_formula(body, b) {
+                Some(true) => Some(true),
+                Some(false) if expr_nonempty(d.domain(), b) => Some(false),
+                _ => None,
+            }
+        }
+        FormulaKind::Exists(d, body) => {
+            if expr_empty(d.domain(), b) {
+                return Some(false);
+            }
+            match fold_formula(body, b) {
+                Some(false) => Some(false),
+                Some(true) if expr_nonempty(d.domain(), b) => Some(true),
+                _ => None,
+            }
+        }
+        FormulaKind::IntCmp(op, x, y) => {
+            let (x, y) = (fold_int(x, b)?, fold_int(y, b)?);
+            Some(match op {
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+            })
+        }
+    }
+}
+
+/// `unit = true` folds an n-ary AND, `unit = false` an n-ary OR.
+fn fold_connective(fs: &[Formula], b: &Bounds<'_>, unit: bool) -> Option<bool> {
+    let mut all_known = true;
+    for f in fs {
+        match fold_formula(f, b) {
+            Some(v) if v != unit => return Some(!unit),
+            Some(_) => {}
+            None => all_known = false,
+        }
+    }
+    if all_known {
+        Some(unit)
+    } else {
+        None
+    }
+}
+
+/// Folds an integer expression to a constant when the bounds force one.
+pub fn fold_int(e: &IntExpr, b: &Bounds<'_>) -> Option<i64> {
+    match e.kind() {
+        IntExprKind::Const(v) => Some(*v),
+        IntExprKind::Card(x) | IntExprKind::SumValues(x) => {
+            if expr_empty(x, b) {
+                Some(0)
+            } else {
+                None
+            }
+        }
+        IntExprKind::Add(x, y) => Some(fold_int(x, b)?.wrapping_add(fold_int(y, b)?)),
+        IntExprKind::Sub(x, y) => Some(fold_int(x, b)?.wrapping_sub(fold_int(y, b)?)),
+        IntExprKind::Neg(x) => Some(fold_int(x, b)?.wrapping_neg()),
+        IntExprKind::Ite(c, t, f) => match fold_formula(c, b) {
+            Some(true) => fold_int(t, b),
+            Some(false) => fold_int(f, b),
+            None => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mca_relalg::IntExpr;
+
+    fn no_relations() -> Bounds<'static> {
+        Bounds {
+            empty: &|_| false,
+            nonempty: &|_| false,
+            universe_empty: false,
+        }
+    }
+
+    #[test]
+    fn empty_propagates_through_operators() {
+        let b = no_relations();
+        let e = Expr::empty(1);
+        let r = Expr::relation(RelationId::from_index(0));
+        assert!(expr_empty(&e.join(&r), &b));
+        assert!(expr_empty(&r.intersect(&e), &b));
+        assert!(expr_empty(&e.union(&e), &b));
+        assert!(!expr_empty(&r.union(&e), &b));
+        assert!(expr_empty(&e.product(&r), &b));
+        assert!(expr_empty(&e.difference(&r), &b));
+        assert!(!expr_empty(&r.difference(&e), &b));
+    }
+
+    #[test]
+    fn relation_bounds_drive_the_oracle() {
+        let b = Bounds {
+            empty: &|r: RelationId| r.index() == 0,
+            nonempty: &|r: RelationId| r.index() == 1,
+            universe_empty: false,
+        };
+        let dead = Expr::relation(RelationId::from_index(0));
+        let live = Expr::relation(RelationId::from_index(1));
+        assert_eq!(fold_formula(&dead.some(), &b), Some(false));
+        assert_eq!(fold_formula(&dead.no(), &b), Some(true));
+        assert_eq!(fold_formula(&live.some(), &b), Some(true));
+        assert_eq!(fold_formula(&live.no(), &b), Some(false));
+        assert_eq!(fold_formula(&live.join(&dead).some(), &b), Some(false));
+    }
+
+    #[test]
+    fn quantifiers_fold_over_empty_domains() {
+        let b = Bounds {
+            empty: &|r: RelationId| r.index() == 0,
+            nonempty: &|_| false,
+            universe_empty: false,
+        };
+        let dead = Expr::relation(RelationId::from_index(0));
+        let x = mca_relalg::QuantVar::fresh("x");
+        let all = Formula::forall(&x, &dead, &Formula::false_());
+        let any = Formula::exists(&x, &dead, &Formula::true_());
+        assert_eq!(fold_formula(&all, &b), Some(true));
+        assert_eq!(fold_formula(&any, &b), Some(false));
+    }
+
+    #[test]
+    fn connectives_short_circuit() {
+        let b = no_relations();
+        let t = Formula::true_();
+        let f = Formula::false_();
+        let unknown = Expr::relation(RelationId::from_index(0)).some();
+        assert_eq!(fold_formula(&t.and(&f), &b), Some(false));
+        assert_eq!(fold_formula(&unknown.and(&f), &b), Some(false));
+        assert_eq!(fold_formula(&unknown.or(&t), &b), Some(true));
+        assert_eq!(fold_formula(&unknown.and(&t), &b), None);
+        assert_eq!(fold_formula(&f.implies(&unknown), &b), Some(true));
+        assert_eq!(fold_formula(&unknown.implies(&t), &b), Some(true));
+        assert_eq!(fold_formula(&t.iff(&f), &b), Some(false));
+        assert_eq!(fold_formula(&unknown.not(), &b), None);
+    }
+
+    #[test]
+    fn cardinality_of_empty_is_zero() {
+        let b = no_relations();
+        let zero = Expr::empty(1).count();
+        let one = IntExpr::constant(1);
+        assert_eq!(fold_int(&zero, &b), Some(0));
+        assert_eq!(fold_formula(&zero.lt(&one), &b), Some(true));
+        assert_eq!(
+            fold_formula(&zero.eq_(&IntExpr::constant(0)), &b),
+            Some(true)
+        );
+        let free = Expr::relation(RelationId::from_index(0)).count();
+        assert_eq!(fold_int(&free, &b), None);
+    }
+}

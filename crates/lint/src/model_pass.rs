@@ -1,0 +1,216 @@
+//! Model-layer lint pass (`M001`–`M004`): inspects an `mca-alloy`
+//! [`Model`] before it is lowered to a relational problem.
+
+use crate::diag::{Diagnostic, Layer, Severity};
+use crate::fold::{self, Bounds};
+use crate::walk;
+use mca_alloy::{Model, Multiplicity};
+use mca_relalg::{ExprKind, RelationId};
+use std::collections::HashSet;
+
+/// Runs the model-layer rules over `model` (with `assertions` counting as
+/// references, so a sig or field used only by an assertion is not "dead").
+pub fn run(model: &Model, assertions: &[mca_relalg::Formula]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Relations referenced by any fact or assertion. Sig and field exprs
+    // lower to `Relation(id)` nodes, so reference tracking works on ids.
+    let mut referenced: HashSet<RelationId> = HashSet::new();
+    for f in model.facts().iter().chain(assertions) {
+        walk::collect_relations(f, &mut referenced);
+    }
+
+    let rel_id = |e: &mca_relalg::Expr| match e.kind() {
+        ExprKind::Relation(r) => *r,
+        _ => unreachable!("sig_expr/field_expr always lower to Relation"),
+    };
+
+    // Definite emptiness per relation id, mirroring `Model::to_problem`
+    // bounds: sigs are exact constants; non-constant fields have an empty
+    // lower bound and an upper bound that is a product of sig scopes.
+    let mut empty = vec![false; model.num_sigs() + model.num_fields()];
+    let mut nonempty = vec![false; model.num_sigs() + model.num_fields()];
+    for sig in model.sig_ids() {
+        let i = rel_id(&model.sig_expr(sig)).index();
+        empty[i] = model.atoms(sig).is_empty();
+        nonempty[i] = !model.atoms(sig).is_empty();
+    }
+    for field in model.field_ids() {
+        let i = rel_id(&model.field_expr(field)).index();
+        if model.field_is_constant(field) {
+            let tuples = model.field_constant_tuples(field);
+            let n = tuples.map_or(0, |t| t.len());
+            empty[i] = n == 0;
+            nonempty[i] = n > 0;
+        } else {
+            // Upper bound: owner × columns. Empty iff any participating
+            // sig has an empty scope.
+            let cols_empty = model
+                .field_columns(field)
+                .iter()
+                .any(|&s| model.atoms(s).is_empty());
+            empty[i] = model.atoms(model.field_owner(field)).is_empty() || cols_empty;
+            nonempty[i] = false;
+        }
+    }
+    let bounds = Bounds {
+        empty: &|r: RelationId| empty.get(r.index()).copied().unwrap_or(false),
+        nonempty: &|r: RelationId| nonempty.get(r.index()).copied().unwrap_or(false),
+        universe_empty: model.universe().is_empty(),
+    };
+
+    for sig in model.sig_ids() {
+        let name = model.sig_name(sig);
+        // M002: empty scope.
+        if model.atoms(sig).is_empty() {
+            out.push(Diagnostic {
+                rule: "M002",
+                severity: Severity::Warning,
+                layer: Layer::Model,
+                location: format!("sig `{name}`"),
+                message: "scope is empty; every expression over this sig is empty".into(),
+                suggestion: "raise the scope or drop the sig".into(),
+            });
+        }
+        // M001: sig never used by a field or a fact/assertion.
+        let id = rel_id(&model.sig_expr(sig));
+        let used_by_field = model
+            .field_ids()
+            .any(|f| model.field_owner(f) == sig || model.field_columns(f).contains(&sig));
+        if !used_by_field && !referenced.contains(&id) {
+            out.push(Diagnostic {
+                rule: "M001",
+                severity: Severity::Warning,
+                layer: Layer::Model,
+                location: format!("sig `{name}`"),
+                message: "sig is never used by any field, fact, or assertion".into(),
+                suggestion: "remove the sig or reference it".into(),
+            });
+        }
+    }
+
+    // M004: Set-multiplicity fields get no generated multiplicity fact,
+    // so one that no fact mentions is completely unconstrained.
+    for field in model.field_ids() {
+        let id = rel_id(&model.field_expr(field));
+        if model.field_multiplicity(field) == Multiplicity::Set
+            && !model.field_is_constant(field)
+            && !referenced.contains(&id)
+        {
+            out.push(Diagnostic {
+                rule: "M004",
+                severity: Severity::Warning,
+                layer: Layer::Model,
+                location: format!("field `{}`", model.field_name(field)),
+                message: "Set-multiplicity field is never mentioned by a fact or assertion — \
+                     it is completely unconstrained"
+                    .into(),
+                suggestion: "constrain the field or remove it".into(),
+            });
+        }
+    }
+
+    // M003: facts that fold to a constant.
+    for (i, fact) in model.facts().iter().enumerate() {
+        match fold::fold_formula(fact, &bounds) {
+            Some(true) => out.push(Diagnostic {
+                rule: "M003",
+                severity: Severity::Info,
+                layer: Layer::Model,
+                location: format!("fact #{i}"),
+                message: "fact is trivially true under the declared scopes — it constrains nothing"
+                    .into(),
+                suggestion: "drop the fact or tighten it".into(),
+            }),
+            Some(false) => out.push(Diagnostic {
+                rule: "M003",
+                severity: Severity::Error,
+                layer: Layer::Model,
+                location: format!("fact #{i}"),
+                message: "fact is constant false — the model is inconsistent and every assertion \
+                     is vacuously valid"
+                    .into(),
+                suggestion: "fix or remove the contradictory fact".into(),
+            }),
+            None => {}
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+        let mut r: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+        r.sort_unstable();
+        r
+    }
+
+    #[test]
+    fn clean_model_produces_no_findings() {
+        let mut m = Model::new();
+        let a = m.sig("A", 2);
+        let b = m.sig("B", 2);
+        let f = m.field("f", a, &[b], Multiplicity::One);
+        m.fact(m.field_expr(f).some());
+        assert!(run(&m, &[]).is_empty());
+    }
+
+    #[test]
+    fn unused_sig_and_empty_scope_are_flagged() {
+        let mut m = Model::new();
+        let _orphan = m.sig("Orphan", 1);
+        let hollow = m.sig("Hollow", 0);
+        m.fact(m.sig_expr(hollow).no());
+        let diags = run(&m, &[]);
+        assert_eq!(rules(&diags), vec!["M001", "M002", "M003"]);
+        // `no Hollow` folds trivially true because Hollow's scope is empty.
+        let m003 = diags.iter().find(|d| d.rule == "M003").unwrap();
+        assert_eq!(m003.severity, Severity::Info);
+    }
+
+    #[test]
+    fn unconstrained_set_field_is_flagged_until_referenced() {
+        let mut m = Model::new();
+        let a = m.sig("A", 2);
+        let b = m.sig("B", 2);
+        let ghost = m.field("ghost", a, &[b], Multiplicity::Set);
+        assert_eq!(rules(&run(&m, &[])), vec!["M004"]);
+        // A reference from an assertion counts.
+        let assertion = m.field_expr(ghost).some();
+        assert!(run(&m, &[assertion]).is_empty());
+    }
+
+    #[test]
+    fn constant_false_fact_is_an_error() {
+        let mut m = Model::new();
+        let a = m.sig("A", 1);
+        m.fact(m.sig_expr(a).no());
+        let diags = run(&m, &[]);
+        assert_eq!(rules(&diags), vec!["M003"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn fold_cannot_see_sat_level_contradictions() {
+        // `one f` ∧ `no f` is jointly unsatisfiable, but neither fact
+        // folds on bounds alone — this is exactly what V001 exists for.
+        let mut m = Model::new();
+        let a = m.sig("A", 2);
+        let b = m.sig("B", 2);
+        let f = m.field("f", a, &[b], Multiplicity::Set);
+        m.fact(m.field_expr(f).one());
+        m.fact(m.field_expr(f).no());
+        assert!(run(&m, &[]).is_empty());
+    }
+
+    #[test]
+    fn rules_are_not_copies_of_each_other() {
+        let unique: std::collections::HashSet<&str> =
+            crate::diag::RULES.iter().map(|r| r.summary).collect();
+        assert_eq!(unique.len(), crate::diag::RULES.len());
+    }
+}

@@ -1,0 +1,207 @@
+//! Relalg-layer lint pass (`R001`–`R004`): inspects a lowered [`Problem`]
+//! — declared relations with bounds, plus facts and assertions.
+
+use crate::diag::{Diagnostic, Layer, Severity};
+use crate::fold::{self, Bounds};
+use crate::walk;
+use mca_relalg::display::{pretty_expr, Names};
+use mca_relalg::{Expr, ExprKind, Formula, Problem, RelationId};
+use std::collections::HashSet;
+
+/// Runs the relalg-layer rules over `problem` and `assertions`.
+pub fn run(problem: &Problem, assertions: &[Formula]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    let bounds = Bounds {
+        empty: &|r: RelationId| problem.relation(r).upper().is_empty(),
+        nonempty: &|r: RelationId| !problem.relation(r).lower().is_empty(),
+        universe_empty: problem.universe().is_empty(),
+    };
+    let names = Names {
+        relation: &|r: RelationId| problem.relation(r).name().to_string(),
+        atom: &|a| problem.universe().name(a).to_string(),
+    };
+
+    let mut referenced: HashSet<RelationId> = HashSet::new();
+    for f in problem.facts().iter().chain(assertions) {
+        walk::collect_relations(f, &mut referenced);
+    }
+
+    // R001: a relation with slack between its bounds (the solver chooses
+    // its value) that no fact or assertion ever mentions.
+    for id in problem.relation_ids() {
+        let decl = problem.relation(id);
+        if decl.lower() == decl.upper() {
+            continue; // constants carry no free choice
+        }
+        if !referenced.contains(&id) {
+            out.push(Diagnostic {
+                rule: "R001",
+                severity: Severity::Warning,
+                layer: Layer::Relalg,
+                location: format!("relation `{}`", decl.name()),
+                message: "declared but never referenced by any fact or assertion".into(),
+                suggestion: "remove the declaration or constrain it".into(),
+            });
+        }
+    }
+
+    // R002/R003: walk every sub-expression of every fact and assertion.
+    // Identical findings (same rule, same printed expression) collapse.
+    let mut seen: HashSet<(&'static str, String)> = HashSet::new();
+    let mut on_expr = |e: &Expr| {
+        let (rule, a, b) = match e.kind() {
+            ExprKind::Join(a, b) => ("R002", a, b),
+            ExprKind::Union(a, b)
+            | ExprKind::Intersect(a, b)
+            | ExprKind::Difference(a, b)
+            | ExprKind::Product(a, b) => ("R003", a, b),
+            _ => return,
+        };
+        // An `Empty(_)` literal operand is deliberate syntax (e.g. a seed
+        // for folds), not dead modelling; skip those.
+        let dead = [a, b]
+            .iter()
+            .any(|op| !matches!(op.kind(), ExprKind::Empty(_)) && fold::expr_empty(op, &bounds));
+        if !dead {
+            return;
+        }
+        let printed = pretty_expr(e, &names);
+        if !seen.insert((rule, printed.clone())) {
+            return;
+        }
+        if rule == "R002" {
+            out.push(Diagnostic {
+                rule: "R002",
+                severity: Severity::Warning,
+                layer: Layer::Relalg,
+                location: format!("expression `{printed}`"),
+                message: "join over a statically-empty operand — the join is always empty".into(),
+                suggestion: "remove the join or fix the bounds of its operands".into(),
+            });
+        } else {
+            out.push(Diagnostic {
+                rule: "R003",
+                severity: Severity::Info,
+                layer: Layer::Relalg,
+                location: format!("expression `{printed}`"),
+                message: "dead sub-expression: one operand is statically empty".into(),
+                suggestion: "simplify the expression".into(),
+            });
+        }
+    };
+    for f in problem.facts().iter().chain(assertions) {
+        walk::visit_formula_exprs(f, &mut on_expr);
+    }
+
+    // R004: problem-level facts that fold to a constant. This sees the
+    // generated multiplicity facts as well as the model's own.
+    for (i, fact) in problem.facts().iter().enumerate() {
+        match fold::fold_formula(fact, &bounds) {
+            Some(true) => out.push(Diagnostic {
+                rule: "R004",
+                severity: Severity::Info,
+                layer: Layer::Relalg,
+                location: format!("fact #{i}"),
+                message: "fact folds to true under the declared bounds — it constrains nothing"
+                    .into(),
+                suggestion: "drop the fact or tighten the bounds".into(),
+            }),
+            Some(false) => out.push(Diagnostic {
+                rule: "R004",
+                severity: Severity::Error,
+                layer: Layer::Relalg,
+                location: format!("fact #{i}"),
+                message: "fact folds to false — the problem is unsatisfiable by construction"
+                    .into(),
+                suggestion: "fix or remove the contradictory fact".into(),
+            }),
+            None => {}
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mca_relalg::{TupleSet, Universe};
+
+    fn problem_with(n_atoms: usize) -> (Problem, Vec<mca_relalg::AtomId>) {
+        let mut u = Universe::new();
+        let atoms = u.add_atoms("a", n_atoms);
+        (Problem::new(u), atoms)
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+        let mut r: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+        r.sort_unstable();
+        r
+    }
+
+    #[test]
+    fn unreferenced_free_relation_is_flagged_constants_are_not() {
+        let (mut p, atoms) = problem_with(2);
+        let full = TupleSet::from_atoms(atoms.iter().copied());
+        let _konst = p.declare_constant("konst", full.clone());
+        let free = p.declare_relation("free", TupleSet::new(1), full.clone());
+        let used = p.declare_relation("used", TupleSet::new(1), full);
+        p.require(Expr::relation(used).some());
+        let diags = run(&p, &[]);
+        assert_eq!(rules(&diags), vec!["R001"]);
+        assert!(diags[0].location.contains("free"), "{}", diags[0].location);
+        let _ = free;
+    }
+
+    #[test]
+    fn reference_from_assertion_counts() {
+        let (mut p, atoms) = problem_with(2);
+        let full = TupleSet::from_atoms(atoms.iter().copied());
+        let r = p.declare_relation("r", TupleSet::new(1), full);
+        assert_eq!(rules(&run(&p, &[])), vec!["R001"]);
+        assert!(run(&p, &[Expr::relation(r).some()]).is_empty());
+    }
+
+    #[test]
+    fn empty_domain_join_and_dead_union_are_flagged() {
+        let (mut p, atoms) = problem_with(2);
+        let full = TupleSet::from_atoms(atoms.iter().copied());
+        let dead = p.declare_relation("dead", TupleSet::new(1), TupleSet::new(1));
+        let live = p.declare_relation("live", TupleSet::new(1), full);
+        let dead_e = Expr::relation(dead);
+        let live_e = Expr::relation(live);
+        p.require(live_e.join(&dead_e).no());
+        p.require(live_e.union(&dead_e).some());
+        let diags = run(&p, &[]);
+        // dead has empty upper == lower bounds, so it is a constant and
+        // escapes R001; the join (R002) and union (R003) still fire, and
+        // both facts fold (join-no folds true, union-some stays unknown
+        // because `live` has an empty lower bound).
+        assert_eq!(rules(&diags), vec!["R002", "R003", "R004"]);
+        let r002 = diags.iter().find(|d| d.rule == "R002").unwrap();
+        assert!(r002.location.contains("live . dead"), "{}", r002.location);
+    }
+
+    #[test]
+    fn literal_empty_operand_is_not_dead_code() {
+        let (mut p, atoms) = problem_with(2);
+        let full = TupleSet::from_atoms(atoms.iter().copied());
+        let r = p.declare_relation("r", TupleSet::new(1), full);
+        p.require(Expr::relation(r).union(&Expr::empty(1)).some());
+        assert!(run(&p, &[]).is_empty());
+    }
+
+    #[test]
+    fn folding_facts_fire_r004_at_both_polarities() {
+        let (mut p, atoms) = problem_with(2);
+        let full = TupleSet::from_atoms(atoms.iter().copied());
+        let k = p.declare_constant("k", full);
+        p.require(Expr::relation(k).some()); // folds true
+        p.require(Expr::relation(k).no()); // folds false
+        let diags = run(&p, &[]);
+        assert_eq!(rules(&diags), vec!["R004", "R004"]);
+        let sevs: HashSet<Severity> = diags.iter().map(|d| d.severity).collect();
+        assert!(sevs.contains(&Severity::Info) && sevs.contains(&Severity::Error));
+    }
+}

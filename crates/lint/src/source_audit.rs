@@ -1,0 +1,112 @@
+//! Source-layer hygiene audit (`S001`): every crate root in the
+//! workspace must carry `#![forbid(unsafe_code)]`.
+//!
+//! The whole suite is deliberately safe Rust; `forbid` (unlike `deny`)
+//! cannot be overridden further down the crate, so checking the crate
+//! roots is sufficient. The audit is a lint rule rather than a one-off
+//! grep so CI re-verifies the invariant on every run.
+
+use crate::diag::{Diagnostic, Layer, Severity};
+use std::path::{Path, PathBuf};
+
+/// The attribute every crate root must contain.
+const FORBID: &str = "#![forbid(unsafe_code)]";
+
+/// Audits `workspace_root` (the directory holding the top-level
+/// `Cargo.toml`): the umbrella crate root plus every `crates/*` and
+/// `compat/*` member. Returns one `S001` finding per missing or
+/// unreadable crate root.
+pub fn run(workspace_root: &Path) -> Vec<Diagnostic> {
+    let mut roots: Vec<PathBuf> = vec![workspace_root.join("src/lib.rs")];
+    for member_dir in ["crates", "compat"] {
+        let dir = workspace_root.join(member_dir);
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        let mut members: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path().join("src/lib.rs"))
+            .filter(|p| p.exists())
+            .collect();
+        members.sort();
+        roots.extend(members);
+    }
+    roots
+        .into_iter()
+        .filter_map(|root| audit_file(&root, workspace_root))
+        .collect()
+}
+
+fn audit_file(root: &Path, workspace_root: &Path) -> Option<Diagnostic> {
+    let shown = root
+        .strip_prefix(workspace_root)
+        .unwrap_or(root)
+        .display()
+        .to_string();
+    let message = match std::fs::read_to_string(root) {
+        Ok(text) if text.contains(FORBID) => return None,
+        Ok(_) => "crate root does not contain `#![forbid(unsafe_code)]`".to_string(),
+        Err(e) => format!("crate root could not be read: {e}"),
+    };
+    Some(Diagnostic {
+        rule: "S001",
+        severity: Severity::Error,
+        layer: Layer::Source,
+        location: shown,
+        message,
+        suggestion: format!("add `{FORBID}` at the top of the crate root"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_workspace(lib_contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mca-lint-audit-{}-{lib}",
+            std::process::id(),
+            lib = lib_contents.len()
+        ));
+        let crate_src = dir.join("crates/demo/src");
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::create_dir_all(&crate_src).unwrap();
+        std::fs::write(dir.join("src/lib.rs"), FORBID).unwrap();
+        std::fs::write(crate_src.join("lib.rs"), lib_contents).unwrap();
+        dir
+    }
+
+    #[test]
+    fn compliant_workspace_is_clean() {
+        let dir = scratch_workspace("#![forbid(unsafe_code)]\npub fn f() {}\n");
+        assert!(run(&dir).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_attribute_is_an_error() {
+        let dir = scratch_workspace("pub fn f() {}\n");
+        let diags = run(&dir);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "S001");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(
+            diags[0].location.ends_with("crates/demo/src/lib.rs"),
+            "{}",
+            diags[0].location
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn this_workspace_passes_its_own_audit() {
+        // CARGO_MANIFEST_DIR = crates/lint; the workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .to_path_buf();
+        let diags = run(&root);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

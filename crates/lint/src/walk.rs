@@ -1,0 +1,130 @@
+//! Generic traversals over the relational AST: every pass either collects
+//! the relations a formula mentions or visits every sub-expression.
+
+use mca_relalg::{Expr, ExprKind, Formula, FormulaKind, IntExpr, IntExprKind, RelationId};
+use std::collections::HashSet;
+
+/// Adds every relation referenced anywhere inside `f` to `out`.
+pub fn collect_relations(f: &Formula, out: &mut HashSet<RelationId>) {
+    visit_formula_exprs(f, &mut |e| {
+        if let ExprKind::Relation(r) = e.kind() {
+            out.insert(*r);
+        }
+    });
+}
+
+/// Calls `visit` on every sub-expression (including nested ones) of `f`,
+/// in pre-order.
+pub fn visit_formula_exprs(f: &Formula, visit: &mut impl FnMut(&Expr)) {
+    match f.kind() {
+        FormulaKind::Const(_) => {}
+        FormulaKind::Subset(a, b) | FormulaKind::Equal(a, b) => {
+            visit_expr(a, visit);
+            visit_expr(b, visit);
+        }
+        FormulaKind::NonEmpty(e)
+        | FormulaKind::IsEmpty(e)
+        | FormulaKind::ExactlyOne(e)
+        | FormulaKind::AtMostOne(e) => visit_expr(e, visit),
+        FormulaKind::Not(g) => visit_formula_exprs(g, visit),
+        FormulaKind::And(fs) | FormulaKind::Or(fs) => {
+            for g in fs {
+                visit_formula_exprs(g, visit);
+            }
+        }
+        FormulaKind::Implies(p, q) | FormulaKind::Iff(p, q) => {
+            visit_formula_exprs(p, visit);
+            visit_formula_exprs(q, visit);
+        }
+        FormulaKind::ForAll(d, body) | FormulaKind::Exists(d, body) => {
+            visit_expr(d.domain(), visit);
+            visit_formula_exprs(body, visit);
+        }
+        FormulaKind::IntCmp(_, x, y) => {
+            visit_int_exprs(x, visit);
+            visit_int_exprs(y, visit);
+        }
+    }
+}
+
+fn visit_int_exprs(e: &IntExpr, visit: &mut impl FnMut(&Expr)) {
+    match e.kind() {
+        IntExprKind::Const(_) => {}
+        IntExprKind::Card(x) | IntExprKind::SumValues(x) => visit_expr(x, visit),
+        IntExprKind::Add(x, y) | IntExprKind::Sub(x, y) => {
+            visit_int_exprs(x, visit);
+            visit_int_exprs(y, visit);
+        }
+        IntExprKind::Neg(x) => visit_int_exprs(x, visit),
+        IntExprKind::Ite(c, t, f) => {
+            visit_formula_exprs(c, visit);
+            visit_int_exprs(t, visit);
+            visit_int_exprs(f, visit);
+        }
+    }
+}
+
+fn visit_expr(e: &Expr, visit: &mut impl FnMut(&Expr)) {
+    visit(e);
+    match e.kind() {
+        ExprKind::Relation(_)
+        | ExprKind::Atom(_)
+        | ExprKind::Iden
+        | ExprKind::Univ
+        | ExprKind::Empty(_)
+        | ExprKind::Var(_) => {}
+        ExprKind::Union(a, b)
+        | ExprKind::Intersect(a, b)
+        | ExprKind::Difference(a, b)
+        | ExprKind::Join(a, b)
+        | ExprKind::Product(a, b) => {
+            visit_expr(a, visit);
+            visit_expr(b, visit);
+        }
+        ExprKind::Transpose(a) | ExprKind::Closure(a) | ExprKind::ReflexiveClosure(a) => {
+            visit_expr(a, visit)
+        }
+        ExprKind::IfThenElse(c, t, f) => {
+            visit_formula_exprs(c, visit);
+            visit_expr(t, visit);
+            visit_expr(f, visit);
+        }
+        ExprKind::Comprehension(decls, body) => {
+            for d in decls {
+                visit_expr(d.domain(), visit);
+            }
+            visit_formula_exprs(body, visit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mca_relalg::QuantVar;
+
+    #[test]
+    fn collects_relations_through_quantifiers_and_ints() {
+        let a = Expr::relation(RelationId::from_index(0));
+        let b = Expr::relation(RelationId::from_index(1));
+        let c = Expr::relation(RelationId::from_index(2));
+        let x = QuantVar::fresh("x");
+        let f = Formula::forall(&x, &a, &x.expr().join(&b).some())
+            .and(&c.count().ge(&mca_relalg::IntExpr::constant(1)));
+        let mut rels = HashSet::new();
+        collect_relations(&f, &mut rels);
+        let mut ids: Vec<usize> = rels.iter().map(|r| r.index()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn visits_nested_subexpressions() {
+        let a = Expr::relation(RelationId::from_index(0));
+        let e = a.union(&Expr::empty(1)).join(&a.transpose());
+        let mut count = 0;
+        visit_formula_exprs(&e.some(), &mut |_| count += 1);
+        // join, union, a, empty, transpose, a
+        assert_eq!(count, 6);
+    }
+}

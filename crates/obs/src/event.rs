@@ -191,6 +191,33 @@ pub enum Event {
         /// Resource fields attached at exit, in attachment order.
         fields: Vec<(String, u64)>,
     },
+    /// One diagnostic produced by the `mca-lint` static analyzer.
+    LintFinding {
+        /// Stable rule id (e.g. `"M001"`, `"C002"`, `"V001"`).
+        rule: String,
+        /// Severity label: `"error"`, `"warning"` or `"info"`.
+        severity: String,
+        /// Pipeline layer the finding is about: `"model"`, `"relalg"`,
+        /// `"cnf"` or `"source"`.
+        layer: String,
+        /// Where in that layer (relation name, component index, file path…).
+        location: String,
+        /// Human-readable statement of the problem.
+        message: String,
+        /// Suggested fix, empty when the rule has none.
+        suggestion: String,
+    },
+    /// A whole lint run finished over one analysis target.
+    LintDone {
+        /// Human label for the analyzed target (e.g. `"e8:2x2:optimized"`).
+        target: String,
+        /// Findings with error severity.
+        errors: u64,
+        /// Findings with warning severity.
+        warnings: u64,
+        /// Findings with info severity.
+        infos: u64,
+    },
     /// Periodic SAT-solver progress (forwarded from the solver's progress
     /// callback, typically every N conflicts).
     SolverProgress {
@@ -228,6 +255,8 @@ impl Event {
             Event::IncrementalSolve { .. } => "incremental-solve",
             Event::SpanEnter { .. } => "span-enter",
             Event::SpanExit { .. } => "span-exit",
+            Event::LintFinding { .. } => "lint-finding",
+            Event::LintDone { .. } => "lint-done",
             Event::SolverProgress { .. } => "solver-progress",
         }
     }
@@ -404,6 +433,34 @@ impl Event {
                 }
                 Json::Object(pairs)
             }
+            Event::LintFinding {
+                ref rule,
+                ref severity,
+                ref layer,
+                ref location,
+                ref message,
+                ref suggestion,
+            } => Json::obj([
+                ("event", kind),
+                ("rule", rule.as_str().into()),
+                ("severity", severity.as_str().into()),
+                ("layer", layer.as_str().into()),
+                ("location", location.as_str().into()),
+                ("message", message.as_str().into()),
+                ("suggestion", suggestion.as_str().into()),
+            ]),
+            Event::LintDone {
+                ref target,
+                errors,
+                warnings,
+                infos,
+            } => Json::obj([
+                ("event", kind),
+                ("target", target.as_str().into()),
+                ("errors", errors.into()),
+                ("warnings", warnings.into()),
+                ("infos", infos.into()),
+            ]),
             Event::SolverProgress {
                 conflicts,
                 decisions,
@@ -559,6 +616,33 @@ mod tests {
             exit.to_json_line(),
             r#"{"event":"span-exit","id":1,"t_ns":95,"conflicts":4,"clause_db_bytes":1024}"#
         );
+    }
+
+    #[test]
+    fn lint_events_render_stably() {
+        let finding = Event::LintFinding {
+            rule: "R001".into(),
+            severity: "warning".into(),
+            layer: "relalg".into(),
+            location: "relation `ghost`".into(),
+            message: "declared but never referenced by any fact or assertion".into(),
+            suggestion: "remove the declaration or constrain it".into(),
+        };
+        assert_eq!(
+            finding.to_json_line(),
+            r#"{"event":"lint-finding","rule":"R001","severity":"warning","layer":"relalg","location":"relation `ghost`","message":"declared but never referenced by any fact or assertion","suggestion":"remove the declaration or constrain it"}"#
+        );
+        let done = Event::LintDone {
+            target: "e8:2x2:optimized".into(),
+            errors: 0,
+            warnings: 1,
+            infos: 2,
+        };
+        assert_eq!(
+            done.to_json_line(),
+            r#"{"event":"lint-done","target":"e8:2x2:optimized","errors":0,"warnings":1,"infos":2}"#
+        );
+        assert_ne!(finding.kind(), done.kind());
     }
 
     #[test]

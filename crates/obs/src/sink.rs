@@ -229,7 +229,9 @@ impl Observer for SummarySink {
             | Event::JobScheduled { .. }
             | Event::JobStarted { .. }
             | Event::SimplifyDone { .. }
-            | Event::IncrementalSolve { .. } => {}
+            | Event::IncrementalSolve { .. }
+            | Event::LintFinding { .. }
+            | Event::LintDone { .. } => {}
         }
     }
 }

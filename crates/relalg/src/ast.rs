@@ -118,7 +118,9 @@ pub enum ExprKind {
 }
 
 impl Expr {
-    pub(crate) fn kind(&self) -> &ExprKind {
+    /// The structural case of this expression, for analyses (such as
+    /// `mca-lint`) that walk the AST without translating it.
+    pub fn kind(&self) -> &ExprKind {
         &self.0
     }
 
@@ -311,7 +313,9 @@ pub enum FormulaKind {
 }
 
 impl Formula {
-    pub(crate) fn kind(&self) -> &FormulaKind {
+    /// The structural case of this formula, for analyses that walk the AST
+    /// without translating it.
+    pub fn kind(&self) -> &FormulaKind {
         &self.0
     }
 
@@ -395,6 +399,18 @@ pub struct Decl {
     pub(crate) domain: Expr,
 }
 
+impl Decl {
+    /// The declared variable.
+    pub fn var(&self) -> &QuantVar {
+        &self.var
+    }
+
+    /// The (unary) domain expression the variable ranges over.
+    pub fn domain(&self) -> &Expr {
+        &self.domain
+    }
+}
+
 /// Integer comparison operators.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CmpOp {
@@ -450,7 +466,9 @@ pub enum IntExprKind {
 }
 
 impl IntExpr {
-    pub(crate) fn kind(&self) -> &IntExprKind {
+    /// The structural case of this integer expression, for analyses that
+    /// walk the AST without translating it.
+    pub fn kind(&self) -> &IntExprKind {
         &self.0
     }
 

@@ -7,7 +7,7 @@
 //! already does — the same service Kodkod provides to the Alloy Analyzer.
 
 use mca_sat::{CnfFormula, Lit, Var};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// An edge into the circuit: a node index plus a complement flag.
 ///
@@ -291,7 +291,45 @@ impl Circuit {
     /// Constant goal edges are materialized as frozen variables (forced
     /// true) so every goal has a literal.
     pub fn to_cnf_with_goals(&self, roots: &[B], goals: &[B]) -> (CnfFormula, Vec<Var>, Vec<Lit>) {
+        let e = self.to_cnf_opts(roots, goals, true);
+        (e.cnf, e.input_vars, e.goal_lits)
+    }
+
+    /// Like [`to_cnf_with_goals`](Circuit::to_cnf_with_goals), with clause
+    /// deduplication made explicit. With `dedup = true` (the default used
+    /// by the other entry points) every emitted clause is normalized —
+    /// repeated literals dropped, tautologies (`l ∨ ¬l ∨ …`) and clauses
+    /// identical to an earlier one skipped — and the number of skipped
+    /// clauses is reported in [`CnfEmission::clauses_deduped`].
+    /// Deduplication preserves the model set, so verdicts are unchanged;
+    /// `dedup = false` exists so tests can assert exactly that.
+    pub fn to_cnf_opts(&self, roots: &[B], goals: &[B], dedup: bool) -> CnfEmission {
         let mut cnf = CnfFormula::new();
+        let mut seen: HashSet<Vec<Lit>> = HashSet::new();
+        let mut clauses_deduped = 0usize;
+        // Normalizing emitter: sorts and dedups the literals of each clause,
+        // drops tautologies, and skips clauses already emitted.
+        let mut emit = |lits: &mut Vec<Lit>, cnf: &mut CnfFormula| {
+            if !dedup {
+                cnf.add_clause(lits.drain(..));
+                return;
+            }
+            lits.sort_unstable();
+            lits.dedup();
+            // After sorting, a variable's two polarities are adjacent.
+            if lits.windows(2).any(|w| w[0] == !w[1]) {
+                clauses_deduped += 1;
+                lits.clear();
+                return;
+            }
+            if seen.insert(lits.clone()) {
+                cnf.add_clause(lits.drain(..));
+            } else {
+                clauses_deduped += 1;
+                lits.clear();
+            }
+        };
+        let mut buf: Vec<Lit> = Vec::with_capacity(3);
         // Inputs get the first variables so instance decoding is stable.
         let input_vars: Vec<Var> = (0..self.num_inputs).map(|_| cnf.new_var()).collect();
 
@@ -350,9 +388,12 @@ impl Circuit {
                 let la = edge_lit(a, &mut cnf, &mut node_lit);
                 let lb = edge_lit(b, &mut cnf, &mut node_lit);
                 // g <-> la & lb
-                cnf.add_clause([!g, la]);
-                cnf.add_clause([!g, lb]);
-                cnf.add_clause([g, !la, !lb]);
+                buf.extend([!g, la]);
+                emit(&mut buf, &mut cnf);
+                buf.extend([!g, lb]);
+                emit(&mut buf, &mut cnf);
+                buf.extend([g, !la, !lb]);
+                emit(&mut buf, &mut cnf);
             }
         }
 
@@ -362,18 +403,38 @@ impl Circuit {
             }
             if r == B::FALSE {
                 // Assert falsity: empty clause.
-                cnf.add_clause(std::iter::empty());
+                emit(&mut buf, &mut cnf);
                 continue;
             }
             let l = edge_lit(r, &mut cnf, &mut node_lit);
-            cnf.add_clause([l]);
+            buf.push(l);
+            emit(&mut buf, &mut cnf);
         }
         let goal_lits: Vec<Lit> = goals
             .iter()
             .map(|&g| edge_lit(g, &mut cnf, &mut node_lit))
             .collect();
-        (cnf, input_vars, goal_lits)
+        CnfEmission {
+            cnf,
+            input_vars,
+            goal_lits,
+            clauses_deduped,
+        }
     }
+}
+
+/// The result of [`Circuit::to_cnf_opts`]: the emitted formula plus the
+/// bookkeeping the higher layers surface as statistics.
+#[derive(Debug)]
+pub struct CnfEmission {
+    /// The Tseitin-encoded formula.
+    pub cnf: CnfFormula,
+    /// Input ordinal → CNF variable, in creation order.
+    pub input_vars: Vec<Var>,
+    /// One unasserted literal per requested goal edge.
+    pub goal_lits: Vec<Lit>,
+    /// Duplicate and tautological clauses dropped during emission.
+    pub clauses_deduped: usize,
 }
 
 #[cfg(test)]
@@ -521,6 +582,47 @@ mod tests {
         let mut s2 = cnf2.to_solver();
         assert!(s2.solve_with_assumptions(&[goals2[0]]).is_sat());
         assert!(!s2.solve_with_assumptions(&[goals2[1]]).is_sat());
+    }
+
+    #[test]
+    fn dedup_drops_duplicate_clauses_and_preserves_models() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let g = c.or2(x, y);
+        // The same root asserted twice: the second unit clause duplicates
+        // the first, and dedup must drop exactly it.
+        let deduped = c.to_cnf_opts(&[g, g], &[], true);
+        let raw = c.to_cnf_opts(&[g, g], &[], false);
+        assert_eq!(deduped.clauses_deduped, 1);
+        assert_eq!(raw.clauses_deduped, 0);
+        assert_eq!(deduped.cnf.num_clauses() + 1, raw.cnf.num_clauses());
+        // Both emissions project to the same input models.
+        let models = |cnf: &CnfFormula, inputs: &[Var]| {
+            let mut s = cnf.to_solver();
+            let mut out = std::collections::HashSet::new();
+            s.enumerate_models(inputs, 64, |m| {
+                out.insert(inputs.iter().map(|&v| m.value(v)).collect::<Vec<_>>());
+                true
+            });
+            out
+        };
+        assert_eq!(
+            models(&deduped.cnf, &deduped.input_vars),
+            models(&raw.cnf, &raw.input_vars)
+        );
+    }
+
+    #[test]
+    fn dedup_is_a_no_op_on_hash_consed_emission() {
+        // Structural hashing upstream already prevents duplicate gate
+        // clauses, so a single-root emission dedups nothing — the counter
+        // is a tripwire, not a load-bearing optimization.
+        let mut c = Circuit::new();
+        let xs: Vec<B> = (0..4).map(|_| c.input()).collect();
+        let exo = c.exactly_one(&xs);
+        let e = c.to_cnf_opts(&[exo], &[], true);
+        assert_eq!(e.clauses_deduped, 0);
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub struct Problem {
     relations: Vec<RelationDecl>,
     facts: Vec<Formula>,
     spans: Option<mca_obs::SpanRecorder>,
+    dedup: bool,
 }
 
 impl Problem {
@@ -80,7 +81,16 @@ impl Problem {
             relations: Vec::new(),
             facts: Vec::new(),
             spans: None,
+            dedup: true,
         }
+    }
+
+    /// Enables or disables clause deduplication during CNF emission
+    /// (enabled by default). Deduplication preserves the model set — the
+    /// switch exists so tests can assert verdict preservation against the
+    /// raw emission.
+    pub fn set_clause_dedup(&mut self, enabled: bool) {
+        self.dedup = enabled;
     }
 
     /// Attaches a span recorder: translation emits `relalg.encode` (with
@@ -145,6 +155,12 @@ impl Problem {
         self.facts.push(f);
     }
 
+    /// The facts added so far, in insertion order. Static analyses walk
+    /// these to find relations never referenced by any constraint.
+    pub fn facts(&self) -> &[Formula] {
+        &self.facts
+    }
+
     /// The declaration of a relation.
     pub fn relation(&self, id: RelationId) -> &RelationDecl {
         &self.relations[id.index()]
@@ -177,13 +193,15 @@ impl Problem {
             let f = tr.formula(fact)?;
             root = tr.circuit.and2(root, f);
         }
-        let (cnf, input_vars) = tr.circuit.to_cnf(&[root]);
+        let emission = tr.circuit.to_cnf_opts(&[root], &[], self.dedup);
+        let (cnf, input_vars) = (emission.cnf, emission.input_vars);
         let stats = TranslationStats {
             primary_vars: tr.input_tuples.len(),
             circuit_gates: tr.circuit.num_gates(),
             cnf_vars: cnf.num_vars(),
             cnf_clauses: cnf.num_clauses(),
             cnf_literals: cnf.num_literals(),
+            clauses_deduped: emission.clauses_deduped,
             translation_secs: start.elapsed().as_secs_f64(),
         };
         if let Some(span) = span.as_mut() {
@@ -231,13 +249,15 @@ impl Problem {
             .iter()
             .map(|g| tr.formula(g))
             .collect::<Result<Vec<_>, _>>()?;
-        let (cnf, input_vars, goal_lits) = tr.circuit.to_cnf_with_goals(&[root], &goal_nodes);
+        let emission = tr.circuit.to_cnf_opts(&[root], &goal_nodes, self.dedup);
+        let (cnf, input_vars, goal_lits) = (emission.cnf, emission.input_vars, emission.goal_lits);
         let stats = TranslationStats {
             primary_vars: tr.input_tuples.len(),
             circuit_gates: tr.circuit.num_gates(),
             cnf_vars: cnf.num_vars(),
             cnf_clauses: cnf.num_clauses(),
             cnf_literals: cnf.num_literals(),
+            clauses_deduped: emission.clauses_deduped,
             translation_secs: start.elapsed().as_secs_f64(),
         };
         if let Some(span) = span.as_mut() {
@@ -686,6 +706,16 @@ impl IncrementalChecker<'_> {
             }
             SolveResult::Unsat => Check::Valid,
         }
+    }
+
+    /// Whether the fact-only premise is satisfiable: solves the shared
+    /// encoding with **no** goal assumed. When this returns `false` the
+    /// facts are inconsistent and every [`check`](IncrementalChecker::check)
+    /// verdict is *vacuously* valid — no instance exists to violate (or
+    /// witness) anything. The vacuity detector in `mca-lint` and the
+    /// `vacuous` flag on consensus checks are both built on this query.
+    pub fn premise_satisfiable(&mut self) -> bool {
+        self.solver.solve_with_assumptions(&[]) == SolveResult::Sat
     }
 }
 
@@ -1138,7 +1168,57 @@ mod tests {
                 .incremental_checker(&[Expr::relation(r).some()], preprocess)
                 .unwrap();
             assert!(inc.check(0).is_valid());
+            // … but the premise query exposes the vacuity.
+            assert!(!inc.premise_satisfiable());
         }
+    }
+
+    #[test]
+    fn premise_satisfiable_on_consistent_facts() {
+        let (u, atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(1), TupleSet::from_atoms(atoms));
+        p.require(Expr::relation(r).some());
+        for preprocess in [false, true] {
+            let mut inc = p
+                .incremental_checker(&[Expr::relation(r).lone()], preprocess)
+                .unwrap();
+            assert!(inc.premise_satisfiable());
+            // The premise query must not disturb later checks.
+            assert!(!inc.check(0).is_valid());
+            assert!(inc.premise_satisfiable());
+        }
+    }
+
+    #[test]
+    fn clause_dedup_preserves_instances_and_verdicts() {
+        let build = |dedup: bool| {
+            let (u, atoms) = small_universe();
+            let mut p = Problem::new(u);
+            p.set_clause_dedup(dedup);
+            let r = p.declare_relation("r", TupleSet::new(2), TupleSet::full(p.universe(), 2));
+            let re = Expr::relation(r);
+            p.require(re.equals(&re.transpose()));
+            let _ = atoms;
+            (p, r)
+        };
+        let (on, r) = build(true);
+        let (off, _) = build(false);
+        let count = |p: &Problem| {
+            let mut n = 0;
+            p.enumerate(&Formula::true_(), 1000, |_| {
+                n += 1;
+                true
+            })
+            .unwrap();
+            n
+        };
+        assert_eq!(count(&on), count(&off));
+        let assertion = Expr::relation(r).in_(&Expr::relation(r).transpose());
+        assert_eq!(
+            on.check(&assertion).unwrap().result.is_valid(),
+            off.check(&assertion).unwrap().result.is_valid()
+        );
     }
 
     #[test]

@@ -114,6 +114,8 @@ pub struct TranslationStats {
     pub cnf_clauses: usize,
     /// Total literal occurrences in the CNF.
     pub cnf_literals: usize,
+    /// Duplicate and tautological clauses dropped at emission time.
+    pub clauses_deduped: usize,
     /// Wall-clock time spent translating, in seconds.
     pub translation_secs: f64,
 }
@@ -151,6 +153,21 @@ pub struct Translation {
     pub(crate) input_vars: Vec<mca_sat::Var>,
     /// For each circuit input: which relation tuple it controls.
     pub(crate) input_tuples: Vec<(RelationId, Tuple)>,
+}
+
+impl Translation {
+    /// The CNF variables of the circuit inputs (the primary variables), in
+    /// input-creation order.
+    pub fn input_vars(&self) -> &[mca_sat::Var] {
+        &self.input_vars
+    }
+
+    /// For each input, the declared relation and tuple it controls —
+    /// parallel to [`input_vars`](Translation::input_vars). Static analyses
+    /// use this to attribute CNF variables back to relations.
+    pub fn input_tuples(&self) -> &[(RelationId, Tuple)] {
+        &self.input_tuples
+    }
 }
 
 pub(crate) struct Translator<'p> {

@@ -14,6 +14,9 @@
 //! * [`diff`] — compares two `BENCH_*.json` artifacts and flags threshold
 //!   regressions in `*_secs` / `*clauses*` / `*conflicts*` leaves, the
 //!   regression tripwire CI runs against the committed baselines.
+//! * [`lint`] — renders `mca-lint` findings (`lint-finding` / `lint-done`
+//!   JSONL events, as written by `repro lint`) as a markdown report with
+//!   per-target severity tallies.
 //!
 //! Like the rest of the workspace the crate is std-only; JSON handling
 //! comes from [`mca_obs::Json`].
@@ -22,9 +25,11 @@
 #![forbid(unsafe_code)]
 
 pub mod diff;
+pub mod lint;
 pub mod render;
 pub mod trace;
 
 pub use diff::{diff_bench, DiffConfig, DiffOutcome, MetricKind, Regression};
+pub use lint::{render_lint_markdown, LintFinding, LintSummary, ParsedLint};
 pub use render::{render_html, render_markdown, ReportOptions};
 pub use trace::{ParsedTrace, SpanNode};

@@ -1,0 +1,235 @@
+//! Rendering of `mca-lint` JSONL output (`lint-finding` / `lint-done`
+//! events) as a markdown report.
+//!
+//! The renderer is a pure function of the JSONL text: `repro lint` writes
+//! the trace, this module turns it into `LINT.md` (and, via
+//! [`render_html`](crate::render_html), `LINT.html`). Unknown event kinds
+//! and malformed lines are skipped, so a lint trace embedded in a larger
+//! event stream still renders.
+
+use mca_obs::Json;
+use std::fmt::Write as _;
+
+/// One parsed `lint-finding` event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Stable rule id (`M001`, `C005`, …).
+    pub rule: String,
+    /// `error`, `warning`, or `info`.
+    pub severity: String,
+    /// Pipeline layer label.
+    pub layer: String,
+    /// What the finding is anchored to.
+    pub location: String,
+    /// What was detected.
+    pub message: String,
+    /// Suggested fix.
+    pub suggestion: String,
+    /// The `target` of the `lint-done` event that followed this finding
+    /// (empty until one is seen).
+    pub target: String,
+}
+
+/// Severity tallies for one lint target, from a `lint-done` event.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LintSummary {
+    /// The lint target label.
+    pub target: String,
+    /// Number of error findings.
+    pub errors: u64,
+    /// Number of warning findings.
+    pub warnings: u64,
+    /// Number of info findings.
+    pub infos: u64,
+}
+
+/// The lint events recovered from a JSONL trace.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedLint {
+    /// Every finding, in stream order.
+    pub findings: Vec<LintFinding>,
+    /// One summary per linted target, in stream order.
+    pub summaries: Vec<LintSummary>,
+}
+
+impl ParsedLint {
+    /// Parses lint events out of `jsonl`, ignoring everything else.
+    ///
+    /// Findings are attributed to the target of the `lint-done` event
+    /// that closes their batch (the emitter writes findings first, then
+    /// the summary).
+    pub fn parse(jsonl: &str) -> ParsedLint {
+        let mut out = ParsedLint::default();
+        let mut batch_start = 0;
+        for line in jsonl.lines() {
+            let Ok(json) = Json::parse(line) else {
+                continue;
+            };
+            match json.get("event").and_then(Json::as_str) {
+                Some("lint-finding") => {
+                    let field = |k: &str| {
+                        json.get(k)
+                            .and_then(Json::as_str)
+                            .unwrap_or_default()
+                            .to_string()
+                    };
+                    out.findings.push(LintFinding {
+                        rule: field("rule"),
+                        severity: field("severity"),
+                        layer: field("layer"),
+                        location: field("location"),
+                        message: field("message"),
+                        suggestion: field("suggestion"),
+                        target: String::new(),
+                    });
+                }
+                Some("lint-done") => {
+                    let target = json
+                        .get("target")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string();
+                    let count = |k: &str| json.get(k).and_then(Json::as_u64).unwrap_or(0);
+                    for f in &mut out.findings[batch_start..] {
+                        f.target = target.clone();
+                    }
+                    batch_start = out.findings.len();
+                    out.summaries.push(LintSummary {
+                        target,
+                        errors: count("errors"),
+                        warnings: count("warnings"),
+                        infos: count("infos"),
+                    });
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Total error findings across all targets.
+    pub fn total_errors(&self) -> u64 {
+        self.summaries.iter().map(|s| s.errors).sum()
+    }
+}
+
+/// Renders lint JSONL as a markdown report: a per-target summary table
+/// followed by one findings table per target that has findings.
+pub fn render_lint_markdown(jsonl: &str, title: &str) -> String {
+    let parsed = ParsedLint::parse(jsonl);
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}\n");
+
+    let verdict = if parsed.total_errors() == 0 {
+        "clean — no error findings"
+    } else {
+        "NOT clean — error findings present"
+    };
+    let _ = writeln!(
+        out,
+        "**{verdict}** ({} target(s), {} finding(s))\n",
+        parsed.summaries.len(),
+        parsed.findings.len()
+    );
+
+    out.push_str("## Targets\n\n");
+    out.push_str("| target | errors | warnings | infos |\n");
+    out.push_str("|---|---:|---:|---:|\n");
+    for s in &parsed.summaries {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            s.target, s.errors, s.warnings, s.infos
+        );
+    }
+
+    let mut last_target: Option<&str> = None;
+    for f in &parsed.findings {
+        if last_target != Some(f.target.as_str()) {
+            let _ = writeln!(out, "\n## Findings: {}\n", f.target);
+            out.push_str("| severity | rule | layer | location | message | suggested fix |\n");
+            out.push_str("|---|---|---|---|---|---|\n");
+            last_target = Some(f.target.as_str());
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} |",
+            f.severity,
+            f.rule,
+            f.layer,
+            escape_cell(&f.location),
+            escape_cell(&f.message),
+            escape_cell(&f.suggestion)
+        );
+    }
+    out
+}
+
+/// Markdown table cells cannot hold raw `|` or newlines.
+fn escape_cell(s: &str) -> String {
+    s.replace('|', "\\|").replace('\n', " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        r#"{"event":"lint-finding","rule":"R001","severity":"warning","layer":"relalg","location":"relation `ghost`","message":"declared but never referenced","suggestion":"remove it"}"#,
+        "\n",
+        r#"{"event":"lint-done","target":"e8:2x2:optimized","errors":0,"warnings":1,"infos":0}"#,
+        "\n",
+        r#"{"event":"span-enter","id":0,"name":"x","t_ns":1}"#,
+        "\n",
+        r#"{"event":"lint-done","target":"sources","errors":2,"warnings":0,"infos":0}"#,
+        "\n",
+    );
+
+    #[test]
+    fn parses_findings_and_summaries_ignoring_other_events() {
+        let parsed = ParsedLint::parse(SAMPLE);
+        assert_eq!(parsed.findings.len(), 1);
+        assert_eq!(parsed.findings[0].rule, "R001");
+        assert_eq!(parsed.findings[0].target, "e8:2x2:optimized");
+        assert_eq!(parsed.summaries.len(), 2);
+        assert_eq!(parsed.total_errors(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let parsed = ParsedLint::parse("not json\n{\"event\":\"lint-done\",\"target\":\"t\",\"errors\":0,\"warnings\":0,\"infos\":0}\n");
+        assert_eq!(parsed.summaries.len(), 1);
+        assert!(parsed.findings.is_empty());
+    }
+
+    #[test]
+    fn markdown_contains_verdict_tables_and_escaped_cells() {
+        let jsonl = concat!(
+            r#"{"event":"lint-finding","rule":"C003","severity":"warning","layer":"cnf","location":"1 | 2","message":"m","suggestion":"s"}"#,
+            "\n",
+            r#"{"event":"lint-done","target":"t","errors":1,"warnings":1,"infos":0}"#,
+            "\n",
+        );
+        let md = render_lint_markdown(jsonl, "Lint report");
+        assert!(md.starts_with("# Lint report\n"), "{md}");
+        assert!(md.contains("NOT clean"), "{md}");
+        assert!(md.contains("| t | 1 | 1 | 0 |"), "{md}");
+        assert!(md.contains("1 \\| 2"), "{md}");
+        assert!(md.contains("## Findings: t"), "{md}");
+    }
+
+    #[test]
+    fn clean_run_renders_clean_verdict() {
+        let md = render_lint_markdown(
+            "{\"event\":\"lint-done\",\"target\":\"t\",\"errors\":0,\"warnings\":0,\"infos\":0}\n",
+            "Lint report",
+        );
+        assert!(md.contains("clean — no error findings"), "{md}");
+    }
+
+    #[test]
+    fn html_wrapping_composes() {
+        let html = crate::render_html(&render_lint_markdown(SAMPLE, "Lint"), "Lint");
+        assert!(html.contains("<html"), "{html}");
+    }
+}

@@ -357,6 +357,10 @@ pub struct EncodingRow {
     pub naive_solver: SolverStats,
     /// CDCL statistics from the optimized `check consensus` solve.
     pub optimized_solver: SolverStats,
+    /// Whether the naive verdict is vacuous (facts alone unsatisfiable).
+    pub naive_vacuous: bool,
+    /// Whether the optimized verdict is vacuous.
+    pub optimized_vacuous: bool,
 }
 
 impl EncodingRow {
@@ -437,6 +441,8 @@ pub fn run_encoding_comparison_observed(observer: Option<SharedObserver>) -> Vec
                 optimized_relations: Vec::new(),
                 naive_solver: SolverStats::default(),
                 optimized_solver: SolverStats::default(),
+                naive_vacuous: false,
+                optimized_vacuous: false,
             };
             for encoding in [NumberEncoding::NaiveInt, NumberEncoding::OptimizedValue] {
                 let static_model = StaticModel::build(encoding, static_scope);
@@ -457,6 +463,7 @@ pub fn run_encoding_comparison_observed(observer: Option<SharedObserver>) -> Vec
                     cnf_vars: static_stats.cnf_vars + dyn_stats.cnf_vars,
                     cnf_clauses: static_stats.cnf_clauses + dyn_stats.cnf_clauses,
                     cnf_literals: static_stats.cnf_literals + dyn_stats.cnf_literals,
+                    clauses_deduped: static_stats.clauses_deduped + dyn_stats.clauses_deduped,
                     translation_secs: static_stats.translation_secs + dyn_stats.translation_secs,
                 };
                 // The dynamic breakdown comes from the check itself (facts
@@ -487,18 +494,30 @@ pub fn run_encoding_comparison_observed(observer: Option<SharedObserver>) -> Vec
                         cnf_clauses: combined.cnf_clauses as u64,
                     });
                 }
+                // An invalid verdict comes with a counterexample, which
+                // satisfies the facts; only valid verdicts need the extra
+                // facts-only satisfiability probe.
+                let vacuous = outcome.result.is_valid() && {
+                    let problem = dynamic.model().to_problem();
+                    let mut inc = problem
+                        .incremental_checker(&[], false)
+                        .expect("dynamic model translates");
+                    !inc.premise_satisfiable()
+                };
                 match encoding {
                     NumberEncoding::NaiveInt => {
                         row.naive = combined;
                         row.naive_check_secs = secs;
                         row.naive_relations = relations;
                         row.naive_solver = outcome.solver_stats;
+                        row.naive_vacuous = vacuous;
                     }
                     NumberEncoding::OptimizedValue => {
                         row.optimized = combined;
                         row.optimized_check_secs = secs;
                         row.optimized_relations = relations;
                         row.optimized_solver = outcome.solver_stats;
+                        row.optimized_vacuous = vacuous;
                     }
                 }
             }
@@ -704,6 +723,9 @@ pub struct ScaleVariant {
     pub variant: String,
     /// Consensus verdict at the scenario's final state.
     pub valid: bool,
+    /// Whether that verdict is vacuous (facts alone unsatisfiable); see
+    /// [`ScopedCheck::vacuous`](crate::ScopedCheck).
+    pub vacuous: bool,
     /// End-to-end seconds for build + translate + (preprocess +) solve.
     pub check_secs: f64,
     /// Translation sizes (facts + goal circuit).
@@ -925,6 +947,7 @@ pub fn scale_variant_spanned(
     Ok(ScaleVariant {
         variant: label.to_string(),
         valid: check.valid,
+        vacuous: check.vacuous,
         check_secs: start.elapsed().as_secs_f64(),
         stats: check.stats,
         solver: check.solver,

@@ -234,6 +234,10 @@ pub struct ConsensusSweep {
 pub struct ScopedCheck {
     /// Whether the consensus assertion is valid at this scope.
     pub valid: bool,
+    /// Whether the verdict is **vacuous**: the transition-system facts
+    /// alone are unsatisfiable, so *any* assertion over them would come
+    /// back valid. A `valid = true, vacuous = true` row proves nothing.
+    pub vacuous: bool,
     /// Translation sizes of the facts plus the goal circuit.
     pub stats: TranslationStats,
     /// CDCL statistics of the solve.
@@ -780,14 +784,20 @@ impl DynamicModel {
         let mut inc = problem.incremental_checker(&[self.consensus_assertion()], preprocess)?;
         let mut span = spans.map(|r| r.enter("verify.state-query"));
         let valid = inc.check(0).is_valid();
+        // A valid verdict is only meaningful if the facts alone are
+        // satisfiable; with the incremental checker the premise check is
+        // one extra assumption-free solve on the same clause database.
+        let vacuous = valid && !inc.premise_satisfiable();
         if let Some(span) = span.as_mut() {
             span.field("query", 0);
             span.field("valid", u64::from(valid));
+            span.field("vacuous", u64::from(vacuous));
             span.field("conflicts", inc.solver_stats().conflicts);
         }
         drop(span);
         Ok(ScopedCheck {
             valid,
+            vacuous,
             stats: *inc.translation_stats(),
             solver: *inc.solver_stats(),
             simplify: inc.simplify_stats().copied(),
@@ -885,6 +895,14 @@ impl DynamicModel {
         &self.model
     }
 
+    /// Adds an extra fact on top of the generated transition-system
+    /// facts. Intended for experiments that deliberately perturb the
+    /// model — e.g. injecting a contradiction to exercise the vacuity
+    /// detector — not for normal verification runs.
+    pub fn require(&mut self, fact: Formula) {
+        self.model.fact(fact);
+    }
+
     /// The scenario this model was built from.
     pub fn scenario(&self) -> &DynamicScenario {
         &self.scenario
@@ -899,6 +917,47 @@ impl DynamicModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shipped_scenarios_are_not_vacuous() {
+        // Every shipped scenario's transition-system facts must be
+        // satisfiable — otherwise the verdicts in the paper tables would
+        // be vacuously "valid" and prove nothing.
+        for (label, scenario) in [
+            (
+                "two_agent_compliant",
+                DynamicScenario::two_agent_compliant(),
+            ),
+            (
+                "two_agent_rebid_attack",
+                DynamicScenario::two_agent_rebid_attack(),
+            ),
+            ("paper_scope_sound", DynamicScenario::paper_scope_sound()),
+        ] {
+            let dm = DynamicModel::build(NumberEncoding::OptimizedValue, scenario);
+            let check = dm.check_consensus_opts(false).unwrap();
+            assert!(!check.vacuous, "{label} reported a vacuous verdict");
+        }
+    }
+
+    #[test]
+    fn injected_contradiction_is_flagged_vacuous() {
+        // Contradict the buffer field outright: `some buff` ∧ `no buff`.
+        // The assertion then comes back "valid" — and `vacuous` must
+        // expose that the verdict is meaningless.
+        let mut dm = DynamicModel::build(
+            NumberEncoding::OptimizedValue,
+            DynamicScenario::two_agent_compliant(),
+        );
+        let buff = dm.model().field_expr(dm.buff);
+        dm.require(buff.some());
+        dm.require(buff.no());
+        for preprocess in [false, true] {
+            let check = dm.check_consensus_opts(preprocess).unwrap();
+            assert!(check.valid, "an unsatisfiable premise validates anything");
+            assert!(check.vacuous, "the vacuous flag must expose it");
+        }
+    }
 
     #[test]
     fn compliant_consensus_is_valid_optimized() {

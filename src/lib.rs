@@ -10,8 +10,10 @@
 
 pub use mca_alloy as alloy;
 pub use mca_core as core;
+pub use mca_lint as lint;
 pub use mca_obs as obs;
 pub use mca_relalg as relalg;
+pub use mca_report as report;
 pub use mca_runtime as runtime;
 pub use mca_sat as sat;
 pub use mca_verify as verify;

@@ -1,0 +1,140 @@
+//! `mca-lint` over the shipped scenario matrix, plus the clause-dedup
+//! verdict-preservation property.
+//!
+//! These are the repo-level guarantees behind `repro lint`: every model
+//! we ship is free of `error`-severity findings at smoke scopes, the
+//! workspace sources pass the `#![forbid(unsafe_code)]` audit, and the
+//! clause deduplication that `mca-lint`'s C003 rule polices never changes
+//! a verification verdict.
+
+use mca_lint::{lint_model, Severity};
+use mca_verify::{DynamicModel, DynamicScenario, NumberEncoding, StaticModel, StaticScope};
+use std::path::Path;
+
+const ENCODINGS: [NumberEncoding; 2] = [NumberEncoding::NaiveInt, NumberEncoding::OptimizedValue];
+
+#[test]
+fn static_model_is_lint_clean_under_both_encodings() {
+    for encoding in ENCODINGS {
+        let sm = StaticModel::build(encoding, StaticScope::default());
+        let assertions = [
+            sm.unique_id_assertion(),
+            sm.symmetry_assertion(),
+            sm.everyone_bids_assertion(),
+        ];
+        let report = lint_model(format!("static:{encoding}"), sm.model(), &assertions)
+            .expect("static model translates");
+        assert!(
+            report.is_clean(),
+            "static model ({encoding}) has error findings:\n{}",
+            report.render_console()
+        );
+        // In particular the premises must be satisfiable: no V001.
+        assert!(report.findings.iter().all(|f| f.rule != "V001"));
+    }
+}
+
+#[test]
+fn dynamic_scenarios_are_lint_clean_at_smoke_scopes() {
+    let scenarios = [
+        (
+            "two_agent_compliant",
+            DynamicScenario::two_agent_compliant(),
+        ),
+        (
+            "two_agent_rebid_attack",
+            DynamicScenario::two_agent_rebid_attack(),
+        ),
+        (
+            "three_agent_line_compliant",
+            DynamicScenario::three_agent_line_compliant(),
+        ),
+        ("2x2", DynamicScenario::at_scope(2, 2)),
+    ];
+    for (label, scenario) in scenarios {
+        for encoding in ENCODINGS {
+            let dm = DynamicModel::build(encoding, scenario.clone());
+            let report = lint_model(
+                format!("{label}:{encoding}"),
+                dm.model(),
+                &[dm.consensus_assertion()],
+            )
+            .expect("dynamic model translates");
+            assert!(
+                report.is_clean(),
+                "{label} ({encoding}) has error findings:\n{}",
+                report.render_console()
+            );
+            // The dynamic models should not even produce warnings: every
+            // sig, field, and relation is load-bearing.
+            assert_eq!(
+                report
+                    .findings
+                    .iter()
+                    .filter(|f| f.severity >= Severity::Warning)
+                    .count(),
+                0,
+                "{label} ({encoding}) has warnings:\n{}",
+                report.render_console()
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_sources_pass_the_unsafe_audit() {
+    let report = mca_lint::audit_sources(Path::new(env!("CARGO_MANIFEST_DIR")));
+    assert!(
+        report.is_clean(),
+        "source audit failed:\n{}",
+        report.render_console()
+    );
+}
+
+/// Satellite (a): clause deduplication is a pure encoding optimization.
+/// For every E3/E4 scenario the verdict with dedup on must be identical
+/// to the raw emission, the deduped CNF must not be larger, and the
+/// `clauses_deduped` counter must account exactly for the difference.
+#[test]
+fn clause_dedup_preserves_every_scenario_verdict() {
+    let scenarios = [
+        (
+            "two_agent_compliant",
+            DynamicScenario::two_agent_compliant(),
+        ),
+        (
+            "two_agent_rebid_attack",
+            DynamicScenario::two_agent_rebid_attack(),
+        ),
+        (
+            "three_agent_line_compliant",
+            DynamicScenario::three_agent_line_compliant(),
+        ),
+        ("paper_scope", DynamicScenario::paper_scope()),
+        ("paper_scope_sound", DynamicScenario::paper_scope_sound()),
+    ];
+    for (label, scenario) in scenarios {
+        let dm = DynamicModel::build(NumberEncoding::OptimizedValue, scenario);
+        let assertion = dm.consensus_assertion();
+
+        let mut with_dedup = dm.model().to_problem();
+        with_dedup.set_clause_dedup(true);
+        let on = with_dedup.check(&assertion).expect("translates");
+
+        let mut without_dedup = dm.model().to_problem();
+        without_dedup.set_clause_dedup(false);
+        let off = without_dedup.check(&assertion).expect("translates");
+
+        assert_eq!(
+            on.result.is_valid(),
+            off.result.is_valid(),
+            "{label}: dedup changed the verdict"
+        );
+        assert_eq!(off.stats.clauses_deduped, 0, "{label}");
+        assert_eq!(
+            on.stats.cnf_clauses + on.stats.clauses_deduped,
+            off.stats.cnf_clauses,
+            "{label}: dedup counter does not account for the clause delta"
+        );
+    }
+}
