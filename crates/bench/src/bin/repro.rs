@@ -10,6 +10,7 @@
 //! repro report run.jsonl         # render a profiling report from a trace
 //! repro diff old.json new.json   # regression-gate two BENCH artifacts
 //! repro lint                     # static-analyze the scenario matrix
+//! repro why run.jsonl            # diagnose bottlenecks from a trace
 //! ```
 //!
 //! With `--trace`, the run also records hierarchical **spans**: one
@@ -49,6 +50,18 @@
 //! `error`-severity finding fires — the CI lint gate. `--fixture
 //! pathological` lints the intentionally-broken fixture instead, which
 //! must exit 1 (CI asserts the analyzer still catches it).
+//!
+//! `repro why <trace.jsonl> [--metrics m.json]` runs the performance-
+//! forensics rule catalog (see `mca_report::why`) over a trace + metrics
+//! pair and prints a ranked bottleneck diagnosis. Exit codes mirror
+//! `repro diff`: 0 when no rule fires, 1 when at least one does, 2 on
+//! usage/IO errors — so CI can pin the diagnosis set on known fixtures.
+//!
+//! `--reps N` (default 5) controls the benchmark methodology of the
+//! multi-threaded E3 section: each timed section runs one untimed warmup
+//! iteration and then `N` repetitions, and `BENCH_PAR.json` records the
+//! **median** with a `spread` field ((max − min) / median) so `repro
+//! diff` gates on a stable statistic instead of a single noisy sample.
 
 use mca_obs::json::Json;
 use mca_obs::{Handle, JsonlSink, Metrics, SharedObserver, SpanRecorder};
@@ -97,6 +110,7 @@ fn main() {
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("why") => cmd_why(&args[1..]),
         _ => {}
     }
     if args.iter().any(|a| a == "--list") {
@@ -110,6 +124,7 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut threads: usize = 0;
+    let mut reps: usize = 5;
     let mut smoke = false;
     let mut stretch = false;
     let mut i = 0;
@@ -138,6 +153,13 @@ fn main() {
                 let v = flag_value("--threads");
                 threads = v.parse().unwrap_or_else(|_| {
                     eprintln!("--threads requires a number, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--reps" => {
+                let v = flag_value("--reps");
+                reps = v.parse().ok().filter(|n| *n >= 1).unwrap_or_else(|| {
+                    eprintln!("--reps requires a number >= 1, got `{v}`");
                     std::process::exit(2);
                 });
             }
@@ -193,6 +215,7 @@ fn main() {
                     observer.clone(),
                     runtime.as_ref(),
                     spans.as_ref(),
+                    reps,
                 )
             }
             "e4" => all_match &= run_e4(&mut metrics, runtime.as_ref()),
@@ -299,11 +322,13 @@ fn resources_json() -> Json {
     )])
 }
 
-/// `repro report <trace.jsonl> [--metrics m.json] [--out path] [--html] [--top N]`
+/// `repro report <trace.jsonl> [--metrics m.json] [--out path] [--html]
+/// [--top N] [--timeline path.html]`
 fn cmd_report(args: &[String]) -> ! {
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut out_path: Option<String> = None;
+    let mut timeline_path: Option<String> = None;
     let mut html = false;
     let mut top = 10usize;
     let mut i = 0;
@@ -311,6 +336,7 @@ fn cmd_report(args: &[String]) -> ! {
         match args[i].as_str() {
             "--metrics" => metrics_path = Some(subcommand_flag_value(args, &mut i, "--metrics")),
             "--out" => out_path = Some(subcommand_flag_value(args, &mut i, "--out")),
+            "--timeline" => timeline_path = Some(subcommand_flag_value(args, &mut i, "--timeline")),
             "--html" => html = true,
             "--top" => {
                 let v = subcommand_flag_value(args, &mut i, "--top");
@@ -331,12 +357,20 @@ fn cmd_report(args: &[String]) -> ! {
     }
     let Some(trace_path) = trace_path else {
         eprintln!(
-            "usage: repro report <trace.jsonl> [--metrics m.json] [--out path] [--html] [--top N]"
+            "usage: repro report <trace.jsonl> [--metrics m.json] [--out path] [--html] [--top N] [--timeline path.html]"
         );
         std::process::exit(2);
     };
     let text = read_or_die(&trace_path);
     let trace = ParsedTrace::parse(&text);
+    if let Some(path) = &timeline_path {
+        let html = mca_report::render_timeline_html(&trace);
+        if let Err(e) = std::fs::write(path, html) {
+            eprintln!("cannot write timeline file {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("worker timeline written to {path}");
+    }
     let metrics = metrics_path.as_ref().map(|p| {
         let text = read_or_die(p);
         Json::parse(&text).unwrap_or_else(|e| {
@@ -365,6 +399,60 @@ fn cmd_report(args: &[String]) -> ! {
         None => print!("{rendered}"),
     }
     std::process::exit(0);
+}
+
+/// `repro why <trace.jsonl> [--metrics m.json] [--out path]` — runs the
+/// bottleneck rule catalog and exits 1 when any rule fires (0 when the
+/// diagnosis is empty, 2 on usage/IO errors), mirroring `repro diff` so
+/// CI can assert the diagnosis set on known fixtures.
+fn cmd_why(args: &[String]) -> ! {
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics" => metrics_path = Some(subcommand_flag_value(args, &mut i, "--metrics")),
+            "--out" => out_path = Some(subcommand_flag_value(args, &mut i, "--out")),
+            other if trace_path.is_none() && !other.starts_with('-') => {
+                trace_path = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown why argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(trace_path) = trace_path else {
+        eprintln!("usage: repro why <trace.jsonl> [--metrics m.json] [--out path]");
+        std::process::exit(2);
+    };
+    let trace = ParsedTrace::parse(&read_or_die(&trace_path));
+    let metrics = metrics_path.as_ref().map(|p| {
+        Json::parse(&read_or_die(p)).unwrap_or_else(|e| {
+            eprintln!("cannot parse metrics file {p}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let findings = mca_report::diagnose(&trace, metrics.as_ref());
+    let rendered = mca_report::render_why_markdown(&findings, &trace_path);
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                eprintln!("cannot write diagnosis file {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("diagnosis written to {path}");
+            // The rule ids still go to stdout so CI can grep them without
+            // reading the file back.
+            for f in &findings {
+                println!("{} ({}): {}", f.rule, f.severity.label(), f.summary);
+            }
+        }
+        None => print!("{rendered}"),
+    }
+    std::process::exit(i32::from(!findings.is_empty()));
 }
 
 /// `repro diff <old.json> <new.json> [--max-time-ratio R] [--max-clause-ratio R]
@@ -618,11 +706,12 @@ fn run_e3(
     observer: Option<SharedObserver>,
     rt: Option<&Runtime>,
     spans: Option<&SpanRecorder>,
+    reps: usize,
 ) -> bool {
     println!("E3 (Result 1) — policy matrix (exhaustive explicit-state checking)");
     let seq_start = Instant::now();
     let rows = metrics.time("e3.run", || {
-        analysis::run_policy_matrix_spanned(observer, spans)
+        analysis::run_policy_matrix_spanned(observer.clone(), spans)
     });
     let seq_secs = seq_start.elapsed().as_secs_f64();
     let mut ok = true;
@@ -643,32 +732,59 @@ fn run_e3(
         }
     );
     if let Some(rt) = rt {
-        ok &= run_e3_parallel(metrics, rt, &rows, seq_secs);
+        let _ = seq_secs; // superseded by the repetition methodology below
+        ok &= run_e3_parallel(metrics, observer, rt, &rows, reps);
     }
     ok
+}
+
+/// Benchmark methodology for the timed sections of `BENCH_PAR.json`: one
+/// untimed warmup iteration, then `reps` timed repetitions. Returns the
+/// last iteration's value plus `(median_secs, spread)` where spread is
+/// `(max − min) / median` — a cheap dispersion measure `repro diff`
+/// readers can use to judge how trustworthy the median is.
+fn bench_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64, f64) {
+    let mut value = f(); // warmup (also produces a value for reps == 0 safety)
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        value = f();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let spread = (samples[samples.len() - 1] - samples[0]) / median.max(1e-9);
+    (value, median, spread)
 }
 
 /// The multi-threaded E3 section: re-runs the matrix on the pool, checks
 /// outcome equality against the sequential rows, adds the extended
 /// 16-cell matrix and a solver-portfolio race, and records everything in
-/// `BENCH_PAR.json`.
+/// `BENCH_PAR.json`. All timed sections use the warmup + median-of-reps
+/// methodology of [`bench_median`].
 fn run_e3_parallel(
     metrics: &mut Metrics,
+    observer: Option<SharedObserver>,
     rt: &Runtime,
     seq_rows: &[analysis::PolicyMatrixRow],
-    seq_secs: f64,
+    reps: usize,
 ) -> bool {
-    println!("\n  --- parallel runtime ({} threads) ---", rt.threads());
-    let par_start = Instant::now();
-    let par_rows = metrics.time("e3.par.run", || parallel::run_policy_matrix_parallel(rt));
-    let par_secs = par_start.elapsed().as_secs_f64();
+    println!(
+        "\n  --- parallel runtime ({} threads, median of {reps} reps) ---",
+        rt.threads()
+    );
+    let (_, seq_secs, seq_spread) =
+        bench_median(reps, || analysis::run_policy_matrix_spanned(None, None));
+    let (par_rows, par_secs, par_spread) = bench_median(reps, || {
+        metrics.time("e3.par.run", || parallel::run_policy_matrix_parallel(rt))
+    });
     let outcomes_match = seq_rows.len() == par_rows.len()
         && seq_rows.iter().zip(&par_rows).all(|(s, p)| {
             s.cell == p.cell && s.checker_converges == p.checker_converges && s.detail == p.detail
         });
     let speedup = seq_secs / par_secs.max(1e-9);
     println!(
-        "  matrix: sequential {seq_secs:.3}s vs parallel {par_secs:.3}s — speedup {speedup:.2}x, outcomes {}",
+        "  matrix: sequential {seq_secs:.3}s (±{seq_spread:.2}) vs parallel {par_secs:.3}s (±{par_spread:.2}) — speedup {speedup:.2}x, outcomes {}",
         if outcomes_match { "identical ✓" } else { "DIFFER ✗" }
     );
 
@@ -689,33 +805,66 @@ fn run_e3_parallel(
         NumberEncoding::OptimizedValue,
         DynamicScenario::paper_scope(),
     );
-    let solve_seq_start = Instant::now();
-    let seq_valid = model
-        .check_consensus()
-        .expect("well-formed model")
-        .result
-        .is_valid();
-    let solve_seq_secs = solve_seq_start.elapsed().as_secs_f64();
+    let (seq_valid, solve_seq_secs, solve_seq_spread) = bench_median(reps, || {
+        model
+            .check_consensus()
+            .expect("well-formed model")
+            .result
+            .is_valid()
+    });
     let entrants = diversified_configs(rt.threads().clamp(2, 8));
-    let solve_par_start = Instant::now();
-    let (par_valid, report) = parallel::check_consensus_portfolio(rt, &model, &entrants);
-    let solve_par_secs = solve_par_start.elapsed().as_secs_f64();
+    let ((par_valid, report), solve_par_secs, solve_par_spread) = bench_median(reps, || {
+        parallel::check_consensus_portfolio(rt, &model, &entrants)
+    });
     let verdict_match = seq_valid == par_valid;
     println!(
-        "  portfolio (paper scope, optimized): sequential {solve_seq_secs:.3}s vs race {solve_par_secs:.3}s — winner {} of {} entrants, verdict {}",
+        "  portfolio (paper scope, optimized): sequential {solve_seq_secs:.3}s (±{solve_seq_spread:.2}) vs race {solve_par_secs:.3}s (±{solve_par_spread:.2}) — winner {} of {} entrants, verdict {}",
         report.winner_label,
         report.entrants,
         if verdict_match { "identical ✓" } else { "DIFFERS ✗" }
     );
 
+    // Forensics drain: the winner's search telemetry goes three ways —
+    // per-epoch `search-epoch` events into the logical trace (keyed by
+    // epoch index, deterministic for a fixed winner), LBD / learnt-length
+    // histograms into the metrics registry, and cancellation-waste gauges
+    // that `repro why`'s W004 rule reads.
+    if let Some(obs) = &observer {
+        let label = format!("portfolio:{}", report.winner_label);
+        for e in &report.winner_telemetry.epochs {
+            obs.emit(&mca_obs::Event::SearchEpoch {
+                label: label.clone(),
+                epoch: e.epoch,
+                conflicts: e.conflicts,
+                decisions: e.decisions,
+                propagations: e.propagations,
+                learnt: e.learnt_live,
+            });
+        }
+    }
+    metrics.merge_histogram("sat.lbd", &report.winner_telemetry.lbd);
+    metrics.merge_histogram("sat.learnt_len", &report.winner_telemetry.learnt_len);
+    metrics.set_gauge(
+        "portfolio.winner_conflicts",
+        report.winner_stats.conflicts as i64,
+    );
+    metrics.set_gauge("portfolio.loser_conflicts", report.loser_conflicts() as i64);
+    metrics.set_gauge(
+        "portfolio.cancel_latency_conflicts",
+        report.cancel_latency_conflicts() as i64,
+    );
+
     let bench = Json::obj([
         ("threads", Json::from(rt.threads() as u64)),
+        ("reps", Json::from(reps as u64)),
         ("resources", resources_json()),
         (
             "e3",
             Json::obj([
                 ("seq_secs", Json::from(seq_secs)),
+                ("seq_spread", Json::from(seq_spread)),
                 ("par_secs", Json::from(par_secs)),
+                ("par_spread", Json::from(par_spread)),
                 ("speedup", Json::from(speedup)),
                 ("outcomes_match", Json::from(outcomes_match)),
                 ("extended_cells", Json::from(xrows.len() as u64)),
@@ -728,7 +877,9 @@ fn run_e3_parallel(
                 ("scope", Json::from("3 pnodes, 2 vnodes (paper scope)")),
                 ("encoding", Json::from("optimized")),
                 ("seq_secs", Json::from(solve_seq_secs)),
+                ("seq_spread", Json::from(solve_seq_spread)),
                 ("par_secs", Json::from(solve_par_secs)),
+                ("par_spread", Json::from(solve_par_spread)),
                 (
                     "speedup",
                     Json::from(solve_seq_secs / solve_par_secs.max(1e-9)),
@@ -742,6 +893,11 @@ fn run_e3_parallel(
                     Json::from(report.winner_stats.conflicts),
                 ),
                 ("winner_restarts", Json::from(report.winner_stats.restarts)),
+                ("loser_conflicts", Json::from(report.loser_conflicts())),
+                (
+                    "cancel_latency_conflicts",
+                    Json::from(report.cancel_latency_conflicts()),
+                ),
             ]),
         ),
     ]);

@@ -165,6 +165,26 @@ pub enum Event {
         /// The session solver's cumulative conflict count after the query.
         conflicts: u64,
     },
+    /// One restart epoch of a CDCL search finished. Epochs are keyed by
+    /// logical progress (the restart index and conflict counts), never by
+    /// wall clock, so the stream is deterministic for a fixed formula and
+    /// solver configuration and belongs in the reproducible event trace.
+    /// Drivers replay these post-hoc from the solver's `SearchTelemetry`
+    /// samples in epoch order.
+    SearchEpoch {
+        /// Human label for the solve (e.g. `"portfolio:default"`).
+        label: String,
+        /// Zero-based restart-epoch index.
+        epoch: u64,
+        /// Conflicts encountered within this epoch.
+        conflicts: u64,
+        /// Decisions made within this epoch.
+        decisions: u64,
+        /// Literals propagated within this epoch.
+        propagations: u64,
+        /// Learnt clauses live in the database at the end of the epoch.
+        learnt: u64,
+    },
     /// A hierarchical profiling span opened. Spans are the deliberate
     /// exception to the no-wall-clock rule: `t_ns` is a monotonic offset
     /// from the emitting [`SpanRecorder`](crate::span::SpanRecorder)'s
@@ -253,6 +273,7 @@ impl Event {
             Event::JobCancelled { .. } => "job-cancelled",
             Event::SimplifyDone { .. } => "simplify-done",
             Event::IncrementalSolve { .. } => "incremental-solve",
+            Event::SearchEpoch { .. } => "search-epoch",
             Event::SpanEnter { .. } => "span-enter",
             Event::SpanExit { .. } => "span-exit",
             Event::LintFinding { .. } => "lint-finding",
@@ -406,6 +427,22 @@ impl Event {
                 ("valid", valid.into()),
                 ("conflicts", conflicts.into()),
             ]),
+            Event::SearchEpoch {
+                ref label,
+                epoch,
+                conflicts,
+                decisions,
+                propagations,
+                learnt,
+            } => Json::obj([
+                ("event", kind),
+                ("label", label.as_str().into()),
+                ("epoch", epoch.into()),
+                ("conflicts", conflicts.into()),
+                ("decisions", decisions.into()),
+                ("propagations", propagations.into()),
+                ("learnt", learnt.into()),
+            ]),
             Event::SpanEnter {
                 id,
                 parent,
@@ -500,6 +537,22 @@ mod tests {
         assert_eq!(
             e.to_json_line(),
             r#"{"event":"deliver","step":3,"from":0,"to":1,"seq":2,"view_changed":true}"#
+        );
+    }
+
+    #[test]
+    fn search_epoch_renders_stably() {
+        let e = Event::SearchEpoch {
+            label: "portfolio:default".to_string(),
+            epoch: 2,
+            conflicts: 200,
+            decisions: 512,
+            propagations: 9001,
+            learnt: 77,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            r#"{"event":"search-epoch","label":"portfolio:default","epoch":2,"conflicts":200,"decisions":512,"propagations":9001,"learnt":77}"#
         );
     }
 

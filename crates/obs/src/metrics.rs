@@ -202,6 +202,17 @@ impl Metrics {
         self.histograms.get(name)
     }
 
+    /// Folds a standalone [`Histogram`] (e.g. one accumulated inside the
+    /// SAT solver's search telemetry) into histogram `name`, creating it if
+    /// absent. Bin-exact: equivalent to replaying every sample through
+    /// [`observe`](Metrics::observe).
+    pub fn merge_histogram(&mut self, name: &str, other: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge_from(other);
+    }
+
     /// Runs `f`, adding its (monotonic-clock) elapsed time to timer `name`.
     pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
@@ -325,6 +336,29 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::{Histogram, Metrics};
+
+    #[test]
+    fn merge_histogram_is_bin_exact() {
+        let mut standalone = Histogram::default();
+        for v in [1u64, 3, 3, 1000] {
+            standalone.record(v);
+        }
+        let mut m = Metrics::default();
+        m.observe("sat.lbd", 2);
+        m.merge_histogram("sat.lbd", &standalone);
+        let mut replayed = Metrics::default();
+        for v in [2u64, 1, 3, 3, 1000] {
+            replayed.observe("sat.lbd", v);
+        }
+        assert_eq!(
+            m.histogram("sat.lbd").unwrap().to_json().render(),
+            replayed.histogram("sat.lbd").unwrap().to_json().render()
+        );
+        // Merging into an absent name creates it.
+        let mut fresh = Metrics::default();
+        fresh.merge_histogram("sat.lbd", &standalone);
+        assert_eq!(fresh.histogram("sat.lbd").unwrap().count(), 4);
+    }
 
     #[test]
     fn bin_index_matches_powers_of_two() {

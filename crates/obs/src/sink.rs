@@ -230,6 +230,7 @@ impl Observer for SummarySink {
             | Event::JobStarted { .. }
             | Event::SimplifyDone { .. }
             | Event::IncrementalSolve { .. }
+            | Event::SearchEpoch { .. }
             | Event::LintFinding { .. }
             | Event::LintDone { .. } => {}
         }

@@ -688,6 +688,19 @@ impl IncrementalChecker<'_> {
         self.solver.stats()
     }
 
+    /// Turns on per-epoch search telemetry in the shared solver. Sampling
+    /// spans every subsequent [`check`](IncrementalChecker::check), so
+    /// assumption failures across the whole incremental sweep accumulate
+    /// into one [`mca_sat::SearchTelemetry`].
+    pub fn enable_telemetry(&mut self) {
+        self.solver.enable_telemetry();
+    }
+
+    /// The accumulated search telemetry, if enabled.
+    pub fn telemetry(&self) -> Option<&mca_sat::SearchTelemetry> {
+        self.solver.telemetry()
+    }
+
     /// Checks assertion `i` (as passed to
     /// [`Problem::incremental_checker`]): searches for an instance of the
     /// facts violating it by assuming the corresponding "¬assertion" goal
@@ -1154,6 +1167,26 @@ mod tests {
             assert!(inc.solver_stats().solves >= 7);
             assert!(inc.translation_stats().cnf_clauses > 0);
         }
+    }
+
+    #[test]
+    fn incremental_checker_telemetry_counts_assumption_failures() {
+        let (u, _atoms) = small_universe();
+        let mut p = Problem::new(u);
+        let r = p.declare_relation("r", TupleSet::new(2), TupleSet::full(p.universe(), 2));
+        let re = Expr::relation(r);
+        p.require(re.some());
+        // `some` is a fact, so checking it assumes an unsatisfiable goal:
+        // every valid verdict is an assumption failure in the telemetry.
+        let assertions = [re.some(), re.some()];
+        let mut inc = p.incremental_checker(&assertions, false).unwrap();
+        assert!(inc.telemetry().is_none(), "telemetry is opt-in");
+        inc.enable_telemetry();
+        assert!(inc.check(0).is_valid());
+        assert!(inc.check(1).is_valid());
+        let t = inc.telemetry().expect("enabled above");
+        assert_eq!(t.assumption_failures, 2);
+        assert_eq!(t.epochs.len(), inc.solver_stats().restarts as usize + 2);
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! * [`lint`] — renders `mca-lint` findings (`lint-finding` / `lint-done`
 //!   JSONL events, as written by `repro lint`) as a markdown report with
 //!   per-target severity tallies.
+//! * [`timeline`] — renders per-worker HTML swimlanes from the
+//!   `runtime.job:*` span windows, the visual companion to the worker
+//!   scheduling counters in the metrics registry.
+//! * [`why`] — the `repro why` rule catalog: turns a trace + metrics pair
+//!   into a ranked, stable-id bottleneck diagnosis that CI can pin.
 //!
 //! Like the rest of the workspace the crate is std-only; JSON handling
 //! comes from [`mca_obs::Json`].
@@ -27,9 +32,13 @@
 pub mod diff;
 pub mod lint;
 pub mod render;
+pub mod timeline;
 pub mod trace;
+pub mod why;
 
 pub use diff::{diff_bench, DiffConfig, DiffOutcome, MetricKind, Regression};
 pub use lint::{render_lint_markdown, LintFinding, LintSummary, ParsedLint};
 pub use render::{render_html, render_markdown, ReportOptions};
-pub use trace::{ParsedTrace, SpanNode};
+pub use timeline::render_timeline_html;
+pub use trace::{ParsedTrace, SearchEpochRow, SpanNode};
+pub use why::{diagnose, render_why_markdown, WhyFinding, WhySeverity};

@@ -41,6 +41,24 @@ impl SpanNode {
     }
 }
 
+/// One `search-epoch` event: a restart epoch's worth of CDCL search
+/// progress, replayed into the trace by a solver driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchEpochRow {
+    /// The solve's human label (e.g. `"portfolio:cfg0:default"`).
+    pub label: String,
+    /// Zero-based restart-epoch index.
+    pub epoch: u64,
+    /// Conflicts within the epoch.
+    pub conflicts: u64,
+    /// Decisions within the epoch.
+    pub decisions: u64,
+    /// Literals propagated within the epoch.
+    pub propagations: u64,
+    /// Learnt clauses live at the end of the epoch.
+    pub learnt: u64,
+}
+
 /// A parsed trace: the span forest plus everything else the report shows.
 #[derive(Clone, Debug, Default)]
 pub struct ParsedTrace {
@@ -50,6 +68,9 @@ pub struct ParsedTrace {
     pub roots: Vec<usize>,
     /// Count of every event kind seen (including span events).
     pub event_counts: BTreeMap<String, u64>,
+    /// Every `search-epoch` event, in trace order — the report's
+    /// search-dynamics section and `repro why`'s restart rules read these.
+    pub search_epochs: Vec<SearchEpochRow>,
     /// Irregularities found while parsing — never fatal.
     pub diagnostics: Vec<String>,
     /// Total lines read (including blank and malformed ones).
@@ -178,20 +199,59 @@ impl ParsedTrace {
                         }
                     }
                 }
+                "search-epoch" => {
+                    let (Some(label), Some(epoch)) = (
+                        value.get("label").and_then(Json::as_str),
+                        value.get("epoch").and_then(Json::as_u64),
+                    ) else {
+                        out.diagnostics.push(format!(
+                            "line {}: search-epoch missing label/epoch",
+                            lineno + 1
+                        ));
+                        continue;
+                    };
+                    let field = |k: &str| value.get(k).and_then(Json::as_u64).unwrap_or(0);
+                    out.search_epochs.push(SearchEpochRow {
+                        label: label.to_string(),
+                        epoch,
+                        conflicts: field("conflicts"),
+                        decisions: field("decisions"),
+                        propagations: field("propagations"),
+                        learnt: field("learnt"),
+                    });
+                }
                 _ => {}
             }
         }
         // Auto-close anything the trace left open so durations stay
-        // renderable; flag each one.
+        // renderable; flag each one. A truncated span must not outlive a
+        // parent whose exit DID make it into the trace — clamping to the
+        // nearest closed ancestor keeps that ancestor's self-time honest
+        // instead of letting the orphan swallow it.
         let mut unclosed: Vec<u64> = open.into_keys().collect();
         unclosed.sort_unstable();
         for id in unclosed {
             let index = index_of[&id];
+            let mut limit = max_ts;
+            let mut ancestor = out.spans[index].parent;
+            while let Some(pid) = ancestor {
+                let p = &out.spans[index_of[&pid]];
+                if p.closed {
+                    limit = limit.min(p.end_ns);
+                    break;
+                }
+                ancestor = p.parent;
+            }
             let node = &mut out.spans[index];
-            node.end_ns = max_ts.max(node.start_ns);
+            node.end_ns = limit.max(node.start_ns);
             out.diagnostics.push(format!(
-                "span {id} (`{}`) never exited; auto-closed at the last trace timestamp",
-                node.name
+                "span {id} (`{}`) never exited; auto-closed at {}",
+                node.name,
+                if limit < max_ts {
+                    "its closed ancestor's exit"
+                } else {
+                    "the last trace timestamp"
+                }
             ));
         }
         out
@@ -236,8 +296,9 @@ impl ParsedTrace {
     /// these byte-for-byte.
     ///
     /// Machine-dependent fields (`peak_rss_kb`, `clause_db_bytes`,
-    /// `clause_allocs`) are reduced to their names; deterministic fields
-    /// keep their values.
+    /// `clause_allocs`, the scheduling-accident `worker`, and any
+    /// wall-clock `*_ns` field) are reduced to their names; deterministic
+    /// fields keep their values.
     pub fn outline(&self) -> String {
         let mut out = String::new();
         for &root in &self.roots {
@@ -258,8 +319,9 @@ impl ParsedTrace {
         for (k, v) in &node.fields {
             if matches!(
                 k.as_str(),
-                "peak_rss_kb" | "clause_db_bytes" | "clause_allocs"
-            ) {
+                "peak_rss_kb" | "clause_db_bytes" | "clause_allocs" | "worker"
+            ) || k.ends_with("_ns")
+            {
                 let _ = write!(out, " {k}");
             } else {
                 let _ = write!(out, " {k}={v}");
@@ -416,6 +478,82 @@ mod tests {
         assert!(parsed.diagnostics.is_empty(), "{:?}", parsed.diagnostics);
         assert_eq!(parsed.spans[0].children, vec![1, 2]);
         assert_eq!(parsed.spans[2].duration_ns(), 9);
+    }
+
+    #[test]
+    fn truncated_child_is_clamped_to_its_closed_parents_exit() {
+        // `hang` never exits; a later sibling root pushes max_ts to 150.
+        // Without clamping, `hang` would be auto-closed at 150 — past its
+        // parent's exit at 100 — and `work`'s self-time would collapse to
+        // zero. With clamping, attribution stays honest.
+        let trace = [
+            enter(0, None, "work", 0),
+            enter(1, Some(0), "hang", 40),
+            exit(0, 100),
+            enter(2, None, "later", 120),
+            exit(2, 150),
+        ]
+        .join("\n");
+        let parsed = ParsedTrace::parse(&trace);
+        assert!(!parsed.spans[1].closed);
+        assert_eq!(parsed.spans[1].end_ns, 100, "clamped to parent exit");
+        assert_eq!(parsed.self_ns(0), 40, "parent keeps its pre-child time");
+        assert!(parsed
+            .diagnostics
+            .iter()
+            .any(|d| d.contains("closed ancestor")));
+        // An unclosed span with no closed ancestor still gets max_ts.
+        let orphan =
+            ParsedTrace::parse(&[enter(0, None, "root", 5), enter(1, Some(0), "h", 10)].join("\n"));
+        assert_eq!(orphan.spans[0].end_ns, 10);
+    }
+
+    #[test]
+    fn truncated_grandchild_skips_unclosed_parent_to_closed_grandparent() {
+        let trace = [
+            enter(0, None, "root", 0),
+            enter(1, Some(0), "mid", 10),
+            enter(2, Some(1), "leaf", 20),
+            exit(0, 90),
+            enter(3, None, "later", 100),
+            exit(3, 400),
+        ]
+        .join("\n");
+        let parsed = ParsedTrace::parse(&trace);
+        // `mid` is unclosed too, so `leaf` clamps to `root`'s exit.
+        assert_eq!(parsed.spans[2].end_ns, 90);
+        assert_eq!(parsed.spans[1].end_ns, 90);
+    }
+
+    #[test]
+    fn search_epoch_events_are_collected_in_order() {
+        let trace = [
+            r#"{"event":"search-epoch","label":"portfolio:cfg0","epoch":0,"conflicts":100,"decisions":250,"propagations":9000,"learnt":80}"#,
+            r#"{"event":"search-epoch","label":"portfolio:cfg0","epoch":1,"conflicts":50,"decisions":120,"propagations":4000,"learnt":110}"#,
+            r#"{"event":"search-epoch"}"#,
+        ]
+        .join("\n");
+        let parsed = ParsedTrace::parse(&trace);
+        assert_eq!(parsed.search_epochs.len(), 2);
+        assert_eq!(parsed.search_epochs[0].epoch, 0);
+        assert_eq!(parsed.search_epochs[1].conflicts, 50);
+        assert_eq!(parsed.event_counts.get("search-epoch"), Some(&3));
+        assert!(parsed
+            .diagnostics
+            .iter()
+            .any(|d| d.contains("search-epoch missing")));
+    }
+
+    #[test]
+    fn outline_reduces_scheduling_and_wall_clock_fields_to_names() {
+        let trace = [
+            enter(0, None, "runtime.job:cell", 0),
+            r#"{"event":"span-exit","id":0,"t_ns":50,"job":3,"worker":1,"queue_wait_ns":420}"#
+                .to_string(),
+        ]
+        .join("\n");
+        let outline = ParsedTrace::parse(&trace).outline();
+        assert_eq!(outline, "runtime.job:cell job=3 worker queue_wait_ns\n");
     }
 
     #[test]

@@ -1,0 +1,509 @@
+//! Rule-based bottleneck diagnosis over a trace + metrics pair.
+//!
+//! `repro why` feeds a parsed trace and (optionally) a metrics JSON
+//! through a fixed catalog of diagnosis rules. Each rule has a stable id
+//! (`W001`…), a severity, and a numeric evidence line, so CI can pin the
+//! expected diagnosis set on a known-bottleneck fixture exactly like
+//! `repro diff` pins regressions. The catalog is documented in
+//! EXPERIMENTS.md ("Performance forensics").
+//!
+//! Rules read only what the observability layers already record: worker
+//! gauges/timers from `mca_runtime`'s `record_metrics`, job spans from
+//! the opt-in `--trace` stream, and `search-epoch` events replayed from
+//! the solver's telemetry. A diagnosis is a *hypothesis ranked by
+//! evidence*, not a verdict — the report says what the numbers show and
+//! what usually causes it.
+
+use crate::trace::ParsedTrace;
+use mca_obs::Json;
+use std::fmt::Write as _;
+
+/// How loud a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WhySeverity {
+    /// Worth knowing, unlikely to explain a slowdown by itself.
+    Info,
+    /// Likely contributor to the measured bottleneck.
+    Warning,
+    /// Dominant, first thing to fix.
+    Critical,
+}
+
+impl WhySeverity {
+    /// Lowercase label used in rendered output.
+    pub fn label(self) -> &'static str {
+        match self {
+            WhySeverity::Info => "info",
+            WhySeverity::Warning => "warning",
+            WhySeverity::Critical => "critical",
+        }
+    }
+}
+
+/// One diagnosis produced by [`diagnose`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WhyFinding {
+    /// Stable rule id (`"W001"`…), pinned by CI fixtures.
+    pub rule: &'static str,
+    /// Severity, used for ranking.
+    pub severity: WhySeverity,
+    /// One-line statement of what the numbers show.
+    pub summary: String,
+    /// The measured evidence behind the summary.
+    pub evidence: String,
+    /// What usually causes this and where to look.
+    pub hint: &'static str,
+}
+
+/// Per-worker scheduling counters harvested from a metrics JSON (the
+/// `runtime.wN.*` gauges and timers that `Runtime::record_metrics`
+/// writes).
+#[derive(Clone, Copy, Debug, Default)]
+struct WorkerTotals {
+    workers: u64,
+    jobs: u64,
+    steals: u64,
+    cancelled: u64,
+    busy_ns: u64,
+    queue_wait_ns: u64,
+    idle_ns: u64,
+    max_worker_jobs: u64,
+}
+
+fn metric_u64(metrics: &Json, section: &str, key: &str) -> Option<u64> {
+    metrics.get(section)?.get(key)?.as_u64()
+}
+
+fn metric_i64_as_u64(metrics: &Json, section: &str, key: &str) -> Option<u64> {
+    // Gauges render as i64; scheduling gauges are never negative.
+    metric_u64(metrics, section, key)
+}
+
+fn worker_totals(metrics: &Json) -> Option<WorkerTotals> {
+    let threads = metric_i64_as_u64(metrics, "gauges", "runtime.threads")?;
+    let mut t = WorkerTotals {
+        workers: threads,
+        ..WorkerTotals::default()
+    };
+    for w in 0..threads {
+        let jobs = metric_i64_as_u64(metrics, "gauges", &format!("runtime.w{w}.jobs"))?;
+        t.jobs += jobs;
+        t.max_worker_jobs = t.max_worker_jobs.max(jobs);
+        t.steals += metric_i64_as_u64(metrics, "gauges", &format!("runtime.w{w}.steals"))?;
+        t.cancelled += metric_i64_as_u64(metrics, "gauges", &format!("runtime.w{w}.cancelled"))?;
+        t.busy_ns += metric_u64(metrics, "timers_ns", &format!("runtime.w{w}.busy"))?;
+        t.queue_wait_ns += metric_u64(metrics, "timers_ns", &format!("runtime.w{w}.queue_wait"))?;
+        t.idle_ns += metric_u64(metrics, "timers_ns", &format!("runtime.w{w}.idle"))?;
+    }
+    Some(t)
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+/// Runs the rule catalog over `trace` (and `metrics`, when supplied) and
+/// returns findings ranked most severe first (ties broken by rule id, so
+/// the ranking is deterministic).
+pub fn diagnose(trace: &ParsedTrace, metrics: Option<&Json>) -> Vec<WhyFinding> {
+    let mut findings = Vec::new();
+    if let Some(m) = metrics {
+        diagnose_scheduling(m, &mut findings);
+        diagnose_portfolio(m, &mut findings);
+        diagnose_lbd(m, &mut findings);
+    }
+    diagnose_job_granularity(trace, &mut findings);
+    diagnose_search_dynamics(trace, &mut findings);
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.rule.cmp(b.rule)));
+    findings
+}
+
+/// W001 idle-dominated, W002 steal-heavy, W003 queue-wait-heavy, W008
+/// single-worker serialization — all from the `runtime.wN.*` registry.
+fn diagnose_scheduling(metrics: &Json, findings: &mut Vec<WhyFinding>) {
+    let Some(t) = worker_totals(metrics) else {
+        return;
+    };
+    let lifetime = t.busy_ns + t.idle_ns;
+    let idle_pct = pct(t.idle_ns, lifetime);
+    if lifetime > 0 && idle_pct > 60.0 {
+        findings.push(WhyFinding {
+            rule: "W001",
+            severity: if idle_pct > 85.0 {
+                WhySeverity::Critical
+            } else {
+                WhySeverity::Warning
+            },
+            summary: format!(
+                "workers idle {idle_pct:.0}% of their lifetime — the pool is starved for work"
+            ),
+            evidence: format!(
+                "{} workers: busy {:.1}ms vs idle {:.1}ms",
+                t.workers,
+                t.busy_ns as f64 / 1e6,
+                t.idle_ns as f64 / 1e6
+            ),
+            hint: "job granularity too fine or long sequential phases between \
+                   submissions; batch more work per job or overlap submission with execution",
+        });
+    }
+    let steal_pct = pct(t.steals, t.jobs);
+    if t.jobs >= 4 && steal_pct > 40.0 {
+        findings.push(WhyFinding {
+            rule: "W002",
+            severity: WhySeverity::Warning,
+            summary: format!(
+                "steal ratio {steal_pct:.0}% — round-robin submission is not matching execution order"
+            ),
+            evidence: format!("{} of {} jobs were stolen from a peer's deque", t.steals, t.jobs),
+            hint: "submission-order imbalance: jobs with very unequal costs land on the \
+                   same deque; interleave heavy and light jobs or submit in cost order",
+        });
+    }
+    if t.busy_ns > 0 && t.queue_wait_ns > t.busy_ns / 4 {
+        findings.push(WhyFinding {
+            rule: "W003",
+            severity: WhySeverity::Warning,
+            summary: format!(
+                "jobs spent {:.0}% of execution time waiting in queues",
+                pct(t.queue_wait_ns, t.busy_ns)
+            ),
+            evidence: format!(
+                "queue wait {:.1}ms vs busy {:.1}ms",
+                t.queue_wait_ns as f64 / 1e6,
+                t.busy_ns as f64 / 1e6
+            ),
+            hint: "more runnable jobs than workers for long stretches; \
+                   raise --threads or submit fewer, larger jobs",
+        });
+    }
+    if t.workers >= 2 && t.jobs >= 4 && pct(t.max_worker_jobs, t.jobs) > 80.0 {
+        findings.push(WhyFinding {
+            rule: "W008",
+            severity: WhySeverity::Warning,
+            summary: format!(
+                "one worker executed {:.0}% of all jobs — the pool is effectively serial",
+                pct(t.max_worker_jobs, t.jobs)
+            ),
+            evidence: format!(
+                "busiest worker ran {} of {} jobs across {} workers",
+                t.max_worker_jobs, t.jobs, t.workers
+            ),
+            hint: "jobs finish before peers wake, or dependencies serialize them; \
+                   check whether the submission loop itself is the bottleneck",
+        });
+    }
+}
+
+/// W004 cancellation waste — portfolio losers burning a large share of
+/// the winner's work before they observe the token.
+fn diagnose_portfolio(metrics: &Json, findings: &mut Vec<WhyFinding>) {
+    let winner = metric_u64(metrics, "gauges", "portfolio.winner_conflicts");
+    let losers = metric_u64(metrics, "gauges", "portfolio.loser_conflicts");
+    let (Some(winner), Some(losers)) = (winner, losers) else {
+        return;
+    };
+    if winner > 0 && losers * 2 >= winner {
+        let ratio = pct(losers, winner);
+        findings.push(WhyFinding {
+            rule: "W004",
+            severity: if losers >= winner {
+                WhySeverity::Critical
+            } else {
+                WhySeverity::Warning
+            },
+            summary: format!(
+                "portfolio losers consumed {ratio:.0}% of the winner's conflicts before cancelling"
+            ),
+            evidence: format!(
+                "loser conflicts {losers} vs winner {winner}; observed cancel latency {} conflicts",
+                metric_u64(metrics, "gauges", "portfolio.cancel_latency_conflicts").unwrap_or(0)
+            ),
+            hint: "on short solves the race is pure overhead — skip the portfolio below a \
+                   size threshold, or raise cancel_check_interval only on long solves",
+        });
+    }
+}
+
+/// W007 heavy LBD tail — learnt clauses are mostly low-quality.
+fn diagnose_lbd(metrics: &Json, findings: &mut Vec<WhyFinding>) {
+    let Some(h) = metrics.get("histograms").and_then(|h| h.get("sat.lbd")) else {
+        return;
+    };
+    let (Some(count), Some(sum)) = (
+        h.get("count").and_then(Json::as_u64),
+        h.get("sum").and_then(Json::as_u64),
+    ) else {
+        return;
+    };
+    if count >= 64 {
+        let mean = sum as f64 / count as f64;
+        if mean > 8.0 {
+            findings.push(WhyFinding {
+                rule: "W007",
+                severity: WhySeverity::Info,
+                summary: format!(
+                    "mean learnt-clause LBD is {mean:.1} — few glue clauses, weak learning"
+                ),
+                evidence: format!("{count} learnt clauses, LBD sum {sum}"),
+                hint: "the encoding produces long dependency chains; variable ordering or \
+                       a tighter encoding usually helps more than solver tuning",
+            });
+        }
+    }
+}
+
+/// W005 sub-millisecond jobs — per-job pool overhead dwarfs the work.
+fn diagnose_job_granularity(trace: &ParsedTrace, findings: &mut Vec<WhyFinding>) {
+    let mut durations: Vec<u64> = trace
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("runtime.job:"))
+        .map(|s| s.duration_ns())
+        .collect();
+    if durations.len() < 4 {
+        return;
+    }
+    durations.sort_unstable();
+    let median = durations[durations.len() / 2];
+    if median < 2_000_000 {
+        findings.push(WhyFinding {
+            rule: "W005",
+            severity: if median < 500_000 {
+                WhySeverity::Critical
+            } else {
+                WhySeverity::Warning
+            },
+            summary: format!(
+                "median job runs {:.2}ms — scheduling overhead dominates at this granularity",
+                median as f64 / 1e6
+            ),
+            evidence: format!(
+                "{} jobs, median {:.2}ms, longest {:.2}ms",
+                durations.len(),
+                median as f64 / 1e6,
+                *durations.last().unwrap() as f64 / 1e6
+            ),
+            hint: "a submit/claim/steal round-trip costs microseconds; batch cells into \
+                   fewer jobs or keep sub-millisecond workloads sequential",
+        });
+    }
+}
+
+/// W006 restart churn — many epochs with little progress per epoch.
+fn diagnose_search_dynamics(trace: &ParsedTrace, findings: &mut Vec<WhyFinding>) {
+    // Group epochs by solve label; diagnose the busiest solve.
+    let mut per_label: std::collections::BTreeMap<&str, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for e in &trace.search_epochs {
+        let entry = per_label.entry(e.label.as_str()).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += e.conflicts;
+    }
+    for (label, (epochs, conflicts)) in per_label {
+        if epochs >= 8 && conflicts / epochs < 32 {
+            findings.push(WhyFinding {
+                rule: "W006",
+                severity: WhySeverity::Info,
+                summary: format!(
+                    "`{label}` restarted {epochs} times averaging {} conflicts per epoch",
+                    conflicts / epochs
+                ),
+                evidence: format!("{conflicts} conflicts across {epochs} epochs"),
+                hint: "restart cadence outpaces learning; a larger restart_base \
+                       (e.g. the portfolio's `stable` entrant) may search deeper",
+            });
+        }
+    }
+}
+
+/// Renders findings as a markdown report (stable across runs for a fixed
+/// input, like the other renderers).
+pub fn render_why_markdown(findings: &[WhyFinding], source: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Bottleneck diagnosis");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "- source: `{source}`");
+    let _ = writeln!(out, "- findings: {}", findings.len());
+    let _ = writeln!(out);
+    if findings.is_empty() {
+        let _ = writeln!(
+            out,
+            "No rule in the catalog fired — nothing in the trace/metrics pair \
+             looks like a known bottleneck."
+        );
+        return out;
+    }
+    for f in findings {
+        let _ = writeln!(out, "## {} ({}): {}", f.rule, f.severity.label(), f.summary);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "- evidence: {}", f.evidence);
+        let _ = writeln!(out, "- hint: {}", f.hint);
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics_with(gauges: &[(&str, u64)], timers: &[(&str, u64)]) -> Json {
+        let g: Vec<(String, Json)> = gauges
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::from(*v)))
+            .collect();
+        let t: Vec<(String, Json)> = timers
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::from(*v)))
+            .collect();
+        Json::Object(vec![
+            ("gauges".to_string(), Json::Object(g)),
+            ("timers_ns".to_string(), Json::Object(t)),
+        ])
+    }
+
+    fn worker_metrics(
+        jobs: [u64; 2],
+        steals: [u64; 2],
+        busy: [u64; 2],
+        queue_wait: [u64; 2],
+        idle: [u64; 2],
+    ) -> Json {
+        let mut gauges = vec![("runtime.threads".to_string(), Json::from(2u64))];
+        let mut timers = Vec::new();
+        for w in 0..2 {
+            gauges.push((format!("runtime.w{w}.jobs"), Json::from(jobs[w])));
+            gauges.push((
+                format!("runtime.w{w}.local_pops"),
+                Json::from(jobs[w] - steals[w]),
+            ));
+            gauges.push((format!("runtime.w{w}.steals"), Json::from(steals[w])));
+            gauges.push((format!("runtime.w{w}.cancelled"), Json::from(0u64)));
+            timers.push((format!("runtime.w{w}.busy"), Json::from(busy[w])));
+            timers.push((
+                format!("runtime.w{w}.queue_wait"),
+                Json::from(queue_wait[w]),
+            ));
+            timers.push((format!("runtime.w{w}.idle"), Json::from(idle[w])));
+        }
+        Json::Object(vec![
+            ("gauges".to_string(), Json::Object(gauges)),
+            ("timers_ns".to_string(), Json::Object(timers)),
+        ])
+    }
+
+    #[test]
+    fn idle_dominated_pool_fires_w001() {
+        let m = worker_metrics(
+            [4, 4],
+            [0, 0],
+            [1_000_000, 1_000_000],
+            [0, 0],
+            [20_000_000, 20_000_000],
+        );
+        let findings = diagnose(&ParsedTrace::default(), Some(&m));
+        assert!(findings.iter().any(|f| f.rule == "W001"), "{findings:?}");
+    }
+
+    #[test]
+    fn steal_heavy_pool_fires_w002() {
+        let m = worker_metrics([8, 8], [5, 4], [1_000, 1_000], [0, 0], [0, 0]);
+        let findings = diagnose(&ParsedTrace::default(), Some(&m));
+        assert!(findings.iter().any(|f| f.rule == "W002"), "{findings:?}");
+    }
+
+    #[test]
+    fn balanced_pool_is_quiet() {
+        let m = worker_metrics(
+            [8, 8],
+            [1, 0],
+            [40_000_000, 40_000_000],
+            [1_000_000, 1_000_000],
+            [2_000_000, 2_000_000],
+        );
+        let findings = diagnose(&ParsedTrace::default(), Some(&m));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn fine_grained_jobs_fire_w005() {
+        let lines: Vec<String> = (0..6u64)
+            .flat_map(|i| {
+                vec![
+                    format!(
+                        r#"{{"event":"span-enter","id":{i},"parent":null,"name":"runtime.job:cell{i}","t_ns":{}}}"#,
+                        i * 1000
+                    ),
+                    format!(
+                        r#"{{"event":"span-exit","id":{i},"t_ns":{}}}"#,
+                        i * 1000 + 200_000
+                    ),
+                ]
+            })
+            .collect();
+        let trace = ParsedTrace::parse(&lines.join("\n"));
+        let findings = diagnose(&trace, None);
+        let w005 = findings.iter().find(|f| f.rule == "W005").expect("fires");
+        assert_eq!(w005.severity, WhySeverity::Critical);
+    }
+
+    #[test]
+    fn cancellation_waste_fires_w004() {
+        let m = metrics_with(
+            &[
+                ("portfolio.winner_conflicts", 100),
+                ("portfolio.loser_conflicts", 93),
+                ("portfolio.cancel_latency_conflicts", 1),
+            ],
+            &[],
+        );
+        let findings = diagnose(&ParsedTrace::default(), Some(&m));
+        let f = findings.iter().find(|f| f.rule == "W004").expect("fires");
+        assert!(f.summary.contains("93%"), "{}", f.summary);
+    }
+
+    #[test]
+    fn restart_churn_fires_w006() {
+        let lines: Vec<String> = (0..10u64)
+            .map(|e| {
+                format!(
+                    r#"{{"event":"search-epoch","label":"solve","epoch":{e},"conflicts":10,"decisions":20,"propagations":100,"learnt":5}}"#
+                )
+            })
+            .collect();
+        let trace = ParsedTrace::parse(&lines.join("\n"));
+        let findings = diagnose(&trace, None);
+        assert!(findings.iter().any(|f| f.rule == "W006"), "{findings:?}");
+    }
+
+    #[test]
+    fn findings_rank_critical_first_and_render_stably() {
+        let m = worker_metrics(
+            [4, 4],
+            [4, 4],
+            [1_000_000, 1_000_000],
+            [0, 0],
+            [99_000_000, 99_000_000],
+        );
+        let findings = diagnose(&ParsedTrace::default(), Some(&m));
+        assert!(findings.len() >= 2);
+        assert!(findings.windows(2).all(|w| w[0].severity >= w[1].severity));
+        let md = render_why_markdown(&findings, "test.jsonl");
+        assert!(md.contains("# Bottleneck diagnosis"));
+        assert!(md.contains("W001"));
+        assert_eq!(md, render_why_markdown(&findings, "test.jsonl"));
+    }
+
+    #[test]
+    fn empty_inputs_produce_no_findings() {
+        let findings = diagnose(&ParsedTrace::default(), None);
+        assert!(findings.is_empty());
+        let md = render_why_markdown(&findings, "empty.jsonl");
+        assert!(md.contains("No rule in the catalog fired"));
+    }
+}

@@ -22,6 +22,10 @@ use std::time::Instant;
 
 type Job = Box<dyn FnOnce(&WorkerCtx) + Send + 'static>;
 
+/// One executed job's window:
+/// `(job, worker, queue_wait_ns, start_off_ns, end_off_ns)`.
+type JobWindow = (u64, usize, u64, u64, u64);
+
 /// Context handed to every executing job.
 pub struct WorkerCtx {
     /// Index of the worker thread running the job (0-based).
@@ -31,14 +35,32 @@ pub struct WorkerCtx {
 }
 
 /// Cumulative per-worker execution statistics.
+///
+/// Everything here is wall-clock-ish scheduling data — which worker ran
+/// what, and for how long — so it lives in the metrics registry (and the
+/// opt-in span stream), never in the reproducible event trace.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct WorkerStats {
     /// Jobs this worker executed.
     pub jobs: u64,
+    /// Jobs this worker popped from its own deque.
+    pub local_pops: u64,
     /// Jobs this worker stole from a peer's deque.
     pub steals: u64,
+    /// Jobs that started under an already-cancelled token on this worker.
+    pub cancelled: u64,
     /// Nanoseconds spent executing jobs (excludes idle time).
     pub busy_ns: u64,
+    /// Nanoseconds jobs run by this worker spent enqueued (submission to
+    /// pickup), summed over jobs.
+    pub queue_wait_ns: u64,
+    /// Nanoseconds this worker spent idle: parked on the condvar or
+    /// spinning for a claimable job.
+    pub idle_ns: u64,
+    /// Nanoseconds between a portfolio winner setting the shared
+    /// [`CancelToken`] and this worker's cancelled jobs reporting in,
+    /// summed over observations.
+    pub cancel_latency_ns: u64,
 }
 
 struct PoolState {
@@ -51,19 +73,35 @@ struct Shared {
     state: Mutex<PoolState>,
     signal: Condvar,
     /// One local deque per worker; `spawn` round-robins new jobs across
-    /// them and idle workers steal from non-owned deques.
-    queues: Vec<Mutex<VecDeque<(u64, Job)>>>,
+    /// them and idle workers steal from non-owned deques. Entries are
+    /// `(job, sched_off_ns, job_fn)` — the submission offset rides along so
+    /// the executing worker can account queue-wait time.
+    queues: Vec<Mutex<VecDeque<(u64, u64, Job)>>>,
     jobs_executed: Vec<AtomicU64>,
+    jobs_local: Vec<AtomicU64>,
     jobs_stolen: Vec<AtomicU64>,
+    jobs_cancelled: Vec<AtomicU64>,
     busy_ns: Vec<AtomicU64>,
+    queue_wait_ns: Vec<AtomicU64>,
+    idle_ns: Vec<AtomicU64>,
+    cancel_observe_ns: Vec<AtomicU64>,
+    /// Epoch offset (plus one, 0 = unset) at which the current portfolio
+    /// race's token was cancelled — the anchor for cancellation-latency
+    /// accounting. Reset at the start of each race.
+    cancel_set_off: AtomicU64,
+    /// Jobs whose post-run accounting (counters + execution window) has
+    /// been published. A job's *result* can reach the submitter before its
+    /// accounting lands, so drain-side readers wait for this to catch up
+    /// to the submission count.
+    jobs_accounted: AtomicU64,
     trace: JobTraceLog,
     /// Pool creation time; job execution windows are recorded as offsets
     /// from this epoch so [`Runtime::emit_job_spans`] can replay them
     /// against any recorder's clock.
     epoch: Instant,
-    /// `(job, start_off_ns, end_off_ns)` per executed job, in completion
-    /// order (drained by [`Runtime::emit_job_spans`]).
-    job_windows: Mutex<Vec<(u64, u64, u64)>>,
+    /// One [`JobWindow`] per executed job, in completion order (drained
+    /// by [`Runtime::emit_job_spans`]).
+    job_windows: Mutex<Vec<JobWindow>>,
     /// `(job, label)` per submitted job.
     job_labels: Mutex<Vec<(u64, String)>>,
 }
@@ -89,10 +127,10 @@ impl Shared {
     /// before their ticket is published, so a claimed ticket's job is
     /// always discoverable; the loop only spins when another worker is
     /// between `pop` and re-publication (never, in this design).
-    fn find_job(&self, own: usize) -> (u64, Job, bool) {
+    fn find_job(&self, own: usize) -> (u64, u64, Job, bool) {
         loop {
             if let Some(job) = self.queues[own].lock().expect("queue poisoned").pop_front() {
-                return (job.0, job.1, false);
+                return (job.0, job.1, job.2, false);
             }
             for offset in 1..self.queues.len() {
                 let victim = (own + offset) % self.queues.len();
@@ -101,22 +139,64 @@ impl Shared {
                     .expect("queue poisoned")
                     .pop_back();
                 if let Some(job) = stolen {
-                    return (job.0, job.1, true);
+                    return (job.0, job.1, job.2, true);
                 }
             }
             std::thread::yield_now();
         }
     }
+
+    /// Marks the cancellation anchor for the current portfolio race: the
+    /// first call after a [`reset_cancel_anchor`](Shared::reset_cancel_anchor)
+    /// wins; later calls are no-ops.
+    fn note_cancel_set(&self) {
+        let off = self.epoch.elapsed().as_nanos() as u64 + 1;
+        let _ = self
+            .cancel_set_off
+            .compare_exchange(0, off, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Accounts one cancelled job on `worker`, attributing the wall-clock
+    /// gap since the race's cancellation anchor (if one was recorded).
+    fn note_cancel_observed(&self, worker: usize) {
+        self.jobs_cancelled[worker].fetch_add(1, Ordering::Relaxed);
+        let set = self.cancel_set_off.load(Ordering::Acquire);
+        if set == 0 {
+            return;
+        }
+        let now = self.epoch.elapsed().as_nanos() as u64 + 1;
+        self.cancel_observe_ns[worker].fetch_add(now.saturating_sub(set), Ordering::Relaxed);
+    }
+
+    fn reset_cancel_anchor(&self) {
+        self.cancel_set_off.store(0, Ordering::Release);
+    }
 }
 
 fn worker_loop(shared: Arc<Shared>, index: usize) {
-    while shared.claim() {
-        let (id, job, stolen) = shared.find_job(index);
+    loop {
+        // Everything between here and job pickup — parking on the condvar
+        // and the steal loop — is idle time.
+        let idle_start = Instant::now();
+        let claimed = shared.claim();
+        let found = if claimed {
+            Some(shared.find_job(index))
+        } else {
+            None
+        };
+        shared.idle_ns[index].fetch_add(idle_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let Some((id, sched_off, job, stolen)) = found else {
+            break;
+        };
         if stolen {
             shared.jobs_stolen[index].fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.jobs_local[index].fetch_add(1, Ordering::Relaxed);
         }
         shared.trace.record(id, JobPhase::Started { worker: index });
         let start_off = shared.epoch.elapsed().as_nanos() as u64;
+        let queue_wait = start_off.saturating_sub(sched_off);
+        shared.queue_wait_ns[index].fetch_add(queue_wait, Ordering::Relaxed);
         let start = Instant::now();
         job(&WorkerCtx {
             worker: index,
@@ -129,7 +209,11 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
             .job_windows
             .lock()
             .expect("job windows poisoned")
-            .push((id, start_off, end_off));
+            .push((id, index, queue_wait, start_off, end_off));
+        // Published last: a job's result can reach the submitter (the
+        // `tx.send` inside the job closure) before this accounting does, so
+        // the drain-side APIs wait on this counter (see `quiesce`).
+        shared.jobs_accounted.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -175,8 +259,15 @@ impl Runtime {
             signal: Condvar::new(),
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             jobs_executed: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            jobs_local: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             jobs_stolen: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            jobs_cancelled: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            queue_wait_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            idle_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            cancel_observe_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            cancel_set_off: AtomicU64::new(0),
+            jobs_accounted: AtomicU64::new(0),
             trace: JobTraceLog::default(),
             epoch: Instant::now(),
             job_windows: Mutex::new(Vec::new()),
@@ -220,10 +311,11 @@ impl Runtime {
             .expect("job labels poisoned")
             .push((id, label.to_string()));
         let queue = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        let sched_off = self.shared.epoch.elapsed().as_nanos() as u64;
         self.shared.queues[queue]
             .lock()
             .expect("queue poisoned")
-            .push_back((id, job));
+            .push_back((id, sched_off, job));
         let mut state = self.shared.state.lock().expect("pool state poisoned");
         state.pending += 1;
         drop(state);
@@ -265,13 +357,14 @@ impl Runtime {
         for (index, (label, f)) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
             let token = token.clone();
-            let trace = self.shared.trace.clone();
+            let shared = self.shared.clone();
             self.submit(
                 &label,
                 Box::new(move |ctx| {
                     let cancelled_at_start = token.is_cancelled();
                     let value = f(&token);
                     let phase = if cancelled_at_start {
+                        shared.note_cancel_observed(ctx.worker);
                         JobPhase::Cancelled { worker: ctx.worker }
                     } else {
                         JobPhase::Finished {
@@ -279,7 +372,7 @@ impl Runtime {
                             outcome: "ok".to_string(),
                         }
                     };
-                    trace.record(ctx.job, phase);
+                    shared.trace.record(ctx.job, phase);
                     let _ = tx.send((index, value));
                 }),
             );
@@ -322,6 +415,7 @@ impl Runtime {
         F: FnOnce(&CancelToken) -> Option<T> + Send + 'static,
     {
         let n = entrants.len();
+        self.shared.reset_cancel_anchor();
         // usize::MAX = no winner yet; compare_exchange elects exactly one.
         let winner = Arc::new(AtomicUsize::new(usize::MAX));
         let (tx, rx) = mpsc::channel::<(usize, String, Option<T>)>();
@@ -329,7 +423,7 @@ impl Runtime {
             let tx = tx.clone();
             let token = token.clone();
             let winner = winner.clone();
-            let trace = self.shared.trace.clone();
+            let shared = self.shared.clone();
             let job_label = label.clone();
             self.submit(
                 &job_label,
@@ -351,6 +445,7 @@ impl Runtime {
                                 .is_ok() =>
                         {
                             token.cancel();
+                            shared.note_cancel_set();
                             JobPhase::Finished {
                                 worker: ctx.worker,
                                 outcome: "won".to_string(),
@@ -360,9 +455,12 @@ impl Runtime {
                             worker: ctx.worker,
                             outcome: "lost".to_string(),
                         },
-                        None => JobPhase::Cancelled { worker: ctx.worker },
+                        None => {
+                            shared.note_cancel_observed(ctx.worker);
+                            JobPhase::Cancelled { worker: ctx.worker }
+                        }
                     };
-                    trace.record(ctx.job, phase);
+                    shared.trace.record(ctx.job, phase);
                     let _ = tx.send((index, label, value));
                 }),
             );
@@ -411,6 +509,7 @@ impl Runtime {
     /// runs, while job *spans* carry wall-clock durations and are strictly
     /// opt-in.
     pub fn emit_job_spans(&self, spans: &mca_obs::SpanRecorder) {
+        self.quiesce();
         let mut windows = std::mem::take(
             &mut *self
                 .shared
@@ -424,39 +523,80 @@ impl Runtime {
         // monotonic Instants, so one signed offset maps between them.
         let delta = spans.now_ns() as i128 - self.shared.epoch.elapsed().as_nanos() as i128;
         let map = |off: u64| u64::try_from(off as i128 + delta).unwrap_or(0);
-        for (id, start_off, end_off) in windows {
+        for (id, worker, queue_wait, start_off, end_off) in windows {
             let label = labels
                 .iter()
                 .find(|(j, _)| *j == id)
                 .map_or("?", |(_, l)| l.as_str());
+            // `worker` and `queue_wait_ns` are scheduling accidents — the
+            // trace outline reduces them to field names, like the other
+            // machine-dependent span fields.
             spans.emit_complete(
                 &format!("runtime.job:{label}"),
                 map(start_off),
                 map(end_off),
-                vec![("job".to_string(), id)],
+                vec![
+                    ("job".to_string(), id),
+                    ("worker".to_string(), worker as u64),
+                    ("queue_wait_ns".to_string(), queue_wait),
+                ],
             );
+        }
+    }
+
+    /// Waits until every submitted job's post-run accounting is published.
+    ///
+    /// Batch and portfolio entry points return when the last job's
+    /// *result* arrives, which can be a few instructions before the worker
+    /// pushes that job's counters and execution window. The gap is tiny
+    /// and bounded (the worker is between `job()` returning and its next
+    /// loop iteration), so a yield loop is enough.
+    fn quiesce(&self) {
+        let submitted = self.next_job.load(Ordering::Relaxed);
+        while self.shared.jobs_accounted.load(Ordering::Acquire) < submitted {
+            std::thread::yield_now();
         }
     }
 
     /// Per-worker execution statistics, indexed by worker.
     pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.quiesce();
         (0..self.threads())
             .map(|i| WorkerStats {
                 jobs: self.shared.jobs_executed[i].load(Ordering::Relaxed),
+                local_pops: self.shared.jobs_local[i].load(Ordering::Relaxed),
                 steals: self.shared.jobs_stolen[i].load(Ordering::Relaxed),
+                cancelled: self.shared.jobs_cancelled[i].load(Ordering::Relaxed),
                 busy_ns: self.shared.busy_ns[i].load(Ordering::Relaxed),
+                queue_wait_ns: self.shared.queue_wait_ns[i].load(Ordering::Relaxed),
+                idle_ns: self.shared.idle_ns[i].load(Ordering::Relaxed),
+                cancel_latency_ns: self.shared.cancel_observe_ns[i].load(Ordering::Relaxed),
             })
             .collect()
     }
 
-    /// Records per-worker gauges and busy timers into a metrics registry
-    /// under `prefix` (e.g. `runtime.w0.jobs`, `runtime.w1.busy`).
+    /// Records per-worker gauges and timers into a metrics registry under
+    /// `prefix` (e.g. `runtime.w0.jobs`, `runtime.w1.busy`). Job counts
+    /// (total, local pops, steals, cancellations) land as gauges;
+    /// busy/queue-wait/idle/cancel-latency time as timers. This is the
+    /// deterministic drain of the per-worker counters: registry keys are
+    /// sorted, values are logical job counts plus wall-clock durations that
+    /// belong in metrics (never in the event trace), and `repro why` reads
+    /// them to diagnose scheduling bottlenecks.
     pub fn record_metrics(&self, metrics: &mut Metrics, prefix: &str) {
         metrics.set_gauge(&format!("{prefix}.threads"), self.threads() as i64);
         for (i, w) in self.worker_stats().iter().enumerate() {
             metrics.set_gauge(&format!("{prefix}.w{i}.jobs"), w.jobs as i64);
+            metrics.set_gauge(&format!("{prefix}.w{i}.local_pops"), w.local_pops as i64);
             metrics.set_gauge(&format!("{prefix}.w{i}.steals"), w.steals as i64);
+            metrics.set_gauge(&format!("{prefix}.w{i}.cancelled"), w.cancelled as i64);
             metrics.add_timer_ns(&format!("{prefix}.w{i}.busy"), w.busy_ns);
+            metrics.add_timer_ns(&format!("{prefix}.w{i}.queue_wait"), w.queue_wait_ns);
+            metrics.add_timer_ns(&format!("{prefix}.w{i}.idle"), w.idle_ns);
+            metrics.add_timer_ns(
+                &format!("{prefix}.w{i}.cancel_latency"),
+                w.cancel_latency_ns,
+            );
         }
     }
 }
@@ -578,6 +718,70 @@ mod tests {
         // Drained: a second call replays nothing (8 enter/exit pairs).
         rt.emit_job_spans(&spans);
         assert_eq!(handle.with(|sink| sink.events.len()), 16);
+    }
+
+    #[test]
+    fn worker_telemetry_accounts_pops_waits_and_idle() {
+        let rt = Runtime::new(2);
+        let jobs: Vec<(String, _)> = (0..12u64)
+            .map(|i| {
+                (format!("j{i}"), move |_: &CancelToken| {
+                    (0..10_000u64).fold(i, |acc, x| acc.wrapping_add(x))
+                })
+            })
+            .collect();
+        rt.run_batch(jobs);
+        let stats = rt.worker_stats();
+        assert_eq!(stats.iter().map(|w| w.jobs).sum::<u64>(), 12);
+        // Every executed job was either a local pop or a steal.
+        assert_eq!(
+            stats.iter().map(|w| w.local_pops + w.steals).sum::<u64>(),
+            12
+        );
+        // Nothing was cancelled, and someone was idle at some point (the
+        // pool existed before the first submission).
+        assert_eq!(stats.iter().map(|w| w.cancelled).sum::<u64>(), 0);
+        assert!(stats.iter().any(|w| w.idle_ns > 0));
+    }
+
+    #[test]
+    fn cancelled_batch_jobs_are_counted_per_worker() {
+        let rt = Runtime::new(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let jobs: Vec<(String, _)> = (0..6u64)
+            .map(|i| (format!("j{i}"), move |_: &CancelToken| i))
+            .collect();
+        rt.run_batch_with_token(jobs, &token);
+        assert_eq!(
+            rt.worker_stats().iter().map(|w| w.cancelled).sum::<u64>(),
+            6
+        );
+    }
+
+    #[test]
+    fn record_metrics_exposes_per_worker_scheduling_counters() {
+        let rt = Runtime::new(2);
+        let jobs: Vec<(String, _)> = (0..4u64)
+            .map(|i| (format!("j{i}"), move |_: &CancelToken| i))
+            .collect();
+        rt.run_batch(jobs);
+        let mut metrics = Metrics::new();
+        rt.record_metrics(&mut metrics, "runtime");
+        assert_eq!(metrics.gauge("runtime.threads"), Some(2));
+        for key in ["jobs", "local_pops", "steals", "cancelled"] {
+            assert!(
+                metrics.gauge(&format!("runtime.w0.{key}")).is_some(),
+                "missing gauge runtime.w0.{key}"
+            );
+        }
+        let rendered = metrics.to_json().render();
+        for key in ["busy", "queue_wait", "idle", "cancel_latency"] {
+            assert!(
+                rendered.contains(&format!("runtime.w1.{key}")),
+                "missing timer runtime.w1.{key} in {rendered}"
+            );
+        }
     }
 
     #[test]

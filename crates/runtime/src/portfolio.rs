@@ -9,7 +9,8 @@
 //! the `runtime_determinism` integration test.
 
 use crate::pool::Runtime;
-use mca_sat::{CancelToken, CnfFormula, SolveResult, SolverConfig, SolverStats};
+use mca_sat::{CancelToken, CnfFormula, SearchTelemetry, SolveResult, SolverConfig, SolverStats};
+use std::sync::{Arc, Mutex};
 
 /// One portfolio entrant: a label plus the solver configuration it runs.
 #[derive(Clone, Debug, PartialEq)]
@@ -35,6 +36,37 @@ pub struct PortfolioReport {
     pub entrants: usize,
     /// Entrants that observed the cancellation and stopped early.
     pub cancelled: usize,
+    /// The winning solver's per-epoch search telemetry.
+    pub winner_telemetry: SearchTelemetry,
+    /// Final statistics of every entrant that ran, indexed like `entries`
+    /// (`None` for entrants that never started — e.g. pre-cancelled).
+    /// Losers appear here even though their verdicts are discarded; this
+    /// is what cancellation-latency and wasted-work accounting read.
+    pub entrant_stats: Vec<Option<SolverStats>>,
+}
+
+impl PortfolioReport {
+    /// Conflicts burnt by cancelled entrants (everyone but the winner).
+    pub fn loser_conflicts(&self) -> u64 {
+        self.entrant_stats
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.winner)
+            .filter_map(|(_, s)| s.as_ref())
+            .map(|s| s.conflicts)
+            .sum()
+    }
+
+    /// Worst cancellation latency any entrant observed, in conflicts
+    /// (bounded by the entrants' `cancel_check_interval`).
+    pub fn cancel_latency_conflicts(&self) -> u64 {
+        self.entrant_stats
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .map(|s| s.cancel_latency_conflicts)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// A deterministic family of `n` diversified solver configurations.
@@ -144,24 +176,38 @@ pub fn solve_portfolio(
 ) -> PortfolioReport {
     assert!(!entries.is_empty(), "portfolio needs at least one entrant");
     let entrants = entries.len();
+    // Losers return `None` through the portfolio channel, but their final
+    // stats and the winner's telemetry still matter for forensics — side-
+    // channel them out, indexed by entrant.
+    let stats_out: Arc<Mutex<Vec<Option<SolverStats>>>> =
+        Arc::new(Mutex::new(vec![None; entrants]));
+    let telemetry_out: Arc<Mutex<Vec<Option<SearchTelemetry>>>> =
+        Arc::new(Mutex::new(vec![None; entrants]));
     let jobs: Vec<(String, _)> = entries
         .iter()
-        .map(|entry| {
+        .enumerate()
+        .map(|(index, entry)| {
             let label = entry.label.clone();
             let config = entry.config;
             let cnf = cnf.clone();
+            let stats_out = stats_out.clone();
+            let telemetry_out = telemetry_out.clone();
             (
                 format!("portfolio:{label}"),
-                move |token: &CancelToken| -> Option<(SolveResult, SolverStats)> {
+                move |token: &CancelToken| -> Option<SolveResult> {
                     let mut solver = mca_sat::Solver::with_config(config);
                     solver.new_vars(cnf.num_vars());
                     for clause in cnf.clauses() {
                         solver.add_clause(clause.iter().copied());
                     }
                     solver.set_terminate(token.clone());
-                    solver
-                        .solve_under_assumptions(&[])
-                        .map(|result| (result, *solver.stats()))
+                    solver.enable_telemetry();
+                    let result = solver.solve_under_assumptions(&[]);
+                    stats_out.lock().expect("stats channel poisoned")[index] =
+                        Some(*solver.stats());
+                    telemetry_out.lock().expect("telemetry channel poisoned")[index] =
+                        solver.take_telemetry();
+                    result
                 },
             )
         })
@@ -169,14 +215,20 @@ pub fn solve_portfolio(
     let win = rt
         .portfolio(jobs)
         .expect("a complete solver always finishes unless pre-cancelled");
-    let (result, winner_stats) = win.result;
+    let entrant_stats = std::mem::take(&mut *stats_out.lock().expect("stats channel poisoned"));
+    let winner_stats = entrant_stats[win.winner].expect("the winner ran to completion");
+    let winner_telemetry = telemetry_out.lock().expect("telemetry channel poisoned")[win.winner]
+        .take()
+        .expect("telemetry enabled on every entrant");
     PortfolioReport {
-        result,
+        result: win.result,
         winner: win.winner,
         winner_label: entries[win.winner].label.clone(),
         winner_stats,
         entrants,
         cancelled: entrants.saturating_sub(1),
+        winner_telemetry,
+        entrant_stats,
     }
 }
 
@@ -225,6 +277,24 @@ mod tests {
         assert_eq!(report.result, sequential);
         assert_eq!(report.result, SolveResult::Unsat);
         assert_eq!(report.entrants, 4);
+        // Forensics side-channel: the winner's stats and telemetry made it
+        // out, and every entrant that ran left its stats behind.
+        assert!(report.entrant_stats[report.winner].is_some());
+        assert!(!report.winner_telemetry.epochs.is_empty());
+        assert_eq!(report.entrant_stats.len(), 4);
+        // Default entrants poll every conflict, so any observed
+        // cancellation latency is at most one conflict.
+        assert!(report.cancel_latency_conflicts() <= 1);
+        // loser_conflicts never counts the winner.
+        assert!(
+            report.loser_conflicts()
+                <= report
+                    .entrant_stats
+                    .iter()
+                    .flatten()
+                    .map(|s| s.conflicts)
+                    .sum::<u64>()
+        );
     }
 
     #[test]

@@ -18,8 +18,13 @@
 //! * Cooperative cross-thread cancellation: share a [`CancelToken`] via
 //!   [`Solver::set_terminate`] and drive the search with
 //!   [`Solver::solve_under_assumptions`] — the loop checks the token at
-//!   every decision and conflict. This is what the `mca-runtime` portfolio
-//!   and cube-and-conquer engines use to cancel losing solver instances.
+//!   every decision and conflict (throttled by
+//!   [`SolverConfig::cancel_check_interval`], default 1). This is what the
+//!   `mca-runtime` portfolio and cube-and-conquer engines use to cancel
+//!   losing solver instances.
+//! * Opt-in search telemetry ([`Solver::enable_telemetry`]): per-restart-
+//!   epoch [`EpochSample`]s, learnt-clause LBD/length histograms, and
+//!   assumption-failure counts in a [`SearchTelemetry`].
 //! * Model enumeration over a projection set
 //!   ([`Solver::enumerate_models`]) — this is what powers Alloy-style `run`
 //!   instance enumeration upstream.
@@ -63,6 +68,6 @@ pub use luby::{luby, LubyRestarts};
 pub use proof::{check_drat, DratError, Proof, ProofStep};
 pub use simplify::{simplify, simplify_logged, SimplifyStats};
 pub use solver::{
-    CancelToken, Model, ProgressCallback, ProgressFn, SolveResult, Solver, SolverConfig,
-    SolverStats,
+    CancelToken, EpochSample, Model, ProgressCallback, ProgressFn, SearchTelemetry, SolveResult,
+    Solver, SolverConfig, SolverStats,
 };

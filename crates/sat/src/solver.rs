@@ -118,6 +118,14 @@ pub struct SolverConfig {
     /// saved phase yet). `false` matches MiniSat's sign-negative default;
     /// portfolio solving flips it to diversify entrants.
     pub default_polarity: bool,
+    /// Poll the [`CancelToken`] at most once per this many conflicts (the
+    /// decision-point poll is throttled by the same conflict distance). The
+    /// default of 1 keeps the historical check-every-conflict-and-decision
+    /// behaviour; larger values trade cancellation latency for fewer atomic
+    /// loads. A cancelled solve stops within `cancel_check_interval`
+    /// conflicts of the token being set — the latency actually observed is
+    /// recorded in [`SolverStats::cancel_latency_conflicts`].
+    pub cancel_check_interval: u64,
 }
 
 impl Default for SolverConfig {
@@ -129,6 +137,7 @@ impl Default for SolverConfig {
             phase_saving: true,
             reduce_db: true,
             default_polarity: false,
+            cancel_check_interval: 1,
         }
     }
 }
@@ -154,6 +163,80 @@ pub struct SolverStats {
     pub db_reductions: u64,
     /// Solve calls.
     pub solves: u64,
+    /// Worst observed cancellation latency, in conflicts: when a solve was
+    /// cancelled, how many conflicts elapsed between the last poll that saw
+    /// the token clear and the poll that observed it set. Bounded above by
+    /// [`SolverConfig::cancel_check_interval`]; 0 if no solve on this
+    /// solver was ever cancelled.
+    pub cancel_latency_conflicts: u64,
+}
+
+/// Search progress accumulated over one restart epoch (the stretch of
+/// search between two restarts), sampled by [`SearchTelemetry`].
+///
+/// All fields are deltas within the epoch except `learnt_live`, which is
+/// the live learnt-clause count when the epoch ended. Every field is a
+/// logical counter — no wall clock — so a fixed formula and configuration
+/// produce an identical sample sequence on every run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochSample {
+    /// Zero-based restart-epoch index within the solve.
+    pub epoch: u64,
+    /// Conflicts encountered during the epoch.
+    pub conflicts: u64,
+    /// Decisions made during the epoch.
+    pub decisions: u64,
+    /// Literals propagated during the epoch.
+    pub propagations: u64,
+    /// Learnt clauses live in the database at the end of the epoch.
+    pub learnt_live: u64,
+}
+
+/// Opt-in CDCL search telemetry, enabled with
+/// [`Solver::enable_telemetry`].
+///
+/// Accumulates one [`EpochSample`] per restart epoch (including the
+/// partial final epoch of each solve), log2-binned histograms of
+/// learnt-clause LBD and length, and the number of failed-assumption
+/// analyses. Everything here is keyed by logical search progress, so the
+/// telemetry of a deterministic workload is itself deterministic; with
+/// telemetry disabled the per-conflict cost is a branch on an `Option`.
+#[derive(Clone, Debug, Default)]
+pub struct SearchTelemetry {
+    /// One sample per restart epoch, in epoch order, across all solves
+    /// since telemetry was enabled.
+    pub epochs: Vec<EpochSample>,
+    /// Log2-binned histogram of learnt-clause LBD (glue). Unit learnts
+    /// count as LBD 1.
+    pub lbd: mca_obs::Histogram,
+    /// Log2-binned histogram of learnt-clause length in literals.
+    pub learnt_len: mca_obs::Histogram,
+    /// Assumption-failure analyses performed (one per incremental query
+    /// that found an assumption literal already falsified).
+    pub assumption_failures: u64,
+}
+
+impl SearchTelemetry {
+    /// Restart effectiveness: mean conflicts-per-epoch over the second
+    /// half of the epochs divided by the mean over the first half. Values
+    /// well above 1 mean later epochs burn ever more conflicts per learnt
+    /// first-UIP clause (restarts are not refocusing the search); values
+    /// near or below 1 mean the Luby cadence is holding epoch cost flat.
+    /// `None` with fewer than two epochs.
+    pub fn restart_effectiveness(&self) -> Option<f64> {
+        if self.epochs.len() < 2 {
+            return None;
+        }
+        let mid = self.epochs.len() / 2;
+        let mean =
+            |s: &[EpochSample]| s.iter().map(|e| e.conflicts as f64).sum::<f64>() / s.len() as f64;
+        let first = mean(&self.epochs[..mid]);
+        let second = mean(&self.epochs[mid..]);
+        if first == 0.0 {
+            return None;
+        }
+        Some(second / first)
+    }
 }
 
 /// The function type a [`ProgressCallback`] invokes: cumulative stats plus
@@ -251,6 +334,12 @@ pub struct Solver {
     spans: Option<mca_obs::SpanRecorder>,
     /// Highest live learnt-clause count ever observed.
     learnt_peak: usize,
+    /// Opt-in per-epoch search telemetry, installed with
+    /// [`enable_telemetry`](Solver::enable_telemetry).
+    telemetry: Option<Box<SearchTelemetry>>,
+    /// Cumulative conflict count at the last cancellation poll that saw
+    /// the token clear — the anchor for cancellation-latency accounting.
+    last_cancel_check_conflicts: u64,
     config: SolverConfig,
 }
 
@@ -281,6 +370,10 @@ impl Solver {
             "clause_decay must be in (0, 1)"
         );
         assert!(config.restart_base > 0, "restart_base must be positive");
+        assert!(
+            config.cancel_check_interval > 0,
+            "cancel_check_interval must be positive"
+        );
         Solver {
             db: ClauseDb::new(),
             watches: Vec::new(),
@@ -308,8 +401,36 @@ impl Solver {
             terminate: None,
             spans: None,
             learnt_peak: 0,
+            telemetry: None,
+            last_cancel_check_conflicts: 0,
             config,
         }
+    }
+
+    /// Enables per-restart-epoch search telemetry: subsequent solves
+    /// accumulate [`EpochSample`]s, LBD/length histograms of learnt
+    /// clauses, and assumption-failure counts into a [`SearchTelemetry`]
+    /// retrievable with [`telemetry`](Solver::telemetry) or
+    /// [`take_telemetry`](Solver::take_telemetry). Telemetry is strictly
+    /// opt-in: with it disabled the per-conflict cost is a branch on an
+    /// `Option`, and enabling it never changes search behaviour or
+    /// verdicts. Idempotent — an already-enabled solver keeps its samples.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::default());
+        }
+    }
+
+    /// The accumulated search telemetry, if enabled.
+    pub fn telemetry(&self) -> Option<&SearchTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Takes the accumulated telemetry, disabling further collection (call
+    /// [`enable_telemetry`](Solver::enable_telemetry) again to restart
+    /// with a fresh accumulator).
+    pub fn take_telemetry(&mut self) -> Option<SearchTelemetry> {
+        self.telemetry.take().map(|b| *b)
     }
 
     /// Installs a profiling-span recorder: subsequent
@@ -1031,6 +1152,7 @@ impl Solver {
     fn solve_body(&mut self, assumptions: &[Lit], respect_cancel: bool) -> Option<SolveResult> {
         self.stats.solves += 1;
         self.conflict_assumptions.clear();
+        self.last_cancel_check_conflicts = self.stats.conflicts;
         if self.unsat {
             return Some(SolveResult::Unsat);
         }
@@ -1054,6 +1176,7 @@ impl Solver {
                 g.field("epoch", restart_index);
                 g
             });
+            let epoch_start = self.stats;
             let outcome = self.search(
                 assumptions,
                 &mut conflicts_until_restart,
@@ -1065,6 +1188,15 @@ impl Solver {
                 g.field("learnt_live", self.db.num_learnt() as u64);
             }
             drop(epoch_span);
+            if let Some(t) = &mut self.telemetry {
+                t.epochs.push(EpochSample {
+                    epoch: restart_index,
+                    conflicts: self.stats.conflicts - epoch_start.conflicts,
+                    decisions: self.stats.decisions - epoch_start.decisions,
+                    propagations: self.stats.propagations - epoch_start.propagations,
+                    learnt_live: self.db.num_learnt() as u64,
+                });
+            }
             match outcome {
                 SearchOutcome::Sat => return Some(SolveResult::Sat),
                 SearchOutcome::Unsat => return Some(SolveResult::Unsat),
@@ -1085,13 +1217,32 @@ impl Solver {
         }
     }
 
+    /// Polls the cancellation token, at most once per
+    /// [`cancel_check_interval`](SolverConfig::cancel_check_interval)
+    /// conflicts of search progress. A poll that sees the token clear
+    /// re-anchors the latency window; one that sees it set records the
+    /// conflicts burnt since the anchor into
+    /// [`SolverStats::cancel_latency_conflicts`].
     #[inline]
-    fn cancelled(&self, respect_cancel: bool) -> bool {
-        respect_cancel
-            && self
-                .terminate
-                .as_ref()
-                .is_some_and(CancelToken::is_cancelled)
+    fn poll_cancel(&mut self, respect_cancel: bool) -> bool {
+        if !respect_cancel || self.terminate.is_none() {
+            return false;
+        }
+        let since = self.stats.conflicts - self.last_cancel_check_conflicts;
+        if since + 1 < self.config.cancel_check_interval {
+            return false;
+        }
+        if self
+            .terminate
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            self.stats.cancel_latency_conflicts = self.stats.cancel_latency_conflicts.max(since);
+            true
+        } else {
+            self.last_cancel_check_conflicts = self.stats.conflicts;
+            false
+        }
     }
 
     fn search(
@@ -1108,7 +1259,7 @@ impl Solver {
                 {
                     self.stats.assumption_conflicts += 1;
                 }
-                if self.cancelled(respect_cancel) {
+                if self.poll_cancel(respect_cancel) {
                     return SearchOutcome::Cancelled;
                 }
                 if let Some(p) = &mut self.progress {
@@ -1126,9 +1277,17 @@ impl Solver {
                 self.log_add(&learnt);
                 self.backtrack_to(bt);
                 if learnt.len() == 1 {
+                    if let Some(t) = &mut self.telemetry {
+                        t.lbd.record(1);
+                        t.learnt_len.record(1);
+                    }
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
                     let lbd = self.lbd(&learnt);
+                    if let Some(t) = &mut self.telemetry {
+                        t.lbd.record(u64::from(lbd));
+                        t.learnt_len.record(learnt.len() as u64);
+                    }
                     let cref = self.db.push(learnt.clone(), true);
                     self.learnt_peak = self.learnt_peak.max(self.db.num_learnt());
                     self.db.get_mut(cref).lbd = lbd;
@@ -1162,6 +1321,9 @@ impl Solver {
                             continue;
                         }
                         LBool::False => {
+                            if let Some(t) = &mut self.telemetry {
+                                t.assumption_failures += 1;
+                            }
                             self.analyze_final(!a);
                             return SearchOutcome::Unsat;
                         }
@@ -1172,7 +1334,7 @@ impl Solver {
                         }
                     }
                 }
-                if self.cancelled(respect_cancel) {
+                if self.poll_cancel(respect_cancel) {
                     return SearchOutcome::Cancelled;
                 }
                 match self.pick_branch_var() {
@@ -1532,6 +1694,133 @@ mod tests {
         // Un-cancelled solving afterwards reaches the real verdict.
         s.clear_terminate();
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// Pigeonhole `n` into `m` holes: UNSAT when `n > m`, with real search.
+    #[allow(clippy::needless_range_loop)]
+    fn pigeonhole(n: usize, m: usize, config: SolverConfig) -> Solver {
+        let mut s = Solver::with_config(config);
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..m).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn telemetry_is_opt_in_and_taken() {
+        let mut s = pigeonhole(5, 4, SolverConfig::default());
+        assert!(s.telemetry().is_none());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.telemetry().is_none(), "telemetry must be strictly opt-in");
+
+        let mut s = pigeonhole(5, 4, SolverConfig::default());
+        s.enable_telemetry();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let t = s.take_telemetry().expect("enabled before solve");
+        assert!(!t.epochs.is_empty());
+        assert!(s.telemetry().is_none(), "take disables collection");
+    }
+
+    #[test]
+    fn telemetry_epochs_partition_the_search_deterministically() {
+        let run = || {
+            let mut s = pigeonhole(6, 5, SolverConfig::default());
+            s.enable_telemetry();
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            let stats = *s.stats();
+            let t = s.take_telemetry().unwrap();
+            (stats, t)
+        };
+        let (stats, t) = run();
+        // Epoch deltas cover the whole solve, epoch indices are 0..k.
+        assert_eq!(
+            t.epochs.iter().map(|e| e.conflicts).sum::<u64>(),
+            stats.conflicts
+        );
+        assert_eq!(
+            t.epochs.iter().map(|e| e.decisions).sum::<u64>(),
+            stats.decisions
+        );
+        assert_eq!(t.epochs.len() as u64, stats.restarts + 1);
+        for (i, e) in t.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i as u64);
+        }
+        // One LBD and one length sample per learnt clause, unit or not.
+        assert!(t.lbd.count() > 0);
+        assert_eq!(t.lbd.count(), t.learnt_len.count());
+        // Logical counters: a rerun reproduces the telemetry exactly.
+        let (stats2, t2) = run();
+        assert_eq!(stats, stats2);
+        assert_eq!(t.epochs, t2.epochs);
+        assert_eq!(t.lbd, t2.lbd);
+        assert_eq!(t.learnt_len, t2.learnt_len);
+    }
+
+    #[test]
+    fn telemetry_counts_assumption_failures() {
+        let mut s = Solver::new();
+        add(&mut s, &[-1]);
+        s.enable_telemetry();
+        let a = Lit::from_dimacs(1).unwrap();
+        assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Unsat);
+        assert_eq!(s.telemetry().unwrap().assumption_failures, 1);
+        assert_eq!(s.solve_with_assumptions(&[!a]), SolveResult::Sat);
+        assert_eq!(s.telemetry().unwrap().assumption_failures, 1);
+    }
+
+    #[test]
+    fn restart_effectiveness_needs_two_epochs() {
+        let t = SearchTelemetry::default();
+        assert!(t.restart_effectiveness().is_none());
+        let mut t = SearchTelemetry::default();
+        for (i, c) in [10u64, 20].iter().enumerate() {
+            t.epochs.push(EpochSample {
+                epoch: i as u64,
+                conflicts: *c,
+                ..EpochSample::default()
+            });
+        }
+        assert_eq!(t.restart_effectiveness(), Some(2.0));
+    }
+
+    #[test]
+    fn cancellation_observed_within_check_interval_conflicts() {
+        for interval in [1u64, 8] {
+            let config = SolverConfig {
+                cancel_check_interval: interval,
+                ..SolverConfig::default()
+            };
+            let mut s = pigeonhole(7, 6, config);
+            let token = CancelToken::new();
+            s.set_terminate(token.clone());
+            let cancel_at = 20u64;
+            let t = token.clone();
+            s.set_progress(cancel_at, move |_, _| t.cancel());
+            assert_eq!(s.solve_under_assumptions(&[]), None);
+            let stats = *s.stats();
+            // The progress hook set the token at `cancel_at` conflicts; the
+            // solver must stop within one check interval of that.
+            assert!(
+                stats.conflicts - cancel_at <= interval,
+                "interval {interval}: cancelled at {cancel_at} but ran to {}",
+                stats.conflicts
+            );
+            assert!(
+                stats.cancel_latency_conflicts <= interval,
+                "interval {interval}: recorded latency {}",
+                stats.cancel_latency_conflicts
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Performance-forensics contracts: the new telemetry must obey the
+//! determinism doctrine and cost (almost) nothing when nobody watches.
+//!
+//! * Worker attribution (`worker`, `queue_wait_ns`) lives only in span
+//!   exit fields and is reduced to bare names by the trace outline, so
+//!   the outline stays byte-identical at 1 and N threads.
+//! * `search-epoch` events are keyed by logical progress (epoch index,
+//!   conflict counts) and byte-reproducible for a fixed solve.
+//! * Solver search telemetry is opt-in; even fully enabled it stays
+//!   within 1% (+10ms slack) of the plain solve on a real UNSAT search,
+//!   which bounds the no-observer cost of the feature from above — the
+//!   tier-1 experiments never enable it, so they pay strictly less.
+//! * The `repro why` rule catalog diagnoses a deliberately fine-grained
+//!   batch (the CI fixture's shape) from its trace + metrics pair.
+
+use mca_obs::{Event, Handle, JsonlSink, Metrics, SpanRecorder};
+use mca_report::{diagnose, ParsedTrace};
+use mca_runtime::Runtime;
+use mca_sat::{CancelToken, CnfFormula, SolveResult, Solver};
+use std::time::Instant;
+
+/// `holes`+1 pigeons into `holes` holes — a small UNSAT family that
+/// forces real CDCL search (conflicts, restarts, learnt clauses).
+fn pigeonhole(holes: usize) -> CnfFormula {
+    let pigeons = holes + 1;
+    let mut cnf = CnfFormula::new();
+    let vars: Vec<Vec<mca_sat::Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| cnf.new_var()).collect())
+        .collect();
+    for p in &vars {
+        cnf.add_clause(p.iter().map(|v| v.lit(true)));
+    }
+    for (i, p1) in vars.iter().enumerate() {
+        for p2 in &vars[i + 1..] {
+            for (a, b) in p1.iter().zip(p2) {
+                cnf.add_clause([a.lit(false), b.lit(false)]);
+            }
+        }
+    }
+    cnf
+}
+
+/// Runs a fixed batch on `threads` workers and returns the replayed job
+/// spans' outline plus the rendered per-worker metrics JSON.
+fn traced_batch(threads: usize) -> (String, String) {
+    let rt = Runtime::new(threads);
+    let jobs: Vec<(String, _)> = (0..16u64)
+        .map(|i| {
+            (format!("work:{i}"), move |_: &CancelToken| {
+                (0..4_000u64).fold(i, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+            })
+        })
+        .collect();
+    assert_eq!(rt.run_batch(jobs).len(), 16);
+    let handle = Handle::new(JsonlSink::new(Vec::<u8>::new()));
+    let spans = SpanRecorder::new(handle.observer());
+    rt.emit_job_spans(&spans);
+    drop(spans);
+    let mut metrics = Metrics::new();
+    rt.record_metrics(&mut metrics, "runtime");
+    let bytes = handle
+        .try_into_inner()
+        .expect("sole owner")
+        .into_inner()
+        .expect("in-memory writes cannot fail");
+    let outline = ParsedTrace::parse(&String::from_utf8(bytes).expect("UTF-8")).outline();
+    (outline, metrics.to_json().render())
+}
+
+#[test]
+fn worker_attribution_is_outlined_away_at_any_thread_count() {
+    let (one, _) = traced_batch(1);
+    let (many, metrics) = traced_batch(4);
+    assert_eq!(
+        one, many,
+        "worker/queue_wait attribution must not leak timestamps or \
+         scheduling accidents into the outline"
+    );
+    // The fields are present (as names) — the outline reduces them, it
+    // does not drop them.
+    let first = one.lines().next().unwrap();
+    assert!(
+        first.starts_with("runtime.job:work:0") && first.contains("worker"),
+        "got: {first}"
+    );
+    assert!(first.contains("queue_wait_ns"), "got: {first}");
+    // The logical `job` id keeps its value; the scheduling accidents are
+    // reduced to bare names.
+    assert!(first.contains("job=0"), "got: {first}");
+    assert!(
+        !first.contains("worker=") && !first.contains("queue_wait_ns="),
+        "names only, no values: {first}"
+    );
+    // The per-worker registry records scheduling for all four workers.
+    assert!(metrics.contains("runtime.w3.jobs"));
+    assert!(metrics.contains("runtime.w0.queue_wait"));
+}
+
+#[test]
+fn search_epoch_events_are_byte_reproducible_for_a_fixed_solve() {
+    let trace_of_solve = || {
+        let mut solver = pigeonhole(6).to_solver();
+        solver.enable_telemetry();
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+        let telemetry = solver.take_telemetry().expect("enabled");
+        let mut out = String::new();
+        for e in &telemetry.epochs {
+            out.push_str(
+                &Event::SearchEpoch {
+                    label: "forensics:ph6".to_string(),
+                    epoch: e.epoch,
+                    conflicts: e.conflicts,
+                    decisions: e.decisions,
+                    propagations: e.propagations,
+                    learnt: e.learnt_live,
+                }
+                .to_json_line(),
+            );
+            out.push('\n');
+        }
+        out
+    };
+    let a = trace_of_solve();
+    assert_eq!(a, trace_of_solve(), "search telemetry must be logical");
+    // And the report layer round-trips every epoch.
+    let parsed = ParsedTrace::parse(&a);
+    assert_eq!(parsed.search_epochs.len(), a.lines().count());
+    assert!(parsed
+        .search_epochs
+        .iter()
+        .all(|e| e.label == "forensics:ph6"));
+    assert!(parsed.diagnostics.is_empty(), "{:?}", parsed.diagnostics);
+}
+
+#[test]
+fn solver_telemetry_overhead_is_under_one_percent() {
+    // min-of-N on both sides: the minimum is the least noisy statistic of
+    // a repeated deterministic workload. This bounds the *enabled* cost;
+    // the disabled path (what E3 and every tier-1 experiment runs) is a
+    // branch on a `None` and strictly cheaper.
+    let runs = 3;
+    let cnf = pigeonhole(7);
+    let time_min = |telemetry: bool| {
+        (0..runs)
+            .map(|_| {
+                let mut solver: Solver = cnf.to_solver();
+                if telemetry {
+                    solver.enable_telemetry();
+                }
+                let start = Instant::now();
+                assert_eq!(solver.solve(), SolveResult::Unsat);
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let plain = time_min(false);
+    let with_telemetry = time_min(true);
+    // 1% relative plus 10ms absolute slack, like the span-overhead gate:
+    // the histogram records are O(1) per learnt clause, but sub-ms timer
+    // noise must not fail the build.
+    assert!(
+        with_telemetry <= plain * 1.01 + 0.010,
+        "telemetry overhead too high: plain {plain:.4}s vs enabled {with_telemetry:.4}s"
+    );
+}
+
+#[test]
+fn why_diagnoses_a_deliberately_fine_grained_batch() {
+    // The CI fixture's shape: many near-empty jobs on a 2-worker pool.
+    // The median job span is far under 2ms, so rule W005 (granularity too
+    // fine) must fire from the trace alone.
+    let rt = Runtime::new(2);
+    let jobs: Vec<(String, _)> = (0..32u64)
+        .map(|i| (format!("tiny:{i}"), move |_: &CancelToken| i))
+        .collect();
+    assert_eq!(rt.run_batch(jobs).len(), 32);
+    let handle = Handle::new(JsonlSink::new(Vec::<u8>::new()));
+    let spans = SpanRecorder::new(handle.observer());
+    rt.emit_job_spans(&spans);
+    drop(spans);
+    let mut metrics = Metrics::new();
+    rt.record_metrics(&mut metrics, "runtime");
+    let bytes = handle
+        .try_into_inner()
+        .expect("sole owner")
+        .into_inner()
+        .expect("in-memory writes cannot fail");
+    let trace = ParsedTrace::parse(&String::from_utf8(bytes).expect("UTF-8"));
+    let metrics_json = mca_obs::json::Json::parse(&metrics.to_json().render()).expect("own JSON");
+    let findings = diagnose(&trace, Some(&metrics_json));
+    assert!(
+        findings.iter().any(|f| f.rule == "W005"),
+        "fine-grained batch must trip the granularity rule: {findings:?}"
+    );
+    // Ranked most-severe first, deterministically.
+    assert!(findings.windows(2).all(|w| w[0].severity >= w[1].severity));
+}
+
+#[test]
+fn portfolio_cancellation_latency_is_bounded_by_the_check_interval() {
+    // A cancelled portfolio loser stops within `cancel_check_interval`
+    // conflicts of the token being set — here the default interval of 1,
+    // surfaced through the report's `cancel_latency_conflicts()`.
+    let cnf = pigeonhole(4);
+    let rt = Runtime::new(2);
+    let report = mca_runtime::solve_portfolio(&rt, &cnf, &mca_runtime::diversified_configs(4));
+    assert!(
+        report.cancel_latency_conflicts() <= 1,
+        "default entrants poll every conflict; observed latency {}",
+        report.cancel_latency_conflicts()
+    );
+    // The wasted-work accounting covers every entrant that ran.
+    assert!(report.entrant_stats.iter().filter(|s| s.is_some()).count() >= 1);
+}
