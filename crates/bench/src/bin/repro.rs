@@ -11,6 +11,8 @@
 //! repro diff old.json new.json   # regression-gate two BENCH artifacts
 //! repro lint                     # static-analyze the scenario matrix
 //! repro why run.jsonl            # diagnose bottlenecks from a trace
+//! repro serve --addr 127.0.0.1:7117   # verification-as-a-service daemon
+//! repro load --smoke             # drive a server, write BENCH_SERVE.json
 //! ```
 //!
 //! With `--trace`, the run also records hierarchical **spans**: one
@@ -111,6 +113,8 @@ fn main() {
         Some("diff") => cmd_diff(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("why") => cmd_why(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("load") => cmd_load(&args[1..]),
         _ => {}
     }
     if args.iter().any(|a| a == "--list") {
@@ -647,6 +651,251 @@ fn cmd_lint(args: &[String]) -> ! {
         if errors == 0 { "clean" } else { "NOT clean" }
     );
     std::process::exit(i32::from(errors > 0));
+}
+
+/// `repro serve [--addr A] [--threads N] [--cache-mb N] [--queue-cap N]
+/// [--read-timeout-secs S] [--trace FILE]` — runs the verification
+/// daemon in the foreground until a wire `Shutdown` frame arrives, then
+/// drains in-flight requests, flushes counters (and the `--trace` event
+/// log), and exits 0. Bind and usage errors exit 2.
+///
+/// There is no signal handler — the workspace forbids `unsafe`, which
+/// rules one out — so stop the daemon with `repro load --shutdown` or
+/// any client's `Shutdown` frame.
+fn cmd_serve(args: &[String]) -> ! {
+    let mut config = mca_serve::ServerConfig {
+        addr: "127.0.0.1:7117".to_string(),
+        threads: 0,
+        ..mca_serve::ServerConfig::default()
+    };
+    let mut trace_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let mut number = |name: &str| -> usize {
+            let v = subcommand_flag_value(args, &mut i, name);
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{name} requires a number, got `{v}`");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = subcommand_flag_value(args, &mut i, "--addr"),
+            "--threads" => config.threads = number("--threads"),
+            "--cache-mb" => config.cache_bytes = number("--cache-mb") << 20,
+            "--queue-cap" => config.queue_capacity = number("--queue-cap").max(1),
+            "--read-timeout-secs" => {
+                config.read_timeout =
+                    std::time::Duration::from_secs(number("--read-timeout-secs") as u64);
+            }
+            "--trace" => trace_path = Some(subcommand_flag_value(args, &mut i, "--trace")),
+            other => {
+                eprintln!("unknown serve argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if config.threads == 0 {
+        config.threads = std::thread::available_parallelism().map_or(2, usize::from);
+    }
+    config.record_events = trace_path.is_some();
+
+    let handle = mca_serve::Server::start(&config).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", config.addr);
+        std::process::exit(2);
+    });
+    println!(
+        "mca-serve listening on {} ({} worker(s), {} MiB cache, queue capacity {})",
+        handle.addr(),
+        config.threads,
+        config.cache_bytes >> 20,
+        config.queue_capacity,
+    );
+    println!("stop with a wire Shutdown frame, e.g. `repro load --addr {} --smoke --shutdown` (no signal handler: the workspace forbids unsafe)", handle.addr());
+    handle.wait_shutdown();
+    println!("shutdown requested — draining in-flight requests");
+    let report = handle.join();
+    if let Some(path) = &trace_path {
+        use mca_obs::Observer;
+        let mut sink = JsonlSink::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create trace file {path}: {e}");
+            std::process::exit(2);
+        });
+        for event in &report.events {
+            sink.on_event(event);
+        }
+        println!(
+            "serve trace written to {path} ({} events)",
+            report.events.len()
+        );
+    }
+    println!(
+        "served {} request(s): {} ok, {} error(s); queue depth high-water {}",
+        report.requests, report.responses_ok, report.responses_err, report.queue_depth_hwm
+    );
+    println!(
+        "cache: {} verdict hit(s) / {} miss(es), {} translation hit(s) / {} miss(es), {} eviction(s), {} byte(s) high-water",
+        report.cache.verdict_hits,
+        report.cache.verdict_misses,
+        report.cache.translation_hits,
+        report.cache.translation_misses,
+        report.cache.evictions,
+        report.cache.bytes_hwm,
+    );
+    std::process::exit(0);
+}
+
+/// `repro load [--addr A] [--clients N] [--requests N] [--smoke]
+/// [--shutdown] [--threads N] [--cache-mb N] [--out FILE]` — drives a
+/// server through the cold/mixed/warm phases and writes `BENCH_SERVE.json`.
+///
+/// Without `--addr` it starts an in-process server on a free port (and
+/// always shuts it down afterwards); with `--addr` it drives an external
+/// daemon and leaves it running unless `--shutdown` is given. Exits 1
+/// when the run produced **zero cache hits** (the service's reason to
+/// exist — CI gates on it), 2 on usage/IO errors, 0 otherwise.
+fn cmd_load(args: &[String]) -> ! {
+    let mut cfg = mca_serve::LoadConfig::default();
+    let mut external_addr: Option<String> = None;
+    let mut out_path = "BENCH_SERVE.json".to_string();
+    let mut shutdown_after = false;
+    let mut threads = 0usize;
+    let mut cache_mb = 64usize;
+    let mut requests: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let mut number = |name: &str| -> usize {
+            let v = subcommand_flag_value(args, &mut i, name);
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{name} requires a number, got `{v}`");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => external_addr = Some(subcommand_flag_value(args, &mut i, "--addr")),
+            "--out" => out_path = subcommand_flag_value(args, &mut i, "--out"),
+            "--clients" => cfg.clients = number("--clients").max(1),
+            "--requests" => requests = Some(number("--requests")),
+            "--threads" => threads = number("--threads"),
+            "--cache-mb" => cache_mb = number("--cache-mb"),
+            "--smoke" => cfg.smoke = true,
+            "--shutdown" => shutdown_after = true,
+            other => {
+                eprintln!("unknown load argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if cfg.smoke {
+        // CI configuration: enough traffic to exercise concurrency and
+        // the cache, cheap enough for a shared runner.
+        cfg.mixed_requests = 60;
+        cfg.warm_requests = 60;
+    }
+    if let Some(n) = requests {
+        cfg.mixed_requests = n;
+        cfg.warm_requests = n;
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(2, usize::from)
+    } else {
+        threads
+    };
+
+    // Self-spawned servers live in-process on a free port; an external
+    // daemon is driven as-is.
+    let server = if let Some(addr) = &external_addr {
+        cfg.addr = addr.clone();
+        None
+    } else {
+        let server_cfg = mca_serve::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads,
+            cache_bytes: cache_mb << 20,
+            ..mca_serve::ServerConfig::default()
+        };
+        let handle = mca_serve::Server::start(&server_cfg).unwrap_or_else(|e| {
+            eprintln!("cannot start in-process server: {e}");
+            std::process::exit(2);
+        });
+        cfg.addr = handle.addr().to_string();
+        Some(handle)
+    };
+
+    println!(
+        "load: driving {} ({} deck, {} client(s), {}+{} concurrent requests)",
+        cfg.addr,
+        if cfg.smoke { "smoke" } else { "full" },
+        cfg.clients,
+        cfg.mixed_requests,
+        cfg.warm_requests,
+    );
+    let outcome = match mca_serve::run_load(&cfg) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            if let Some(handle) = server {
+                handle.shutdown();
+                let _ = handle.join();
+            }
+            std::process::exit(2);
+        }
+    };
+
+    if shutdown_after && external_addr.is_some() {
+        match mca_serve::Client::connect(&cfg.addr as &str)
+            .map_err(mca_serve::WireError::from)
+            .and_then(|mut c| c.shutdown_server())
+        {
+            Ok(()) => println!("sent shutdown frame to {}", cfg.addr),
+            Err(e) => {
+                eprintln!("shutdown frame to {} failed: {e}", cfg.addr);
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(handle) = server {
+        handle.shutdown();
+        let report = handle.join();
+        println!(
+            "in-process server drained: {} request(s), queue depth high-water {}",
+            report.requests, report.queue_depth_hwm
+        );
+    }
+
+    let mut doc = outcome.to_json(&cfg);
+    if let Json::Object(pairs) = &mut doc {
+        pairs.push(("resources".to_string(), resources_json()));
+    }
+    write_bench_file(&out_path, &doc);
+    println!("wrote {out_path}");
+    for phase in &outcome.phases {
+        println!(
+            "  {:<5} {:>4} req  {:>7.2} req/s  p50 {:>8.4}s  p99 {:>8.4}s  {:>4} hit(s)  {} error(s)",
+            phase.phase,
+            phase.requests,
+            phase.throughput_rps,
+            phase.p50_secs,
+            phase.p99_secs,
+            phase.hits,
+            phase.errors,
+        );
+    }
+    println!(
+        "totals: {} request(s), {} cache hit(s) ({:.1}% hit rate), {} error(s)",
+        outcome.total_requests,
+        outcome.total_hits,
+        outcome.hit_rate * 100.0,
+        outcome.total_errors,
+    );
+    if outcome.total_hits == 0 {
+        eprintln!("load run produced zero cache hits — the cache is not working");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 fn subcommand_flag_value(args: &[String], i: &mut usize, name: &str) -> String {

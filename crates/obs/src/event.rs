@@ -238,6 +238,38 @@ pub enum Event {
         /// Findings with info severity.
         infos: u64,
     },
+    /// The verification service accepted one wire request. Request ids are
+    /// assigned in accept order, so a drained trace is deterministic for a
+    /// fixed request sequence regardless of which connection thread served
+    /// it.
+    ServeRequest {
+        /// Service-assigned request id (accept order).
+        req: u64,
+        /// Request kind tag (`"ping"`, `"check"`, `"lint"`, `"stats"`,
+        /// `"shutdown"`).
+        kind: String,
+        /// The content-addressed cache key, empty for uncacheable kinds.
+        key: String,
+    },
+    /// The verification service finished one request.
+    ServeResponse {
+        /// Service-assigned request id.
+        req: u64,
+        /// Outcome label (`"ok"` or `"error"`).
+        outcome: String,
+        /// Cache disposition: `"miss"`, `"verdict-hit"`,
+        /// `"translation-hit"`, or `"-"` for uncacheable kinds.
+        cache: String,
+    },
+    /// One operation on the service's content-addressed result cache.
+    ServeCache {
+        /// Cache tier: `"verdict"` or `"translation"`.
+        tier: String,
+        /// Operation: `"hit"`, `"miss"`, `"insert"`, or `"evict"`.
+        op: String,
+        /// The content-addressed cache key.
+        key: String,
+    },
     /// Periodic SAT-solver progress (forwarded from the solver's progress
     /// callback, typically every N conflicts).
     SolverProgress {
@@ -278,6 +310,9 @@ impl Event {
             Event::SpanExit { .. } => "span-exit",
             Event::LintFinding { .. } => "lint-finding",
             Event::LintDone { .. } => "lint-done",
+            Event::ServeRequest { .. } => "serve-request",
+            Event::ServeResponse { .. } => "serve-response",
+            Event::ServeCache { .. } => "serve-cache",
             Event::SolverProgress { .. } => "solver-progress",
         }
     }
@@ -498,6 +533,36 @@ impl Event {
                 ("warnings", warnings.into()),
                 ("infos", infos.into()),
             ]),
+            Event::ServeRequest {
+                req,
+                kind: ref kind_tag,
+                ref key,
+            } => Json::obj([
+                ("event", kind),
+                ("req", req.into()),
+                ("kind", kind_tag.as_str().into()),
+                ("key", key.as_str().into()),
+            ]),
+            Event::ServeResponse {
+                req,
+                ref outcome,
+                ref cache,
+            } => Json::obj([
+                ("event", kind),
+                ("req", req.into()),
+                ("outcome", outcome.as_str().into()),
+                ("cache", cache.as_str().into()),
+            ]),
+            Event::ServeCache {
+                ref tier,
+                ref op,
+                ref key,
+            } => Json::obj([
+                ("event", kind),
+                ("tier", tier.as_str().into()),
+                ("op", op.as_str().into()),
+                ("key", key.as_str().into()),
+            ]),
             Event::SolverProgress {
                 conflicts,
                 decisions,
@@ -696,6 +761,40 @@ mod tests {
             r#"{"event":"lint-done","target":"e8:2x2:optimized","errors":0,"warnings":1,"infos":2}"#
         );
         assert_ne!(finding.kind(), done.kind());
+    }
+
+    #[test]
+    fn serve_events_render_stably() {
+        let req = Event::ServeRequest {
+            req: 7,
+            kind: "check".into(),
+            key: "check/deadbeef/2x2/optimized/default".into(),
+        };
+        assert_eq!(
+            req.to_json_line(),
+            r#"{"event":"serve-request","req":7,"kind":"check","key":"check/deadbeef/2x2/optimized/default"}"#
+        );
+        let resp = Event::ServeResponse {
+            req: 7,
+            outcome: "ok".into(),
+            cache: "verdict-hit".into(),
+        };
+        assert_eq!(
+            resp.to_json_line(),
+            r#"{"event":"serve-response","req":7,"outcome":"ok","cache":"verdict-hit"}"#
+        );
+        let cache = Event::ServeCache {
+            tier: "translation".into(),
+            op: "evict".into(),
+            key: "cnf/deadbeef/2x2/optimized".into(),
+        };
+        assert_eq!(
+            cache.to_json_line(),
+            r#"{"event":"serve-cache","tier":"translation","op":"evict","key":"cnf/deadbeef/2x2/optimized"}"#
+        );
+        let kinds = [req.kind(), resp.kind(), cache.kind()];
+        let unique: std::collections::BTreeSet<_> = kinds.iter().collect();
+        assert_eq!(unique.len(), kinds.len());
     }
 
     #[test]

@@ -232,7 +232,10 @@ impl Observer for SummarySink {
             | Event::IncrementalSolve { .. }
             | Event::SearchEpoch { .. }
             | Event::LintFinding { .. }
-            | Event::LintDone { .. } => {}
+            | Event::LintDone { .. }
+            | Event::ServeRequest { .. }
+            | Event::ServeResponse { .. }
+            | Event::ServeCache { .. } => {}
         }
     }
 }

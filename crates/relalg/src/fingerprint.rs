@@ -1,0 +1,59 @@
+//! Stable content fingerprints for cache keys.
+//!
+//! The verification service (`mca-serve`) keys its content-addressed
+//! result cache on a hash of the *textual* model description plus the
+//! scope/encoding/solver configuration. The hash must be stable across
+//! runs, platforms, and thread counts — `std::collections::hash_map`'s
+//! default hasher is randomly seeded per process, so we use FNV-1a
+//! (64-bit), a tiny, well-known, dependency-free hash with good
+//! dispersion on short ASCII inputs.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+///
+/// Deterministic across processes and platforms (unlike
+/// [`std::collections::HashMap`]'s seeded default hasher), so the result
+/// is safe to use in persisted cache keys and wire payloads.
+///
+/// ```
+/// use mca_relalg::fnv1a64;
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+/// assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+/// assert_ne!(fnv1a64(b"model-a"), fnv1a64(b"model-b"));
+/// ```
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fnv1a64;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_inputs_disperse() {
+        let a = fnv1a64(b"sig Agent {}\n");
+        let b = fnv1a64(b"sig Agent {}");
+        let c = fnv1a64(b"sig agent {}\n");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

@@ -52,6 +52,7 @@ pub mod circuit;
 pub mod display;
 mod error;
 mod eval;
+mod fingerprint;
 mod problem;
 mod translate;
 mod tuple;
@@ -62,6 +63,7 @@ pub use ast::{
 };
 pub use error::TranslateError;
 pub use eval::Evaluator;
+pub use fingerprint::fnv1a64;
 pub use problem::{
     CertifiedCheck, Check, CheckOutcome, IncrementalChecker, Instance, Outcome, Problem,
     ProofCertificate, RelationDecl, SolveOutcome,

@@ -123,13 +123,14 @@ impl DiffOutcome {
 }
 
 /// Keys that identify an element of an object array for alignment.
-const ALIGN_KEYS: [&str; 6] = [
+const ALIGN_KEYS: [&str; 7] = [
     "scope",
     "variant",
     "encoding",
     "label",
     "relation",
     "experiment",
+    "phase",
 ];
 
 fn align_key(v: &Json) -> Option<(String, String)> {
@@ -309,6 +310,29 @@ mod tests {
         let out = diff_bench(&old, &new, &DiffConfig::default());
         assert!(out.is_clean());
         assert_eq!(out.compared, 0);
+    }
+
+    #[test]
+    fn load_phases_align_by_phase_key() {
+        // BENCH_SERVE.json's phases array must align by name, not index,
+        // so a reordered or truncated smoke run compares cleanly.
+        let old = Json::parse(
+            r#"{"phases":[
+                {"phase":"cold","total_secs":4.0,"p50_secs":0.2},
+                {"phase":"warm","total_secs":0.5,"p50_secs":0.001}]}"#,
+        )
+        .unwrap();
+        let new = Json::parse(
+            r#"{"phases":[
+                {"phase":"warm","total_secs":0.6,"p50_secs":0.001},
+                {"phase":"cold","total_secs":9.0,"p50_secs":0.2}]}"#,
+        )
+        .unwrap();
+        let out = diff_bench(&old, &new, &DiffConfig::default());
+        assert_eq!(out.regressions.len(), 1);
+        let r = &out.regressions[0];
+        assert!(r.path.contains("[phase=cold]"), "{}", r.path);
+        assert!(r.path.ends_with("total_secs"), "{}", r.path);
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub use diff::{diff_bench, DiffConfig, DiffOutcome, MetricKind, Regression};
 pub use lint::{render_lint_markdown, LintFinding, LintSummary, ParsedLint};
 pub use render::{render_html, render_markdown, ReportOptions};
 pub use timeline::render_timeline_html;
-pub use trace::{ParsedTrace, SearchEpochRow, SpanNode};
+pub use trace::{ParsedTrace, SearchEpochRow, ServeSummary, SpanNode};
 pub use why::{diagnose, render_why_markdown, WhyFinding, WhySeverity};

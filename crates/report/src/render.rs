@@ -109,6 +109,10 @@ pub fn render_markdown(
         render_search_dynamics(trace, &mut out);
     }
 
+    if !trace.serve.is_empty() {
+        render_service(trace, &mut out);
+    }
+
     if let Some(metrics) = metrics {
         render_metrics(metrics, &mut out);
     }
@@ -203,6 +207,54 @@ fn render_level(
         if !children.is_empty() {
             render_level(trace, &children, whole_ns, depth + 1, out);
         }
+    }
+}
+
+/// Renders the mca-serve daemon section from `serve-*` event tallies:
+/// request mix, outcome split, cache dispositions, and per-tier cache
+/// operation counts.
+fn render_service(trace: &ParsedTrace, out: &mut String) {
+    let serve = &trace.serve;
+    out.push_str("## Service\n\n");
+    let _ = writeln!(
+        out,
+        "- requests: {} ({} ok, {} error responses)",
+        serve.requests, serve.responses_ok, serve.responses_err
+    );
+    let hits: u64 = serve
+        .responses_by_cache
+        .iter()
+        .filter(|(label, _)| label.ends_with("hit"))
+        .map(|(_, n)| n)
+        .sum();
+    let cacheable: u64 = serve
+        .responses_by_cache
+        .iter()
+        .filter(|(label, _)| label.as_str() != "-")
+        .map(|(_, n)| n)
+        .sum();
+    let _ = writeln!(
+        out,
+        "- cache: {hits} hit(s) over {cacheable} cacheable response(s) ({})",
+        pct(hits, cacheable.max(1))
+    );
+    out.push('\n');
+    out.push_str("| request kind | count |\n|---|---:|\n");
+    for (kind, n) in &serve.requests_by_kind {
+        let _ = writeln!(out, "| `{kind}` | {n} |");
+    }
+    out.push('\n');
+    out.push_str("| cache disposition | responses |\n|---|---:|\n");
+    for (label, n) in &serve.responses_by_cache {
+        let _ = writeln!(out, "| `{label}` | {n} |");
+    }
+    out.push('\n');
+    if !serve.cache_ops.is_empty() {
+        out.push_str("| cache tier/op | count |\n|---|---:|\n");
+        for (key, n) in &serve.cache_ops {
+            let _ = writeln!(out, "| `{key}` | {n} |");
+        }
+        out.push('\n');
     }
 }
 
@@ -397,6 +449,32 @@ mod tests {
         assert!(report.contains("## Search dynamics"));
         assert!(report.contains("### `portfolio:cfg0:default` — 2 epochs, 40 conflicts"));
         assert!(report.contains("| 1 | 30 | 44 | 250 | 9 |"));
+    }
+
+    #[test]
+    fn service_section_renders_request_mix_and_hit_rate() {
+        let lines = [
+            r#"{"event":"serve-request","req":0,"kind":"check","key":"check/00/2x2/optimized/default"}"#,
+            r#"{"event":"serve-cache","tier":"verdict","op":"miss","key":"check/00/2x2/optimized/default"}"#,
+            r#"{"event":"serve-response","req":0,"outcome":"ok","cache":"miss"}"#,
+            r#"{"event":"serve-request","req":1,"kind":"check","key":"check/00/2x2/optimized/default"}"#,
+            r#"{"event":"serve-cache","tier":"verdict","op":"hit","key":"check/00/2x2/optimized/default"}"#,
+            r#"{"event":"serve-response","req":1,"outcome":"ok","cache":"verdict-hit"}"#,
+            r#"{"event":"serve-request","req":2,"kind":"ping","key":""}"#,
+            r#"{"event":"serve-response","req":2,"outcome":"ok","cache":"-"}"#,
+        ]
+        .join("\n");
+        let trace = ParsedTrace::parse(&lines);
+        let report = render_markdown(&trace, None, &ReportOptions::default());
+        assert!(report.contains("## Service"));
+        assert!(report.contains("- requests: 3 (3 ok, 0 error responses)"));
+        assert!(report.contains("- cache: 1 hit(s) over 2 cacheable response(s) (50.0%)"));
+        assert!(report.contains("| `check` | 2 |"));
+        assert!(report.contains("| `verdict-hit` | 1 |"));
+        assert!(report.contains("| `verdict/hit` | 1 |"));
+        // A trace with no serve events renders no Service section.
+        let plain = render_markdown(&sample_trace(), None, &ReportOptions::default());
+        assert!(!plain.contains("## Service"));
     }
 
     #[test]

@@ -59,6 +59,34 @@ pub struct SearchEpochRow {
     pub learnt: u64,
 }
 
+/// Tallies of the `serve-*` events an mca-serve daemon writes with
+/// `repro serve --trace` — the report's "Service" section reads these.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// `serve-request` events (one per frame assigned a request id).
+    pub requests: u64,
+    /// Requests per kind (`check`, `lint`, `ping`, `stats`, `shutdown`,
+    /// `invalid`).
+    pub requests_by_kind: BTreeMap<String, u64>,
+    /// `serve-response` events with outcome `ok`.
+    pub responses_ok: u64,
+    /// `serve-response` events with outcome `error`.
+    pub responses_err: u64,
+    /// Responses per cache disposition (`miss`, `verdict-hit`,
+    /// `translation-hit`; `-` for non-cacheable request kinds).
+    pub responses_by_cache: BTreeMap<String, u64>,
+    /// `serve-cache` operations per `tier/op` pair (e.g.
+    /// `verdict/hit`, `translation/insert`, `verdict/evict`).
+    pub cache_ops: BTreeMap<String, u64>,
+}
+
+impl ServeSummary {
+    /// `true` when the trace contained no `serve-*` events at all.
+    pub fn is_empty(&self) -> bool {
+        self.requests == 0 && self.responses_ok == 0 && self.responses_err == 0
+    }
+}
+
 /// A parsed trace: the span forest plus everything else the report shows.
 #[derive(Clone, Debug, Default)]
 pub struct ParsedTrace {
@@ -71,6 +99,9 @@ pub struct ParsedTrace {
     /// Every `search-epoch` event, in trace order — the report's
     /// search-dynamics section and `repro why`'s restart rules read these.
     pub search_epochs: Vec<SearchEpochRow>,
+    /// Tallies of `serve-*` events (empty unless the trace came from an
+    /// mca-serve daemon).
+    pub serve: ServeSummary,
     /// Irregularities found while parsing — never fatal.
     pub diagnostics: Vec<String>,
     /// Total lines read (including blank and malformed ones).
@@ -219,6 +250,36 @@ impl ParsedTrace {
                         propagations: field("propagations"),
                         learnt: field("learnt"),
                     });
+                }
+                "serve-request" => {
+                    out.serve.requests += 1;
+                    let kind = value
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown");
+                    *out.serve
+                        .requests_by_kind
+                        .entry(kind.to_string())
+                        .or_insert(0) += 1;
+                }
+                "serve-response" => {
+                    match value.get("outcome").and_then(Json::as_str) {
+                        Some("ok") => out.serve.responses_ok += 1,
+                        _ => out.serve.responses_err += 1,
+                    }
+                    let cache = value.get("cache").and_then(Json::as_str).unwrap_or("-");
+                    *out.serve
+                        .responses_by_cache
+                        .entry(cache.to_string())
+                        .or_insert(0) += 1;
+                }
+                "serve-cache" => {
+                    let tier = value.get("tier").and_then(Json::as_str).unwrap_or("?");
+                    let op = value.get("op").and_then(Json::as_str).unwrap_or("?");
+                    *out.serve
+                        .cache_ops
+                        .entry(format!("{tier}/{op}"))
+                        .or_insert(0) += 1;
                 }
                 _ => {}
             }
@@ -542,6 +603,33 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.contains("search-epoch missing")));
+    }
+
+    #[test]
+    fn serve_events_are_tallied() {
+        let trace = [
+            r#"{"event":"serve-request","req":0,"kind":"check","key":"check/00/2x2/optimized/default"}"#,
+            r#"{"event":"serve-cache","tier":"verdict","op":"miss","key":"check/00/2x2/optimized/default"}"#,
+            r#"{"event":"serve-cache","tier":"verdict","op":"insert","key":"check/00/2x2/optimized/default"}"#,
+            r#"{"event":"serve-response","req":0,"outcome":"ok","cache":"miss"}"#,
+            r#"{"event":"serve-request","req":1,"kind":"check","key":"check/00/2x2/optimized/default"}"#,
+            r#"{"event":"serve-cache","tier":"verdict","op":"hit","key":"check/00/2x2/optimized/default"}"#,
+            r#"{"event":"serve-response","req":1,"outcome":"ok","cache":"verdict-hit"}"#,
+            r#"{"event":"serve-request","req":2,"kind":"invalid","key":""}"#,
+            r#"{"event":"serve-response","req":2,"outcome":"error","cache":"-"}"#,
+        ]
+        .join("\n");
+        let parsed = ParsedTrace::parse(&trace);
+        assert_eq!(parsed.serve.requests, 3);
+        assert_eq!(parsed.serve.requests_by_kind.get("check"), Some(&2));
+        assert_eq!(parsed.serve.requests_by_kind.get("invalid"), Some(&1));
+        assert_eq!(parsed.serve.responses_ok, 2);
+        assert_eq!(parsed.serve.responses_err, 1);
+        assert_eq!(parsed.serve.responses_by_cache.get("verdict-hit"), Some(&1));
+        assert_eq!(parsed.serve.cache_ops.get("verdict/hit"), Some(&1));
+        assert_eq!(parsed.serve.cache_ops.get("verdict/insert"), Some(&1));
+        assert!(!parsed.serve.is_empty());
+        assert!(ParsedTrace::parse("").serve.is_empty());
     }
 
     #[test]

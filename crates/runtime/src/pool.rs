@@ -388,6 +388,37 @@ impl Runtime {
             .collect()
     }
 
+    /// **Detached mode**: submits one fire-and-forget job and returns its
+    /// id immediately, without waiting for a result. The verification
+    /// service (`mca-serve`) uses this to feed accepted requests into the
+    /// pool; each connection collects its own result through a channel it
+    /// owns, and shutdown paths call [`quiesce`](Runtime::quiesce) to wait
+    /// for every detached job's accounting to land before tearing down.
+    ///
+    /// The closure receives an uncancelled [`CancelToken`] so solver loops
+    /// keep their cooperative-cancellation shape; the job is recorded as
+    /// `job-finished` with outcome `"ok"` like batch jobs.
+    pub fn spawn<F>(&self, label: &str, f: F) -> u64
+    where
+        F: FnOnce(&CancelToken) + Send + 'static,
+    {
+        let token = CancelToken::new();
+        let shared = self.shared.clone();
+        self.submit(
+            label,
+            Box::new(move |ctx| {
+                f(&token);
+                shared.trace.record(
+                    ctx.job,
+                    JobPhase::Finished {
+                        worker: ctx.worker,
+                        outcome: "ok".to_string(),
+                    },
+                );
+            }),
+        )
+    }
+
     /// **Portfolio mode**: races the entrants on the same problem and
     /// returns the first non-`None` result, cancelling the shared token so
     /// the losers stop early. Entrants that observe the cancellation return
@@ -550,8 +581,11 @@ impl Runtime {
     /// *result* arrives, which can be a few instructions before the worker
     /// pushes that job's counters and execution window. The gap is tiny
     /// and bounded (the worker is between `job()` returning and its next
-    /// loop iteration), so a yield loop is enough.
-    fn quiesce(&self) {
+    /// loop iteration), so a yield loop is enough. Detached
+    /// [`spawn`](Runtime::spawn) jobs have no result channel at all, so a
+    /// draining server calls this directly before flushing metrics: after
+    /// it returns, every spawned job has fully run and been accounted.
+    pub fn quiesce(&self) {
         let submitted = self.next_job.load(Ordering::Relaxed);
         while self.shared.jobs_accounted.load(Ordering::Acquire) < submitted {
             std::thread::yield_now();

@@ -1,0 +1,45 @@
+//! mca-serve: verification as a service.
+//!
+//! A small TCP daemon that accepts consensus-validity check and lint
+//! requests over a length-prefixed binary protocol, executes them on the
+//! mca-runtime work-stealing pool, and memoizes results in a two-tier
+//! content-addressed cache:
+//!
+//! * **verdict tier** — finished response payloads keyed by
+//!   `(model-hash, scope, encoding, solver-config)`. A hit skips
+//!   translation *and* solving.
+//! * **translation tier** — CNF formulas keyed by
+//!   `(model-hash, scope, encoding)` only, so solver-config variants
+//!   (e.g. with/without preprocessing) share one translation.
+//!
+//! Model hashes are FNV-1a 64 over the canonical Alloy source rendering,
+//! so two requests hit the same cache line exactly when they denote the
+//! same model at the same scope. Responses are deterministic and
+//! byte-identical whether computed cold, served from cache, or produced
+//! by a server with a different worker count — pinned by tests.
+//!
+//! The crate also contains the [`client`] library (same wire module as
+//! the server, so they cannot drift) and the [`load`] generator behind
+//! `repro load`, which writes BENCH_SERVE.json.
+//!
+//! Graceful shutdown is a wire frame ([`wire::Request::Shutdown`]), not
+//! a signal: the workspace forbids `unsafe`, which rules out signal
+//! handlers, and a protocol-level shutdown is testable from plain
+//! integration tests anyway. On shutdown the server drains queued jobs,
+//! flushes counters, and exits cleanly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod load;
+pub mod request;
+pub mod server;
+pub mod wire;
+
+pub use cache::{CacheStats, CacheTier, ResultCache};
+pub use client::Client;
+pub use load::{run_load, LoadConfig, LoadOutcome, PhaseStats};
+pub use server::{Server, ServerConfig, ServerHandle, ServerReport};
+pub use wire::{CacheDisposition, Request, Response, ScenarioSpec, WireEncoding, WireError};

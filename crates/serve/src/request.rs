@@ -1,0 +1,437 @@
+//! Request execution: wire request → (cached or computed) response.
+//!
+//! Every cacheable answer is a **deterministic byte string** — canonical
+//! JSON with fixed field order, no wall-clock fields — so a verdict
+//! served from the cache is byte-identical to one computed cold, at any
+//! thread count. That property is pinned by the `serve` integration
+//! tests and is what makes the verdict tier sound: the cache stores the
+//! final payload verbatim.
+
+use std::sync::Arc;
+
+use mca_obs::Json;
+use mca_verify::{DynamicModel, DynamicScenario, NumberEncoding};
+
+use crate::cache::{CacheOp, ResultCache};
+use crate::wire::{error_code, CacheDisposition, Request, Response, ScenarioSpec, WireEncoding};
+
+/// Largest accepted parametric scope. The committed E8 sweep tops out at
+/// 4×3 (~2 minutes single-core for the optimized encoding); anything
+/// larger would let one wire request pin a worker for hours, so the
+/// server refuses it as an unknown scenario rather than queueing it.
+pub const MAX_SCOPE: (u16, u16) = (4, 3);
+
+/// Resolves a wire scenario spec to a label and a built scenario.
+///
+/// # Errors
+///
+/// A human-readable message naming the accepted scenarios.
+pub fn resolve_scenario(spec: &ScenarioSpec) -> Result<(String, DynamicScenario), String> {
+    match spec {
+        ScenarioSpec::Named(name) => {
+            let scenario = match name.as_str() {
+                "two_agent_compliant" => DynamicScenario::two_agent_compliant(),
+                "two_agent_rebid_attack" => DynamicScenario::two_agent_rebid_attack(),
+                "three_agent_line_compliant" => DynamicScenario::three_agent_line_compliant(),
+                "paper_scope" => DynamicScenario::paper_scope(),
+                "paper_scope_sound" => DynamicScenario::paper_scope_sound(),
+                other => {
+                    return Err(format!(
+                        "unknown scenario `{other}` (accepted: two_agent_compliant, \
+                         two_agent_rebid_attack, three_agent_line_compliant, paper_scope, \
+                         paper_scope_sound, or a pnodes×vnodes scope)"
+                    ))
+                }
+            };
+            Ok((name.clone(), scenario))
+        }
+        ScenarioSpec::AtScope { pnodes, vnodes } => {
+            if *pnodes < 2 || *vnodes < 1 || *pnodes > MAX_SCOPE.0 || *vnodes > MAX_SCOPE.1 {
+                return Err(format!(
+                    "scope {pnodes}x{vnodes} out of range (2..={} pnodes, 1..={} vnodes)",
+                    MAX_SCOPE.0, MAX_SCOPE.1
+                ));
+            }
+            Ok((
+                format!("at_scope:{pnodes}x{vnodes}"),
+                DynamicScenario::at_scope(*pnodes as usize, *vnodes as usize),
+            ))
+        }
+    }
+}
+
+fn number_encoding(e: WireEncoding) -> NumberEncoding {
+    match e {
+        WireEncoding::Naive => NumberEncoding::NaiveInt,
+        WireEncoding::Optimized => NumberEncoding::OptimizedValue,
+    }
+}
+
+/// The verdict-tier key: model hash + everything else that determines
+/// the answer bytes.
+pub fn verdict_key(
+    kind: &str,
+    hash: u64,
+    scope: &str,
+    encoding: WireEncoding,
+    solver_config: &str,
+) -> String {
+    format!(
+        "{kind}/{hash:016x}/{scope}/{}/{solver_config}",
+        encoding.slug()
+    )
+}
+
+/// The translation-tier key: no solver config, so the plain and
+/// preprocessed variants of one model share a translation.
+pub fn translation_key(hash: u64, scope: &str, encoding: WireEncoding) -> String {
+    format!("cnf/{hash:016x}/{scope}/{}", encoding.slug())
+}
+
+/// The outcome of executing one cacheable request.
+pub struct Executed {
+    /// The wire response to send.
+    pub response: Response,
+    /// The verdict-tier key, empty for error responses.
+    pub cache_key: String,
+    /// Cache operations performed, in order (for `serve-cache` events).
+    pub ops: Vec<CacheOp>,
+    /// The cache disposition, `None` for error responses.
+    pub disposition: Option<CacheDisposition>,
+}
+
+impl Executed {
+    fn error(code: u8, message: String) -> Executed {
+        Executed {
+            response: Response::Error { code, message },
+            cache_key: String::new(),
+            ops: Vec::new(),
+            disposition: None,
+        }
+    }
+}
+
+/// Executes a `Check` or `Lint` request against the cache, computing on
+/// miss. `Ping`/`Stats`/`Shutdown` are connection-level concerns and
+/// never reach this function.
+pub fn execute(req: &Request, cache: &ResultCache) -> Executed {
+    match req {
+        Request::Check {
+            scenario,
+            encoding,
+            preprocess,
+        } => execute_check(scenario, *encoding, *preprocess, cache),
+        Request::Lint { scenario, encoding } => execute_lint(scenario, *encoding, cache),
+        other => Executed::error(
+            error_code::MALFORMED,
+            format!("request kind `{}` is not executable", other.kind()),
+        ),
+    }
+}
+
+fn execute_check(
+    spec: &ScenarioSpec,
+    encoding: WireEncoding,
+    preprocess: bool,
+    cache: &ResultCache,
+) -> Executed {
+    let (label, scenario) = match resolve_scenario(spec) {
+        Ok(pair) => pair,
+        Err(msg) => return Executed::error(error_code::UNKNOWN_SCENARIO, msg),
+    };
+    let scope = scenario.scope_label();
+    let model = DynamicModel::build(number_encoding(encoding), scenario);
+    let hash = model.content_hash();
+    let solver_config = if preprocess { "default+pre" } else { "default" };
+    let vkey = verdict_key("check", hash, &scope, encoding, solver_config);
+
+    let mut ops = Vec::new();
+    if let Some(payload) = cache.get_verdict(&vkey, &mut ops) {
+        return Executed {
+            response: Response::Verdict {
+                cache: CacheDisposition::VerdictHit,
+                payload: (*payload).clone(),
+            },
+            cache_key: vkey,
+            ops,
+            disposition: Some(CacheDisposition::VerdictHit),
+        };
+    }
+
+    // Verdict miss: try to at least reuse the translation.
+    let tkey = translation_key(hash, &scope, encoding);
+    let (cnf, disposition) = match cache.get_translation(&tkey, &mut ops) {
+        Some(cnf) => (cnf, CacheDisposition::TranslationHit),
+        None => match model.consensus_cnf() {
+            Ok(cnf) => {
+                let cnf = Arc::new(cnf);
+                cache.put_translation(&tkey, cnf.clone(), &mut ops);
+                (cnf, CacheDisposition::Miss)
+            }
+            Err(e) => {
+                return Executed::error(
+                    error_code::EXECUTION,
+                    format!("translation failed for {label}: {e:?}"),
+                )
+            }
+        },
+    };
+
+    // Solve (valid ⇔ the negated-consensus CNF is UNSAT). The solver is
+    // deterministic for a fixed formula, so the payload below does not
+    // depend on the cache disposition or the serving thread.
+    let (mut solver, simplify_stats) = if preprocess {
+        let (simplified, stats) = mca_sat::simplify(&cnf);
+        (simplified.to_solver(), Some(stats))
+    } else {
+        (cnf.to_solver(), None)
+    };
+    let valid = solver.solve() == mca_sat::SolveResult::Unsat;
+    let stats = solver.stats();
+
+    let payload_json = Json::obj([
+        ("kind", "check".into()),
+        ("scenario", label.as_str().into()),
+        ("scope", scope.as_str().into()),
+        ("encoding", encoding.slug().into()),
+        ("solver_config", solver_config.into()),
+        ("model_hash", format!("{hash:016x}").into()),
+        ("valid", valid.into()),
+        (
+            "cnf",
+            Json::obj([
+                ("vars", cnf.num_vars().into()),
+                ("clauses", cnf.num_clauses().into()),
+                ("literals", cnf.num_literals().into()),
+            ]),
+        ),
+        (
+            "solver",
+            Json::obj([
+                ("decisions", stats.decisions.into()),
+                ("propagations", stats.propagations.into()),
+                ("conflicts", stats.conflicts.into()),
+                ("restarts", stats.restarts.into()),
+            ]),
+        ),
+        (
+            "simplify",
+            match simplify_stats {
+                None => Json::Null,
+                Some(s) => Json::obj([
+                    ("subsumed", s.subsumed.into()),
+                    ("strengthened_literals", s.strengthened_literals.into()),
+                    ("propagated_literals", s.propagated_literals.into()),
+                    ("satisfied_clauses", s.satisfied_clauses.into()),
+                    ("found_unsat", s.found_unsat.into()),
+                ]),
+            },
+        ),
+    ]);
+    let payload = Arc::new(payload_json.render().into_bytes());
+    cache.put_verdict(&vkey, payload.clone(), &mut ops);
+    Executed {
+        response: Response::Verdict {
+            cache: disposition,
+            payload: (*payload).clone(),
+        },
+        cache_key: vkey,
+        ops,
+        disposition: Some(disposition),
+    }
+}
+
+fn execute_lint(spec: &ScenarioSpec, encoding: WireEncoding, cache: &ResultCache) -> Executed {
+    let (label, scenario) = match resolve_scenario(spec) {
+        Ok(pair) => pair,
+        Err(msg) => return Executed::error(error_code::UNKNOWN_SCENARIO, msg),
+    };
+    let scope = scenario.scope_label();
+    let model = DynamicModel::build(number_encoding(encoding), scenario);
+    let hash = model.content_hash();
+    let vkey = verdict_key("lint", hash, &scope, encoding, "default");
+
+    let mut ops = Vec::new();
+    if let Some(payload) = cache.get_verdict(&vkey, &mut ops) {
+        return Executed {
+            response: Response::LintReport {
+                cache: CacheDisposition::VerdictHit,
+                payload: (*payload).clone(),
+            },
+            cache_key: vkey,
+            ops,
+            disposition: Some(CacheDisposition::VerdictHit),
+        };
+    }
+
+    let target = format!("serve:{label}:{}", encoding.slug());
+    let report = match mca_lint::lint_model(target, model.model(), &[model.consensus_assertion()]) {
+        Ok(report) => report,
+        Err(e) => {
+            return Executed::error(
+                error_code::EXECUTION,
+                format!("lint failed for {label}: {e:?}"),
+            )
+        }
+    };
+    // The payload is the same JSONL byte stream `repro lint` writes:
+    // one finding per line plus the lint-done tally.
+    let mut sink = mca_obs::JsonlSink::new(Vec::new());
+    report.emit(&mut sink);
+    let payload = match sink.into_inner() {
+        Ok(bytes) => Arc::new(bytes),
+        Err(e) => {
+            return Executed::error(error_code::EXECUTION, format!("lint render failed: {e}"))
+        }
+    };
+    cache.put_verdict(&vkey, payload.clone(), &mut ops);
+    Executed {
+        response: Response::LintReport {
+            cache: CacheDisposition::Miss,
+            payload: (*payload).clone(),
+        },
+        cache_key: vkey,
+        ops,
+        disposition: Some(CacheDisposition::Miss),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_resolution_accepts_shipped_names_and_scopes() {
+        for name in [
+            "two_agent_compliant",
+            "two_agent_rebid_attack",
+            "three_agent_line_compliant",
+            "paper_scope",
+            "paper_scope_sound",
+        ] {
+            let (label, _) = resolve_scenario(&ScenarioSpec::Named(name.into())).expect(name);
+            assert_eq!(label, name);
+        }
+        let (label, s) = resolve_scenario(&ScenarioSpec::AtScope {
+            pnodes: 3,
+            vnodes: 2,
+        })
+        .unwrap();
+        assert_eq!(label, "at_scope:3x2");
+        assert_eq!(s.scope_label(), "3x2");
+    }
+
+    #[test]
+    fn scenario_resolution_rejects_unknown_and_oversized() {
+        assert!(resolve_scenario(&ScenarioSpec::Named("nope".into())).is_err());
+        assert!(resolve_scenario(&ScenarioSpec::AtScope {
+            pnodes: 1,
+            vnodes: 1
+        })
+        .is_err());
+        assert!(resolve_scenario(&ScenarioSpec::AtScope {
+            pnodes: 9,
+            vnodes: 1
+        })
+        .is_err());
+        assert!(resolve_scenario(&ScenarioSpec::AtScope {
+            pnodes: 2,
+            vnodes: 0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn keys_separate_scope_encoding_and_config() {
+        let a = verdict_key("check", 0xabc, "2x2", WireEncoding::Optimized, "default");
+        let b = verdict_key("check", 0xabc, "3x2", WireEncoding::Optimized, "default");
+        let c = verdict_key("check", 0xabc, "2x2", WireEncoding::Naive, "default");
+        let d = verdict_key(
+            "check",
+            0xabc,
+            "2x2",
+            WireEncoding::Optimized,
+            "default+pre",
+        );
+        let set: std::collections::BTreeSet<_> = [&a, &b, &c, &d].into_iter().collect();
+        assert_eq!(set.len(), 4);
+        // Translation keys ignore the solver config: the plain and
+        // preprocessed variants share one translation.
+        assert_eq!(
+            translation_key(0xabc, "2x2", WireEncoding::Optimized),
+            translation_key(0xabc, "2x2", WireEncoding::Optimized)
+        );
+    }
+
+    #[test]
+    fn check_hit_is_byte_identical_to_cold_and_reuses_translation() {
+        let cache = ResultCache::new(64 << 20);
+        let req = Request::Check {
+            scenario: ScenarioSpec::Named("two_agent_compliant".into()),
+            encoding: WireEncoding::Optimized,
+            preprocess: false,
+        };
+        let cold = execute(&req, &cache);
+        assert_eq!(cold.disposition, Some(CacheDisposition::Miss));
+        let Response::Verdict {
+            payload: cold_payload,
+            ..
+        } = &cold.response
+        else {
+            panic!("expected verdict, got {:?}", cold.response);
+        };
+        assert!(cold_payload.starts_with(b"{\"kind\":\"check\""));
+
+        let warm = execute(&req, &cache);
+        assert_eq!(warm.disposition, Some(CacheDisposition::VerdictHit));
+        let Response::Verdict {
+            payload: warm_payload,
+            ..
+        } = &warm.response
+        else {
+            panic!("expected verdict");
+        };
+        assert_eq!(cold_payload, warm_payload, "hit must be byte-identical");
+
+        // Same model, different solver config: verdict misses but the
+        // translation tier hits.
+        let pre = Request::Check {
+            scenario: ScenarioSpec::Named("two_agent_compliant".into()),
+            encoding: WireEncoding::Optimized,
+            preprocess: true,
+        };
+        let third = execute(&pre, &cache);
+        assert_eq!(third.disposition, Some(CacheDisposition::TranslationHit));
+    }
+
+    #[test]
+    fn lint_requests_cache_and_round_trip() {
+        let cache = ResultCache::new(64 << 20);
+        let req = Request::Lint {
+            scenario: ScenarioSpec::Named("two_agent_compliant".into()),
+            encoding: WireEncoding::Optimized,
+        };
+        let cold = execute(&req, &cache);
+        let Response::LintReport {
+            payload: cold_payload,
+            cache: d0,
+        } = &cold.response
+        else {
+            panic!("expected lint report, got {:?}", cold.response);
+        };
+        assert_eq!(*d0, CacheDisposition::Miss);
+        assert!(std::str::from_utf8(cold_payload)
+            .unwrap()
+            .contains("\"event\":\"lint-done\""));
+        let warm = execute(&req, &cache);
+        let Response::LintReport {
+            payload: warm_payload,
+            cache: d1,
+        } = &warm.response
+        else {
+            panic!("expected lint report");
+        };
+        assert_eq!(*d1, CacheDisposition::VerdictHit);
+        assert_eq!(cold_payload, warm_payload);
+    }
+}

@@ -1,0 +1,580 @@
+//! The TCP daemon: accept loop, bounded admission queue, pool-backed
+//! execution, and drain-then-exit shutdown.
+//!
+//! # Data flow
+//!
+//! ```text
+//! client ──frame──▶ connection thread ──admission slot──▶ runtime pool
+//!    ▲                     │   (bounded queue, blocks       (work-stealing
+//!    │                     │    at capacity = backpressure)  workers)
+//!    └──────frame──────────┘◀───────result channel───────────┘
+//! ```
+//!
+//! Each accepted connection gets a thread that reads frames in a loop.
+//! `Ping`/`Stats`/`Shutdown` are answered inline; `Check`/`Lint` acquire
+//! a slot in the bounded admission queue (blocking when the queue is
+//! full — backpressure, not rejection), are spawned onto the shared
+//! [`mca_runtime::Runtime`] pool, and the connection thread blocks on a
+//! result channel before writing the response frame. The admission slot
+//! is released only after the result returns, so the queue-depth gauge
+//! counts requests the server has truly committed to.
+//!
+//! # Shutdown
+//!
+//! A `Shutdown` frame (or [`ServerHandle::shutdown`]) sets the flag and
+//! nudges the accept loop awake; [`ServerHandle::join`] then waits for
+//! in-flight requests to drain, force-closes idle connections (aborting
+//! their blocked reads), joins every thread,
+//! [`quiesces`](mca_runtime::Runtime::quiesce) the pool, and returns the
+//! final counters. There is **no signal handler**: the workspace forbids
+//! `unsafe` (lint rule S001), and catching SIGTERM in pure std is
+//! impossible, so graceful shutdown is a wire-protocol concern — CI and
+//! the load generator send the frame.
+//!
+//! # Observability
+//!
+//! [`SharedObserver`](mca_obs::SharedObserver) is `Rc`-based and cannot
+//! cross connection threads, so the server buffers `serve-*` events in a
+//! mutex (grouped per request, in request-id order) and the owning
+//! thread drains them after `join` — the same post-hoc replay the
+//! runtime uses for job events.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use mca_obs::Event;
+use mca_runtime::Runtime;
+
+use crate::cache::{CacheOp, CacheStats, ResultCache};
+use crate::request;
+use crate::wire::{
+    decode_request, encode_response, error_code, write_frame, Request, Response, WireError,
+    MAX_FRAME_BYTES,
+};
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `"127.0.0.1:7117"` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads in the verification pool.
+    pub threads: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+    /// Bounded admission-queue capacity; connections block (backpressure)
+    /// when this many check/lint requests are in flight.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout: bounds how long a *partial* frame can
+    /// hold a connection thread before the server answers with a
+    /// truncated-frame error. Idle connections (no frame started) are
+    /// kept open across timeouts.
+    pub read_timeout: Duration,
+    /// Whether to buffer `serve-*` trace events for post-hoc draining.
+    /// Off by default for long-lived daemons (the buffer grows with
+    /// every request); `repro serve --trace` turns it on.
+    pub record_events: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            cache_bytes: 64 << 20,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(10),
+            record_events: false,
+        }
+    }
+}
+
+/// Final counters returned by [`ServerHandle::join`].
+#[derive(Clone, Debug)]
+pub struct ServerReport {
+    /// Frames read and assigned a request id (including invalid ones).
+    pub requests: u64,
+    /// Responses with a non-error tag.
+    pub responses_ok: u64,
+    /// Error responses (protocol or execution).
+    pub responses_err: u64,
+    /// High-water mark of the admission queue depth.
+    pub queue_depth_hwm: u64,
+    /// Cache counters at shutdown.
+    pub cache: CacheStats,
+    /// Buffered `serve-*` events in request-id order (empty unless
+    /// [`ServerConfig::record_events`]).
+    pub events: Vec<Event>,
+}
+
+/// Bounded admission queue: a counting semaphore with a high-water mark.
+struct Admission {
+    /// `(in_use, high_water)`.
+    state: Mutex<(u64, u64)>,
+    capacity: u64,
+    freed: Condvar,
+}
+
+impl Admission {
+    fn acquire(&self) {
+        let mut state = self.state.lock().expect("admission poisoned");
+        while state.0 >= self.capacity {
+            state = self.freed.wait(state).expect("admission poisoned");
+        }
+        state.0 += 1;
+        state.1 = state.1.max(state.0);
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().expect("admission poisoned");
+        state.0 -= 1;
+        drop(state);
+        self.freed.notify_one();
+    }
+
+    fn depth(&self) -> u64 {
+        self.state.lock().expect("admission poisoned").0
+    }
+
+    fn hwm(&self) -> u64 {
+        self.state.lock().expect("admission poisoned").1
+    }
+}
+
+struct Shared {
+    /// `Arc` so pool jobs can capture the cache alone, not all of
+    /// `Shared`.
+    cache: Arc<ResultCache>,
+    runtime: Runtime,
+    admission: Admission,
+    shutdown: AtomicBool,
+    next_req: AtomicU64,
+    responses_ok: AtomicU64,
+    responses_err: AtomicU64,
+    record_events: bool,
+    events: Mutex<Vec<(u64, Vec<Event>)>>,
+    /// One clone per live connection, so shutdown can abort blocked
+    /// reads (`TcpStream::shutdown` is the only way to interrupt a
+    /// blocking read in pure std).
+    conn_streams: Mutex<Vec<TcpStream>>,
+    read_timeout: Duration,
+}
+
+impl Shared {
+    fn record(&self, req_id: u64, events: Vec<Event>) {
+        if self.record_events {
+            self.events
+                .lock()
+                .expect("event buffer poisoned")
+                .push((req_id, events));
+        }
+    }
+
+    fn stats_json(&self) -> String {
+        use mca_obs::Json;
+        let cache = self.cache.stats();
+        Json::obj([
+            ("requests", self.next_req.load(Ordering::Relaxed).into()),
+            (
+                "responses_ok",
+                self.responses_ok.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "responses_err",
+                self.responses_err.load(Ordering::Relaxed).into(),
+            ),
+            ("queue_depth", self.admission.depth().into()),
+            ("queue_depth_hwm", self.admission.hwm().into()),
+            (
+                "cache",
+                Json::obj([
+                    ("verdict_hits", cache.verdict_hits.into()),
+                    ("verdict_misses", cache.verdict_misses.into()),
+                    ("translation_hits", cache.translation_hits.into()),
+                    ("translation_misses", cache.translation_misses.into()),
+                    ("evictions", cache.evictions.into()),
+                    ("bytes", cache.bytes.into()),
+                    ("bytes_hwm", cache.bytes_hwm.into()),
+                ]),
+            ),
+        ])
+        .render()
+    }
+
+    fn request_shutdown(&self, addr: SocketAddr) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return; // already requested
+        }
+        // The accept loop blocks in `incoming()`; a throwaway connection
+        // wakes it so it can observe the flag and stop.
+        if let Ok(stream) = TcpStream::connect(addr) {
+            drop(stream);
+        }
+    }
+}
+
+/// A running server. Obtain with [`Server::start`], stop with
+/// [`ServerHandle::shutdown`] (or a wire `Shutdown` frame) followed by
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+/// Constructor namespace for the daemon.
+pub struct Server;
+
+impl Server {
+    /// Binds the listener and starts the accept loop. Returns once the
+    /// socket is listening — requests can be sent immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, …).
+    pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: Arc::new(ResultCache::new(config.cache_bytes)),
+            runtime: Runtime::new(config.threads.max(1)),
+            admission: Admission {
+                state: Mutex::new((0, 0)),
+                capacity: config.queue_capacity.max(1) as u64,
+                freed: Condvar::new(),
+            },
+            shutdown: AtomicBool::new(false),
+            next_req: AtomicU64::new(0),
+            responses_ok: AtomicU64::new(0),
+            responses_err: AtomicU64::new(0),
+            record_events: config.record_events,
+            events: Mutex::new(Vec::new()),
+            conn_streams: Mutex::new(Vec::new()),
+            read_timeout: config.read_timeout,
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::spawn(move || {
+            let mut connections = Vec::new();
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if let Ok(clone) = stream.try_clone() {
+                    accept_shared
+                        .conn_streams
+                        .lock()
+                        .expect("conn registry poisoned")
+                        .push(clone);
+                }
+                let conn_shared = accept_shared.clone();
+                connections.push(std::thread::spawn(move || {
+                    serve_connection(stream, &conn_shared);
+                }));
+            }
+            connections
+        });
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once a shutdown has been requested (wire frame or
+    /// [`ServerHandle::shutdown`]).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown and nudges the accept loop awake. Idempotent;
+    /// does not wait — call [`ServerHandle::join`] to drain.
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown(self.addr);
+    }
+
+    /// Blocks until shutdown is requested, polling gently. Used by the
+    /// `repro serve` foreground daemon.
+    pub fn wait_shutdown(&self) {
+        while !self.is_shutting_down() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Drains and tears down: waits for in-flight requests to finish,
+    /// aborts idle blocked reads, joins every thread, quiesces the pool,
+    /// and returns the final counters. Implies
+    /// [`shutdown`](ServerHandle::shutdown).
+    pub fn join(mut self) -> ServerReport {
+        self.shutdown();
+        // Wait for the in-flight queue to drain before force-closing
+        // sockets, so committed requests still get their responses.
+        while self.shared.admission.depth() > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Abort idle blocked reads; response writes already completed.
+        for stream in self
+            .shared
+            .conn_streams
+            .lock()
+            .expect("conn registry poisoned")
+            .drain(..)
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let connections = self
+            .accept_thread
+            .take()
+            .expect("join called once")
+            .join()
+            .expect("accept thread panicked");
+        for conn in connections {
+            let _ = conn.join();
+        }
+        self.shared.runtime.quiesce();
+        let mut buffered =
+            std::mem::take(&mut *self.shared.events.lock().expect("event buffer poisoned"));
+        buffered.sort_by_key(|(req, _)| *req);
+        let events = buffered.into_iter().flat_map(|(_, evs)| evs).collect();
+        ServerReport {
+            requests: self.shared.next_req.load(Ordering::Relaxed),
+            responses_ok: self.shared.responses_ok.load(Ordering::Relaxed),
+            responses_err: self.shared.responses_err.load(Ordering::Relaxed),
+            queue_depth_hwm: self.shared.admission.hwm(),
+            cache: self.shared.cache.stats(),
+            events,
+        }
+    }
+}
+
+/// One step of the server-side frame reader, distinguishing "idle, no
+/// frame started" (keep the connection) from "timed out mid-frame"
+/// (truncated — answer with a protocol error and drop the connection).
+enum FrameRead {
+    /// A complete frame body.
+    Frame(Vec<u8>),
+    /// Read timed out before any byte of a new frame arrived.
+    Idle,
+    /// The peer closed (or the socket died) between frames.
+    Closed,
+    /// A protocol-level failure: truncated or oversized frame.
+    Fail(WireError),
+}
+
+fn read_frame_step(r: &mut TcpStream) -> FrameRead {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or(r, &mut len_buf, true) {
+        ReadOutcome::Done => {}
+        ReadOutcome::Idle => return FrameRead::Idle,
+        ReadOutcome::Closed => return FrameRead::Closed,
+        ReadOutcome::Fail(e) => return FrameRead::Fail(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return FrameRead::Fail(WireError::Oversized(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    match read_exact_or(r, &mut body, false) {
+        ReadOutcome::Done => FrameRead::Frame(body),
+        ReadOutcome::Idle => unreachable!("idle only possible at a frame boundary"),
+        ReadOutcome::Closed => FrameRead::Fail(WireError::Io(std::io::ErrorKind::UnexpectedEof)),
+        ReadOutcome::Fail(e) => FrameRead::Fail(e),
+    }
+}
+
+enum ReadOutcome {
+    Done,
+    Idle,
+    Closed,
+    Fail(WireError),
+}
+
+/// `read_exact` that reports a timeout before the first byte as `Idle`
+/// (when `idle_ok`) and any later short read as a truncation failure.
+fn read_exact_or(r: &mut TcpStream, buf: &mut [u8], idle_ok: bool) -> ReadOutcome {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 && idle_ok {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Fail(WireError::Io(std::io::ErrorKind::UnexpectedEof))
+                }
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return if got == 0 && idle_ok {
+                    ReadOutcome::Idle
+                } else {
+                    ReadOutcome::Fail(WireError::Io(std::io::ErrorKind::TimedOut))
+                };
+            }
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    ReadOutcome::Done
+}
+
+fn cache_ops_events(ops: &[CacheOp]) -> Vec<Event> {
+    ops.iter()
+        .map(|op| Event::ServeCache {
+            tier: op.tier.label().to_string(),
+            op: op.op.to_string(),
+            key: op.key.clone(),
+        })
+        .collect()
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut reader) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let body = match read_frame_step(&mut reader) {
+            FrameRead::Frame(body) => body,
+            FrameRead::Idle => continue,
+            FrameRead::Closed => return,
+            FrameRead::Fail(err) => {
+                // The stream position is unrecoverable after a truncated
+                // or oversized frame: answer, then drop the connection.
+                respond_error(&mut writer, shared, err);
+                return;
+            }
+        };
+        let req_id = shared.next_req.fetch_add(1, Ordering::Relaxed);
+        let req = match decode_request(&body) {
+            Ok(req) => req,
+            Err(err) => {
+                // Body-level decode error: the frame boundary is intact,
+                // so answer and keep serving this connection.
+                shared.record(
+                    req_id,
+                    vec![
+                        Event::ServeRequest {
+                            req: req_id,
+                            kind: "invalid".to_string(),
+                            key: String::new(),
+                        },
+                        Event::ServeResponse {
+                            req: req_id,
+                            outcome: "error".to_string(),
+                            cache: "-".to_string(),
+                        },
+                    ],
+                );
+                respond_error(&mut writer, shared, err);
+                continue;
+            }
+        };
+        let mut events = vec![Event::ServeRequest {
+            req: req_id,
+            kind: req.kind().to_string(),
+            key: String::new(),
+        }];
+        let (response, cache_label) = match &req {
+            Request::Ping => (Response::Pong, "-".to_string()),
+            Request::Stats => (
+                Response::Stats {
+                    payload: shared.stats_json().into_bytes(),
+                },
+                "-".to_string(),
+            ),
+            Request::Shutdown => {
+                events.push(Event::ServeResponse {
+                    req: req_id,
+                    outcome: "ok".to_string(),
+                    cache: "-".to_string(),
+                });
+                shared.record(req_id, events);
+                shared.responses_ok.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut writer, &encode_response(&Response::ShuttingDown));
+                if let Ok(addr) = writer.local_addr() {
+                    shared.request_shutdown(addr);
+                } else {
+                    shared.shutdown.store(true, Ordering::Release);
+                }
+                return;
+            }
+            Request::Check { .. } | Request::Lint { .. } => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    (
+                        Response::Error {
+                            code: error_code::SHUTTING_DOWN,
+                            message: "server is shutting down".to_string(),
+                        },
+                        "-".to_string(),
+                    )
+                } else {
+                    // Bounded admission: block (backpressure) at capacity.
+                    shared.admission.acquire();
+                    let (tx, rx) = mpsc::channel();
+                    let job_req = req.clone();
+                    let job_cache = shared.cache.clone();
+                    let label = format!("serve:{}:{req_id}", req.kind());
+                    shared.runtime.spawn(&label, move |_token| {
+                        let _ = tx.send(request::execute(&job_req, &job_cache));
+                    });
+                    let executed = rx.recv().expect("pool job always reports");
+                    shared.admission.release();
+                    events[0] = Event::ServeRequest {
+                        req: req_id,
+                        kind: req.kind().to_string(),
+                        key: executed.cache_key.clone(),
+                    };
+                    events.extend(cache_ops_events(&executed.ops));
+                    let label = executed
+                        .disposition
+                        .map_or("-".to_string(), |d| d.label().to_string());
+                    (executed.response, label)
+                }
+            }
+        };
+        let outcome = if matches!(response, Response::Error { .. }) {
+            shared.responses_err.fetch_add(1, Ordering::Relaxed);
+            "error"
+        } else {
+            shared.responses_ok.fetch_add(1, Ordering::Relaxed);
+            "ok"
+        };
+        events.push(Event::ServeResponse {
+            req: req_id,
+            outcome: outcome.to_string(),
+            cache: cache_label,
+        });
+        shared.record(req_id, events);
+        if write_frame(&mut writer, &encode_response(&response)).is_err() {
+            return;
+        }
+    }
+}
+
+fn respond_error(writer: &mut TcpStream, shared: &Shared, err: WireError) {
+    shared.responses_err.fetch_add(1, Ordering::Relaxed);
+    let response = Response::Error {
+        code: err.code(),
+        message: err.to_string(),
+    };
+    let _ = write_frame(writer, &encode_response(&response));
+}

@@ -912,6 +912,18 @@ impl DynamicModel {
     pub fn encoding(&self) -> NumberEncoding {
         self.encoding
     }
+
+    /// A stable 64-bit content hash of the generated model.
+    ///
+    /// Hashes the canonical Alloy source rendering
+    /// ([`Model::to_alloy_source`]) with FNV-1a, so two models are equal
+    /// under this hash exactly when their full textual descriptions
+    /// (signatures, fields, facts, scopes) agree — the property the
+    /// `mca-serve` content-addressed result cache keys on. Deterministic
+    /// across runs, platforms, and thread counts.
+    pub fn content_hash(&self) -> u64 {
+        mca_relalg::fnv1a64(self.model.to_alloy_source().as_bytes())
+    }
 }
 
 #[cfg(test)]

@@ -220,6 +220,14 @@ impl StaticModel {
         self.encoding
     }
 
+    /// A stable 64-bit content hash of the generated model (FNV-1a over
+    /// the canonical Alloy source rendering), matching
+    /// [`DynamicModel::content_hash`](crate::DynamicModel::content_hash):
+    /// the key ingredient for content-addressed result caching.
+    pub fn content_hash(&self) -> u64 {
+        mca_relalg::fnv1a64(self.model.to_alloy_source().as_bytes())
+    }
+
     /// The paper's `uniqueID` assertion (valid, because `pconnectivity`
     /// enforces distinct ids).
     pub fn unique_id_assertion(&self) -> Formula {

@@ -1,0 +1,367 @@
+//! End-to-end tests of the mca-serve daemon: protocol round trips,
+//! cache correctness (the acceptance pin: responses are byte-identical
+//! cold, cached, and across server worker counts), eviction under a tiny
+//! byte budget, and malformed-frame robustness (the server answers with
+//! a protocol error and keeps serving — never panics, never hangs).
+
+use std::time::Duration;
+
+use mca_serve::wire::error_code;
+use mca_serve::{
+    CacheDisposition, Client, Request, Response, ScenarioSpec, Server, ServerConfig, WireEncoding,
+};
+
+fn start(threads: usize, cache_bytes: usize) -> mca_serve::ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        cache_bytes,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    Server::start(&config).expect("bind on a free port")
+}
+
+fn connect(handle: &mca_serve::ServerHandle) -> Client {
+    let mut client = Client::connect(handle.addr()).expect("connect to test server");
+    client
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .expect("set client timeout");
+    client
+}
+
+fn named(name: &str) -> ScenarioSpec {
+    ScenarioSpec::Named(name.to_string())
+}
+
+#[test]
+fn ping_stats_and_shutdown_round_trip() {
+    let handle = start(1, 1 << 20);
+    let mut client = connect(&handle);
+    client.ping().expect("ping");
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"requests\""), "stats is JSON: {stats}");
+    assert!(
+        stats.contains("\"cache\""),
+        "stats has cache block: {stats}"
+    );
+    client.shutdown_server().expect("shutdown acknowledged");
+    let report = handle.join();
+    assert_eq!(report.responses_err, 0);
+    assert!(report.requests >= 3);
+}
+
+/// The acceptance pin: one request's payload is byte-identical whether
+/// computed cold, served from cache, or computed by a different server
+/// with a different worker count.
+#[test]
+fn payload_is_byte_identical_cold_cached_and_across_thread_counts() {
+    let handle = start(1, 32 << 20);
+    let mut client = connect(&handle);
+    let (cold_disp, cold) = client
+        .check(
+            named("two_agent_rebid_attack"),
+            WireEncoding::Optimized,
+            false,
+        )
+        .expect("cold check");
+    assert_eq!(cold_disp, CacheDisposition::Miss);
+    let (warm_disp, warm) = client
+        .check(
+            named("two_agent_rebid_attack"),
+            WireEncoding::Optimized,
+            false,
+        )
+        .expect("cached check");
+    assert_eq!(warm_disp, CacheDisposition::VerdictHit);
+    assert_eq!(cold, warm, "cached payload must be byte-identical");
+    handle.join();
+
+    let handle4 = start(4, 32 << 20);
+    let mut client4 = connect(&handle4);
+    let (disp4, fresh4) = client4
+        .check(
+            named("two_agent_rebid_attack"),
+            WireEncoding::Optimized,
+            false,
+        )
+        .expect("4-thread check");
+    assert_eq!(disp4, CacheDisposition::Miss);
+    assert_eq!(
+        cold, fresh4,
+        "payload must not depend on the server's worker count"
+    );
+    handle4.join();
+
+    let text = String::from_utf8(cold).expect("verdict payload is UTF-8 JSON");
+    assert!(
+        text.contains("\"valid\":false"),
+        "rebid attack violates consensus: {text}"
+    );
+    assert!(
+        !text.contains("secs"),
+        "payloads carry no wall-clock fields: {text}"
+    );
+}
+
+#[test]
+fn cache_misses_on_scope_encoding_and_config_and_hits_on_repeats() {
+    let handle = start(2, 64 << 20);
+    let mut client = connect(&handle);
+    // Four distinct cache lines: base, other encoding, other scope,
+    // other solver config.
+    let variants: [(ScenarioSpec, WireEncoding, bool); 4] = [
+        (
+            ScenarioSpec::AtScope {
+                pnodes: 2,
+                vnodes: 2,
+            },
+            WireEncoding::Optimized,
+            false,
+        ),
+        (
+            ScenarioSpec::AtScope {
+                pnodes: 2,
+                vnodes: 2,
+            },
+            WireEncoding::Naive,
+            false,
+        ),
+        (
+            ScenarioSpec::AtScope {
+                pnodes: 2,
+                vnodes: 3,
+            },
+            WireEncoding::Optimized,
+            false,
+        ),
+        (
+            ScenarioSpec::AtScope {
+                pnodes: 2,
+                vnodes: 2,
+            },
+            WireEncoding::Optimized,
+            true,
+        ),
+    ];
+    let mut payloads = Vec::new();
+    for (scenario, encoding, preprocess) in variants.iter().cloned() {
+        let (disp, payload) = client.check(scenario, encoding, preprocess).expect("check");
+        // The preprocessed 2x2 variant shares the translation tier with
+        // the plain one, but never the verdict tier.
+        assert_ne!(
+            disp,
+            CacheDisposition::VerdictHit,
+            "variants must not share verdicts"
+        );
+        payloads.push(payload);
+    }
+    for (i, a) in payloads.iter().enumerate() {
+        for b in payloads.iter().skip(i + 1) {
+            assert_ne!(a, b, "distinct cache lines carry distinct payloads");
+        }
+    }
+    // Every repeat is a verdict hit, byte-identical to its cold run.
+    for (i, (scenario, encoding, preprocess)) in variants.iter().cloned().enumerate() {
+        let (disp, payload) = client
+            .check(scenario, encoding, preprocess)
+            .expect("repeat");
+        assert_eq!(disp, CacheDisposition::VerdictHit);
+        assert_eq!(payload, payloads[i]);
+    }
+    let report = handle.join();
+    assert_eq!(report.cache.verdict_hits, 4);
+    assert_eq!(report.cache.verdict_misses, 4);
+    assert_eq!(
+        report.cache.translation_hits, 1,
+        "preprocess variant reuses the 2x2 CNF"
+    );
+}
+
+/// Every shipped E3/E4 scenario: the cached response equals the cold one.
+#[test]
+fn every_shipped_scenario_hits_byte_identical() {
+    let handle = start(2, 64 << 20);
+    let mut client = connect(&handle);
+    for name in [
+        "two_agent_compliant",
+        "two_agent_rebid_attack",
+        "three_agent_line_compliant",
+        "paper_scope",
+        "paper_scope_sound",
+    ] {
+        let (cold_disp, cold) = client
+            .check(named(name), WireEncoding::Optimized, false)
+            .expect("cold check");
+        assert_eq!(cold_disp, CacheDisposition::Miss, "{name}");
+        let (warm_disp, warm) = client
+            .check(named(name), WireEncoding::Optimized, false)
+            .expect("cached check");
+        assert_eq!(warm_disp, CacheDisposition::VerdictHit, "{name}");
+        assert_eq!(cold, warm, "{name}: cached payload differs from cold");
+    }
+    handle.join();
+}
+
+/// Under a starvation-level byte budget the cache evicts constantly but
+/// verdicts stay correct and byte-identical.
+#[test]
+fn eviction_under_tiny_budget_stays_verdict_correct() {
+    // ~2 KiB: far too small for a CNF entry, small enough to force
+    // verdict-tier eviction churn.
+    let handle = start(2, 2 << 10);
+    let mut client = connect(&handle);
+    let deck: [(ScenarioSpec, bool); 3] = [
+        (named("two_agent_compliant"), false),
+        (named("two_agent_rebid_attack"), false),
+        (
+            ScenarioSpec::AtScope {
+                pnodes: 2,
+                vnodes: 2,
+            },
+            false,
+        ),
+    ];
+    let mut baseline = Vec::new();
+    for (scenario, preprocess) in deck.iter().cloned() {
+        let (_, payload) = client
+            .check(scenario, WireEncoding::Optimized, preprocess)
+            .expect("cold check");
+        baseline.push(payload);
+    }
+    // Two more rounds: whatever got evicted is recomputed, and must be
+    // byte-identical either way.
+    for _ in 0..2 {
+        for (i, (scenario, preprocess)) in deck.iter().cloned().enumerate() {
+            let (_, payload) = client
+                .check(scenario, WireEncoding::Optimized, preprocess)
+                .expect("repeat check");
+            assert_eq!(
+                payload, baseline[i],
+                "deck entry {i} changed under eviction"
+            );
+        }
+    }
+    let report = handle.join();
+    assert!(
+        report.cache.evictions > 0,
+        "a 2 KiB budget must evict; stats: {:?}",
+        report.cache
+    );
+}
+
+#[test]
+fn unknown_scenarios_and_oversized_scopes_are_errors_not_hangs() {
+    let handle = start(1, 1 << 20);
+    let mut client = connect(&handle);
+    match client
+        .request(&Request::Check {
+            scenario: named("no_such_scenario"),
+            encoding: WireEncoding::Optimized,
+            preprocess: false,
+        })
+        .expect("transport ok")
+    {
+        Response::Error { code, message } => {
+            assert_eq!(code, error_code::UNKNOWN_SCENARIO, "{message}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    match client
+        .request(&Request::Check {
+            scenario: ScenarioSpec::AtScope {
+                pnodes: 40,
+                vnodes: 30,
+            },
+            encoding: WireEncoding::Optimized,
+            preprocess: false,
+        })
+        .expect("transport ok")
+    {
+        Response::Error { code, .. } => assert_eq!(code, error_code::UNKNOWN_SCENARIO),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // The connection survives body-level errors.
+    client.ping().expect("connection still serves after errors");
+    handle.join();
+}
+
+#[test]
+fn malformed_frames_get_protocol_errors_and_the_server_keeps_serving() {
+    let handle = start(1, 1 << 20);
+
+    // Bad protocol version: body-level error, connection survives.
+    let mut client = connect(&handle);
+    match client.request_raw(&[99, 0x01]).expect("transport ok") {
+        Response::Error { code, .. } => assert_eq!(code, error_code::BAD_VERSION),
+        other => panic!("expected bad-version error, got {other:?}"),
+    }
+    // Unknown request tag: same.
+    match client.request_raw(&[1, 0x7F]).expect("transport ok") {
+        Response::Error { code, .. } => assert_eq!(code, error_code::UNKNOWN_TAG),
+        other => panic!("expected unknown-tag error, got {other:?}"),
+    }
+    // Truncated body (tag says Check, payload missing): same.
+    match client.request_raw(&[1, 0x02]).expect("transport ok") {
+        Response::Error { code, .. } => assert_eq!(code, error_code::MALFORMED),
+        other => panic!("expected malformed error, got {other:?}"),
+    }
+    client
+        .ping()
+        .expect("connection survives body-level errors");
+
+    // Oversized length prefix: frame-level error, connection dropped.
+    let mut oversized = connect(&handle);
+    oversized
+        .write_bytes(&u32::MAX.to_be_bytes())
+        .expect("write length prefix");
+    match oversized.read_response().expect("error frame before close") {
+        Response::Error { code, .. } => assert_eq!(code, error_code::OVERSIZED),
+        other => panic!("expected oversized error, got {other:?}"),
+    }
+
+    // Truncated frame: a length prefix promising 100 bytes, then
+    // silence. The server's read timeout converts it into a truncation
+    // error instead of hanging the connection thread.
+    let mut truncated = connect(&handle);
+    truncated
+        .write_bytes(&100u32.to_be_bytes())
+        .expect("write length prefix");
+    truncated
+        .write_bytes(&[1, 2, 3])
+        .expect("write partial body");
+    match truncated.read_response().expect("error frame before close") {
+        Response::Error { code, .. } => assert_eq!(code, error_code::TRUNCATED),
+        other => panic!("expected truncated error, got {other:?}"),
+    }
+
+    // After all that abuse, a fresh connection still gets real service.
+    let mut fresh = connect(&handle);
+    fresh.ping().expect("server still serves");
+    let report = handle.join();
+    assert!(
+        report.responses_err >= 4,
+        "every malformed frame was answered"
+    );
+}
+
+#[test]
+fn requests_after_shutdown_are_refused() {
+    let handle = start(1, 1 << 20);
+    let mut client = connect(&handle);
+    client.ping().expect("ping before shutdown");
+    handle.shutdown();
+    // The flag is set synchronously; a check on the existing connection
+    // must be refused (the connection may also already be closed —
+    // either way, no new work is admitted).
+    match client.request(&Request::Check {
+        scenario: named("two_agent_compliant"),
+        encoding: WireEncoding::Optimized,
+        preprocess: false,
+    }) {
+        Ok(Response::Error { code, .. }) => assert_eq!(code, error_code::SHUTTING_DOWN),
+        Ok(other) => panic!("expected shutting-down error, got {other:?}"),
+        Err(_) => {} // connection already torn down — equally fine
+    }
+    handle.join();
+}
