@@ -71,7 +71,7 @@ use mca_report::{
     diff_bench, render_html, render_lint_markdown, render_markdown, DiffConfig, ParsedTrace,
     ReportOptions,
 };
-use mca_runtime::{diversified_configs, Runtime};
+use mca_runtime::{diversified_configs, AdaptiveCubeConfig, Runtime, SharingConfig};
 use mca_verify::analysis::{self, EncodingRow};
 use mca_verify::parallel;
 use mca_verify::{DynamicModel, DynamicScenario, NumberEncoding, StaticModel, StaticScope};
@@ -1006,11 +1006,28 @@ fn bench_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64, f64) {
     (value, median, spread)
 }
 
+/// The `(pnodes, vnodes)` scopes of the coarse-grained E8 section of
+/// `BENCH_PAR.json`. Chosen so the critical path (3×3) is hundreds of
+/// milliseconds — large enough that fan-out beats queue hand-off.
+const E8_PAR_SCOPES: [(usize, usize); 3] = [(2, 2), (3, 2), (3, 3)];
+
+/// The encoding variants timed by the E8 section: the two competitive
+/// ones (`naive` is orders of magnitude slower and would dominate the
+/// critical path without adding information).
+const E8_PAR_VARIANTS: [(&str, NumberEncoding, bool); 2] = [
+    ("optimized", NumberEncoding::OptimizedValue, false),
+    ("optimized+pre", NumberEncoding::OptimizedValue, true),
+];
+
 /// The multi-threaded E3 section: re-runs the matrix on the pool, checks
-/// outcome equality against the sequential rows, adds the extended
-/// 16-cell matrix and a solver-portfolio race, and records everything in
-/// `BENCH_PAR.json`. All timed sections use the warmup + median-of-reps
-/// methodology of [`bench_median`].
+/// outcome equality against the sequential rows, times the extended
+/// 16-cell matrix sequential-vs-chunked, races a clause-sharing solver
+/// portfolio, fans the E8 scaling cells out as coarse jobs, runs an
+/// adaptive cube-and-conquer solve, and records everything in
+/// `BENCH_PAR.json`. Timed sections use the warmup + median-of-reps
+/// methodology of [`bench_median`] — except the sequential E8 baseline,
+/// which is measured **once** (it is multi-second work whose repetition
+/// would dwarf the rest of the run and pad the trace with idle workers).
 fn run_e3_parallel(
     metrics: &mut Metrics,
     observer: Option<SharedObserver>,
@@ -1022,34 +1039,46 @@ fn run_e3_parallel(
         "\n  --- parallel runtime ({} threads, median of {reps} reps) ---",
         rt.threads()
     );
-    let (_, seq_secs, seq_spread) =
-        bench_median(reps, || analysis::run_policy_matrix_spanned(None, None));
-    let (par_rows, par_secs, par_spread) = bench_median(reps, || {
-        metrics.time("e3.par.run", || parallel::run_policy_matrix_parallel(rt))
-    });
+    // The four Result-1 cells are microsecond work: keep them as an
+    // untimed outcome check (two paired jobs) rather than pretending a
+    // speedup measurement at this granularity means anything.
+    let par_rows = metrics.time("e3.par.run", || parallel::run_policy_matrix_parallel(rt));
     let outcomes_match = seq_rows.len() == par_rows.len()
         && seq_rows.iter().zip(&par_rows).all(|(s, p)| {
             s.cell == p.cell && s.checker_converges == p.checker_converges && s.detail == p.detail
         });
-    let speedup = seq_secs / par_secs.max(1e-9);
     println!(
-        "  matrix: sequential {seq_secs:.3}s (±{seq_spread:.2}) vs parallel {par_secs:.3}s (±{par_spread:.2}) — speedup {speedup:.2}x, outcomes {}",
-        if outcomes_match { "identical ✓" } else { "DIFFER ✗" }
+        "  matrix: outcomes {} (4 cells as 2 paired jobs)",
+        if outcomes_match {
+            "identical ✓"
+        } else {
+            "DIFFER ✗"
+        }
     );
 
-    println!("  extended matrix (policy × rebid × topology, 16 cells):");
-    let xrows = metrics.time("e3.extended.run", || {
-        parallel::run_extended_policy_matrix(rt)
+    // The timed E3 comparison is the extended 16-cell matrix — enough
+    // work per job (strided multi-cell chunks) for parallelism to pay.
+    let (_, seq_secs, seq_spread) = bench_median(reps, parallel::run_extended_policy_matrix_seq);
+    let (xrows, par_secs, par_spread) = bench_median(reps, || {
+        metrics.time("e3.extended.run", || {
+            parallel::run_extended_policy_matrix(rt)
+        })
     });
+    let speedup = seq_secs / par_secs.max(1e-9);
+    println!("  extended matrix (policy × rebid × topology, 16 cells):");
     let mut xmatch = 0;
     for row in &xrows {
         println!("{row}");
         xmatch += usize::from(row.matches_paper());
     }
     metrics.set_gauge("e3.extended.cells_matching", xmatch as i64);
+    println!(
+        "  extended matrix: sequential {seq_secs:.3}s (±{seq_spread:.2}) vs chunked {par_secs:.3}s (±{par_spread:.2}) — speedup {speedup:.2}x"
+    );
 
     // Portfolio race on the paper-scope optimized encoding — the formula
-    // E5 identifies as the suite's flagship SAT workload.
+    // E5 identifies as the suite's flagship SAT workload. Entrants
+    // exchange low-LBD learnt clauses, so losers' work is not pure waste.
     let model = DynamicModel::build(
         NumberEncoding::OptimizedValue,
         DynamicScenario::paper_scope(),
@@ -1062,8 +1091,9 @@ fn run_e3_parallel(
             .is_valid()
     });
     let entrants = diversified_configs(rt.threads().clamp(2, 8));
+    let sharing = SharingConfig::default();
     let ((par_valid, report), solve_par_secs, solve_par_spread) = bench_median(reps, || {
-        parallel::check_consensus_portfolio(rt, &model, &entrants)
+        parallel::check_consensus_portfolio_shared(rt, &model, &entrants, sharing)
     });
     let verdict_match = seq_valid == par_valid;
     println!(
@@ -1071,6 +1101,14 @@ fn run_e3_parallel(
         report.winner_label,
         report.entrants,
         if verdict_match { "identical ✓" } else { "DIFFERS ✗" }
+    );
+    println!(
+        "  clause sharing: {} exported, {} imported, {} dropped (max_lbd {}, winner imported {})",
+        report.shared_exported,
+        report.shared_imported,
+        report.shared_dropped,
+        sharing.max_lbd,
+        report.winner_stats.imported_clauses,
     );
 
     // Forensics drain: the winner's search telemetry goes three ways —
@@ -1102,6 +1140,129 @@ fn run_e3_parallel(
         "portfolio.cancel_latency_conflicts",
         report.cancel_latency_conflicts() as i64,
     );
+    metrics.set_gauge("portfolio.shared_exported", report.shared_exported as i64);
+    metrics.set_gauge("portfolio.shared_imported", report.shared_imported as i64);
+
+    // Per-entrant LBD summaries: how glue-rich each configuration's
+    // clause stream was — the quality signal behind the sharing filter.
+    let entrant_lbd: Vec<Json> = entrants
+        .iter()
+        .zip(&report.entrant_telemetry)
+        .zip(&report.entrant_stats)
+        .map(|((entry, telemetry), stats)| {
+            let lbd = telemetry.as_ref().map(|t| &t.lbd);
+            Json::obj([
+                ("label", Json::from(entry.label.as_str())),
+                (
+                    "learnt",
+                    Json::from(lbd.map_or(0, mca_obs::Histogram::count)),
+                ),
+                (
+                    "lbd_mean",
+                    Json::from(lbd.and_then(mca_obs::Histogram::mean).unwrap_or(0.0)),
+                ),
+                (
+                    "exported",
+                    Json::from(stats.as_ref().map_or(0, |s| s.exported_clauses)),
+                ),
+                (
+                    "imported",
+                    Json::from(stats.as_ref().map_or(0, |s| s.imported_clauses)),
+                ),
+            ])
+        })
+        .collect();
+
+    // Coarse-grained E8 section: the competitive encoding variants at
+    // growing scopes, fanned out as |scopes| × |variants| jobs each big
+    // enough (up to seconds) to amortize scheduling. The sequential
+    // baseline is measured once — see the function docs.
+    println!(
+        "  e8 scaling cells ({} coarse jobs):",
+        E8_PAR_SCOPES.len() * E8_PAR_VARIANTS.len()
+    );
+    let e8_seq_start = Instant::now();
+    let mut e8_seq_ok = true;
+    for &(p, v) in &E8_PAR_SCOPES {
+        for (label, encoding, preprocess) in E8_PAR_VARIANTS {
+            match analysis::scale_variant(p, v, label, encoding, preprocess) {
+                Ok(variant) => e8_seq_ok &= variant.valid && !variant.vacuous,
+                Err(e) => {
+                    println!("  e8 {p}x{v}:{label} failed to translate: {e}");
+                    return false;
+                }
+            }
+        }
+    }
+    let e8_seq_secs = e8_seq_start.elapsed().as_secs_f64();
+    let (e8_cells, e8_par_secs, e8_par_spread) = bench_median(reps, || {
+        let jobs: Vec<(String, _)> = E8_PAR_SCOPES
+            .iter()
+            .flat_map(|&(p, v)| {
+                E8_PAR_VARIANTS.map(move |(label, encoding, preprocess)| {
+                    (
+                        format!("e8:{p}x{v}:{label}"),
+                        move |_: &mca_sat::CancelToken| {
+                            analysis::scale_variant(p, v, label, encoding, preprocess)
+                        },
+                    )
+                })
+            })
+            .collect();
+        rt.run_batch(jobs)
+    });
+    let mut e8_par_ok = true;
+    let mut e8_cell_json = Vec::new();
+    for (i, cell) in e8_cells.into_iter().enumerate() {
+        let (p, v) = E8_PAR_SCOPES[i / E8_PAR_VARIANTS.len()];
+        match cell {
+            Ok(variant) => {
+                e8_par_ok &= variant.valid && !variant.vacuous;
+                println!(
+                    "    {p}x{v}:{:<14} valid={} [{:.3}s]",
+                    variant.variant, variant.valid, variant.check_secs
+                );
+                e8_cell_json.push(Json::obj([
+                    ("scope", Json::from(format!("{p}x{v}"))),
+                    ("variant", Json::from(variant.variant.as_str())),
+                    ("valid", Json::from(variant.valid)),
+                    ("check_secs", Json::from(variant.check_secs)),
+                    ("conflicts", Json::from(variant.solver.conflicts)),
+                ]));
+            }
+            Err(e) => {
+                println!("  e8 cell {i} failed to translate: {e}");
+                return false;
+            }
+        }
+    }
+    let e8_speedup = e8_seq_secs / e8_par_secs.max(1e-9);
+    let e8_match = e8_seq_ok && e8_par_ok;
+    println!(
+        "  e8: sequential {e8_seq_secs:.3}s (single pass) vs parallel {e8_par_secs:.3}s (±{e8_par_spread:.2}) — speedup {e8_speedup:.2}x, verdicts {}",
+        if e8_match { "all valid ✓" } else { "UNEXPECTED ✗" }
+    );
+
+    // Adaptive cube-and-conquer on the same flagship formula: budget-
+    // bound cubes split deeper only where the search is actually hard.
+    let cube_config = AdaptiveCubeConfig::default();
+    let (cube_valid, cube_report) =
+        parallel::check_consensus_cubes_adaptive(rt, &model, cube_config);
+    let cube_match = cube_valid == seq_valid;
+    println!(
+        "  adaptive cubes: {} attempts ({} in budget, {} resplit, depth ≤ {}), verdict {}",
+        cube_report.attempts,
+        cube_report.resolved_in_budget,
+        cube_report.resplit,
+        cube_report.max_depth,
+        if cube_match {
+            "identical ✓"
+        } else {
+            "DIFFERS ✗"
+        }
+    );
+    metrics.set_gauge("cubes.attempts", cube_report.attempts as i64);
+    metrics.set_gauge("cubes.resplit", cube_report.resplit as i64);
 
     let bench = Json::obj([
         ("threads", Json::from(rt.threads() as u64)),
@@ -1147,12 +1308,57 @@ fn run_e3_parallel(
                     "cancel_latency_conflicts",
                     Json::from(report.cancel_latency_conflicts()),
                 ),
+                ("shared_exported", Json::from(report.shared_exported)),
+                ("shared_imported", Json::from(report.shared_imported)),
+                ("shared_dropped", Json::from(report.shared_dropped)),
+                ("share_max_lbd", Json::from(u64::from(sharing.max_lbd))),
+                ("entrant_lbd", Json::Array(entrant_lbd)),
+            ]),
+        ),
+        (
+            "e8",
+            Json::obj([
+                (
+                    "scopes",
+                    Json::Array(
+                        E8_PAR_SCOPES
+                            .iter()
+                            .map(|(p, v)| Json::from(format!("{p}x{v}")))
+                            .collect(),
+                    ),
+                ),
+                ("seq_secs", Json::from(e8_seq_secs)),
+                ("par_secs", Json::from(e8_par_secs)),
+                ("par_spread", Json::from(e8_par_spread)),
+                ("speedup", Json::from(e8_speedup)),
+                ("verdicts_ok", Json::from(e8_match)),
+                ("cells", Json::Array(e8_cell_json)),
+            ]),
+        ),
+        (
+            "cubes",
+            Json::obj([
+                (
+                    "initial_split",
+                    Json::from(cube_config.initial_split as u64),
+                ),
+                ("conflict_budget", Json::from(cube_config.conflict_budget)),
+                ("max_split", Json::from(cube_config.max_split as u64)),
+                ("attempts", Json::from(cube_report.attempts as u64)),
+                (
+                    "resolved_in_budget",
+                    Json::from(cube_report.resolved_in_budget as u64),
+                ),
+                ("resplit", Json::from(cube_report.resplit as u64)),
+                ("max_depth", Json::from(cube_report.max_depth as u64)),
+                ("conflicts", Json::from(cube_report.conflicts)),
+                ("verdict_match", Json::from(cube_match)),
             ]),
         ),
     ]);
     write_bench_file("BENCH_PAR.json", &bench);
     println!("  sequential-vs-parallel comparison written to BENCH_PAR.json");
-    outcomes_match && verdict_match
+    outcomes_match && verdict_match && e8_match && cube_match
 }
 
 fn run_e4(metrics: &mut Metrics, rt: Option<&Runtime>) -> bool {

@@ -200,18 +200,24 @@ fn diagnose_scheduling(metrics: &Json, findings: &mut Vec<WhyFinding>) {
 }
 
 /// W004 cancellation waste — portfolio losers burning a large share of
-/// the winner's work before they observe the token.
+/// the winner's work before they observe the token. Loser conflicts that
+/// flowed back through the clause-sharing pool
+/// (`portfolio.shared_imported`) are not pure waste — that work reached
+/// other entrants as learnt clauses — so they are credited against the
+/// loser total before the thresholds apply.
 fn diagnose_portfolio(metrics: &Json, findings: &mut Vec<WhyFinding>) {
     let winner = metric_u64(metrics, "gauges", "portfolio.winner_conflicts");
     let losers = metric_u64(metrics, "gauges", "portfolio.loser_conflicts");
     let (Some(winner), Some(losers)) = (winner, losers) else {
         return;
     };
-    if winner > 0 && losers * 2 >= winner {
-        let ratio = pct(losers, winner);
+    let imported = metric_u64(metrics, "gauges", "portfolio.shared_imported").unwrap_or(0);
+    let wasted = losers.saturating_sub(imported);
+    if winner > 0 && wasted * 2 >= winner {
+        let ratio = pct(wasted, winner);
         findings.push(WhyFinding {
             rule: "W004",
-            severity: if losers >= winner {
+            severity: if wasted >= winner {
                 WhySeverity::Critical
             } else {
                 WhySeverity::Warning
@@ -220,11 +226,13 @@ fn diagnose_portfolio(metrics: &Json, findings: &mut Vec<WhyFinding>) {
                 "portfolio losers consumed {ratio:.0}% of the winner's conflicts before cancelling"
             ),
             evidence: format!(
-                "loser conflicts {losers} vs winner {winner}; observed cancel latency {} conflicts",
+                "loser conflicts {losers} vs winner {winner} ({imported} credited as shared-clause \
+                 imports); observed cancel latency {} conflicts",
                 metric_u64(metrics, "gauges", "portfolio.cancel_latency_conflicts").unwrap_or(0)
             ),
             hint: "on short solves the race is pure overhead — skip the portfolio below a \
-                   size threshold, or raise cancel_check_interval only on long solves",
+                   size threshold, enable clause sharing so loser conflicts feed the winner, \
+                   or raise cancel_check_interval only on long solves",
         });
     }
 }
@@ -465,6 +473,39 @@ mod tests {
         let findings = diagnose(&ParsedTrace::default(), Some(&m));
         let f = findings.iter().find(|f| f.rule == "W004").expect("fires");
         assert!(f.summary.contains("93%"), "{}", f.summary);
+    }
+
+    #[test]
+    fn shared_clause_imports_are_credited_against_w004() {
+        // Losers burnt 120 conflicts against the winner's 100 — critical
+        // without sharing — but 80 clauses flowed back through the pool,
+        // leaving only 40 wasted: below the 2× fire threshold entirely.
+        let m = metrics_with(
+            &[
+                ("portfolio.winner_conflicts", 100),
+                ("portfolio.loser_conflicts", 120),
+                ("portfolio.shared_imported", 80),
+            ],
+            &[],
+        );
+        let findings = diagnose(&ParsedTrace::default(), Some(&m));
+        assert!(
+            !findings.iter().any(|f| f.rule == "W004"),
+            "imports must offset loser conflicts: {findings:?}"
+        );
+        // Partial credit still fires, but demoted from critical.
+        let m = metrics_with(
+            &[
+                ("portfolio.winner_conflicts", 100),
+                ("portfolio.loser_conflicts", 120),
+                ("portfolio.shared_imported", 30),
+            ],
+            &[],
+        );
+        let findings = diagnose(&ParsedTrace::default(), Some(&m));
+        let f = findings.iter().find(|f| f.rule == "W004").expect("fires");
+        assert_eq!(f.severity, WhySeverity::Warning);
+        assert!(f.evidence.contains("30 credited"), "{}", f.evidence);
     }
 
     #[test]

@@ -14,10 +14,16 @@
 //!   cancels the losers through a shared [`mca_sat::CancelToken`]. The
 //!   verdict never differs from a sequential solve (complete solvers
 //!   agree); only latency and the winning configuration vary.
+//!   [`solve_portfolio_with_sharing`] additionally routes each entrant's
+//!   low-LBD learnt clauses through a [`ClauseShare`] pool so the losers'
+//!   conflict work feeds the eventual winner instead of being discarded.
 //! * **Cube-and-conquer** ([`solve_cubes`]) — split a formula on its top
 //!   decision variables into `2^k` assumption-guided subproblems that
 //!   exhaustively partition the assignment space, and conquer them in
 //!   parallel: any SAT cube ⇒ SAT, all UNSAT ⇒ UNSAT.
+//!   [`solve_cubes_adaptive`] replaces the fixed `2^k` with a conflict
+//!   budget: cubes that exhaust it are split one variable deeper, so only
+//!   hard regions of the space pay for deep splitting.
 //!
 //! Job lifecycles are traced: every submission, start, finish, and
 //! cancellation is recorded and can be drained as `mca-obs`
@@ -56,6 +62,31 @@
 //! assert!(events.iter().any(|e| e.kind() == "job-finished"));
 //! ```
 //!
+//! ## Example: adaptive cube-and-conquer
+//!
+//! ```
+//! use mca_runtime::{solve_cubes_adaptive, AdaptiveCubeConfig, Runtime};
+//! use mca_sat::{CnfFormula, SolveResult};
+//!
+//! // An unsatisfiable equality cycle: x1 = x2, x2 = x3, x1 ≠ x3.
+//! let mut cnf = CnfFormula::new();
+//! let v = cnf.new_vars(3);
+//! cnf.add_clause([v[0].negative(), v[1].positive()]);
+//! cnf.add_clause([v[0].positive(), v[1].negative()]);
+//! cnf.add_clause([v[1].negative(), v[2].positive()]);
+//! cnf.add_clause([v[1].positive(), v[2].negative()]);
+//! cnf.add_clause([v[0].positive(), v[2].positive()]);
+//! cnf.add_clause([v[0].negative(), v[2].negative()]);
+//!
+//! let rt = Runtime::new(2);
+//! let config = AdaptiveCubeConfig { initial_split: 1, ..AdaptiveCubeConfig::default() };
+//! let report = solve_cubes_adaptive(&rt, &cnf, config);
+//! assert_eq!(report.result, SolveResult::Unsat);
+//! // Trivial cubes resolve inside their conflict budget; nothing split.
+//! assert_eq!(report.resplit, 0);
+//! assert_eq!(report.result, cnf.to_solver().solve());
+//! ```
+//!
 //! ## Determinism contract
 //!
 //! Parallelism must never change a verification *outcome*, only its
@@ -70,9 +101,17 @@
 mod cube;
 mod pool;
 mod portfolio;
+mod share;
 mod trace;
 
-pub use cube::{sign_cubes, solve_cubes, top_split_vars, CubeReport};
+pub use cube::{
+    sign_cubes, solve_cubes, solve_cubes_adaptive, top_split_vars, AdaptiveCubeConfig,
+    AdaptiveCubeReport, CubeReport,
+};
 pub use pool::{PortfolioWin, Runtime, WorkerCtx, WorkerStats};
-pub use portfolio::{diversified_configs, solve_portfolio, PortfolioEntry, PortfolioReport};
+pub use portfolio::{
+    diversified_configs, solve_portfolio, solve_portfolio_with_sharing, PortfolioEntry,
+    PortfolioReport,
+};
+pub use share::{ClauseShare, ShareEndpoint, SharingConfig};
 pub use trace::{JobPhase, JobTraceLog};

@@ -7,8 +7,17 @@
 //! model is reported). [`solve_portfolio`] therefore never differs from a
 //! sequential [`mca_sat::Solver`] run in its verdict, a property pinned by
 //! the `runtime_determinism` integration test.
+//!
+//! [`solve_portfolio_with_sharing`] additionally connects the entrants
+//! through a [`ClauseShare`](crate::ClauseShare) pool: each entrant
+//! exports its low-LBD learnt clauses as it learns them and imports
+//! everyone else's at its restart boundaries. Shared clauses are logical
+//! consequences of the common formula, so the verdict guarantee is
+//! unchanged — sharing turns the losers' work into the winner's head
+//! start instead of pure waste.
 
 use crate::pool::Runtime;
+use crate::share::{ClauseShare, SharingConfig};
 use mca_sat::{CancelToken, CnfFormula, SearchTelemetry, SolveResult, SolverConfig, SolverStats};
 use std::sync::{Arc, Mutex};
 
@@ -43,6 +52,19 @@ pub struct PortfolioReport {
     /// Losers appear here even though their verdicts are discarded; this
     /// is what cancellation-latency and wasted-work accounting read.
     pub entrant_stats: Vec<Option<SolverStats>>,
+    /// Per-epoch search telemetry of every entrant that ran, indexed like
+    /// `entries`. The winner's entry duplicates `winner_telemetry`; loser
+    /// entries are what per-entrant LBD summaries in BENCH_PAR read.
+    pub entrant_telemetry: Vec<Option<SearchTelemetry>>,
+    /// Clauses accepted into the sharing pool's export lanes
+    /// ([`solve_portfolio_with_sharing`] only; 0 without sharing).
+    pub shared_exported: u64,
+    /// Clauses pulled from the pool by importers (each clause counts once
+    /// per importer that pulled it; 0 without sharing).
+    pub shared_imported: u64,
+    /// Exports rejected because a lane was at capacity (0 without
+    /// sharing).
+    pub shared_dropped: u64,
 }
 
 impl PortfolioReport {
@@ -78,7 +100,7 @@ impl PortfolioReport {
 /// composition is reproducible.
 pub fn diversified_configs(n: usize) -> Vec<PortfolioEntry> {
     let base = SolverConfig::default();
-    let variants: [(&str, SolverConfig); 8] = [
+    let variants: [(&str, SolverConfig); 10] = [
         ("default", base),
         (
             "fast-restarts",
@@ -133,6 +155,22 @@ pub fn diversified_configs(n: usize) -> Vec<PortfolioEntry> {
                 ..base
             },
         ),
+        (
+            "adaptive",
+            SolverConfig {
+                restart_policy: mca_sat::RestartPolicy::Adaptive,
+                ..base
+            },
+        ),
+        (
+            "warm-pos",
+            // Phase saving stays on; default_polarity seeds every fresh
+            // variable's first descent positive.
+            SolverConfig {
+                default_polarity: true,
+                ..base
+            },
+        ),
     ];
     (0..n)
         .map(|i| {
@@ -174,11 +212,73 @@ pub fn solve_portfolio(
     cnf: &CnfFormula,
     entries: &[PortfolioEntry],
 ) -> PortfolioReport {
+    solve_portfolio_inner(rt, cnf, entries, None)
+}
+
+/// [`solve_portfolio`] with learnt-clause sharing between the entrants.
+///
+/// Every entrant is connected to one [`ClauseShare`](crate::ClauseShare)
+/// pool: clauses with LBD ≤ `sharing.max_lbd` are exported at each
+/// conflict and imported at each restart boundary, so the race's combined
+/// conflict work compounds instead of being thrown away with the losers.
+/// Verdicts are unchanged (imports are consequences of the shared
+/// formula); traffic totals land in the report's `shared_*` fields and in
+/// each entrant's `exported_clauses` / `imported_clauses` stats.
+///
+/// # Panics
+///
+/// Panics if `entries` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use mca_runtime::{diversified_configs, solve_portfolio_with_sharing};
+/// use mca_runtime::{Runtime, SharingConfig};
+/// use mca_sat::{CnfFormula, SolveResult};
+///
+/// // An unsatisfiable pigeonhole instance: 4 pigeons, 3 holes.
+/// let mut cnf = CnfFormula::new();
+/// let vars: Vec<Vec<_>> = (0..4).map(|_| (0..3).map(|_| cnf.new_var()).collect()).collect();
+/// for p in &vars {
+///     cnf.add_clause(p.iter().map(|v| v.lit(true)));
+/// }
+/// for h in 0..3 {
+///     for p1 in 0..4 {
+///         for p2 in (p1 + 1)..4 {
+///             cnf.add_clause([vars[p1][h].lit(false), vars[p2][h].lit(false)]);
+///         }
+///     }
+/// }
+///
+/// let rt = Runtime::new(2);
+/// let report =
+///     solve_portfolio_with_sharing(&rt, &cnf, &diversified_configs(4), SharingConfig::default());
+/// assert_eq!(report.result, SolveResult::Unsat);
+/// // Glue clauses flowed between the entrants.
+/// assert_eq!(report.entrants, 4);
+/// assert!(report.shared_exported >= report.winner_stats.exported_clauses);
+/// ```
+pub fn solve_portfolio_with_sharing(
+    rt: &Runtime,
+    cnf: &CnfFormula,
+    entries: &[PortfolioEntry],
+    sharing: SharingConfig,
+) -> PortfolioReport {
+    solve_portfolio_inner(rt, cnf, entries, Some(sharing))
+}
+
+fn solve_portfolio_inner(
+    rt: &Runtime,
+    cnf: &CnfFormula,
+    entries: &[PortfolioEntry],
+    sharing: Option<SharingConfig>,
+) -> PortfolioReport {
     assert!(!entries.is_empty(), "portfolio needs at least one entrant");
     let entrants = entries.len();
+    let share = sharing.map(|cfg| ClauseShare::new(entrants, cfg));
     // Losers return `None` through the portfolio channel, but their final
-    // stats and the winner's telemetry still matter for forensics — side-
-    // channel them out, indexed by entrant.
+    // stats and telemetry still matter for forensics — side-channel them
+    // out, indexed by entrant.
     let stats_out: Arc<Mutex<Vec<Option<SolverStats>>>> =
         Arc::new(Mutex::new(vec![None; entrants]));
     let telemetry_out: Arc<Mutex<Vec<Option<SearchTelemetry>>>> =
@@ -188,7 +288,16 @@ pub fn solve_portfolio(
         .enumerate()
         .map(|(index, entry)| {
             let label = entry.label.clone();
-            let config = entry.config;
+            let config = match (&share, sharing) {
+                // One knob rules the race: the pool's LBD bound overrides
+                // each entrant's own export threshold.
+                (Some(_), Some(cfg)) => SolverConfig {
+                    share_lbd_max: cfg.max_lbd,
+                    ..entry.config
+                },
+                _ => entry.config,
+            };
+            let sink = share.as_ref().map(|s| s.endpoint(index));
             let cnf = cnf.clone();
             let stats_out = stats_out.clone();
             let telemetry_out = telemetry_out.clone();
@@ -202,6 +311,9 @@ pub fn solve_portfolio(
                     }
                     solver.set_terminate(token.clone());
                     solver.enable_telemetry();
+                    if let Some(sink) = sink {
+                        solver.set_clause_sink(sink);
+                    }
                     let result = solver.solve_under_assumptions(&[]);
                     stats_out.lock().expect("stats channel poisoned")[index] =
                         Some(*solver.stats());
@@ -217,8 +329,10 @@ pub fn solve_portfolio(
         .expect("a complete solver always finishes unless pre-cancelled");
     let entrant_stats = std::mem::take(&mut *stats_out.lock().expect("stats channel poisoned"));
     let winner_stats = entrant_stats[win.winner].expect("the winner ran to completion");
-    let winner_telemetry = telemetry_out.lock().expect("telemetry channel poisoned")[win.winner]
-        .take()
+    let entrant_telemetry =
+        std::mem::take(&mut *telemetry_out.lock().expect("telemetry channel poisoned"));
+    let winner_telemetry = entrant_telemetry[win.winner]
+        .clone()
         .expect("telemetry enabled on every entrant");
     PortfolioReport {
         result: win.result,
@@ -229,6 +343,10 @@ pub fn solve_portfolio(
         cancelled: entrants.saturating_sub(1),
         winner_telemetry,
         entrant_stats,
+        entrant_telemetry,
+        shared_exported: share.as_ref().map_or(0, |s| s.exported()),
+        shared_imported: share.as_ref().map_or(0, |s| s.imported()),
+        shared_dropped: share.as_ref().map_or(0, |s| s.dropped()),
     }
 }
 
@@ -295,6 +413,59 @@ mod tests {
                     .map(|s| s.conflicts)
                     .sum::<u64>()
         );
+    }
+
+    #[test]
+    fn sharing_preserves_verdicts_and_moves_clauses() {
+        let cnf = pigeonhole(5);
+        let sequential = cnf.to_solver().solve();
+        for threads in [1, 2, 4] {
+            let rt = Runtime::new(threads);
+            let report = solve_portfolio_with_sharing(
+                &rt,
+                &cnf,
+                &diversified_configs(4),
+                SharingConfig::default(),
+            );
+            assert_eq!(report.result, sequential, "verdict at {threads} threads");
+            assert_eq!(report.result, SolveResult::Unsat);
+            // Export accounting is consistent between the pool and the
+            // entrants' own stats (the pool may see fewer than the sum of
+            // entrant exports when capacity drops some).
+            let entrant_exports: u64 = report
+                .entrant_stats
+                .iter()
+                .flatten()
+                .map(|s| s.exported_clauses)
+                .sum();
+            assert!(report.shared_exported <= entrant_exports);
+            assert_eq!(report.entrant_telemetry.len(), 4);
+            // A hard-enough instance restarts, so at least someone had an
+            // import opportunity; don't require it (the race can end
+            // first), just require consistency.
+            let entrant_imports: u64 = report
+                .entrant_stats
+                .iter()
+                .flatten()
+                .map(|s| s.imported_clauses)
+                .sum();
+            assert!(entrant_imports <= report.shared_imported);
+        }
+    }
+
+    #[test]
+    fn sharing_keeps_cancellation_latency_bounded() {
+        let cnf = pigeonhole(5);
+        let rt = Runtime::new(4);
+        let report = solve_portfolio_with_sharing(
+            &rt,
+            &cnf,
+            &diversified_configs(4),
+            SharingConfig::default(),
+        );
+        // Default entrants poll every conflict; sharing must not loosen
+        // the cancellation-latency bound.
+        assert!(report.cancel_latency_conflicts() <= 1);
     }
 
     #[test]

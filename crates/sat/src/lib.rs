@@ -12,9 +12,19 @@
 //! * Conflict-driven clause learning with first-UIP analysis and clause
 //!   minimization ([`Solver`]).
 //! * Two-watched-literal unit propagation.
-//! * VSIDS decision heuristic with phase saving.
-//! * Luby restarts ([`luby`]) and activity/LBD-based learnt-clause deletion.
-//! * Incremental solving under assumptions with failed-assumption extraction.
+//! * VSIDS decision heuristic with phase saving (initial polarity seeded by
+//!   [`SolverConfig::default_polarity`]).
+//! * Luby or glucose-adaptive restarts ([`RestartPolicy`]) and
+//!   glucose-style tiered learnt-clause reduction keyed on LBD.
+//! * Incremental solving under assumptions with failed-assumption
+//!   extraction, optional light inprocessing between calls
+//!   ([`SolverConfig::inprocess`]), and conflict-budgeted solving
+//!   ([`Solver::solve_bounded`]) for adaptive cube-and-conquer.
+//! * Learnt-clause sharing between solver instances: install a
+//!   [`ClauseSink`] with [`Solver::set_clause_sink`] and low-LBD learnt
+//!   clauses flow out at every conflict and in at every restart boundary
+//!   ([`SharedClause`]). `mca-runtime` builds its portfolio sharing pool on
+//!   this.
 //! * Cooperative cross-thread cancellation: share a [`CancelToken`] via
 //!   [`Solver::set_terminate`] and drive the search with
 //!   [`Solver::solve_under_assumptions`] — the loop checks the token at
@@ -68,6 +78,6 @@ pub use luby::{luby, LubyRestarts};
 pub use proof::{check_drat, DratError, Proof, ProofStep};
 pub use simplify::{simplify, simplify_logged, SimplifyStats};
 pub use solver::{
-    CancelToken, EpochSample, Model, ProgressCallback, ProgressFn, SearchTelemetry, SolveResult,
-    Solver, SolverConfig, SolverStats,
+    CancelToken, ClauseSink, EpochSample, Model, ProgressCallback, ProgressFn, RestartPolicy,
+    SearchTelemetry, SharedClause, SolveResult, Solver, SolverConfig, SolverStats,
 };

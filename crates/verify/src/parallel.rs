@@ -9,6 +9,11 @@
 //! and — for portfolio — the *winning configuration* may differ between a
 //! 1-thread and an N-thread run. The `runtime_determinism` integration
 //! test pins this.
+//!
+//! Job granularity is deliberately **coarse**: sub-millisecond cells are
+//! grouped into multi-cell jobs (pairs for the Result-1 matrix, strided
+//! chunks for the extended matrix) so queue hand-off does not dominate the
+//! work — the failure mode `mca-bench repro why` flags as W001/W005.
 
 use crate::analysis::{
     scale_sweep_at, scale_variant, verdict_detail, AttackReport, PolicyMatrixRow, ScaleRow,
@@ -20,34 +25,44 @@ use mca_core::checker::{check_consensus, CheckerOptions};
 use mca_core::scenarios::{self, ExtendedPolicyCell, PolicyCell};
 use mca_relalg::TranslateError;
 use mca_runtime::{
-    solve_cubes, solve_portfolio, CubeReport, PortfolioEntry, PortfolioReport, Runtime,
+    solve_cubes, solve_cubes_adaptive, solve_portfolio, solve_portfolio_with_sharing,
+    AdaptiveCubeConfig, AdaptiveCubeReport, CubeReport, PortfolioEntry, PortfolioReport, Runtime,
+    SharingConfig,
 };
 use mca_sat::SolveResult;
 use std::fmt;
 use std::time::Instant;
 
-/// E3 in parallel: the four Result-1 policy cells checked concurrently.
-/// Row order, verdicts, and details are identical to
+/// E3 in parallel: the four Result-1 policy cells checked as **two jobs
+/// of two cells each**. Per-cell checks run in well under a millisecond,
+/// so one-cell jobs spend more wall clock in queue hand-off than in work
+/// (the `repro why` W005 sub-millisecond-job diagnosis); pairing them
+/// keeps each job above the scheduling noise floor while still using two
+/// workers. Row order, verdicts, and details are identical to
 /// [`crate::analysis::run_policy_matrix`]; only `secs` differs.
 pub fn run_policy_matrix_parallel(rt: &Runtime) -> Vec<PolicyMatrixRow> {
+    let check_cell = |cell: PolicyCell| {
+        let start = Instant::now();
+        let verdict = check_consensus(scenarios::fig2(cell), CheckerOptions::default());
+        PolicyMatrixRow {
+            cell,
+            paper_converges: cell.paper_says_converges(),
+            checker_converges: verdict.converges(),
+            detail: verdict_detail(&verdict),
+            secs: start.elapsed().as_secs_f64(),
+        }
+    };
     let jobs: Vec<(String, _)> = PolicyCell::grid()
-        .into_iter()
+        .chunks(2)
+        .map(<[PolicyCell]>::to_vec)
         .enumerate()
-        .map(|(i, cell)| {
-            (format!("e3:cell{i}"), move |_: &mca_sat::CancelToken| {
-                let start = Instant::now();
-                let verdict = check_consensus(scenarios::fig2(cell), CheckerOptions::default());
-                PolicyMatrixRow {
-                    cell,
-                    paper_converges: cell.paper_says_converges(),
-                    checker_converges: verdict.converges(),
-                    detail: verdict_detail(&verdict),
-                    secs: start.elapsed().as_secs_f64(),
-                }
+        .map(|(i, chunk)| {
+            (format!("e3:pair{i}"), move |_: &mca_sat::CancelToken| {
+                chunk.into_iter().map(check_cell).collect::<Vec<_>>()
             })
         })
         .collect();
-    rt.run_batch(jobs)
+    rt.run_batch(jobs).into_iter().flatten().collect()
 }
 
 /// One row of the extended 16-cell policy matrix (see
@@ -98,33 +113,73 @@ impl fmt::Display for ExtendedMatrixRow {
     }
 }
 
-/// The extended policy matrix: all sixteen [`ExtendedPolicyCell`]s
-/// simulated under a bounded synchronous schedule, fanned across the
-/// runtime's workers. Rows come back in grid order.
-pub fn run_extended_policy_matrix(rt: &Runtime) -> Vec<ExtendedMatrixRow> {
-    let jobs: Vec<(String, _)> = ExtendedPolicyCell::grid()
+/// Simulates one extended-matrix cell under the bounded synchronous
+/// schedule shared by the sequential and parallel drivers.
+fn extended_cell(cell: ExtendedPolicyCell) -> ExtendedMatrixRow {
+    let start = Instant::now();
+    // Budgeted: divergent cells re-broadcast every view change, so their
+    // synchronous message volume grows geometrically with the round
+    // number.
+    let out = scenarios::extended(cell).run_synchronous_budgeted(64, 20_000);
+    ExtendedMatrixRow {
+        cell,
+        paper_converges: cell.paper_says_converges(),
+        sim_converges: out.converged,
+        rounds: out.rounds,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// The extended policy matrix, sequentially: all sixteen
+/// [`ExtendedPolicyCell`]s simulated one after another in grid order.
+/// This is the single-thread baseline that `mca-bench repro e3` times
+/// against [`run_extended_policy_matrix`].
+pub fn run_extended_policy_matrix_seq() -> Vec<ExtendedMatrixRow> {
+    ExtendedPolicyCell::grid()
         .into_iter()
-        .map(|cell| {
+        .map(extended_cell)
+        .collect()
+}
+
+/// The extended policy matrix in parallel: the sixteen
+/// [`ExtendedPolicyCell`]s simulated under a bounded synchronous
+/// schedule, fanned across the runtime's workers as `min(threads, 8)`
+/// **strided chunks** rather than sixteen one-cell jobs. Per-cell
+/// simulations vary from microseconds (fast-converging cells) to
+/// milliseconds (budget-bound divergent cells); striding deals every
+/// chunk a mix of both so chunks finish at similar times, and the
+/// coarser granularity keeps each job above the queue hand-off noise
+/// floor (`repro why` rules W001/W005). Rows come back in grid order.
+pub fn run_extended_policy_matrix(rt: &Runtime) -> Vec<ExtendedMatrixRow> {
+    let cells: Vec<ExtendedPolicyCell> = ExtendedPolicyCell::grid().into_iter().collect();
+    let total = cells.len();
+    let chunks = rt.threads().clamp(1, 8).min(total);
+    let jobs: Vec<(String, _)> = (0..chunks)
+        .map(|stride| {
+            let mine: Vec<(usize, ExtendedPolicyCell)> = cells
+                .iter()
+                .copied()
+                .enumerate()
+                .skip(stride)
+                .step_by(chunks)
+                .collect();
             (
-                format!("e3x:{}", cell.label()),
+                format!("e3x:stride{stride}/{chunks}"),
                 move |_: &mca_sat::CancelToken| {
-                    let start = Instant::now();
-                    // Budgeted: divergent cells re-broadcast every view
-                    // change, so their synchronous message volume grows
-                    // geometrically with the round number.
-                    let out = scenarios::extended(cell).run_synchronous_budgeted(64, 20_000);
-                    ExtendedMatrixRow {
-                        cell,
-                        paper_converges: cell.paper_says_converges(),
-                        sim_converges: out.converged,
-                        rounds: out.rounds,
-                        secs: start.elapsed().as_secs_f64(),
-                    }
+                    mine.into_iter()
+                        .map(|(index, cell)| (index, extended_cell(cell)))
+                        .collect::<Vec<_>>()
                 },
             )
         })
         .collect();
-    rt.run_batch(jobs)
+    let mut rows: Vec<Option<ExtendedMatrixRow>> = (0..total).map(|_| None).collect();
+    for (index, row) in rt.run_batch(jobs).into_iter().flatten() {
+        rows[index] = Some(row);
+    }
+    rows.into_iter()
+        .map(|row| row.expect("every grid cell simulated exactly once"))
+        .collect()
 }
 
 /// The pieces of E4, computed as independent jobs.
@@ -286,6 +341,23 @@ pub fn check_consensus_portfolio(
     (report.result == SolveResult::Unsat, report)
 }
 
+/// Like [`check_consensus_portfolio`], but the entrants exchange low-LBD
+/// learnt clauses through a [`ClauseShare`](mca_runtime::ClauseShare)
+/// pool, so the losers' conflict analysis feeds the winner instead of
+/// being discarded at cancellation. The verdict is unchanged — imports
+/// are logical consequences of the shared CNF — and the report's
+/// `shared_exported` / `shared_imported` counters quantify the traffic.
+pub fn check_consensus_portfolio_shared(
+    rt: &Runtime,
+    model: &DynamicModel,
+    entrants: &[PortfolioEntry],
+    sharing: SharingConfig,
+) -> (bool, PortfolioReport) {
+    let cnf = model.consensus_cnf().expect("well-formed model");
+    let report = solve_portfolio_with_sharing(rt, &cnf, entrants, sharing);
+    (report.result == SolveResult::Unsat, report)
+}
+
 /// The consensus assertion checked by cube-and-conquer: the CNF is split
 /// on its `split` most frequent variables and the `2^split` cubes are
 /// conquered in parallel. Valid ⇔ every cube is UNSAT.
@@ -296,6 +368,20 @@ pub fn check_consensus_cubes(
 ) -> (bool, CubeReport) {
     let cnf = model.consensus_cnf().expect("well-formed model");
     let report = solve_cubes(rt, &cnf, split);
+    (report.result == SolveResult::Unsat, report)
+}
+
+/// The consensus assertion checked by **adaptive** cube-and-conquer:
+/// cubes that resolve inside the conflict budget finish shallow; cubes
+/// that exhaust it are split one ladder variable deeper. Valid ⇔ the
+/// adaptive search is UNSAT everywhere.
+pub fn check_consensus_cubes_adaptive(
+    rt: &Runtime,
+    model: &DynamicModel,
+    config: AdaptiveCubeConfig,
+) -> (bool, AdaptiveCubeReport) {
+    let cnf = model.consensus_cnf().expect("well-formed model");
+    let report = solve_cubes_adaptive(rt, &cnf, config);
     (report.result == SolveResult::Unsat, report)
 }
 
@@ -348,6 +434,52 @@ mod tests {
             if row.cell.submodular && !row.cell.rebid {
                 assert!(row.matches_paper(), "unexpected verdict: {row}");
             }
+        }
+    }
+
+    #[test]
+    fn chunked_extended_matrix_matches_sequential_in_grid_order() {
+        // Strided chunking must scatter rows back into exact grid order,
+        // at every chunk count the thread clamp can produce.
+        let seq = run_extended_policy_matrix_seq();
+        assert_eq!(seq.len(), 16);
+        for threads in [1, 3, 8, 16] {
+            let rt = Runtime::new(threads);
+            let par = run_extended_policy_matrix(&rt);
+            assert_eq!(par.len(), seq.len());
+            for (p, s) in par.iter().zip(&seq) {
+                assert_eq!(p.cell, s.cell, "grid order broken at {threads} threads");
+                assert_eq!(p.sim_converges, s.sim_converges);
+                assert_eq!(p.rounds, s.rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_portfolio_and_adaptive_cubes_agree_with_sequential_check() {
+        let rt = Runtime::new(2);
+        for scenario in [
+            DynamicScenario::two_agent_compliant(),
+            DynamicScenario::two_agent_rebid_attack(),
+        ] {
+            let model = DynamicModel::build(NumberEncoding::OptimizedValue, scenario);
+            let sequential = model
+                .check_consensus()
+                .expect("well-formed model")
+                .result
+                .is_valid();
+            let (shared_valid, report) = check_consensus_portfolio_shared(
+                &rt,
+                &model,
+                &diversified_configs(3),
+                SharingConfig::default(),
+            );
+            assert_eq!(shared_valid, sequential);
+            assert_eq!(report.entrants, 3);
+            let (adaptive_valid, cubes) =
+                check_consensus_cubes_adaptive(&rt, &model, AdaptiveCubeConfig::default());
+            assert_eq!(adaptive_valid, sequential);
+            assert!(cubes.attempts >= 1);
         }
     }
 

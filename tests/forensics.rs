@@ -197,6 +197,84 @@ fn why_diagnoses_a_deliberately_fine_grained_batch() {
 }
 
 #[test]
+fn coarsened_e3_batch_no_longer_fires_critical_granularity_rules() {
+    // Regression pin for the PR that coarsened E3's job granularity: the
+    // `repro e3` batch shape — paired Result-1 cells and strided
+    // extended-matrix chunks (6 jobs instead of the old 20) mixed with
+    // the solver-bound jobs that dominate the real run (portfolio
+    // entrants, E8 scaling cells; pigeonhole solves stand in here) — must
+    // not trip W001 or W005 at *critical* severity any more. That was
+    // exactly the diagnosis `repro why` issued against the old
+    // one-cell-per-job drivers, where matrix confetti outnumbered the
+    // solver jobs and dragged the median under the overhead floor.
+    // Warnings are tolerated (the scope is small); critical is the
+    // regression. CI additionally gates the real trace.
+    // The recorder must predate the jobs: `emit_job_spans` maps execution
+    // windows onto the recorder's clock and clamps anything earlier than
+    // its epoch to zero-length.
+    let handle = Handle::new(JsonlSink::new(Vec::<u8>::new()));
+    let spans = SpanRecorder::new(handle.observer());
+    let rt = Runtime::new(4);
+    let rows = mca_verify::parallel::run_policy_matrix_parallel(&rt);
+    assert_eq!(rows.len(), 4);
+    let xrows = mca_verify::parallel::run_extended_policy_matrix(&rt);
+    assert_eq!(xrows.len(), 16);
+    let solves: Vec<(String, _)> = (0..8)
+        .map(|i| {
+            let cnf = pigeonhole(7);
+            (format!("sat:{i}"), move |_: &CancelToken| {
+                cnf.to_solver().solve()
+            })
+        })
+        .collect();
+    assert!(rt
+        .run_batch(solves)
+        .iter()
+        .all(|r| *r == SolveResult::Unsat));
+    rt.emit_job_spans(&spans);
+    drop(spans);
+    let mut metrics = Metrics::new();
+    rt.record_metrics(&mut metrics, "runtime");
+    let bytes = handle
+        .try_into_inner()
+        .expect("sole owner")
+        .into_inner()
+        .expect("in-memory writes cannot fail");
+    let trace = ParsedTrace::parse(&String::from_utf8(bytes).expect("UTF-8"));
+    let metrics_json = mca_obs::json::Json::parse(&metrics.to_json().render()).expect("own JSON");
+    let findings = diagnose(&trace, Some(&metrics_json));
+    for rule in ["W001", "W005"] {
+        assert!(
+            !findings
+                .iter()
+                .any(|f| f.rule == rule && f.severity == mca_report::WhySeverity::Critical),
+            "{rule} is critical again on the coarsened E3 batch: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn sharing_does_not_loosen_the_cancellation_latency_bound() {
+    // Imports happen at restart boundaries, never between the token being
+    // set and the next conflict-poll, so the latency contract survives
+    // clause sharing unchanged.
+    let cnf = pigeonhole(4);
+    let rt = Runtime::new(2);
+    let report = mca_runtime::solve_portfolio_with_sharing(
+        &rt,
+        &cnf,
+        &mca_runtime::diversified_configs(4),
+        mca_runtime::SharingConfig::default(),
+    );
+    assert_eq!(report.result, SolveResult::Unsat);
+    assert!(
+        report.cancel_latency_conflicts() <= 1,
+        "sharing loosened the cancellation latency: {}",
+        report.cancel_latency_conflicts()
+    );
+}
+
+#[test]
 fn portfolio_cancellation_latency_is_bounded_by_the_check_interval() {
     // A cancelled portfolio loser stops within `cancel_check_interval`
     // conflicts of the token being set — here the default interval of 1,

@@ -8,11 +8,13 @@
 //! The multi-thread worker count defaults to 4 and can be overridden with
 //! `MCA_TEST_THREADS` (CI runs the suite at 1, 2, and 8).
 
-use mca_runtime::{diversified_configs, Runtime};
-use mca_sat::CancelToken;
+use mca_runtime::{
+    diversified_configs, solve_cubes_adaptive, AdaptiveCubeConfig, Runtime, SharingConfig,
+};
+use mca_sat::{CancelToken, CnfFormula, SolveResult};
 use mca_verify::parallel::{
-    check_consensus_cubes, check_consensus_portfolio, run_extended_policy_matrix,
-    run_policy_matrix_parallel, run_rebid_attack_parallel,
+    check_consensus_cubes, check_consensus_portfolio, check_consensus_portfolio_shared,
+    run_extended_policy_matrix, run_policy_matrix_parallel, run_rebid_attack_parallel,
 };
 use mca_verify::{DynamicModel, DynamicScenario, NumberEncoding};
 
@@ -110,6 +112,89 @@ fn portfolio_and_cube_verdicts_never_differ_from_sequential() {
         let (cube_valid, _) = check_consensus_cubes(&rt, &model, 3);
         assert_eq!(cube_valid, sequential, "cube verdict differs");
     }
+}
+
+#[test]
+fn shared_portfolio_verdicts_are_thread_count_invariant() {
+    // Clause sharing moves learnt clauses between entrants; every import
+    // is a logical consequence of the shared CNF, so the verdict must not
+    // move at any thread count.
+    for threads in [1, 2, 8] {
+        let rt = Runtime::new(threads);
+        for scenario in [
+            DynamicScenario::two_agent_compliant(),
+            DynamicScenario::two_agent_rebid_attack(),
+        ] {
+            let model = DynamicModel::build(NumberEncoding::OptimizedValue, scenario);
+            let sequential = model
+                .check_consensus()
+                .expect("well-formed model")
+                .result
+                .is_valid();
+            let (shared_valid, report) = check_consensus_portfolio_shared(
+                &rt,
+                &model,
+                &diversified_configs(4),
+                SharingConfig::default(),
+            );
+            assert_eq!(
+                shared_valid, sequential,
+                "sharing changed the verdict at {threads} threads (winner {})",
+                report.winner_label
+            );
+            // Pool accounting is internally consistent: nothing can be
+            // imported that was never exported into a lane.
+            assert!(report.shared_imported <= report.shared_exported * 4);
+        }
+    }
+}
+
+/// `holes`+1 pigeons into `holes` holes — UNSAT, forces real search.
+fn pigeonhole(holes: usize) -> CnfFormula {
+    let pigeons = holes + 1;
+    let mut cnf = CnfFormula::new();
+    let vars: Vec<Vec<mca_sat::Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| cnf.new_var()).collect())
+        .collect();
+    for p in &vars {
+        cnf.add_clause(p.iter().map(|v| v.lit(true)));
+    }
+    for (i, p1) in vars.iter().enumerate() {
+        for p2 in &vars[i + 1..] {
+            for (a, b) in p1.iter().zip(p2) {
+                cnf.add_clause([a.lit(false), b.lit(false)]);
+            }
+        }
+    }
+    cnf
+}
+
+#[test]
+fn adaptive_cube_event_streams_are_bit_identical_across_thread_counts() {
+    // On an UNSAT instance nothing cancels, so each round's job set is a
+    // deterministic function of the formula and the config — and because
+    // drained job events are sorted by id and carry no wall-clock fields,
+    // the rendered stream must be byte-identical at 1, 2, and 8 threads.
+    let cnf = pigeonhole(5);
+    let config = AdaptiveCubeConfig {
+        initial_split: 2,
+        conflict_budget: 64,
+        max_split: 4,
+    };
+    let stream_at = |threads: usize| -> String {
+        let rt = Runtime::new(threads);
+        let report = solve_cubes_adaptive(&rt, &cnf, config);
+        assert_eq!(report.result, SolveResult::Unsat);
+        rt.drain_job_events()
+            .iter()
+            .map(mca_obs::Event::to_json_line)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let one = stream_at(1);
+    assert!(!one.is_empty());
+    assert_eq!(one, stream_at(2), "2-thread stream diverged");
+    assert_eq!(one, stream_at(8), "8-thread stream diverged");
 }
 
 #[test]
