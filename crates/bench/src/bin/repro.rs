@@ -13,6 +13,7 @@
 //! repro why run.jsonl            # diagnose bottlenecks from a trace
 //! repro serve --addr 127.0.0.1:7117   # verification-as-a-service daemon
 //! repro load --smoke             # drive a server, write BENCH_SERVE.json
+//! repro serve-stats 127.0.0.1:7117    # scrape a daemon's live telemetry
 //! ```
 //!
 //! With `--trace`, the run also records hierarchical **spans**: one
@@ -58,6 +59,14 @@
 //! pair and prints a ranked bottleneck diagnosis. Exit codes mirror
 //! `repro diff`: 0 when no rule fires, 1 when at least one does, 2 on
 //! usage/IO errors — so CI can pin the diagnosis set on known fixtures.
+//!
+//! The service side mirrors the same workflow: `repro serve-stats <addr>`
+//! scrapes a running daemon's `Metrics` frame (Prometheus-style text,
+//! `--flight FILE` also saves the `FlightDump` JSON), `repro why --serve
+//! scrape.txt [--flight flight.json]` runs the W101–W106 service rule
+//! family over a scrape, and `repro report <trace> --serve-stats
+//! scrape.txt` appends the service dashboard section (latency percentiles,
+//! hit rate by tier, queue sparkline) to the rendered report.
 //!
 //! `--reps N` (default 5) controls the benchmark methodology of the
 //! multi-threaded E3 section: each timed section runs one untimed warmup
@@ -114,6 +123,7 @@ fn main() {
         Some("lint") => cmd_lint(&args[1..]),
         Some("why") => cmd_why(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("serve-stats") => cmd_serve_stats(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
         _ => {}
     }
@@ -333,6 +343,8 @@ fn cmd_report(args: &[String]) -> ! {
     let mut metrics_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut timeline_path: Option<String> = None;
+    let mut serve_stats_path: Option<String> = None;
+    let mut flight_path: Option<String> = None;
     let mut html = false;
     let mut top = 10usize;
     let mut i = 0;
@@ -341,6 +353,10 @@ fn cmd_report(args: &[String]) -> ! {
             "--metrics" => metrics_path = Some(subcommand_flag_value(args, &mut i, "--metrics")),
             "--out" => out_path = Some(subcommand_flag_value(args, &mut i, "--out")),
             "--timeline" => timeline_path = Some(subcommand_flag_value(args, &mut i, "--timeline")),
+            "--serve-stats" => {
+                serve_stats_path = Some(subcommand_flag_value(args, &mut i, "--serve-stats"));
+            }
+            "--flight" => flight_path = Some(subcommand_flag_value(args, &mut i, "--flight")),
             "--html" => html = true,
             "--top" => {
                 let v = subcommand_flag_value(args, &mut i, "--top");
@@ -361,7 +377,7 @@ fn cmd_report(args: &[String]) -> ! {
     }
     let Some(trace_path) = trace_path else {
         eprintln!(
-            "usage: repro report <trace.jsonl> [--metrics m.json] [--out path] [--html] [--top N] [--timeline path.html]"
+            "usage: repro report <trace.jsonl> [--metrics m.json] [--out path] [--html] [--top N] [--timeline path.html] [--serve-stats scrape.txt] [--flight flight.json]"
         );
         std::process::exit(2);
     };
@@ -386,7 +402,20 @@ fn cmd_report(args: &[String]) -> ! {
         top,
         source: trace_path.clone(),
     };
-    let markdown = render_markdown(&trace, metrics.as_ref(), &opts);
+    let mut markdown = render_markdown(&trace, metrics.as_ref(), &opts);
+    if let Some(path) = &serve_stats_path {
+        let stats = mca_report::ServiceStats::parse(&read_or_die(path));
+        let flight = flight_path.as_ref().map(|p| {
+            Json::parse(&read_or_die(p)).unwrap_or_else(|e| {
+                eprintln!("cannot parse flight dump {p}: {e}");
+                std::process::exit(2);
+            })
+        });
+        markdown.push_str(&mca_report::render_service_dashboard(
+            &stats,
+            flight.as_ref(),
+        ));
+    }
     let rendered = if html {
         render_html(&markdown, &format!("mca-report: {trace_path}"))
     } else {
@@ -412,11 +441,15 @@ fn cmd_report(args: &[String]) -> ! {
 fn cmd_why(args: &[String]) -> ! {
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut serve_path: Option<String> = None;
+    let mut flight_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--metrics" => metrics_path = Some(subcommand_flag_value(args, &mut i, "--metrics")),
+            "--serve" => serve_path = Some(subcommand_flag_value(args, &mut i, "--serve")),
+            "--flight" => flight_path = Some(subcommand_flag_value(args, &mut i, "--flight")),
             "--out" => out_path = Some(subcommand_flag_value(args, &mut i, "--out")),
             other if trace_path.is_none() && !other.starts_with('-') => {
                 trace_path = Some(other.to_string());
@@ -428,19 +461,37 @@ fn cmd_why(args: &[String]) -> ! {
         }
         i += 1;
     }
-    let Some(trace_path) = trace_path else {
-        eprintln!("usage: repro why <trace.jsonl> [--metrics m.json] [--out path]");
+    if trace_path.is_none() && serve_path.is_none() {
+        eprintln!(
+            "usage: repro why <trace.jsonl> [--metrics m.json] [--out path]\n       repro why --serve scrape.txt [--flight flight.json] [--out path]"
+        );
         std::process::exit(2);
-    };
-    let trace = ParsedTrace::parse(&read_or_die(&trace_path));
-    let metrics = metrics_path.as_ref().map(|p| {
+    }
+    let parse_json = |p: &String| {
         Json::parse(&read_or_die(p)).unwrap_or_else(|e| {
-            eprintln!("cannot parse metrics file {p}: {e}");
+            eprintln!("cannot parse JSON file {p}: {e}");
             std::process::exit(2);
         })
-    });
-    let findings = mca_report::diagnose(&trace, metrics.as_ref());
-    let rendered = mca_report::render_why_markdown(&findings, &trace_path);
+    };
+    let mut findings = Vec::new();
+    if let Some(trace_path) = &trace_path {
+        let trace = ParsedTrace::parse(&read_or_die(trace_path));
+        let metrics = metrics_path.as_ref().map(parse_json);
+        findings.extend(mca_report::diagnose(&trace, metrics.as_ref()));
+    }
+    if let Some(serve_path) = &serve_path {
+        let stats = mca_report::ServiceStats::parse(&read_or_die(serve_path));
+        let flight = flight_path.as_ref().map(parse_json);
+        findings.extend(mca_report::diagnose_service(&stats, flight.as_ref()));
+    }
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.rule.cmp(b.rule)));
+    let source = match (&trace_path, &serve_path) {
+        (Some(t), Some(s)) => format!("{t} + {s}"),
+        (Some(t), None) => t.clone(),
+        (None, Some(s)) => s.clone(),
+        (None, None) => unreachable!("usage check above"),
+    };
+    let rendered = mca_report::render_why_markdown(&findings, &source);
     match out_path {
         Some(path) => {
             if let Err(e) = std::fs::write(&path, &rendered) {
@@ -654,10 +705,16 @@ fn cmd_lint(args: &[String]) -> ! {
 }
 
 /// `repro serve [--addr A] [--threads N] [--cache-mb N] [--queue-cap N]
-/// [--read-timeout-secs S] [--trace FILE]` — runs the verification
-/// daemon in the foreground until a wire `Shutdown` frame arrives, then
-/// drains in-flight requests, flushes counters (and the `--trace` event
-/// log), and exits 0. Bind and usage errors exit 2.
+/// [--read-timeout-secs S] [--ring-cap N] [--slowest-cap N]
+/// [--window-secs S] [--no-telemetry] [--trace FILE]` — runs the
+/// verification daemon in the foreground until a wire `Shutdown` frame
+/// arrives, then drains in-flight requests, flushes counters (and the
+/// `--trace` event log), and exits 0. Bind and usage errors exit 2.
+///
+/// Telemetry (per-request records, rolling windows, the flight
+/// recorder) is on by default; the knobs size the flight-recorder ring,
+/// the slowest-request list, and the rolling window. Scrape a running
+/// daemon with `repro serve-stats <addr>`.
 ///
 /// There is no signal handler — the workspace forbids `unsafe`, which
 /// rules one out — so stop the daemon with `repro load --shutdown` or
@@ -688,6 +745,12 @@ fn cmd_serve(args: &[String]) -> ! {
                 config.read_timeout =
                     std::time::Duration::from_secs(number("--read-timeout-secs") as u64);
             }
+            "--ring-cap" => config.telemetry.ring_capacity = number("--ring-cap").max(1),
+            "--slowest-cap" => config.telemetry.slowest_capacity = number("--slowest-cap").max(1),
+            "--window-secs" => {
+                config.telemetry.window_secs = number("--window-secs").max(1) as u64;
+            }
+            "--no-telemetry" => config.telemetry.enabled = false,
             "--trace" => trace_path = Some(subcommand_flag_value(args, &mut i, "--trace")),
             other => {
                 eprintln!("unknown serve argument `{other}`");
@@ -743,6 +806,80 @@ fn cmd_serve(args: &[String]) -> ! {
         report.cache.evictions,
         report.cache.bytes_hwm,
     );
+    std::process::exit(0);
+}
+
+/// `repro serve-stats <addr> [--out FILE] [--flight FILE] [--shutdown]`
+/// — scrapes a running daemon's `Metrics` frame (Prometheus-style
+/// exposition text) to stdout or `--out`, and with `--flight` also
+/// saves the `FlightDump` JSON (recent ring + slowest requests). With
+/// `--shutdown` the scrape is followed by a wire `Shutdown` frame, so a
+/// driver can capture final counters and stop the daemon race-free in
+/// one step. The scrape pairs with `repro why --serve` and
+/// `repro report --serve-stats`. Connection and IO errors exit 2.
+fn cmd_serve_stats(args: &[String]) -> ! {
+    let mut addr: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut flight_path: Option<String> = None;
+    let mut shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => out_path = Some(subcommand_flag_value(args, &mut i, "--out")),
+            "--flight" => flight_path = Some(subcommand_flag_value(args, &mut i, "--flight")),
+            "--shutdown" => shutdown = true,
+            other if addr.is_none() && !other.starts_with('-') => {
+                addr = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown serve-stats argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: repro serve-stats <addr> [--out FILE] [--flight FILE] [--shutdown]");
+        std::process::exit(2);
+    };
+    let mut client =
+        mca_serve::Client::connect_retry(&addr as &str, 20, std::time::Duration::from_millis(100))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot connect to {addr}: {e}");
+                std::process::exit(2);
+            });
+    let text = client.metrics().unwrap_or_else(|e| {
+        eprintln!("metrics scrape of {addr} failed: {e}");
+        std::process::exit(2);
+    });
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cannot write scrape file {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("metrics scrape written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    if let Some(path) = &flight_path {
+        let dump = client.flight_dump().unwrap_or_else(|e| {
+            eprintln!("flight dump of {addr} failed: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = std::fs::write(path, &dump) {
+            eprintln!("cannot write flight dump {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("flight dump written to {path}");
+    }
+    if shutdown {
+        if let Err(e) = client.shutdown_server() {
+            eprintln!("shutdown of {addr} failed: {e}");
+            std::process::exit(2);
+        }
+        println!("shutdown acknowledged by {addr}");
+    }
     std::process::exit(0);
 }
 

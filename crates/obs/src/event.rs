@@ -270,6 +270,30 @@ pub enum Event {
         /// The content-addressed cache key.
         key: String,
     },
+    /// Per-request latency attribution from the verification service.
+    /// Carries wall-clock durations, so it belongs to the **opt-in
+    /// non-deterministic stream** (like `span-enter`/`span-exit`): the
+    /// service emits it only when event recording is on.
+    ServeSpan {
+        /// Service-assigned request id.
+        req: u64,
+        /// Request kind tag.
+        kind: String,
+        /// End-to-end service time (frame decoded → response written).
+        total_ns: u64,
+        /// Request body decode.
+        decode_ns: u64,
+        /// Admission-queue wait.
+        queue_ns: u64,
+        /// Content-addressed cache lookups/stores.
+        cache_ns: u64,
+        /// Model build + translation to CNF.
+        translate_ns: u64,
+        /// SAT solving (or lint analysis).
+        solve_ns: u64,
+        /// Response encode + socket write.
+        write_ns: u64,
+    },
     /// Periodic SAT-solver progress (forwarded from the solver's progress
     /// callback, typically every N conflicts).
     SolverProgress {
@@ -313,6 +337,7 @@ impl Event {
             Event::ServeRequest { .. } => "serve-request",
             Event::ServeResponse { .. } => "serve-response",
             Event::ServeCache { .. } => "serve-cache",
+            Event::ServeSpan { .. } => "serve-span",
             Event::SolverProgress { .. } => "solver-progress",
         }
     }
@@ -563,6 +588,28 @@ impl Event {
                 ("op", op.as_str().into()),
                 ("key", key.as_str().into()),
             ]),
+            Event::ServeSpan {
+                req,
+                kind: ref kind_tag,
+                total_ns,
+                decode_ns,
+                queue_ns,
+                cache_ns,
+                translate_ns,
+                solve_ns,
+                write_ns,
+            } => Json::obj([
+                ("event", kind),
+                ("req", req.into()),
+                ("kind", kind_tag.as_str().into()),
+                ("total_ns", total_ns.into()),
+                ("decode_ns", decode_ns.into()),
+                ("queue_ns", queue_ns.into()),
+                ("cache_ns", cache_ns.into()),
+                ("translate_ns", translate_ns.into()),
+                ("solve_ns", solve_ns.into()),
+                ("write_ns", write_ns.into()),
+            ]),
             Event::SolverProgress {
                 conflicts,
                 decisions,
@@ -792,6 +839,22 @@ mod tests {
             cache.to_json_line(),
             r#"{"event":"serve-cache","tier":"translation","op":"evict","key":"cnf/deadbeef/2x2/optimized"}"#
         );
+        let span = Event::ServeSpan {
+            req: 7,
+            kind: "check".into(),
+            total_ns: 1000,
+            decode_ns: 10,
+            queue_ns: 20,
+            cache_ns: 30,
+            translate_ns: 400,
+            solve_ns: 500,
+            write_ns: 40,
+        };
+        assert_eq!(
+            span.to_json_line(),
+            r#"{"event":"serve-span","req":7,"kind":"check","total_ns":1000,"decode_ns":10,"queue_ns":20,"cache_ns":30,"translate_ns":400,"solve_ns":500,"write_ns":40}"#
+        );
+        assert_eq!(span.kind(), "serve-span");
         let kinds = [req.kind(), resp.kind(), cache.kind()];
         let unique: std::collections::BTreeSet<_> = kinds.iter().collect();
         assert_eq!(unique.len(), kinds.len());

@@ -235,7 +235,8 @@ impl Observer for SummarySink {
             | Event::LintDone { .. }
             | Event::ServeRequest { .. }
             | Event::ServeResponse { .. }
-            | Event::ServeCache { .. } => {}
+            | Event::ServeCache { .. }
+            | Event::ServeSpan { .. } => {}
         }
     }
 }

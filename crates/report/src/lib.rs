@@ -20,6 +20,10 @@
 //! * [`timeline`] — renders per-worker HTML swimlanes from the
 //!   `runtime.job:*` span windows, the visual companion to the worker
 //!   scheduling counters in the metrics registry.
+//! * [`service`] — parses `mca-serve` Metrics scrapes (Prometheus-style
+//!   exposition text) and renders the `## Service dashboard (live
+//!   scrape)` report section;
+//!   the W101–W106 service rules in [`why`] read the same parse.
 //! * [`why`] — the `repro why` rule catalog: turns a trace + metrics pair
 //!   into a ranked, stable-id bottleneck diagnosis that CI can pin.
 //!
@@ -32,6 +36,7 @@
 pub mod diff;
 pub mod lint;
 pub mod render;
+pub mod service;
 pub mod timeline;
 pub mod trace;
 pub mod why;
@@ -39,6 +44,7 @@ pub mod why;
 pub use diff::{diff_bench, DiffConfig, DiffOutcome, MetricKind, Regression};
 pub use lint::{render_lint_markdown, LintFinding, LintSummary, ParsedLint};
 pub use render::{render_html, render_markdown, ReportOptions};
+pub use service::{render_service_dashboard, Series, ServiceStats};
 pub use timeline::render_timeline_html;
 pub use trace::{ParsedTrace, SearchEpochRow, ServeSummary, SpanNode};
-pub use why::{diagnose, render_why_markdown, WhyFinding, WhySeverity};
+pub use why::{diagnose, diagnose_service, render_why_markdown, WhyFinding, WhySeverity};

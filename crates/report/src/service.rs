@@ -1,0 +1,611 @@
+//! Service-side observability: parses `mca-serve` Metrics scrapes
+//! (Prometheus-style exposition text) and renders the `repro report`
+//! service dashboard.
+//!
+//! The scrape format is produced by `mca_serve::ServiceTelemetry::
+//! prometheus_text` — `name{label="v",...} value` lines plus `# HELP` /
+//! `# TYPE` comments. The parser here is deliberately permissive: it
+//! accepts bare `name value` lines, empty label sets (`name{} value`),
+//! and skips anything it cannot read (counting the skips) so a partial
+//! or future-versioned scrape still renders a dashboard instead of
+//! erroring out.
+//!
+//! Latency percentiles are *bin estimates*: the daemon aggregates into
+//! log2 histograms (see `mca_obs::metrics::Histogram`), so a quantile
+//! resolves to the inclusive upper bound of the bucket that contains it.
+//! That is exact enough for order-of-magnitude diagnosis (the W103 tail
+//! rule) and costs no per-request allocation server-side.
+
+use mca_obs::Json;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One parsed exposition sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Metric name, e.g. `mca_serve_requests_total`.
+    pub name: String,
+    /// Label pairs in scrape order, e.g. `[("kind", "check")]`.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Series {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when every `(key, value)` in `want` matches this series
+    /// (extra labels on the series are allowed — callers use this to
+    /// match bucket series while ignoring `le`).
+    fn matches(&self, want: &[(&str, &str)]) -> bool {
+        want.iter().all(|(k, v)| self.label(k) == Some(v))
+    }
+}
+
+/// A parsed Metrics scrape.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Every sample in scrape order.
+    pub series: Vec<Series>,
+    /// Lines that were neither comments nor parseable samples.
+    pub skipped_lines: u64,
+}
+
+fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let body = body.trim();
+    if body.is_empty() {
+        return Some(labels);
+    }
+    for part in body.split(',') {
+        let (key, quoted) = part.split_once('=')?;
+        let value = quoted.strip_prefix('"')?.strip_suffix('"')?;
+        labels.push((key.trim().to_string(), value.to_string()));
+    }
+    Some(labels)
+}
+
+fn parse_line(line: &str) -> Option<Series> {
+    let line = line.trim();
+    let (head, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    if let Some((name, rest)) = head.split_once('{') {
+        let body = rest.strip_suffix('}')?;
+        Some(Series {
+            name: name.to_string(),
+            labels: parse_labels(body)?,
+            value,
+        })
+    } else {
+        if head.is_empty() || head.contains(' ') {
+            return None;
+        }
+        Some(Series {
+            name: head.to_string(),
+            labels: Vec::new(),
+            value,
+        })
+    }
+}
+
+impl ServiceStats {
+    /// Parses exposition text. Never fails: unreadable lines are counted
+    /// in [`skipped_lines`](ServiceStats::skipped_lines) and dropped.
+    pub fn parse(text: &str) -> ServiceStats {
+        let mut stats = ServiceStats::default();
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            match parse_line(trimmed) {
+                Some(series) => stats.series.push(series),
+                None => stats.skipped_lines += 1,
+            }
+        }
+        stats
+    }
+
+    /// The value of the series with exactly this name whose labels
+    /// include every pair in `labels` (first match wins).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.name == name && s.matches(labels))
+            .map(|s| s.value)
+    }
+
+    /// Sum over every series with this name (e.g. total requests across
+    /// kinds).
+    pub fn total(&self, name: &str) -> f64 {
+        self.series
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// Distinct values of `label` across series named `name`, sorted.
+    pub fn label_values(&self, name: &str, label: &str) -> Vec<String> {
+        let set: BTreeSet<String> = self
+            .series
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| s.label(label).map(str::to_string))
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// The cumulative bucket series `<name>_bucket` matching `labels`
+    /// (ignoring `le`), as `(upper_bound, cumulative_count)` sorted by
+    /// bound. `le="+Inf"` becomes `f64::INFINITY`.
+    pub fn buckets(&self, name: &str, labels: &[(&str, &str)]) -> Vec<(f64, u64)> {
+        let bucket_name = format!("{name}_bucket");
+        let mut out: Vec<(f64, u64)> = self
+            .series
+            .iter()
+            .filter(|s| s.name == bucket_name && s.matches(labels))
+            .filter_map(|s| {
+                let le = s.label("le")?;
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().ok()?
+                };
+                Some((bound, s.value.max(0.0) as u64))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bucket bounds are ordered"));
+        out
+    }
+
+    /// Bin-estimated quantile of histogram `name` under `labels`:
+    /// the inclusive upper bound of the bucket containing the
+    /// `q`-quantile sample (`q` in `[0, 1]`). `None` when the histogram
+    /// is empty or absent.
+    pub fn quantile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        let buckets = self.buckets(name, labels);
+        let count = buckets.iter().map(|&(_, c)| c).max()?;
+        if count == 0 {
+            return None;
+        }
+        let target = ((count as f64 * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
+        buckets
+            .iter()
+            .find(|&&(bound, cum)| cum >= target && bound.is_finite())
+            .map(|&(bound, _)| bound)
+            .or_else(|| {
+                // Everything below target sits in +Inf (cannot happen
+                // with the daemon's full-range bins, but stay total).
+                buckets
+                    .iter()
+                    .rev()
+                    .find(|&&(bound, _)| bound.is_finite())
+                    .map(|&(bound, _)| bound)
+            })
+    }
+}
+
+/// Formats nanoseconds human-readably (`1.2ms`, `340µs`, `2.1s`).
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Renders `values` as a unicode block sparkline scaled to the maximum
+/// value (empty input renders an empty string).
+fn sparkline(values: &[u64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                BLOCKS[0]
+            } else {
+                BLOCKS[((v as f64 / max as f64) * 7.0).round() as usize]
+            }
+        })
+        .collect()
+}
+
+fn flight_ring_depths(flight: &Json) -> Vec<u64> {
+    let Some(Json::Array(ring)) = flight.get("ring") else {
+        return Vec::new();
+    };
+    ring.iter()
+        .filter_map(|rec| rec.get("queue_depth").and_then(Json::as_u64))
+        .collect()
+}
+
+/// Phase attribution fields of a flight-recorder record, in report
+/// order.
+const PHASES: [&str; 6] = [
+    "decode_ns",
+    "queue_ns",
+    "cache_ns",
+    "translate_ns",
+    "solve_ns",
+    "write_ns",
+];
+
+fn dominant_phase(rec: &Json) -> (&'static str, f64) {
+    let mut best = ("decode_ns", 0u64);
+    let mut total = 0u64;
+    for phase in PHASES {
+        let v = rec.get(phase).and_then(Json::as_u64).unwrap_or(0);
+        total += v;
+        if v > best.1 {
+            best = (phase, v);
+        }
+    }
+    let share = if total == 0 {
+        0.0
+    } else {
+        best.1 as f64 / total as f64 * 100.0
+    };
+    (best.0.trim_end_matches("_ns"), share)
+}
+
+/// Renders the service dashboard (the `## Service dashboard (live
+/// scrape)` report section) from a Metrics scrape and, optionally, a
+/// FlightDump JSON. Deterministic for a fixed input, like the other
+/// renderers. The section title is distinct from the trace-derived
+/// `## Service` summary so a report carrying both reads unambiguously.
+pub fn render_service_dashboard(stats: &ServiceStats, flight: Option<&Json>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Service dashboard (live scrape)");
+    let _ = writeln!(out);
+
+    let requests = stats.total("mca_serve_requests_total");
+    let ok = stats
+        .value("mca_serve_responses_total", &[("outcome", "ok")])
+        .unwrap_or(0.0);
+    let errors = stats
+        .value("mca_serve_responses_total", &[("outcome", "error")])
+        .unwrap_or(0.0);
+    let responses = ok + errors;
+    let kinds = stats.label_values("mca_serve_requests_total", "kind");
+    let kind_list = kinds
+        .iter()
+        .map(|k| {
+            let n = stats
+                .value("mca_serve_requests_total", &[("kind", k)])
+                .unwrap_or(0.0);
+            format!("{k} {n:.0}")
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "- requests: {requests:.0} ({kind_list})");
+    let _ = writeln!(
+        out,
+        "- responses: {ok:.0} ok, {errors:.0} error ({:.1}% error rate)",
+        if responses > 0.0 {
+            errors / responses * 100.0
+        } else {
+            0.0
+        }
+    );
+    let _ = writeln!(
+        out,
+        "- read timeouts: {:.0}",
+        stats.total("mca_serve_read_timeouts_total")
+    );
+    let depth = stats.value("mca_serve_queue_depth", &[]).unwrap_or(0.0);
+    let hwm = stats.value("mca_serve_queue_depth_hwm", &[]).unwrap_or(0.0);
+    let cap = stats.value("mca_serve_queue_capacity", &[]).unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "- queue: depth {depth:.0} now, high-water {hwm:.0} of capacity {cap:.0}"
+    );
+    let _ = writeln!(
+        out,
+        "- cache: {:.0} bytes ({:.0} high-water), {:.0} eviction(s)",
+        stats.value("mca_serve_cache_bytes", &[]).unwrap_or(0.0),
+        stats.value("mca_serve_cache_bytes_hwm", &[]).unwrap_or(0.0),
+        stats
+            .value("mca_serve_cache_evictions_total", &[])
+            .unwrap_or(0.0),
+    );
+    let _ = writeln!(out);
+
+    // Latency percentiles by kind, estimated from the log2 bins.
+    let latency_kinds = stats.label_values("mca_serve_latency_ns_count", "kind");
+    if !latency_kinds.is_empty() {
+        let _ = writeln!(out, "### Latency by kind (bin-estimated)");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| kind | count | p50 | p90 | p99 |");
+        let _ = writeln!(out, "|------|------:|----:|----:|----:|");
+        for kind in &latency_kinds {
+            let labels = [("kind", kind.as_str())];
+            let count = stats
+                .value("mca_serve_latency_ns_count", &labels)
+                .unwrap_or(0.0);
+            let q = |q: f64| {
+                stats
+                    .quantile("mca_serve_latency_ns", &labels, q)
+                    .map_or_else(|| "-".to_string(), fmt_ns)
+            };
+            let _ = writeln!(
+                out,
+                "| {kind} | {count:.0} | {} | {} | {} |",
+                q(0.50),
+                q(0.90),
+                q(0.99)
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    // Cache tiers.
+    let tiers = stats.label_values("mca_serve_cache_lookups_total", "tier");
+    if !tiers.is_empty() {
+        let _ = writeln!(out, "### Cache hit rate by tier");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| tier | hits | misses | hit rate |");
+        let _ = writeln!(out, "|------|-----:|-------:|---------:|");
+        for tier in &tiers {
+            let hits = stats
+                .value(
+                    "mca_serve_cache_lookups_total",
+                    &[("tier", tier.as_str()), ("result", "hit")],
+                )
+                .unwrap_or(0.0);
+            let misses = stats
+                .value(
+                    "mca_serve_cache_lookups_total",
+                    &[("tier", tier.as_str()), ("result", "miss")],
+                )
+                .unwrap_or(0.0);
+            let lookups = hits + misses;
+            let _ = writeln!(
+                out,
+                "| {tier} | {hits:.0} | {misses:.0} | {:.1}% |",
+                if lookups > 0.0 {
+                    hits / lookups * 100.0
+                } else {
+                    0.0
+                }
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    // Queue depth over the flight-recorder ring (a sampled time series:
+    // one depth reading per accepted request, oldest first), with the
+    // queue-wait histogram as the fallback shape when no dump is given.
+    let _ = writeln!(out, "### Queue");
+    let _ = writeln!(out);
+    let depths = flight.map(flight_ring_depths).unwrap_or_default();
+    if !depths.is_empty() {
+        let max = depths.iter().copied().max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "- depth over last {} request(s) (max {max}): `{}`",
+            depths.len(),
+            sparkline(&depths)
+        );
+    }
+    let wait_count = stats
+        .value("mca_serve_queue_wait_ns_count", &[])
+        .unwrap_or(0.0);
+    if wait_count > 0.0 {
+        let wait_buckets = stats.buckets("mca_serve_queue_wait_ns", &[]);
+        // De-cumulate for the shape sparkline.
+        let mut prev = 0u64;
+        let per_bin: Vec<u64> = wait_buckets
+            .iter()
+            .filter(|&&(bound, _)| bound.is_finite())
+            .map(|&(_, cum)| {
+                let n = cum.saturating_sub(prev);
+                prev = cum;
+                n
+            })
+            .collect();
+        let p99 = stats
+            .quantile("mca_serve_queue_wait_ns", &[], 0.99)
+            .map_or_else(|| "-".to_string(), fmt_ns);
+        let _ = writeln!(
+            out,
+            "- queue wait: {wait_count:.0} sample(s), p99 {p99}, log2-bin shape `{}`",
+            sparkline(&per_bin)
+        );
+    }
+    let _ = writeln!(out);
+
+    // Slowest requests from the flight recorder.
+    if let Some(flight) = flight {
+        if let Some(Json::Array(slowest)) = flight.get("slowest") {
+            if !slowest.is_empty() {
+                let _ = writeln!(out, "### Slowest requests (flight recorder)");
+                let _ = writeln!(out);
+                let _ = writeln!(out, "| req | kind | cache | total | dominant phase |");
+                let _ = writeln!(out, "|----:|------|-------|------:|----------------|");
+                for rec in slowest {
+                    let req = rec.get("req").and_then(Json::as_u64).unwrap_or(0);
+                    let kind = rec.get("kind").and_then(Json::as_str).unwrap_or("?");
+                    let cache = rec.get("cache").and_then(Json::as_str).unwrap_or("-");
+                    let total = rec.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
+                    let (phase, share) = dominant_phase(rec);
+                    let _ = writeln!(
+                        out,
+                        "| {req} | {kind} | {cache} | {} | {phase} ({share:.0}%) |",
+                        fmt_ns(total as f64)
+                    );
+                }
+                let _ = writeln!(out);
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRAPE: &str = r#"# HELP mca_serve_requests_total Requests served, by kind.
+# TYPE mca_serve_requests_total counter
+mca_serve_requests_total{kind="check"} 90
+mca_serve_requests_total{kind="lint"} 10
+# TYPE mca_serve_responses_total counter
+mca_serve_responses_total{outcome="ok"} 98
+mca_serve_responses_total{outcome="error"} 2
+# TYPE mca_serve_cache_disposition_total counter
+mca_serve_cache_disposition_total{disposition="miss"} 10
+mca_serve_cache_disposition_total{disposition="verdict-hit"} 80
+mca_serve_cache_disposition_total{disposition="translation-hit"} 10
+# TYPE mca_serve_latency_ns histogram
+mca_serve_latency_ns_bucket{kind="check",le="1023"} 40
+mca_serve_latency_ns_bucket{kind="check",le="2047"} 85
+mca_serve_latency_ns_bucket{kind="check",le="1048575"} 90
+mca_serve_latency_ns_bucket{kind="check",le="+Inf"} 90
+mca_serve_latency_ns_sum{kind="check"} 12345678
+mca_serve_latency_ns_count{kind="check"} 90
+mca_serve_queue_wait_ns_bucket{le="127"} 90
+mca_serve_queue_wait_ns_bucket{le="+Inf"} 100
+mca_serve_queue_wait_ns_sum{} 5000
+mca_serve_queue_wait_ns_count{} 100
+mca_serve_read_timeouts_total 0
+mca_serve_queue_depth 0
+mca_serve_queue_depth_hwm 3
+mca_serve_queue_capacity 64
+# TYPE mca_serve_cache_lookups_total counter
+mca_serve_cache_lookups_total{tier="verdict",result="hit"} 80
+mca_serve_cache_lookups_total{tier="verdict",result="miss"} 20
+mca_serve_cache_lookups_total{tier="translation",result="hit"} 10
+mca_serve_cache_lookups_total{tier="translation",result="miss"} 10
+mca_serve_cache_evictions_total 1
+mca_serve_cache_bytes 4096
+mca_serve_cache_bytes_hwm 8192
+"#;
+
+    #[test]
+    fn parses_labeled_empty_labeled_and_bare_lines() {
+        let stats = ServiceStats::parse(SCRAPE);
+        assert_eq!(stats.skipped_lines, 0);
+        assert_eq!(
+            stats.value("mca_serve_requests_total", &[("kind", "check")]),
+            Some(90.0)
+        );
+        // `name{}` (empty label set) and bare `name value` both parse.
+        assert_eq!(
+            stats.value("mca_serve_queue_wait_ns_count", &[]),
+            Some(100.0)
+        );
+        assert_eq!(stats.value("mca_serve_queue_depth_hwm", &[]), Some(3.0));
+        assert_eq!(stats.total("mca_serve_requests_total"), 100.0);
+        assert_eq!(
+            stats.label_values("mca_serve_requests_total", "kind"),
+            vec!["check".to_string(), "lint".to_string()]
+        );
+    }
+
+    #[test]
+    fn garbage_lines_are_counted_not_fatal() {
+        let stats = ServiceStats::parse("not a metric\nx{y} z\nok_metric 5\n");
+        assert_eq!(stats.skipped_lines, 2);
+        assert_eq!(stats.value("ok_metric", &[]), Some(5.0));
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_bounds() {
+        let stats = ServiceStats::parse(SCRAPE);
+        let labels = [("kind", "check")];
+        // 90 samples: p50 target=45 → le=2047; p99 target=90 → le=1048575.
+        assert_eq!(
+            stats.quantile("mca_serve_latency_ns", &labels, 0.50),
+            Some(2047.0)
+        );
+        assert_eq!(
+            stats.quantile("mca_serve_latency_ns", &labels, 0.99),
+            Some(1_048_575.0)
+        );
+        // Empty/absent histograms yield None, not zero.
+        assert_eq!(
+            stats.quantile("mca_serve_latency_ns", &[("kind", "lint")], 0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_falls_back_to_last_finite_bound() {
+        let text = "h_bucket{le=\"100\"} 5\nh_bucket{le=\"+Inf\"} 10\nh_count{} 10\n";
+        let stats = ServiceStats::parse(text);
+        assert_eq!(stats.quantile("h", &[], 0.99), Some(100.0));
+    }
+
+    #[test]
+    fn dashboard_renders_all_sections_deterministically() {
+        let stats = ServiceStats::parse(SCRAPE);
+        let flight = Json::parse(
+            r#"{"version":1,"recorded":3,"ring":[
+                {"req":1,"kind":"check","queue_depth":0,"total_ns":100},
+                {"req":2,"kind":"check","queue_depth":2,"total_ns":200},
+                {"req":3,"kind":"lint","queue_depth":1,"total_ns":50}],
+              "slowest":[
+                {"req":2,"kind":"check","cache":"miss","queue_depth":2,"total_ns":200,
+                 "decode_ns":5,"queue_ns":10,"cache_ns":5,"translate_ns":140,
+                 "solve_ns":30,"write_ns":10}]}"#,
+        )
+        .unwrap();
+        let md = render_service_dashboard(&stats, Some(&flight));
+        for needle in [
+            "## Service dashboard (live scrape)",
+            "- requests: 100 (check 90, lint 10)",
+            "- responses: 98 ok, 2 error (2.0% error rate)",
+            "- queue: depth 0 now, high-water 3 of capacity 64",
+            "### Latency by kind (bin-estimated)",
+            "| check | 90 |",
+            "### Cache hit rate by tier",
+            "| verdict | 80 | 20 | 80.0% |",
+            "| translation | 10 | 10 | 50.0% |",
+            "### Queue",
+            "depth over last 3 request(s) (max 2)",
+            "### Slowest requests (flight recorder)",
+            "| 2 | check | miss | 200ns | translate (70%) |",
+        ] {
+            assert!(md.contains(needle), "missing `{needle}` in:\n{md}");
+        }
+        assert_eq!(md, render_service_dashboard(&stats, Some(&flight)));
+    }
+
+    #[test]
+    fn dashboard_without_flight_still_renders() {
+        let stats = ServiceStats::parse(SCRAPE);
+        let md = render_service_dashboard(&stats, None);
+        assert!(md.contains("## Service dashboard (live scrape)"));
+        assert!(md.contains("queue wait: 100 sample(s)"));
+        assert!(!md.contains("Slowest requests"));
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        let line = sparkline(&[0, 1, 2, 4]);
+        assert_eq!(line.chars().count(), 4);
+        assert!(line.ends_with('█'));
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(500.0), "500ns");
+        assert_eq!(fmt_ns(1_500.0), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00s");
+    }
+}

@@ -178,6 +178,33 @@ impl Client {
         }
     }
 
+    /// Fetches the rolling telemetry aggregates as Prometheus-style
+    /// exposition text.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-metrics reply.
+    pub fn metrics(&mut self) -> Result<String, WireError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            _ => Err(WireError::Malformed("expected metrics")),
+        }
+    }
+
+    /// Fetches the flight recorder (recent + slowest request records)
+    /// as a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-flight-dump reply.
+    pub fn flight_dump(&mut self) -> Result<String, WireError> {
+        match self.request(&Request::FlightDump)? {
+            Response::FlightDump { payload } => String::from_utf8(payload)
+                .map_err(|_| WireError::Malformed("flight dump is not UTF-8")),
+            _ => Err(WireError::Malformed("expected flight dump")),
+        }
+    }
+
     /// Asks the server to drain and exit.
     ///
     /// # Errors

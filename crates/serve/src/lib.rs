@@ -36,10 +36,12 @@ pub mod client;
 pub mod load;
 pub mod request;
 pub mod server;
+pub mod telemetry;
 pub mod wire;
 
 pub use cache::{CacheStats, CacheTier, ResultCache};
 pub use client::Client;
-pub use load::{run_load, LoadConfig, LoadOutcome, PhaseStats};
+pub use load::{run_load, KindStats, LoadConfig, LoadOutcome, PhaseStats};
 pub use server::{Server, ServerConfig, ServerHandle, ServerReport};
+pub use telemetry::{RequestRecord, ServiceTelemetry, TelemetryConfig};
 pub use wire::{CacheDisposition, Request, Response, ScenarioSpec, WireEncoding, WireError};

@@ -71,7 +71,35 @@ pub struct PhaseStats {
     pub throughput_rps: f64,
     /// Median per-request latency.
     pub p50_secs: f64,
+    /// 90th-percentile per-request latency.
+    pub p90_secs: f64,
     /// 99th-percentile per-request latency.
+    pub p99_secs: f64,
+    /// 99.9th-percentile per-request latency.
+    pub p999_secs: f64,
+    /// Latency breakdown by request kind (`"check"`, `"lint"`, …),
+    /// sorted by label.
+    pub by_kind: Vec<KindStats>,
+}
+
+/// Latency statistics for one request kind within a phase.
+///
+/// The JSON rendering keys the kind under `"label"` so `repro diff`
+/// aligns entries by kind across runs (its alignment keys include
+/// `label` but not `kind`).
+#[derive(Clone, Debug)]
+pub struct KindStats {
+    /// The wire request kind, e.g. `"check"` or `"lint"`.
+    pub label: &'static str,
+    /// Requests of this kind issued in the phase.
+    pub requests: u64,
+    /// Errors among them.
+    pub errors: u64,
+    /// Cache hits among them.
+    pub hits: u64,
+    /// Median latency for this kind.
+    pub p50_secs: f64,
+    /// 99th-percentile latency for this kind.
     pub p99_secs: f64,
 }
 
@@ -221,27 +249,32 @@ pub fn smoke_deck() -> Vec<Request> {
 }
 
 struct Sample {
+    kind: &'static str,
     latency: Duration,
     hit: bool,
     error: bool,
 }
 
 fn issue(client: &mut Client, req: &Request) -> Sample {
+    let kind = req.kind();
     let start = Instant::now();
     let outcome = client.request(req);
     let latency = start.elapsed();
     match outcome {
         Ok(Response::Verdict { cache, .. }) | Ok(Response::LintReport { cache, .. }) => Sample {
+            kind,
             latency,
             hit: cache.is_hit(),
             error: false,
         },
         Ok(Response::Error { .. }) | Err(_) => Sample {
+            kind,
             latency,
             hit: false,
             error: true,
         },
         Ok(_) => Sample {
+            kind,
             latency,
             hit: false,
             error: false,
@@ -255,6 +288,29 @@ fn percentile(sorted: &[f64], pct: f64) -> f64 {
     }
     let idx = ((sorted.len() as f64) * pct / 100.0).floor() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+fn kind_stats(samples: &[Sample]) -> Vec<KindStats> {
+    let mut by_kind: std::collections::BTreeMap<&'static str, Vec<&Sample>> =
+        std::collections::BTreeMap::new();
+    for s in samples {
+        by_kind.entry(s.kind).or_default().push(s);
+    }
+    by_kind
+        .into_iter()
+        .map(|(label, group)| {
+            let mut latencies: Vec<f64> = group.iter().map(|s| s.latency.as_secs_f64()).collect();
+            latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            KindStats {
+                label,
+                requests: group.len() as u64,
+                errors: group.iter().filter(|s| s.error).count() as u64,
+                hits: group.iter().filter(|s| s.hit).count() as u64,
+                p50_secs: percentile(&latencies, 50.0),
+                p99_secs: percentile(&latencies, 99.0),
+            }
+        })
+        .collect()
 }
 
 fn phase_stats(phase: &'static str, samples: &[Sample], total: Duration) -> PhaseStats {
@@ -274,7 +330,10 @@ fn phase_stats(phase: &'static str, samples: &[Sample], total: Duration) -> Phas
             0.0
         },
         p50_secs: percentile(&latencies, 50.0),
+        p90_secs: percentile(&latencies, 90.0),
         p99_secs: percentile(&latencies, 99.0),
+        p999_secs: percentile(&latencies, 99.9),
+        by_kind: kind_stats(samples),
     }
 }
 
@@ -360,6 +419,21 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadOutcome> {
     })
 }
 
+impl KindStats {
+    /// The kind breakdown as a BENCH JSON object (keyed by `"label"` so
+    /// `repro diff` aligns entries across runs).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", self.label.into()),
+            ("requests", self.requests.into()),
+            ("errors", self.errors.into()),
+            ("cache_hits", self.hits.into()),
+            ("p50_secs", self.p50_secs.into()),
+            ("p99_secs", self.p99_secs.into()),
+        ])
+    }
+}
+
 impl PhaseStats {
     /// The phase as a BENCH JSON object.
     pub fn to_json(&self) -> Json {
@@ -371,7 +445,13 @@ impl PhaseStats {
             ("total_secs", self.total_secs.into()),
             ("throughput_rps", self.throughput_rps.into()),
             ("p50_secs", self.p50_secs.into()),
+            ("p90_secs", self.p90_secs.into()),
             ("p99_secs", self.p99_secs.into()),
+            ("p999_secs", self.p999_secs.into()),
+            (
+                "by_kind",
+                Json::Array(self.by_kind.iter().map(KindStats::to_json).collect()),
+            ),
         ])
     }
 }
@@ -460,7 +540,73 @@ mod tests {
     fn percentiles_are_order_statistics() {
         let sorted = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
         assert!((percentile(&sorted, 50.0) - 0.6).abs() < 1e-12);
+        assert!((percentile(&sorted, 90.0) - 1.0).abs() < 1e-12);
         assert!((percentile(&sorted, 99.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&sorted, 99.9) - 1.0).abs() < 1e-12);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn kind_breakdown_groups_by_label_sorted() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let samples = vec![
+            Sample {
+                kind: "lint",
+                latency: ms(5),
+                hit: false,
+                error: false,
+            },
+            Sample {
+                kind: "check",
+                latency: ms(10),
+                hit: true,
+                error: false,
+            },
+            Sample {
+                kind: "check",
+                latency: ms(30),
+                hit: false,
+                error: true,
+            },
+        ];
+        let stats = kind_stats(&samples);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].label, "check");
+        assert_eq!(stats[0].requests, 2);
+        assert_eq!(stats[0].hits, 1);
+        assert_eq!(stats[0].errors, 1);
+        assert_eq!(stats[1].label, "lint");
+        assert_eq!(stats[1].requests, 1);
+        // The breakdown keys its JSON by "label", the diff alignment key.
+        let json = stats[0].to_json().render();
+        assert!(json.starts_with("{\"label\":\"check\""), "{json}");
+    }
+
+    #[test]
+    fn phase_json_carries_tail_percentiles_and_breakdown() {
+        let samples = vec![
+            Sample {
+                kind: "check",
+                latency: Duration::from_millis(2),
+                hit: true,
+                error: false,
+            },
+            Sample {
+                kind: "lint",
+                latency: Duration::from_millis(8),
+                hit: false,
+                error: false,
+            },
+        ];
+        let stats = phase_stats("warm", &samples, Duration::from_millis(10));
+        let json = stats.to_json().render();
+        for needle in [
+            "\"p90_secs\":",
+            "\"p999_secs\":",
+            "\"by_kind\":[{\"label\":\"check\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(stats.p90_secs <= stats.p999_secs);
     }
 }

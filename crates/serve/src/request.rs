@@ -8,6 +8,7 @@
 //! final payload verbatim.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use mca_obs::Json;
 use mca_verify::{DynamicModel, DynamicScenario, NumberEncoding};
@@ -98,6 +99,13 @@ pub struct Executed {
     pub ops: Vec<CacheOp>,
     /// The cache disposition, `None` for error responses.
     pub disposition: Option<CacheDisposition>,
+    /// Wall-clock nanoseconds in cache lookups/stores. Telemetry only:
+    /// never part of the response payload, so byte-determinism holds.
+    pub cache_ns: u64,
+    /// Wall-clock nanoseconds building the model + translating to CNF.
+    pub translate_ns: u64,
+    /// Wall-clock nanoseconds solving (or running the lint analysis).
+    pub solve_ns: u64,
 }
 
 impl Executed {
@@ -107,8 +115,16 @@ impl Executed {
             cache_key: String::new(),
             ops: Vec::new(),
             disposition: None,
+            cache_ns: 0,
+            translate_ns: 0,
+            solve_ns: 0,
         }
     }
+}
+
+/// Elapsed nanoseconds since `start`, saturating at `u64::MAX`.
+fn ns_since(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// Executes a `Check` or `Lint` request against the cache, computing on
@@ -140,12 +156,15 @@ fn execute_check(
         Err(msg) => return Executed::error(error_code::UNKNOWN_SCENARIO, msg),
     };
     let scope = scenario.scope_label();
+    let build_start = Instant::now();
     let model = DynamicModel::build(number_encoding(encoding), scenario);
     let hash = model.content_hash();
+    let mut translate_ns = ns_since(build_start);
     let solver_config = if preprocess { "default+pre" } else { "default" };
     let vkey = verdict_key("check", hash, &scope, encoding, solver_config);
 
     let mut ops = Vec::new();
+    let lookup_start = Instant::now();
     if let Some(payload) = cache.get_verdict(&vkey, &mut ops) {
         return Executed {
             response: Response::Verdict {
@@ -155,31 +174,43 @@ fn execute_check(
             cache_key: vkey,
             ops,
             disposition: Some(CacheDisposition::VerdictHit),
+            cache_ns: ns_since(lookup_start),
+            translate_ns,
+            solve_ns: 0,
         };
     }
 
     // Verdict miss: try to at least reuse the translation.
     let tkey = translation_key(hash, &scope, encoding);
-    let (cnf, disposition) = match cache.get_translation(&tkey, &mut ops) {
+    let translation_lookup = cache.get_translation(&tkey, &mut ops);
+    let mut cache_ns = ns_since(lookup_start);
+    let (cnf, disposition) = match translation_lookup {
         Some(cnf) => (cnf, CacheDisposition::TranslationHit),
-        None => match model.consensus_cnf() {
-            Ok(cnf) => {
-                let cnf = Arc::new(cnf);
-                cache.put_translation(&tkey, cnf.clone(), &mut ops);
-                (cnf, CacheDisposition::Miss)
+        None => {
+            let translate_start = Instant::now();
+            match model.consensus_cnf() {
+                Ok(cnf) => {
+                    translate_ns += ns_since(translate_start);
+                    let cnf = Arc::new(cnf);
+                    let put_start = Instant::now();
+                    cache.put_translation(&tkey, cnf.clone(), &mut ops);
+                    cache_ns += ns_since(put_start);
+                    (cnf, CacheDisposition::Miss)
+                }
+                Err(e) => {
+                    return Executed::error(
+                        error_code::EXECUTION,
+                        format!("translation failed for {label}: {e:?}"),
+                    )
+                }
             }
-            Err(e) => {
-                return Executed::error(
-                    error_code::EXECUTION,
-                    format!("translation failed for {label}: {e:?}"),
-                )
-            }
-        },
+        }
     };
 
     // Solve (valid ⇔ the negated-consensus CNF is UNSAT). The solver is
     // deterministic for a fixed formula, so the payload below does not
     // depend on the cache disposition or the serving thread.
+    let solve_start = Instant::now();
     let (mut solver, simplify_stats) = if preprocess {
         let (simplified, stats) = mca_sat::simplify(&cnf);
         (simplified.to_solver(), Some(stats))
@@ -187,6 +218,7 @@ fn execute_check(
         (cnf.to_solver(), None)
     };
     let valid = solver.solve() == mca_sat::SolveResult::Unsat;
+    let solve_ns = ns_since(solve_start);
     let stats = solver.stats();
 
     let payload_json = Json::obj([
@@ -229,7 +261,9 @@ fn execute_check(
         ),
     ]);
     let payload = Arc::new(payload_json.render().into_bytes());
+    let put_start = Instant::now();
     cache.put_verdict(&vkey, payload.clone(), &mut ops);
+    cache_ns += ns_since(put_start);
     Executed {
         response: Response::Verdict {
             cache: disposition,
@@ -238,6 +272,9 @@ fn execute_check(
         cache_key: vkey,
         ops,
         disposition: Some(disposition),
+        cache_ns,
+        translate_ns,
+        solve_ns,
     }
 }
 
@@ -247,11 +284,14 @@ fn execute_lint(spec: &ScenarioSpec, encoding: WireEncoding, cache: &ResultCache
         Err(msg) => return Executed::error(error_code::UNKNOWN_SCENARIO, msg),
     };
     let scope = scenario.scope_label();
+    let build_start = Instant::now();
     let model = DynamicModel::build(number_encoding(encoding), scenario);
     let hash = model.content_hash();
+    let translate_ns = ns_since(build_start);
     let vkey = verdict_key("lint", hash, &scope, encoding, "default");
 
     let mut ops = Vec::new();
+    let lookup_start = Instant::now();
     if let Some(payload) = cache.get_verdict(&vkey, &mut ops) {
         return Executed {
             response: Response::LintReport {
@@ -261,10 +301,16 @@ fn execute_lint(spec: &ScenarioSpec, encoding: WireEncoding, cache: &ResultCache
             cache_key: vkey,
             ops,
             disposition: Some(CacheDisposition::VerdictHit),
+            cache_ns: ns_since(lookup_start),
+            translate_ns,
+            solve_ns: 0,
         };
     }
+    let mut cache_ns = ns_since(lookup_start);
 
     let target = format!("serve:{label}:{}", encoding.slug());
+    // Lint analysis is this request kind's "solve" phase.
+    let solve_start = Instant::now();
     let report = match mca_lint::lint_model(target, model.model(), &[model.consensus_assertion()]) {
         Ok(report) => report,
         Err(e) => {
@@ -278,13 +324,16 @@ fn execute_lint(spec: &ScenarioSpec, encoding: WireEncoding, cache: &ResultCache
     // one finding per line plus the lint-done tally.
     let mut sink = mca_obs::JsonlSink::new(Vec::new());
     report.emit(&mut sink);
+    let solve_ns = ns_since(solve_start);
     let payload = match sink.into_inner() {
         Ok(bytes) => Arc::new(bytes),
         Err(e) => {
             return Executed::error(error_code::EXECUTION, format!("lint render failed: {e}"))
         }
     };
+    let put_start = Instant::now();
     cache.put_verdict(&vkey, payload.clone(), &mut ops);
+    cache_ns += ns_since(put_start);
     Executed {
         response: Response::LintReport {
             cache: CacheDisposition::Miss,
@@ -293,6 +342,9 @@ fn execute_lint(spec: &ScenarioSpec, encoding: WireEncoding, cache: &ResultCache
         cache_key: vkey,
         ops,
         disposition: Some(CacheDisposition::Miss),
+        cache_ns,
+        translate_ns,
+        solve_ns,
     }
 }
 

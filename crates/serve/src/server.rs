@@ -43,13 +43,14 @@ use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mca_obs::Event;
 use mca_runtime::Runtime;
 
 use crate::cache::{CacheOp, CacheStats, ResultCache};
 use crate::request;
+use crate::telemetry::{RequestRecord, ServiceTelemetry, TelemetryConfig};
 use crate::wire::{
     decode_request, encode_response, error_code, write_frame, Request, Response, WireError,
     MAX_FRAME_BYTES,
@@ -76,6 +77,11 @@ pub struct ServerConfig {
     /// Off by default for long-lived daemons (the buffer grows with
     /// every request); `repro serve --trace` turns it on.
     pub record_events: bool,
+    /// Live-telemetry knobs (rolling windows, flight-recorder ring,
+    /// slowest-K). Enabled by default: the aggregate state is bounded
+    /// and the per-request cost is a few map updates under a short
+    /// mutex, asserted <2% on the mixed load deck.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +93,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             read_timeout: Duration::from_secs(10),
             record_events: false,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -160,6 +167,8 @@ struct Shared {
     /// blocking read in pure std).
     conn_streams: Mutex<Vec<TcpStream>>,
     read_timeout: Duration,
+    telemetry: ServiceTelemetry,
+    queue_capacity: u64,
 }
 
 impl Shared {
@@ -201,6 +210,15 @@ impl Shared {
             ),
         ])
         .render()
+    }
+
+    fn metrics_text(&self) -> String {
+        self.telemetry.prometheus_text(
+            self.admission.depth(),
+            self.admission.hwm(),
+            self.queue_capacity,
+            &self.cache.stats(),
+        )
     }
 
     fn request_shutdown(&self, addr: SocketAddr) {
@@ -253,6 +271,8 @@ impl Server {
             events: Mutex::new(Vec::new()),
             conn_streams: Mutex::new(Vec::new()),
             read_timeout: config.read_timeout,
+            telemetry: ServiceTelemetry::new(&config.telemetry),
+            queue_capacity: config.queue_capacity.max(1) as u64,
         });
         let accept_shared = shared.clone();
         let accept_thread = std::thread::spawn(move || {
@@ -441,6 +461,11 @@ fn cache_ops_events(ops: &[CacheOp]) -> Vec<Event> {
         .collect()
 }
 
+/// Elapsed nanoseconds since `start`, saturating at `u64::MAX`.
+fn ns_since(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
 fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let _ = stream.set_nodelay(true);
@@ -459,10 +484,18 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
             FrameRead::Fail(err) => {
                 // The stream position is unrecoverable after a truncated
                 // or oversized frame: answer, then drop the connection.
+                if matches!(err, WireError::Io(std::io::ErrorKind::TimedOut)) {
+                    // A client that stalled mid-frame — the W105 signal.
+                    shared.telemetry.record_read_timeout();
+                }
                 respond_error(&mut writer, shared, err);
                 return;
             }
         };
+        // Telemetry clock starts once a complete frame is in hand, so
+        // idle keep-alive time between frames is never attributed.
+        let total_start = Instant::now();
+        let queue_depth = shared.admission.depth();
         let req_id = shared.next_req.fetch_add(1, Ordering::Relaxed);
         let req = match decode_request(&body) {
             Ok(req) => req,
@@ -485,8 +518,28 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     ],
                 );
                 respond_error(&mut writer, shared, err);
+                shared.telemetry.record(RequestRecord {
+                    req: req_id,
+                    kind: "invalid",
+                    outcome: "error",
+                    cache: "-",
+                    queue_depth,
+                    total_ns: ns_since(total_start),
+                    decode_ns: ns_since(total_start),
+                    ..RequestRecord::default()
+                });
                 continue;
             }
+        };
+        let decode_ns = ns_since(total_start);
+        let mut record = RequestRecord {
+            req: req_id,
+            kind: req.kind(),
+            outcome: "ok",
+            cache: "-",
+            queue_depth,
+            decode_ns,
+            ..RequestRecord::default()
         };
         let mut events = vec![Event::ServeRequest {
             req: req_id,
@@ -501,6 +554,18 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 },
                 "-".to_string(),
             ),
+            Request::Metrics => (
+                Response::Metrics {
+                    text: shared.metrics_text(),
+                },
+                "-".to_string(),
+            ),
+            Request::FlightDump => (
+                Response::FlightDump {
+                    payload: shared.telemetry.flight_json().render().into_bytes(),
+                },
+                "-".to_string(),
+            ),
             Request::Shutdown => {
                 events.push(Event::ServeResponse {
                     req: req_id,
@@ -509,7 +574,11 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 });
                 shared.record(req_id, events);
                 shared.responses_ok.fetch_add(1, Ordering::Relaxed);
+                let write_start = Instant::now();
                 let _ = write_frame(&mut writer, &encode_response(&Response::ShuttingDown));
+                record.write_ns = ns_since(write_start);
+                record.total_ns = ns_since(total_start);
+                shared.telemetry.record(record);
                 if let Ok(addr) = writer.local_addr() {
                     shared.request_shutdown(addr);
                 } else {
@@ -528,7 +597,9 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     )
                 } else {
                     // Bounded admission: block (backpressure) at capacity.
+                    let queue_start = Instant::now();
                     shared.admission.acquire();
+                    record.queue_ns = ns_since(queue_start);
                     let (tx, rx) = mpsc::channel();
                     let job_req = req.clone();
                     let job_cache = shared.cache.clone();
@@ -538,6 +609,9 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     });
                     let executed = rx.recv().expect("pool job always reports");
                     shared.admission.release();
+                    record.cache_ns = executed.cache_ns;
+                    record.translate_ns = executed.translate_ns;
+                    record.solve_ns = executed.solve_ns;
                     events[0] = Event::ServeRequest {
                         req: req_id,
                         kind: req.kind().to_string(),
@@ -561,10 +635,37 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
         events.push(Event::ServeResponse {
             req: req_id,
             outcome: outcome.to_string(),
-            cache: cache_label,
+            cache: cache_label.clone(),
         });
+        let write_start = Instant::now();
+        let write_ok = write_frame(&mut writer, &encode_response(&response)).is_ok();
+        record.outcome = outcome;
+        record.cache = match cache_label.as_str() {
+            "miss" => "miss",
+            "verdict-hit" => "verdict-hit",
+            "translation-hit" => "translation-hit",
+            _ => "-",
+        };
+        record.write_ns = ns_since(write_start);
+        record.total_ns = ns_since(total_start);
+        if shared.record_events {
+            // The span event carries wall-clock fields and request ids —
+            // it lives only in this opt-in stream, like `SpanRecorder`.
+            events.push(Event::ServeSpan {
+                req: record.req,
+                kind: record.kind.to_string(),
+                total_ns: record.total_ns,
+                decode_ns: record.decode_ns,
+                queue_ns: record.queue_ns,
+                cache_ns: record.cache_ns,
+                translate_ns: record.translate_ns,
+                solve_ns: record.solve_ns,
+                write_ns: record.write_ns,
+            });
+        }
         shared.record(req_id, events);
-        if write_frame(&mut writer, &encode_response(&response)).is_err() {
+        shared.telemetry.record(record);
+        if !write_ok {
             return;
         }
     }

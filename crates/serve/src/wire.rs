@@ -11,11 +11,15 @@
 //! | `0x03` | request   | `Lint`: scenario spec + encoding                |
 //! | `0x04` | request   | `Stats` (no payload)                            |
 //! | `0x05` | request   | `Shutdown` (no payload)                         |
+//! | `0x06` | request   | `Metrics` (no payload)                          |
+//! | `0x07` | request   | `FlightDump` (no payload)                       |
 //! | `0x81` | response  | `Pong` (no payload)                             |
 //! | `0x82` | response  | `Verdict`: cache-disposition byte + JSON bytes  |
 //! | `0x83` | response  | `LintReport`: cache-disposition byte + JSONL    |
 //! | `0x84` | response  | `Stats`: JSON bytes                             |
 //! | `0x85` | response  | `ShuttingDown` (no payload)                     |
+//! | `0x86` | response  | `Metrics`: UTF-8 Prometheus-style exposition    |
+//! | `0x87` | response  | `FlightDump`: JSON flight-recorder dump         |
 //! | `0xEE` | response  | `Error`: code byte + UTF-8 message              |
 //!
 //! A **scenario spec** is `[kind u8]` where kind `0` is a named shipped
@@ -114,6 +118,10 @@ pub enum Request {
     Stats,
     /// Ask the server to drain and exit cleanly.
     Shutdown,
+    /// Fetch the rolling telemetry aggregates as Prometheus-style text.
+    Metrics,
+    /// Fetch the flight recorder (recent + slowest requests) as JSON.
+    FlightDump,
 }
 
 impl Request {
@@ -125,6 +133,8 @@ impl Request {
             Request::Lint { .. } => "lint",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
+            Request::Metrics => "metrics",
+            Request::FlightDump => "flight-dump",
         }
     }
 }
@@ -201,6 +211,16 @@ pub enum Response {
     /// Acknowledgement of [`Request::Shutdown`]; the server drains and
     /// exits after sending this.
     ShuttingDown,
+    /// Rolling telemetry aggregates in Prometheus-style text exposition.
+    Metrics {
+        /// UTF-8 exposition text.
+        text: String,
+    },
+    /// Flight-recorder dump: recent + slowest request records as JSON.
+    FlightDump {
+        /// JSON bytes.
+        payload: Vec<u8>,
+    },
     /// A protocol or execution error.
     Error {
         /// Stable error code, see [`error_code`] constants.
@@ -417,6 +437,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => out.push(0x04),
         Request::Shutdown => out.push(0x05),
+        Request::Metrics => out.push(0x06),
+        Request::FlightDump => out.push(0x07),
     }
     out
 }
@@ -452,6 +474,8 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
         }
         0x04 => Request::Stats,
         0x05 => Request::Shutdown,
+        0x06 => Request::Metrics,
+        0x07 => Request::FlightDump,
         other => return Err(WireError::UnknownTag(other)),
     };
     r.finish()?;
@@ -478,6 +502,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(payload);
         }
         Response::ShuttingDown => out.push(0x85),
+        Response::Metrics { text } => {
+            out.push(0x86);
+            out.extend_from_slice(text.as_bytes());
+        }
+        Response::FlightDump { payload } => {
+            out.push(0x87);
+            out.extend_from_slice(payload);
+        }
         Response::Error { code, message } => {
             out.push(0xEE);
             out.push(*code);
@@ -512,6 +544,14 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             payload: r.rest().to_vec(),
         },
         0x85 => Response::ShuttingDown,
+        0x86 => Response::Metrics {
+            text: std::str::from_utf8(r.rest())
+                .map_err(|_| WireError::Malformed("metrics text is not UTF-8"))?
+                .to_string(),
+        },
+        0x87 => Response::FlightDump {
+            payload: r.rest().to_vec(),
+        },
         0xEE => {
             let code = r.u8()?;
             let len = r.u16()? as usize;
@@ -555,6 +595,8 @@ mod tests {
             Request::Ping,
             Request::Stats,
             Request::Shutdown,
+            Request::Metrics,
+            Request::FlightDump,
             Request::Check {
                 scenario: ScenarioSpec::Named("two_agent_compliant".into()),
                 encoding: WireEncoding::Optimized,
@@ -600,6 +642,12 @@ mod tests {
             },
             Response::Stats {
                 payload: br#"{"requests":7}"#.to_vec(),
+            },
+            Response::Metrics {
+                text: "mca_serve_requests_total{kind=\"check\"} 7\n".to_string(),
+            },
+            Response::FlightDump {
+                payload: br#"{"version":1,"ring":[]}"#.to_vec(),
             },
             Response::Error {
                 code: error_code::UNKNOWN_TAG,

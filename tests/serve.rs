@@ -4,11 +4,15 @@
 //! byte budget, and malformed-frame robustness (the server answers with
 //! a protocol error and keeps serving — never panics, never hangs).
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
+use mca_obs::Json;
+use mca_report::{diagnose_service, ServiceStats, WhySeverity};
 use mca_serve::wire::error_code;
 use mca_serve::{
-    CacheDisposition, Client, Request, Response, ScenarioSpec, Server, ServerConfig, WireEncoding,
+    CacheDisposition, Client, LoadConfig, Request, Response, ScenarioSpec, Server, ServerConfig,
+    TelemetryConfig, WireEncoding,
 };
 
 fn start(threads: usize, cache_bytes: usize) -> mca_serve::ServerHandle {
@@ -363,5 +367,317 @@ fn requests_after_shutdown_are_refused() {
         Ok(other) => panic!("expected shutting-down error, got {other:?}"),
         Err(_) => {} // connection already torn down — equally fine
     }
+    handle.join();
+}
+
+// ---------------------------------------------------------------------
+// Live observability: Stats shape, Metrics/FlightDump frames, service
+// diagnosis, and the telemetry overhead gate.
+// ---------------------------------------------------------------------
+
+/// The `Stats` frame payload shape is a wire contract: scripts parse it
+/// positionally-adjacent tooling greps it. Pin the field order exactly —
+/// new fields must be appended, never inserted.
+#[test]
+fn stats_payload_field_order_is_pinned() {
+    let handle = start(1, 1 << 20);
+    let mut client = connect(&handle);
+    let stats = client.stats().expect("stats");
+    assert!(stats.starts_with("{\"requests\":"), "{stats}");
+    let keys = [
+        "\"requests\":",
+        "\"responses_ok\":",
+        "\"responses_err\":",
+        "\"queue_depth\":",
+        "\"queue_depth_hwm\":",
+        "\"cache\":{",
+        "\"verdict_hits\":",
+        "\"verdict_misses\":",
+        "\"translation_hits\":",
+        "\"translation_misses\":",
+        "\"evictions\":",
+        "\"bytes\":",
+        "\"bytes_hwm\":",
+    ];
+    let mut pos = 0;
+    for key in keys {
+        match stats[pos..].find(key) {
+            Some(at) => pos += at + key.len(),
+            None => panic!("`{key}` missing or out of order in {stats}"),
+        }
+    }
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+}
+
+/// Acceptance pin (a) + (c)-healthy: a load run against a telemetry-
+/// enabled daemon yields a Metrics scrape whose check+lint counts
+/// reconcile *exactly* with what the load generator sent, and the
+/// service diagnosis over that healthy scrape has zero critical
+/// findings.
+#[test]
+fn metrics_scrape_reconciles_with_load_generator() {
+    let handle = start(2, 32 << 20);
+    let cfg = LoadConfig {
+        addr: handle.addr().to_string(),
+        clients: 2,
+        mixed_requests: 10,
+        warm_requests: 10,
+        smoke: true,
+    };
+    let outcome = mca_serve::run_load(&cfg).expect("load run");
+    assert_eq!(outcome.total_errors, 0, "healthy run has no errors");
+
+    let mut client = connect(&handle);
+    let text = client.metrics().expect("metrics scrape");
+    let stats = ServiceStats::parse(&text);
+    assert_eq!(stats.skipped_lines, 0, "scrape parses cleanly:\n{text}");
+
+    // The generator sends only Check and Lint during its phases (plus
+    // one Stats afterwards, which has its own kind). Exact reconcile:
+    let check = stats
+        .value("mca_serve_requests_total", &[("kind", "check")])
+        .unwrap_or(0.0);
+    let lint = stats
+        .value("mca_serve_requests_total", &[("kind", "lint")])
+        .unwrap_or(0.0);
+    assert_eq!(
+        (check + lint) as u64,
+        outcome.total_requests,
+        "scraped check+lint counts must equal the generator's sent count\n{text}"
+    );
+    // The latency histograms account for every one of those requests.
+    let hist_total = stats.total("mca_serve_latency_ns_count");
+    assert!(
+        hist_total >= check + lint,
+        "latency histograms cover all load requests: {hist_total} vs {}",
+        check + lint
+    );
+    // Responses reconcile too: no error frames on the healthy deck.
+    assert_eq!(
+        stats.value("mca_serve_responses_total", &[("outcome", "error")]),
+        None,
+        "no error series on a healthy run\n{text}"
+    );
+
+    // Healthy configuration ⇒ zero critical W101–W106 findings.
+    let findings = diagnose_service(&stats, None);
+    assert!(
+        !findings.iter().any(|f| f.severity == WhySeverity::Critical),
+        "healthy scrape must have no critical findings: {findings:?}"
+    );
+
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+}
+
+/// Acceptance pin (b): the FlightDump carries full latency attribution
+/// for the slowest request, and the slowest list is sorted.
+#[test]
+fn flight_dump_attributes_the_slowest_request() {
+    let handle = start(1, 32 << 20);
+    let mut client = connect(&handle);
+    // One cold check (translate+solve work) then warm repeats (cache).
+    for _ in 0..6 {
+        client
+            .check(named("two_agent_compliant"), WireEncoding::Optimized, false)
+            .expect("check");
+    }
+    let dump = client.flight_dump().expect("flight dump");
+    let flight = Json::parse(&dump).expect("flight dump is valid JSON");
+    assert_eq!(flight.get("version").and_then(Json::as_u64), Some(1));
+
+    let Some(Json::Array(slowest)) = flight.get("slowest") else {
+        panic!("flight dump has a slowest array: {dump}");
+    };
+    assert!(!slowest.is_empty(), "{dump}");
+    let top = &slowest[0];
+    let field = |key: &str| {
+        top.get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("slowest record has `{key}`: {dump}"))
+    };
+    let total = field("total_ns");
+    assert!(total > 0);
+    // Attribution is complete and consistent: the phases never exceed
+    // the request's own total.
+    let attributed = field("decode_ns")
+        + field("queue_ns")
+        + field("cache_ns")
+        + field("translate_ns")
+        + field("solve_ns")
+        + field("write_ns");
+    assert!(
+        attributed <= total,
+        "phase attribution {attributed} exceeds total {total}: {dump}"
+    );
+    // The slowest request is the cold check, which did real translate
+    // and solve work.
+    assert_eq!(top.get("kind").and_then(Json::as_str), Some("check"));
+    assert!(field("translate_ns") + field("solve_ns") > 0, "{dump}");
+
+    // Sorted slowest-first, and the ring kept every request.
+    let totals: Vec<u64> = slowest
+        .iter()
+        .filter_map(|r| r.get("total_ns").and_then(Json::as_u64))
+        .collect();
+    assert!(totals.windows(2).all(|w| w[0] >= w[1]), "{totals:?}");
+    let Some(Json::Array(ring)) = flight.get("ring") else {
+        panic!("flight dump has a ring array: {dump}");
+    };
+    assert!(ring.len() >= 6, "{dump}");
+
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+}
+
+/// Acceptance pin (c)-saturated: a `--queue-cap 1` daemon under any
+/// concurrent load drives the admission high-water to its capacity, so
+/// W102 fires critical — and since `repro why` exits
+/// `i32::from(!findings.is_empty())`, that scrape exits 1.
+#[test]
+fn tiny_queue_cap_fires_w102() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_bytes: 32 << 20,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(&config).expect("bind");
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                let mut client = connect(&handle);
+                for _ in 0..4 {
+                    client
+                        .check(named("two_agent_compliant"), WireEncoding::Optimized, false)
+                        .expect("check against tiny queue");
+                }
+            });
+        }
+    });
+    let mut client = connect(&handle);
+    let stats = ServiceStats::parse(&client.metrics().expect("metrics"));
+    let findings = diagnose_service(&stats, None);
+    let w102 = findings
+        .iter()
+        .find(|f| f.rule == "W102")
+        .unwrap_or_else(|| panic!("W102 must fire on a saturated queue: {findings:?}"));
+    assert_eq!(w102.severity, WhySeverity::Critical);
+    assert!(!findings.is_empty(), "exit code 1: at least one finding");
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+}
+
+/// The flight recorder and metrics endpoints are served while Check
+/// traffic is in flight — scrapes under load return promptly and never
+/// deadlock against the request path's telemetry lock.
+#[test]
+fn metrics_and_flight_dump_mid_load_do_not_deadlock() {
+    let handle = start(2, 32 << 20);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let hammer = scope.spawn(|| {
+            let mut client = connect(&handle);
+            let mut sent = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                client
+                    .check(named("two_agent_compliant"), WireEncoding::Optimized, false)
+                    .expect("check under scrape load");
+                sent += 1;
+            }
+            sent
+        });
+        let mut client = connect(&handle);
+        for _ in 0..25 {
+            let text = client.metrics().expect("metrics mid-flight");
+            assert!(text.contains("mca_serve_requests_total"), "{text}");
+            let dump = client.flight_dump().expect("flight dump mid-flight");
+            Json::parse(&dump).expect("mid-flight dump is valid JSON");
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(hammer.join().expect("hammer thread") > 0);
+    });
+    let mut client = connect(&handle);
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+}
+
+/// The telemetry overhead gate: a warm (fully cached) deck walk — the
+/// worst case for *relative* overhead, since per-request work is
+/// smallest — costs under 2% extra with telemetry on. Same methodology
+/// as the solver-telemetry gate in forensics.rs: min-of-N on both
+/// sides, relative bound plus absolute slack for timer noise.
+#[test]
+fn telemetry_overhead_on_warm_deck_is_under_two_percent() {
+    let runs = 3;
+    let time_min = |enabled: bool| {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            cache_bytes: 32 << 20,
+            read_timeout: Duration::from_secs(30),
+            telemetry: TelemetryConfig {
+                enabled,
+                ..TelemetryConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let handle = Server::start(&config).expect("bind");
+        let mut client = connect(&handle);
+        let deck = mca_serve::load::smoke_deck();
+        for req in &deck {
+            client.request(req).expect("cache warmup");
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let start = Instant::now();
+            for _ in 0..20 {
+                for req in &deck {
+                    client.request(req).expect("warm walk");
+                }
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        client.shutdown_server().expect("shutdown");
+        handle.join();
+        best
+    };
+    let plain = time_min(false);
+    let with_telemetry = time_min(true);
+    assert!(
+        with_telemetry <= plain * 1.02 + 0.010,
+        "telemetry overhead too high: plain {plain:.4}s vs enabled {with_telemetry:.4}s"
+    );
+}
+
+/// Telemetry (on by default) must not perturb the deterministic payload
+/// contract: interleaving Metrics/FlightDump scrapes between checks
+/// still yields byte-identical cold and cached verdicts.
+#[test]
+fn scrapes_do_not_perturb_payload_determinism() {
+    let handle = start(1, 32 << 20);
+    let mut client = connect(&handle);
+    let (_, cold) = client
+        .check(
+            named("two_agent_rebid_attack"),
+            WireEncoding::Optimized,
+            false,
+        )
+        .expect("cold check");
+    client.metrics().expect("metrics between checks");
+    client.flight_dump().expect("flight dump between checks");
+    let (disp, warm) = client
+        .check(
+            named("two_agent_rebid_attack"),
+            WireEncoding::Optimized,
+            false,
+        )
+        .expect("cached check");
+    assert_eq!(disp, CacheDisposition::VerdictHit);
+    assert_eq!(cold, warm, "scrapes must not perturb payload bytes");
+    client.shutdown_server().expect("shutdown");
     handle.join();
 }
